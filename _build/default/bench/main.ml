@@ -1,0 +1,163 @@
+(* Benchmark harness.
+
+   Two layers, as promised in DESIGN.md:
+
+   1. the reproduction experiments (vc_measure.Experiments): one report
+      per paper table/figure, printing measured cost curves and their
+      fitted growth classes against the paper's Θ claims;
+
+   2. Bechamel wall-clock microbenchmarks: one Test.make per paper
+      artifact, timing a representative solver execution.
+
+   `dune exec bench/main.exe` runs both; pass `--quick` (or set
+   VOLCOMP_QUICK=1) for the shortened ladders, `--no-wallclock` to skip
+   the Bechamel pass. *)
+
+open Bechamel
+
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Randomness = Vc_rng.Randomness
+module LC = Volcomp.Leaf_coloring
+module BT = Volcomp.Balanced_tree
+module H = Volcomp.Hierarchical_thc
+module Hy = Volcomp.Hybrid_thc
+module HH = Volcomp.Hh_thc
+module Adv = Volcomp.Adversary_leaf
+module CC = Volcomp.Cycle_coloring
+module Gap = Volcomp.Gap_example
+module Disjointness = Vc_commcc.Disjointness
+module Experiments = Vc_measure.Experiments
+
+let run_solver ~world ?randomness ~origin (solver : (_, _) Lcl.solver) () =
+  let r = Probe.run ~world ?randomness ~origin solver.Lcl.solve in
+  assert (not r.Probe.aborted)
+
+(* One wall-clock microbenchmark per paper artifact. *)
+let wallclock_tests () =
+  let t1_leaf =
+    let inst = LC.hard_distance_instance ~depth:10 ~leaf_color:TL.Blue in
+    let world = LC.world inst in
+    let rand = Randomness.create ~seed:1L ~n:(Graph.n inst.LC.graph) () in
+    Test.make ~name:"table1/leafcoloring/rwtoleaf"
+      (Staged.stage (run_solver ~world ~randomness:rand ~origin:0 LC.solve_random_walk))
+  in
+  let t1_bt =
+    let disj = Disjointness.random_promise ~n:64 ~intersecting:false ~seed:2L in
+    let inst = BT.embed_disjointness disj in
+    let world = BT.world inst in
+    Test.make ~name:"table1/balancedtree/descend"
+      (Staged.stage (run_solver ~world ~origin:0 BT.solve_distance))
+  in
+  let t1_hthc2 =
+    let inst, hot = H.hard_instance ~k:2 ~target_n:8_000 ~seed:3L in
+    let world = H.world inst in
+    let rand = Randomness.create ~seed:4L ~n:(Graph.n (H.graph inst)) () in
+    Test.make ~name:"table1/hthc2/waypoint"
+      (Staged.stage (run_solver ~world ~randomness:rand ~origin:hot (H.solve_waypoint ~k:2 ())))
+  in
+  let t1_hthc3 =
+    let inst, hot = H.hard_instance ~k:3 ~target_n:8_000 ~seed:5L in
+    let world = H.world inst in
+    Test.make ~name:"table1/hthc3/deterministic"
+      (Staged.stage (run_solver ~world ~origin:hot (H.solve_deterministic ~k:3)))
+  in
+  let t1_hybrid =
+    let inst, hot = Hy.hard_instance ~k:2 ~target_n:8_000 ~seed:6L in
+    let world = Hy.world inst in
+    Test.make ~name:"table1/hybrid/distance"
+      (Staged.stage (run_solver ~world ~origin:hot (Hy.solve_distance ~k:2)))
+  in
+  let t1_hh =
+    let inst = HH.uniform_instance ~k:2 ~l:3 ~size_hint:4_000 ~seed:7L in
+    let world = HH.world inst in
+    Test.make ~name:"table1/hhthc/dispatch"
+      (Staged.stage (run_solver ~world ~origin:0 (HH.solve_distance ~k:2 ~l:3)))
+  in
+  let fig12 =
+    let g = Builder.cycle 65536 in
+    let world = CC.world g in
+    Test.make ~name:"fig1-2/cycle-coloring"
+      (Staged.stage (run_solver ~world ~origin:0 CC.solve))
+  in
+  let fig8 =
+    Test.make ~name:"fig8/adversary-duel"
+      (Staged.stage (fun () -> ignore (Adv.duel ~claimed_n:1200 LC.solve_distance)))
+  in
+  let ex76_query =
+    let inst = Gap.make ~depth:9 ~seed:8L in
+    let world = Gap.world inst in
+    let leaf = (Graph.n inst.Gap.graph / 2) - 1 in
+    Test.make ~name:"ex7.6/query-climb"
+      (Staged.stage (run_solver ~world ~origin:leaf Gap.solve))
+  in
+  let ex76_congest =
+    let inst = Gap.make ~depth:6 ~seed:9L in
+    Test.make ~name:"ex7.6/congest-route"
+      (Staged.stage (fun () -> ignore (Gap.run_congest inst ~bandwidth:64)))
+  in
+  let obs74_congest_bt =
+    let inst = BT.broken_pair_instance ~depth:7 ~break:31 in
+    Test.make ~name:"obs7.4/balancedtree-congest"
+      (Staged.stage (fun () -> ignore (Volcomp.Balanced_tree_congest.run inst ())))
+  in
+  let rem23_local =
+    let inst = LC.random_instance ~n:201 ~seed:10L in
+    Test.make ~name:"rem2.3/local-gather"
+      (Staged.stage (fun () ->
+           ignore
+             (Vc_model.Local.gather ~graph:inst.LC.graph ~input:(LC.input inst) ~rounds:6)))
+  in
+  let q73_sinkless =
+    let g = Volcomp.Sinkless.random_cubic ~n:120 ~seed:11L in
+    let world = Volcomp.Sinkless.world g in
+    Test.make ~name:"q7.3/sinkless-global"
+      (Staged.stage (run_solver ~world ~origin:0 Volcomp.Sinkless.solve_global))
+  in
+  Test.make_grouped ~name:"volcomp"
+    [
+      t1_leaf; t1_bt; t1_hthc2; t1_hthc3; t1_hybrid; t1_hh; fig12; fig8; ex76_query;
+      ex76_congest; obs74_congest_bt; rem23_local; q73_sinkless;
+    ]
+
+let run_wallclock () =
+  let tests = wallclock_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Bechamel.Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  Fmt.pr "@.== Wall-clock microbenchmarks (one per paper artifact) ==@.";
+  List.iter
+    (fun (name, ns) -> Fmt.pr "  %-40s %12.0f ns/run@." name ns)
+    (List.sort compare rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args || Sys.getenv_opt "VOLCOMP_QUICK" = Some "1" in
+  let wallclock = not (List.mem "--no-wallclock" args) in
+  Fmt.pr "volcomp benchmark harness — reproducing every table and figure of@.";
+  Fmt.pr "\"Seeing Far vs. Seeing Wide\" (Rosenbaum & Suomela, PODC 2020)%s@.@."
+    (if quick then " [quick ladders]" else "");
+  let reports = Experiments.all ~quick in
+  List.iter (fun r -> Fmt.pr "%a@." Experiments.pp_report r) reports;
+  let agreements = List.filter Experiments.all_agree reports in
+  Fmt.pr "== Summary: %d/%d reports have every fitted class within the paper's claim ==@."
+    (List.length agreements) (List.length reports);
+  if wallclock then run_wallclock ()

@@ -1,0 +1,253 @@
+(* volcomp — command-line driver.
+
+   Subcommands:
+     experiments  run the paper-reproduction experiments (all or by substring)
+     solve        build an instance of a problem, run a solver from every
+                  node, validate the assembled output, print cost stats
+     adversary    run the Proposition 3.13 interactive adversary
+     congest      run the Example 7.6 CONGEST routing experiment *)
+
+open Cmdliner
+
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Randomness = Vc_rng.Randomness
+module TL = Vc_graph.Tree_labels
+module LC = Volcomp.Leaf_coloring
+module BT = Volcomp.Balanced_tree
+module H = Volcomp.Hierarchical_thc
+module Hy = Volcomp.Hybrid_thc
+module Adv = Volcomp.Adversary_leaf
+module Gap = Volcomp.Gap_example
+module Runner = Vc_measure.Runner
+module Experiments = Vc_measure.Experiments
+module Disjointness = Vc_commcc.Disjointness
+
+(* --- experiments ---------------------------------------------------------- *)
+
+let experiments_cmd =
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the shortened size ladders.")
+  in
+  let filter =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILTER" ~doc:"Only run reports whose title contains \\$(docv).")
+  in
+  let run quick filter =
+    let reports = Experiments.all ~quick in
+    let selected =
+      match filter with
+      | None -> reports
+      | Some f ->
+          List.filter
+            (fun r ->
+              let lower s = String.lowercase_ascii s in
+              let rec contains i =
+                i + String.length (lower f) <= String.length (lower r.Experiments.title)
+                && (String.sub (lower r.Experiments.title) i (String.length f) = lower f
+                   || contains (i + 1))
+              in
+              contains 0)
+            reports
+    in
+    List.iter (fun r -> Fmt.pr "%a@." Experiments.pp_report r) selected;
+    if List.for_all Experiments.all_agree selected then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the paper's tables and figures.")
+    Term.(const run $ quick $ filter)
+
+(* --- solve ----------------------------------------------------------------- *)
+
+let report_solution name stats valid =
+  Fmt.pr "%s: %a@." name Runner.pp_stats stats;
+  Fmt.pr "assembled output %s@." (if valid then "VALID" else "INVALID");
+  if valid then 0 else 1
+
+let solve_cmd =
+  let problem =
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [ ("leafcoloring", `Leaf); ("balancedtree", `Bt); ("hthc", `Hthc);
+                         ("hybrid", `Hybrid); ("sinkless", `Sinkless) ])) None
+      & info [] ~docv:"PROBLEM"
+          ~doc:"One of leafcoloring, balancedtree, hthc, hybrid, sinkless.")
+  in
+  let n = Arg.(value & opt int 255 & info [ "n" ] ~doc:"Approximate instance size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Instance and randomness seed.") in
+  let k = Arg.(value & opt int 2 & info [ "k" ] ~doc:"Hierarchy parameter for hthc/hybrid.") in
+  let randomized =
+    Arg.(value & flag & info [ "randomized"; "r" ] ~doc:"Use the randomized solver.")
+  in
+  let run problem n seed k randomized =
+    let seed64 = Int64.of_int seed in
+    match problem with
+    | `Leaf ->
+        let inst = LC.random_instance ~n ~seed:seed64 in
+        let world = LC.world inst in
+        let solver = if randomized then LC.solve_random_walk else LC.solve_distance in
+        let randomness =
+          if randomized then
+            Some (Randomness.create ~seed:(Int64.add seed64 1L) ~n:(Graph.n inst.LC.graph) ())
+          else None
+        in
+        let stats, valid =
+          Runner.solve_and_check ~world ~problem:LC.problem ~graph:inst.LC.graph
+            ~input:(LC.input inst) ~solver ?randomness ()
+        in
+        report_solution solver.Lcl.solver_name stats valid
+    | `Bt ->
+        let bits = max 4 (n / 4) in
+        let pow2 = 1 lsl Volcomp.Probe_tree.log2_ceil bits in
+        let disj = Disjointness.random_promise ~n:pow2 ~intersecting:(seed mod 2 = 1) ~seed:seed64 in
+        let inst = BT.embed_disjointness disj in
+        let stats, valid =
+          Runner.solve_and_check ~world:(BT.world inst) ~problem:BT.problem
+            ~graph:inst.BT.graph ~input:(BT.input inst) ~solver:BT.solve_distance ()
+        in
+        Fmt.pr "disjointness instance (disj = %b): %a@." (Disjointness.eval disj)
+          Disjointness.pp disj;
+        report_solution BT.solve_distance.Lcl.solver_name stats valid
+    | `Hthc ->
+        let inst, _ = H.hard_instance ~k ~target_n:n ~seed:seed64 in
+        let world = H.world inst in
+        let solver = if randomized then H.solve_waypoint ~k () else H.solve_deterministic ~k in
+        let randomness =
+          if randomized then
+            Some (Randomness.create ~seed:(Int64.add seed64 1L) ~n:(Graph.n (H.graph inst)) ())
+          else None
+        in
+        let stats, valid =
+          Runner.solve_and_check ~world ~problem:(H.problem ~k) ~graph:(H.graph inst)
+            ~input:(H.input inst) ~solver ?randomness ()
+        in
+        report_solution solver.Lcl.solver_name stats valid
+    | `Sinkless ->
+        let g = Volcomp.Sinkless.random_cubic ~n ~seed:seed64 in
+        let stats, valid =
+          Runner.solve_and_check ~world:(Volcomp.Sinkless.world g)
+            ~problem:Volcomp.Sinkless.problem ~graph:g ~input:(fun _ -> ())
+            ~solver:Volcomp.Sinkless.solve_global ()
+        in
+        report_solution Volcomp.Sinkless.solve_global.Lcl.solver_name stats valid
+    | `Hybrid ->
+        let inst, _ = Hy.hard_instance ~k ~target_n:n ~seed:seed64 in
+        let world = Hy.world inst in
+        let solver =
+          if randomized then Hy.solve_volume_waypoint ~k () else Hy.solve_distance ~k
+        in
+        let randomness =
+          if randomized then
+            Some (Randomness.create ~seed:(Int64.add seed64 1L) ~n:(Graph.n inst.Hy.graph) ())
+          else None
+        in
+        let stats, valid =
+          Runner.solve_and_check ~world ~problem:(Hy.problem ~k) ~graph:inst.Hy.graph
+            ~input:(Hy.input inst) ~solver ?randomness ()
+        in
+        report_solution solver.Lcl.solver_name stats valid
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Solve a random instance from every node and validate the assembled output.")
+    Term.(const run $ problem $ n $ seed $ k $ randomized)
+
+(* --- adversary -------------------------------------------------------------- *)
+
+let adversary_cmd =
+  let n = Arg.(value & opt int 300 & info [ "n" ] ~doc:"Claimed instance size.") in
+  let impatient =
+    Arg.(value & flag & info [ "impatient" ] ~doc:"Duel the hasty solver instead of the honest one.")
+  in
+  let run n impatient =
+    let solver =
+      if impatient then
+        Lcl.solver ~name:"impatient" ~randomized:false (fun ctx ->
+            let v0 = Probe.origin ctx in
+            match Volcomp.Probe_tree.status ~pointers:LC.pointers ctx v0 with
+            | TL.Leaf | TL.Inconsistent -> (Probe.input ctx v0).LC.color
+            | TL.Internal -> TL.Red)
+      else LC.solve_distance
+    in
+    let verdict = Adv.duel ~claimed_n:n solver in
+    Fmt.pr "dueling '%s' against the Prop 3.13 adversary (claimed n = %d):@."
+      solver.Lcl.solver_name n;
+    Fmt.pr "  %a@." Adv.pp_verdict verdict;
+    match verdict with Adv.Survived _ -> 0 | Adv.Fooled _ -> if impatient then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "adversary" ~doc:"Run the interactive deterministic-volume adversary.")
+    Term.(const run $ n $ impatient)
+
+(* --- congest ----------------------------------------------------------------- *)
+
+let congest_cmd =
+  let depth = Arg.(value & opt int 7 & info [ "depth" ] ~doc:"Tree depth (n = 2(2^{d+1}-1)).") in
+  let bandwidth = Arg.(value & opt int 32 & info [ "bandwidth"; "B" ] ~doc:"Bits per edge per round.") in
+  let run depth bandwidth =
+    let inst = Gap.make ~depth ~seed:42L in
+    let n = Graph.n inst.Gap.graph in
+    let res = Gap.run_congest inst ~bandwidth in
+    let leaf = (n / 2) - 1 in
+    let query = Probe.run ~world:(Gap.world inst) ~origin:leaf Gap.solve.Lcl.solve in
+    Fmt.pr "Example 7.6 on n = %d nodes:@." n;
+    Fmt.pr "  query model: volume %d (O(log n))@." query.Probe.volume;
+    Fmt.pr "  CONGEST (B=%d): %d rounds, max message %d bits, %d total bits@." bandwidth
+      res.Vc_model.Congest.rounds res.Vc_model.Congest.max_message_bits
+      res.Vc_model.Congest.total_bits;
+    0
+  in
+  Cmd.v
+    (Cmd.info "congest" ~doc:"Volume vs CONGEST rounds on the two-tree instance.")
+    Term.(const run $ depth $ bandwidth)
+
+(* --- export ----------------------------------------------------------------- *)
+
+let export_cmd =
+  let problem =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("leafcoloring", `Leaf); ("balancedtree", `Bt); ("hthc", `Hthc) ]))
+          None
+      & info [] ~docv:"PROBLEM" ~doc:"Instance family to render.")
+  in
+  let n = Arg.(value & opt int 31 & info [ "n" ] ~doc:"Approximate instance size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Instance seed.") in
+  let path = Arg.(value & opt string "instance.dot" & info [ "o" ] ~doc:"Output path.") in
+  let run problem n seed path =
+    let seed64 = Int64.of_int seed in
+    let () =
+      match problem with
+      | `Leaf ->
+          let inst = LC.random_instance ~n ~seed:seed64 in
+          Vc_graph.Dot.to_file ~path ~name:"leafcoloring"
+            ~node_label:(fun v -> Fmt.str "%a" TL.pp_color inst.LC.colors.(v))
+            ~highlight:(fun v ->
+              Vc_graph.Tree_labels.is_internal inst.LC.graph inst.LC.labels v)
+            inst.LC.graph
+      | `Bt ->
+          let depth = max 2 (Volcomp.Probe_tree.log2_ceil (n + 1) - 1) in
+          let inst = BT.balanced_instance ~depth in
+          Vc_graph.Dot.to_file ~path ~name:"balancedtree" inst.BT.graph
+      | `Hthc ->
+          let inst = H.uniform_instance ~k:2 ~len:4 ~seed:seed64 in
+          let a = H.graph_access inst in
+          Vc_graph.Dot.to_file ~path ~name:"hthc"
+            ~node_label:(fun v -> Fmt.str "L%d" (H.level a ~k:2 v))
+            (H.graph inst)
+    in
+    Fmt.pr "wrote %s@." path;
+    0
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export an instance as Graphviz DOT.")
+    Term.(const run $ problem $ n $ seed $ path)
+
+let () =
+  let doc = "Volume complexity of local graph problems (Rosenbaum & Suomela, PODC 2020)" in
+  let info = Cmd.info "volcomp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ experiments_cmd; solve_cmd; adversary_cmd; congest_cmd; export_cmd ]))

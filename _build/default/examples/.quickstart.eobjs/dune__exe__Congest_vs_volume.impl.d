@@ -1,0 +1,1 @@
+examples/congest_vs_volume.ml: Fmt List Vc_graph Vc_lcl Vc_model Volcomp

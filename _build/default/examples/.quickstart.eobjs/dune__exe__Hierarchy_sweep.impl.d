@@ -1,0 +1,1 @@
+examples/hierarchy_sweep.ml: Fmt Int64 List Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

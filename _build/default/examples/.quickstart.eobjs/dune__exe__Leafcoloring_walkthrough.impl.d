@@ -1,0 +1,1 @@
+examples/leafcoloring_walkthrough.ml: Array Fmt List Vc_graph Vc_lcl Vc_model Volcomp

@@ -1,0 +1,1 @@
+examples/lowerbound_adversary.ml: Fmt List Vc_graph Vc_lcl Vc_model Volcomp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Vc_graph Vc_lcl Vc_measure Vc_model Vc_rng Volcomp

@@ -1,0 +1,1 @@
+examples/randomness_regimes.ml: Fmt List Vc_graph Vc_lcl Vc_measure Vc_model Vc_rng Volcomp

@@ -1,0 +1,1 @@
+examples/randomness_regimes.mli:

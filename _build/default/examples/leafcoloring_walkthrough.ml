@@ -1,0 +1,62 @@
+(* A walkthrough of the LeafColoring machinery on a Figure-4-style
+   instance: node statuses (Definition 3.3), the pseudo-forest G_T
+   (Observation 3.7), a hand-checked solution, and what happens on the
+   hard distribution of Proposition 3.12.
+
+   Run with: dune exec examples/leafcoloring_walkthrough.exe *)
+
+module Graph = Vc_graph.Graph
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module LC = Volcomp.Leaf_coloring
+
+let () =
+  let inst = LC.figure4_instance in
+  let g = inst.LC.graph in
+  Fmt.pr "Figure-4-style instance with %d nodes:@." (Graph.n g);
+  Graph.iter_nodes g (fun v ->
+      Fmt.pr "  node %2d: input [%a]  status %a@." v LC.pp_node_input (LC.input inst v)
+        TL.pp_status
+        (TL.status g inst.LC.labels v));
+
+  (* The pseudo-forest structure. *)
+  Fmt.pr "@.G_T edges (internal parent -> children):@.";
+  Graph.iter_nodes g (fun v ->
+      match TL.gt_children g inst.LC.labels v with
+      | Some (l, r) -> Fmt.pr "  %d -> %d, %d@." v l r
+      | None -> ());
+
+  (* Solve and display. *)
+  let world = LC.world inst in
+  let out =
+    Array.init (Graph.n g) (fun v ->
+        match (Probe.run ~world ~origin:v LC.solve_distance.Lcl.solve).Probe.output with
+        | Some c -> c
+        | None -> assert false)
+  in
+  Fmt.pr "@.deterministic solution:@.";
+  Graph.iter_nodes g (fun v -> Fmt.pr "  node %2d -> %a@." v TL.pp_color out.(v));
+  (match Lcl.check LC.problem g ~input:(LC.input inst) ~output:(fun v -> out.(v)) with
+  | Ok () -> Fmt.pr "checker: VALID@."
+  | Error vs -> Fmt.pr "checker: INVALID (%d violations)@." (List.length vs));
+
+  (* Proposition 3.12: a distance-limited algorithm at the root of a
+     complete tree cannot know the leaf color. *)
+  Fmt.pr "@.Prop 3.12 on a depth-8 complete tree:@.";
+  List.iter
+    (fun leaf_color ->
+      let hard = LC.hard_distance_instance ~depth:8 ~leaf_color in
+      let world = LC.world hard in
+      let truncated =
+        Probe.run ~world ~budget:(Probe.distance_budget 7) ~origin:0
+          LC.solve_distance.Lcl.solve
+      in
+      let full = Probe.run ~world ~origin:0 LC.solve_distance.Lcl.solve in
+      Fmt.pr "  leaves %a: truncated-at-7 output %a; full solver output %a@." TL.pp_color
+        leaf_color
+        Fmt.(option ~none:(any "ABORTED (outputs arbitrarily)") TL.pp_color)
+        truncated.Probe.output
+        Fmt.(option TL.pp_color)
+        full.Probe.output)
+    [ TL.Red; TL.Blue ]

@@ -1,0 +1,56 @@
+(* The interactive deterministic-volume lower bound for LeafColoring
+   (Proposition 3.13) as an executable argument.
+
+   The adversary poses as a world with n nodes, grows a red tree in
+   response to every probe, and never reveals a leaf.  An algorithm that
+   halts before spending n/3 queries is completed into a true instance
+   whose leaves all carry the *other* color — so its answer is provably
+   wrong, and the machine checks that.
+
+   Run with: dune exec examples/lowerbound_adversary.exe *)
+
+module Graph = Vc_graph.Graph
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module LC = Volcomp.Leaf_coloring
+module Adv = Volcomp.Adversary_leaf
+
+(* A plausible-looking but hasty deterministic algorithm: inspect the
+   first few levels and echo the majority input color. *)
+let majority_sampler =
+  Lcl.solver ~name:"3-level majority sampler" ~randomized:false (fun ctx ->
+      let v0 = Probe.origin ctx in
+      match Volcomp.Probe_tree.status ~pointers:LC.pointers ctx v0 with
+      | TL.Leaf | TL.Inconsistent -> (Probe.input ctx v0).LC.color
+      | TL.Internal ->
+          let reds = ref 0 and blues = ref 0 in
+          let ball = Vc_model.Ball.gather ctx ~radius:3 in
+          List.iter
+            (fun (v, _) ->
+              match (Probe.input ctx v).LC.color with
+              | TL.Red -> incr reds
+              | TL.Blue -> incr blues)
+            ball;
+          if !reds >= !blues then TL.Red else TL.Blue)
+
+let duel name solver n =
+  Fmt.pr "%s vs adversary (n = %d):@." name n;
+  (match Adv.duel ~claimed_n:n solver with
+  | Adv.Survived { volume } ->
+      Fmt.pr "  SURVIVED — but only by querying %d nodes (>= n/3 = %d)@." volume (n / 3)
+  | Adv.Fooled { volume; algorithm_output; forced_output; instance } ->
+      Fmt.pr "  FOOLED after only %d volume: it answered %a, but on the completed@." volume
+        TL.pp_color algorithm_output;
+      Fmt.pr "  %d-node instance every valid solution makes the origin output %a@."
+        (Graph.n instance.LC.graph) TL.pp_color forced_output);
+  Fmt.pr "@."
+
+let () =
+  Fmt.pr "Proposition 3.13: every deterministic LeafColoring algorithm needs n/3 queries@.@.";
+  List.iter
+    (fun n ->
+      duel "honest nearest-leaf solver" LC.solve_distance n;
+      duel "3-level majority sampler" majority_sampler n)
+    [ 120; 600; 3000 ];
+  Fmt.pr "The dichotomy is the theorem: pay Omega(n) volume or answer wrongly.@."

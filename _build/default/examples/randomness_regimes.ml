@@ -1,0 +1,78 @@
+(* The three randomness regimes of paper Section 7.4 — public, private,
+   secret — exercised on the same problems.
+
+   - private (the paper's model): each node has its own string, visible
+     to whoever visits it; RWtoLeaf and the way-point solvers rely on
+     this "posted randomness" for coordination.
+   - secret: only the origin's own string is readable; enough for the
+     promise version of LeafColoring, useless for coordination.
+   - public: one shared string; per-node independence disappears, so
+     e.g. way-point election becomes all-or-nothing.
+
+   Run with: dune exec examples/randomness_regimes.exe *)
+
+module Graph = Vc_graph.Graph
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Randomness = Vc_rng.Randomness
+module LC = Volcomp.Leaf_coloring
+module PL = Volcomp.Promise_leaf
+module Runner = Vc_measure.Runner
+
+let () =
+  let n = 257 in
+
+  (* 1. private randomness: Algorithm 1 solves full LeafColoring *)
+  let inst = LC.random_instance ~n ~seed:1L in
+  let world = LC.world inst in
+  let private_rand = Randomness.create ~regime:Randomness.Private ~seed:2L ~n:(Graph.n inst.LC.graph) () in
+  let stats, valid =
+    Runner.solve_and_check ~world ~problem:LC.problem ~graph:inst.LC.graph
+      ~input:(LC.input inst) ~solver:LC.solve_random_walk ~randomness:private_rand ()
+  in
+  Fmt.pr "private  | RWtoLeaf on LeafColoring:        valid=%b, max volume %d@." valid
+    stats.Runner.max_volume;
+
+  (* 2. secret randomness: fails on the same instance... *)
+  let secret_rand = Randomness.create ~regime:Randomness.Secret ~seed:3L ~n:(Graph.n inst.LC.graph) () in
+  let s_stats, s_valid =
+    Runner.solve_and_check ~world ~problem:LC.problem ~graph:inst.LC.graph
+      ~input:(LC.input inst) ~solver:PL.solve_secret_walk ~randomness:secret_rand ()
+  in
+  Fmt.pr "secret   | secret walk on LeafColoring:     valid=%b (no coordination!)@." s_valid;
+  ignore s_stats;
+
+  (* ... but solves the promise version, where coordination is free *)
+  let pinst = PL.promise_instance ~n ~leaf_color:TL.Blue ~seed:4L in
+  let pworld = LC.world pinst in
+  let p_stats, p_valid =
+    Runner.solve_and_check ~world:pworld ~problem:LC.problem ~graph:pinst.LC.graph
+      ~input:(LC.input pinst) ~solver:PL.solve_secret_walk ~randomness:secret_rand ()
+  in
+  Fmt.pr "secret   | secret walk on promise variant:  valid=%b, max volume %d@." p_valid
+    p_stats.Runner.max_volume;
+
+  (* 3. the model enforces secrecy: reading another node's bits raises *)
+  let caught =
+    (Probe.run ~world ~randomness:secret_rand ~origin:0 (fun ctx ->
+         let u = Probe.query ctx ~at:0 ~port:1 in
+         try
+           ignore (Probe.rand_bit ctx u);
+           false
+         with Probe.Illegal _ -> true))
+      .Probe.output
+  in
+  Fmt.pr "secret   | reading a neighbor's bits:       rejected=%b@."
+    (caught = Some true);
+
+  (* 4. public randomness: everyone reads the same bits *)
+  let public_rand = Randomness.create ~regime:Randomness.Public ~seed:5L ~n:(Graph.n inst.LC.graph) () in
+  let bits origin =
+    (Probe.run ~world ~randomness:public_rand ~origin (fun ctx ->
+         List.init 8 (fun i -> Probe.rand_bit_at ctx origin i)))
+      .Probe.output
+  in
+  Fmt.pr "public   | node 0 and node %d see same bits: %b@." (n / 2)
+    (bits 0 = bits (n / 2));
+  Fmt.pr "@.Question 7.9 (open): are these three models strictly separated for LCLs?@."

@@ -1,0 +1,1 @@
+lib/commcc/comm_counter.ml:

@@ -1,0 +1,1 @@
+lib/commcc/disjointness.ml: Array Fmt String Vc_rng

@@ -1,0 +1,1 @@
+lib/commcc/disjointness.mli: Format

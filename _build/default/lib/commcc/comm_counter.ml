@@ -1,0 +1,31 @@
+type t = {
+  mutable queries : int;
+  mutable charged : int;
+  mutable bits : int;
+  mutable max_bits : int;
+}
+
+let create () = { queries = 0; charged = 0; bits = 0; max_bits = 0 }
+
+let charge t ~bits =
+  if bits < 0 then invalid_arg "Comm_counter.charge: negative bits";
+  t.queries <- t.queries + 1;
+  if bits > 0 then begin
+    t.charged <- t.charged + 1;
+    t.bits <- t.bits + bits;
+    if bits > t.max_bits then t.max_bits <- bits
+  end
+
+let free t = t.queries <- t.queries + 1
+
+let queries t = t.queries
+
+let charged_queries t = t.charged
+
+let bits t = t.bits
+
+let max_bits_per_query t = t.max_bits
+
+let implied_query_lower_bound t ~comm_lower_bound =
+  let b = max 1 t.max_bits in
+  comm_lower_bound / b

@@ -1,0 +1,43 @@
+(** Two-party communication accounting for query embeddings
+    (paper Definitions 2.7–2.8 and Theorem 2.9).
+
+    When a graph problem instance is an embedding [E(x, y)] of a Boolean
+    function, Alice (holding [x]) and Bob (holding [y]) can simulate any
+    query algorithm on [E(x, y)]; the bits they must exchange to answer
+    the algorithm's queries upper-bound the communication of the
+    resulting protocol, hence (Theorem 2.9) the algorithm's query count
+    is at least R(f) divided by the per-query cost.
+
+    A [Comm_counter.t] records this simulation: each query is charged
+    the number of input bits its answer depends on.  Experiments use it
+    to certify that an observed solver run would have transmitted at
+    least [k] bits — giving the measured side of the Ω(n) BalancedTree
+    volume bound (Proposition 4.9). *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> bits:int -> unit
+(** Record a query whose answer required exchanging [bits] bits. *)
+
+val free : t -> unit
+(** Record a query answerable with no communication (its answer is
+    independent of both private inputs). *)
+
+val queries : t -> int
+(** Total queries recorded (free and charged). *)
+
+val charged_queries : t -> int
+
+val bits : t -> int
+(** Total bits exchanged. *)
+
+val max_bits_per_query : t -> int
+(** The worst single query's cost [B]; Theorem 2.9 divides by it. *)
+
+val implied_query_lower_bound : t -> comm_lower_bound:int -> int
+(** [implied_query_lower_bound t ~comm_lower_bound] is
+    [comm_lower_bound / B] (with [B = max 1 (max_bits_per_query t)]):
+    the minimum number of queries any algorithm must spend, given that
+    computing the embedded function needs [comm_lower_bound] bits. *)

@@ -1,0 +1,50 @@
+module Splitmix = Vc_rng.Splitmix
+
+type t = {
+  x : bool array;
+  y : bool array;
+}
+
+let create ~x ~y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Disjointness.create: length mismatch";
+  if Array.length x = 0 then invalid_arg "Disjointness.create: empty vectors";
+  { x; y }
+
+let size t = Array.length t.x
+
+let intersection_size t =
+  let c = ref 0 in
+  Array.iteri (fun i xi -> if xi && t.y.(i) then incr c) t.x;
+  !c
+
+let eval t = intersection_size t = 0
+
+let random ~n ~seed =
+  let rng = Splitmix.create seed in
+  let x = Array.init n (fun _ -> Splitmix.bool rng) in
+  let y = Array.init n (fun _ -> Splitmix.bool rng) in
+  create ~x ~y
+
+let random_promise ~n ~intersecting ~seed =
+  let rng = Splitmix.create seed in
+  (* Sparse vectors keep the promise easy to enforce: each side marks
+     roughly n/4 positions, on disjoint index ranges, then optionally one
+     shared position. *)
+  let x = Array.make n false in
+  let y = Array.make n false in
+  let half = n / 2 in
+  for _ = 1 to max 1 (n / 4) do
+    x.(Splitmix.int rng ~bound:(max 1 half)) <- true;
+    y.(half + Splitmix.int rng ~bound:(max 1 (n - half))) <- true
+  done;
+  if intersecting then begin
+    let i = Splitmix.int rng ~bound:n in
+    x.(i) <- true;
+    y.(i) <- true
+  end;
+  create ~x ~y
+
+let pp ppf t =
+  let bits a = String.init (Array.length a) (fun i -> if a.(i) then '1' else '0') in
+  Fmt.pf ppf "x=%s y=%s" (bits t.x) (bits t.y)

@@ -1,0 +1,32 @@
+(** The set-disjointness function (paper Section 2.5).
+
+    [disj(x, y) = 1] iff the bit vectors [x] and [y] share no common 1.
+    Its randomized two-party communication complexity is Ω(N)
+    (Kalyanasundaram–Schnitger; Razborov), even under the promise that
+    the intersection has size at most one.  The paper reduces
+    BalancedTree to disjointness: low-volume algorithms for BalancedTree
+    would yield low-communication protocols for [disj]. *)
+
+type t = {
+  x : bool array;
+  y : bool array;
+}
+
+val create : x:bool array -> y:bool array -> t
+(** @raise Invalid_argument on length mismatch or empty vectors. *)
+
+val size : t -> int
+
+val eval : t -> bool
+(** [eval t] is [disj(x, y)]: true iff no index has both bits set. *)
+
+val intersection_size : t -> int
+
+val random : n:int -> seed:int64 -> t
+(** A random instance (no promise). *)
+
+val random_promise : n:int -> intersecting:bool -> seed:int64 -> t
+(** A random instance under the paper's promise: intersection size is
+    exactly 0 ([intersecting = false]) or exactly 1 ([true]). *)
+
+val pp : Format.formatter -> t -> unit

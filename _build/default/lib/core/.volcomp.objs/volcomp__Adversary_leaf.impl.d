@@ -1,0 +1,1 @@
+lib/core/adversary_leaf.ml: Array Fmt Hashtbl Leaf_coloring List Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/balanced_tree.ml: Array Fmt Hashtbl List Probe_tree Vc_commcc Vc_graph Vc_lcl Vc_model

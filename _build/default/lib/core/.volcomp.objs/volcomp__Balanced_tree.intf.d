@@ -1,0 +1,1 @@
+lib/core/balanced_tree.mli: Format Vc_commcc Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/balanced_tree_congest.ml: Array Balanced_tree List Probe_tree Vc_graph Vc_model

@@ -1,0 +1,1 @@
+lib/core/balanced_tree_congest.mli: Balanced_tree Vc_model

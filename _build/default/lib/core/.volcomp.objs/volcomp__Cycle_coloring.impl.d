@@ -1,0 +1,1 @@
+lib/core/cycle_coloring.ml: Array Hashtbl List Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/cycle_coloring.mli: Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/gap_example.ml: Array Bool Fmt List Vc_graph Vc_lcl Vc_model Vc_rng

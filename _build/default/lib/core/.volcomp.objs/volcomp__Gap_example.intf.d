@@ -1,0 +1,1 @@
+lib/core/gap_example.mli: Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/hh_thc.ml: Array Float Hierarchical_thc Hybrid_thc Int64 Leaf_coloring Printf Vc_graph Vc_lcl Vc_model

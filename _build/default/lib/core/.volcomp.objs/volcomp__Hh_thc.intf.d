@@ -1,0 +1,1 @@
+lib/core/hh_thc.mli: Hierarchical_thc Hybrid_thc Vc_graph Vc_lcl Vc_model

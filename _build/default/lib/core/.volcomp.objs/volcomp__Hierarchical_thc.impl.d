@@ -1,0 +1,1 @@
+lib/core/hierarchical_thc.ml: Array Float Fmt Hashtbl Leaf_coloring List Option Printf Vc_graph Vc_lcl Vc_model Vc_rng

@@ -1,0 +1,1 @@
+lib/core/hierarchical_thc.mli: Format Leaf_coloring Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/hybrid_thc.ml: Array Balanced_tree Float Fmt Hashtbl Hierarchical_thc List Option Printf Probe_tree Queue Vc_graph Vc_lcl Vc_model Vc_rng

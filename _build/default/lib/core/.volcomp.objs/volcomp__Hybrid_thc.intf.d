@@ -1,0 +1,1 @@
+lib/core/hybrid_thc.mli: Balanced_tree Format Hierarchical_thc Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/leaf_coloring.ml: Array Fmt Hashtbl List Option Probe_tree Vc_graph Vc_lcl Vc_model Vc_rng

@@ -1,0 +1,1 @@
+lib/core/leaf_coloring.mli: Format Vc_graph Vc_lcl Vc_model

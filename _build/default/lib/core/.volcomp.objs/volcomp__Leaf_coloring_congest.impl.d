@@ -1,0 +1,1 @@
+lib/core/leaf_coloring_congest.ml: Array Leaf_coloring List Probe_tree Vc_graph Vc_model

@@ -1,0 +1,1 @@
+lib/core/leaf_coloring_congest.mli: Leaf_coloring Vc_graph Vc_model

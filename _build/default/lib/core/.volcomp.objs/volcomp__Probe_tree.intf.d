@@ -1,0 +1,1 @@
+lib/core/probe_tree.mli: Vc_graph Vc_model

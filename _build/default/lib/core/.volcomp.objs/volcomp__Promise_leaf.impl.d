@@ -1,0 +1,1 @@
+lib/core/promise_leaf.ml: Array Leaf_coloring List Probe_tree Vc_graph Vc_lcl Vc_model

@@ -1,0 +1,1 @@
+lib/core/promise_leaf.mli: Leaf_coloring Vc_graph Vc_lcl

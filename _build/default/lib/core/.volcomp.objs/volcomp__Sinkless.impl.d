@@ -1,0 +1,1 @@
+lib/core/sinkless.ml: Array Fmt Fun Hashtbl List Queue Vc_graph Vc_lcl Vc_model Vc_rng

@@ -1,0 +1,1 @@
+lib/core/sinkless.mli: Vc_graph Vc_lcl Vc_model

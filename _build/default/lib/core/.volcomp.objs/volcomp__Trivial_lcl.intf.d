@@ -1,0 +1,1 @@
+lib/core/trivial_lcl.mli: Format Vc_graph Vc_lcl Vc_model

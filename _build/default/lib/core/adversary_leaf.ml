@@ -1,0 +1,165 @@
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+
+type verdict =
+  | Fooled of {
+      volume : int;
+      instance : Leaf_coloring.instance;
+      algorithm_output : TL.color;
+      forced_output : TL.color;
+    }
+  | Survived of { volume : int }
+
+let pp_verdict ppf = function
+  | Fooled f ->
+      Fmt.pf ppf "fooled: output %a after volume %d, but the completed instance forces %a"
+        TL.pp_color f.algorithm_output f.volume TL.pp_color f.forced_output
+  | Survived s -> Fmt.pf ppf "survived: spent volume %d (>= n/3)" s.volume
+
+(* Growth state: every materialized node records its degree, served
+   input, per-port assignment (-1 when the port has not been revealed)
+   and tree depth (= distance from the origin, final because only
+   pendant nodes are ever added). *)
+type anode = {
+  degree : int;
+  served : Leaf_coloring.node_input;
+  ports : int array;
+  depth : int;
+}
+
+type state = {
+  mutable count : int;
+  nodes : (int, anode) Hashtbl.t;
+}
+
+let root_input =
+  { Leaf_coloring.parent = TL.bot; left = 1; right = 2; color = TL.Red }
+
+let child_input = { Leaf_coloring.parent = 1; left = 2; right = 3; color = TL.Red }
+
+let fresh_state () =
+  let st = { count = 1; nodes = Hashtbl.create 64 } in
+  Hashtbl.add st.nodes 0 { degree = 2; served = root_input; ports = [| -1; -1 |]; depth = 0 };
+  st
+
+let world_internal ~claimed_n =
+  let st = fresh_state () in
+  let start origin =
+    if origin <> 0 then invalid_arg "Adversary_leaf.world: executions must start at node 0";
+    let view v =
+      let a = Hashtbl.find st.nodes v in
+      { Vc_model.View.node = v; id = v + 1; degree = a.degree; input = a.served }
+    in
+    let resolve w ~port =
+      let a = Hashtbl.find st.nodes w in
+      let slot = port - 1 in
+      if a.ports.(slot) >= 0 then a.ports.(slot)
+      else begin
+        (* Grow a fresh internal-looking node hanging off port [port]. *)
+        let u = st.count in
+        st.count <- st.count + 1;
+        Hashtbl.add st.nodes u
+          { degree = 3; served = child_input; ports = [| w; -1; -1 |]; depth = a.depth + 1 };
+        a.ports.(slot) <- u;
+        u
+      end
+    in
+    let dist v = (Hashtbl.find st.nodes v).depth in
+    { World.view; resolve; dist }
+  in
+  let materialized () = st.count in
+  (({ World.n = claimed_n; start } : Leaf_coloring.node_input World.t), materialized, st)
+
+let world ~claimed_n =
+  let w, materialized, _ = world_internal ~claimed_n in
+  (w, materialized)
+
+let complete ~claimed_n ~explored_adj ~inputs ~origin_output =
+  ignore claimed_n;
+  let m = List.length explored_adj in
+  let adj_tbl = Hashtbl.create m in
+  List.iter (fun (v, ports) -> Hashtbl.add adj_tbl v (Array.copy ports)) explored_adj;
+  let input_tbl = Hashtbl.create m in
+  List.iter (fun (v, i) -> Hashtbl.add input_tbl v i) inputs;
+  (* Hang a leaf on every unassigned port. *)
+  let next = ref m in
+  let leaves = ref [] in
+  for v = 0 to m - 1 do
+    let ports = Hashtbl.find adj_tbl v in
+    Array.iteri
+      (fun slot u ->
+        if u < 0 then begin
+          let leaf = !next in
+          incr next;
+          ports.(slot) <- leaf;
+          leaves := (leaf, v) :: !leaves
+        end)
+      ports
+  done;
+  let total = !next in
+  let adj =
+    Array.init total (fun v ->
+        match Hashtbl.find_opt adj_tbl v with
+        | Some ports -> ports
+        | None ->
+            let parent = List.assoc v !leaves in
+            [| parent |])
+  in
+  let ids = Array.init total (fun v -> v + 1) in
+  let graph = Graph.create ~ids ~adj in
+  let labels = TL.make ~n:total in
+  let colors = Array.make total TL.Red in
+  for v = 0 to total - 1 do
+    if v < m then begin
+      let i = Hashtbl.find input_tbl v in
+      labels.TL.parent.(v) <- i.Leaf_coloring.parent;
+      labels.TL.left.(v) <- i.Leaf_coloring.left;
+      labels.TL.right.(v) <- i.Leaf_coloring.right;
+      colors.(v) <- i.Leaf_coloring.color
+    end
+    else begin
+      labels.TL.parent.(v) <- 1;
+      labels.TL.left.(v) <- TL.bot;
+      labels.TL.right.(v) <- TL.bot;
+      colors.(v) <- TL.flip_color origin_output
+    end
+  done;
+  Leaf_coloring.of_tree graph labels ~colors
+
+let duel ~claimed_n (solver : (Leaf_coloring.node_input, TL.color) Lcl.solver) =
+  if solver.Lcl.randomized then
+    invalid_arg "Adversary_leaf.duel: the adversary only defeats deterministic algorithms";
+  let w, _materialized, st = world_internal ~claimed_n in
+  let budget = Probe.volume_budget (claimed_n / 3) in
+  let res = Probe.run ~world:w ~budget ~origin:0 solver.Lcl.solve in
+  match res.Probe.output with
+  | None -> Survived { volume = res.Probe.volume }
+  | Some c ->
+      let explored_adj =
+        List.init st.count (fun v -> (v, (Hashtbl.find st.nodes v).ports))
+      in
+      let inputs = List.init st.count (fun v -> (v, (Hashtbl.find st.nodes v).served)) in
+      let inst = complete ~claimed_n ~explored_adj ~inputs ~origin_output:c in
+      (* Determinism replay: on the completed instance the algorithm sees
+         the very same answers, so it must repeat its output. *)
+      let w2 =
+        World.of_graph_claiming ~n:claimed_n inst.Leaf_coloring.graph
+          ~input:(Leaf_coloring.input inst)
+      in
+      let res2 = Probe.run ~world:w2 ~origin:0 solver.Lcl.solve in
+      let c2 =
+        match res2.Probe.output with
+        | Some c2 -> c2
+        | None -> failwith "Adversary_leaf.duel: replay aborted unexpectedly"
+      in
+      if not (TL.equal_color c c2) then
+        failwith "Adversary_leaf.duel: solver is not deterministic (replay diverged)";
+      let forced =
+        match Leaf_coloring.unique_valid_output inst with
+        | Some f -> f.(0)
+        | None -> TL.flip_color c
+      in
+      Fooled { volume = res.Probe.volume; instance = inst; algorithm_output = c2; forced_output = forced }

@@ -1,0 +1,58 @@
+(** The interactive deterministic-volume adversary for LeafColoring
+    (paper Proposition 3.13, "process P").
+
+    The adversary poses as a world claiming to have [n] nodes.  The
+    origin looks like the root of a binary tree; every port the
+    algorithm probes is answered by growing a fresh, red, internal-
+    looking node with three ports.  No leaf is ever revealed.  When a
+    deterministic algorithm halts after fewer than [n/3] queries with
+    output [c], the adversary completes the explored region into a
+    genuine LeafColoring instance by hanging a leaf on every unassigned
+    port — and colors all those leaves with the {e other} color.  On the
+    completed instance the only valid output at the origin is the other
+    color, yet the (deterministic) algorithm, seeing exactly the same
+    answers, still outputs [c].  Hence D-VOL(LeafColoring) ≥ n/3.
+
+    {!duel} packages the whole argument as an experiment whose verdict
+    is machine-checked: it re-runs the algorithm on the completed
+    instance and verifies with the {!Leaf_coloring.problem} checker that
+    its answer is invalid. *)
+
+module TL = Vc_graph.Tree_labels
+
+type verdict =
+  | Fooled of {
+      volume : int;
+      instance : Leaf_coloring.instance;
+      algorithm_output : TL.color;
+      forced_output : TL.color;
+    }
+      (** The algorithm halted below the query threshold and its output
+          is wrong on the completed instance. *)
+  | Survived of { volume : int }
+      (** The algorithm spent at least the threshold number of queries
+          (so the adversary ran out of room); consistent with the Ω(n)
+          bound. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val world : claimed_n:int -> Leaf_coloring.node_input Vc_model.World.t * (unit -> int)
+(** [world ~claimed_n] is the adversarial world plus a function
+    reporting how many nodes have been materialized so far.  Node 0 is
+    the intended origin.  Usable directly for custom experiments. *)
+
+val complete :
+  claimed_n:int ->
+  explored_adj:(int * int array) list ->
+  inputs:(int * Leaf_coloring.node_input) list ->
+  origin_output:TL.color ->
+  Leaf_coloring.instance
+(** Exposed for testing: build the completed instance from an explored
+    region (internal use by {!duel}). *)
+
+val duel :
+  claimed_n:int ->
+  (Leaf_coloring.node_input, TL.color) Vc_lcl.Lcl.solver ->
+  verdict
+(** Run a deterministic solver against the adversary from the origin.
+    @raise Invalid_argument if the solver is randomized. *)

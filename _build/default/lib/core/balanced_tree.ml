@@ -1,0 +1,341 @@
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+module Disjointness = Vc_commcc.Disjointness
+module Comm_counter = Vc_commcc.Comm_counter
+
+type node_input = {
+  parent : TL.ptr;
+  left : TL.ptr;
+  right : TL.ptr;
+  left_nbr : TL.ptr;
+  right_nbr : TL.ptr;
+}
+
+let tree_pointers inp = (inp.parent, inp.left, inp.right)
+
+let pp_node_input ppf i =
+  Fmt.pf ppf "P=%d LC=%d RC=%d LN=%d RN=%d" i.parent i.left i.right i.left_nbr i.right_nbr
+
+type verdict = Bal | Unbal
+
+type output = {
+  verdict : verdict;
+  port : TL.ptr;
+}
+
+let equal_output a b =
+  a.port = b.port && (match (a.verdict, b.verdict) with
+  | Bal, Bal | Unbal, Unbal -> true
+  | (Bal | Unbal), _ -> false)
+
+let pp_output ppf o =
+  Fmt.pf ppf "(%s,%d)" (match o.verdict with Bal -> "B" | Unbal -> "U") o.port
+
+type instance = {
+  graph : Graph.t;
+  labels : node_input array;
+}
+
+let input inst v = inst.labels.(v)
+
+let world inst = World.of_graph inst.graph ~input:(input inst)
+
+(* --- compatibility (Definition 4.2) ----------------------------------- *)
+
+let status_gen ~degree ~input ~follow v =
+  TL.status_gen ~degree ~pointers:(fun u -> tree_pointers (input u)) ~follow v
+
+(* Compatibility of a consistent node.  A non-⊥ pointer that is not a
+   valid port counts as a violation.  The "leaves" condition of
+   Definition 4.2 is subsumed by type preservation and therefore not
+   checked separately. *)
+let compatible_gen ~degree ~input ~follow v =
+  let valid u p = p <> TL.bot && p >= 1 && p <= degree u in
+  let target u p = if valid u p then Some (follow u p) else None in
+  let status u = status_gen ~degree ~input ~follow u in
+  let resolves_to u p w =
+    (* pointer p of u resolves and lands on w *)
+    match target u p with Some x -> x = w | None -> false
+  in
+  match status v with
+  | TL.Inconsistent -> false
+  | (TL.Internal | TL.Leaf) as st -> (
+      let iv = input v in
+      let lateral_ok p =
+        (* type preservation + agreement for one lateral pointer [p];
+           [back] extracts the reciprocal pointer of the other endpoint *)
+        p = TL.bot
+        ||
+        match target v p with
+        | None -> false
+        | Some w ->
+            TL.equal_status (status w) st
+            && (match st with
+               | TL.Internal | TL.Leaf -> true
+               | TL.Inconsistent -> false)
+            &&
+            (* agreement: the mirror pointer of w points back at v *)
+            (if p = iv.left_nbr then resolves_to w (input w).right_nbr v
+             else resolves_to w (input w).left_nbr v)
+      in
+      let agreement_and_types = lateral_ok iv.left_nbr && lateral_ok iv.right_nbr in
+      match st with
+      | TL.Leaf -> agreement_and_types
+      | TL.Internal ->
+          agreement_and_types
+          &&
+          (* siblings: RN(LC(v)) = RC(v) and LN(RC(v)) = LC(v) *)
+          let lc = follow v iv.left and rc = follow v iv.right in
+          resolves_to lc (input lc).right_nbr rc
+          && resolves_to rc (input rc).left_nbr lc
+          &&
+          (* persistence on the right: w = RN(v) internal (already by
+             type preservation) and RN(RC(v)) = LC(w) *)
+          (match target v iv.right_nbr with
+          | None -> true
+          | Some w -> (
+              match target w (input w).left with
+              | None -> false
+              | Some lcw -> resolves_to rc (input rc).right_nbr lcw))
+          &&
+          (* persistence on the left: u = LN(v) internal and
+             LN(LC(v)) = RC(u) *)
+          (match target v iv.left_nbr with
+          | None -> true
+          | Some u -> (
+              match target u (input u).right with
+              | None -> false
+              | Some rcu -> resolves_to lc (input lc).left_nbr rcu))
+      | TL.Inconsistent -> false)
+
+let compatible inst v =
+  compatible_gen
+    ~degree:(Graph.degree inst.graph)
+    ~input:(input inst)
+    ~follow:(Graph.neighbor inst.graph) v
+
+let status inst v =
+  status_gen
+    ~degree:(Graph.degree inst.graph)
+    ~input:(input inst)
+    ~follow:(Graph.neighbor inst.graph) v
+
+(* --- the LCL checker (Definition 4.3) ---------------------------------- *)
+
+let problem : (node_input, output) Lcl.t =
+  let valid_at g ~input:inp ~output:out v =
+    let degree = Graph.degree g in
+    let follow = Graph.neighbor g in
+    let status = status_gen ~degree ~input:inp ~follow in
+    let compatible = compatible_gen ~degree ~input:inp ~follow in
+    let expect what o v' =
+      if equal_output (out v') o then Ok ()
+      else Error (Fmt.str "%s: expected %a, got %a" what pp_output o pp_output (out v'))
+    in
+    match status v with
+    | TL.Inconsistent -> Ok ()
+    | TL.Leaf ->
+        if not (compatible v) then expect "incompatible node" { verdict = Unbal; port = TL.bot } v
+        else expect "compatible leaf" { verdict = Bal; port = (inp v).parent } v
+    | TL.Internal ->
+        if not (compatible v) then expect "incompatible node" { verdict = Unbal; port = TL.bot } v
+        else
+          let iv = inp v in
+          let lc = follow v iv.left and rc = follow v iv.right in
+          let ol = out lc and o_r = out rc in
+          (match (ol.verdict, o_r.verdict) with
+          | Bal, Bal -> expect "children balanced" { verdict = Bal; port = iv.parent } v
+          | Unbal, Bal -> expect "left child unbalanced" { verdict = Unbal; port = iv.left } v
+          | Bal, Unbal -> expect "right child unbalanced" { verdict = Unbal; port = iv.right } v
+          | Unbal, Unbal ->
+              let o = out v in
+              if (match o.verdict with Unbal -> true | Bal -> false)
+                 && (o.port = iv.left || o.port = iv.right)
+              then Ok ()
+              else
+                Error
+                  (Fmt.str "both children unbalanced: expected (U,%d) or (U,%d), got %a" iv.left
+                     iv.right pp_output o))
+  in
+  { Lcl.name = "BalancedTree"; radius = 3; valid_at }
+
+(* --- instance construction -------------------------------------------- *)
+
+(* Base graph of Proposition 4.9 / Figure 5: complete binary tree of
+   depth [k], plus lateral edges joining consecutive nodes of each depth
+   row.  Row [d] occupies node indices [2^d - 1 .. 2^(d+1) - 2]. *)
+let base_graph ~depth =
+  let tree = Builder.complete_binary_tree ~depth in
+  let laterals =
+    List.concat_map
+      (fun d ->
+        let first = (1 lsl d) - 1 in
+        let row = 1 lsl d in
+        List.init (row - 1) (fun i -> (first + i, first + i + 1)))
+      (List.init depth (fun d -> d + 1))
+  in
+  Builder.attach tree ~extra_edges:laterals
+
+let row_of v = Builder.tree_depth_of v
+
+let row_range d = ((1 lsl d) - 1, (1 lsl (d + 1)) - 2)
+
+(* Build the labeling: tree pointers from the heap structure, lateral
+   pointers between consecutive row nodes except where [cut] says the
+   link is erased (used for the disjointness embedding). *)
+let make_instance ~depth ~cut =
+  let g = base_graph ~depth in
+  let n = Graph.n g in
+  let port_opt v w =
+    match w with
+    | None -> TL.bot
+    | Some w -> ( match Graph.port_to g v w with Some p -> p | None -> TL.bot)
+  in
+  let labels =
+    Array.init n (fun v ->
+        let d = row_of v in
+        let first, last = row_range d in
+        let left_nbr = if v > first && not (cut (v - 1) v) then Some (v - 1) else None in
+        let right_nbr = if v < last && not (cut v (v + 1)) then Some (v + 1) else None in
+        {
+          parent = port_opt v (Builder.tree_parent ~depth v);
+          left = port_opt v (Builder.tree_left ~depth v);
+          right = port_opt v (Builder.tree_right ~depth v);
+          left_nbr = port_opt v left_nbr;
+          right_nbr = port_opt v right_nbr;
+        })
+  in
+  { graph = g; labels }
+
+let balanced_instance ~depth =
+  if depth < 1 then invalid_arg "Balanced_tree.balanced_instance: depth must be >= 1";
+  make_instance ~depth ~cut:(fun _ _ -> false)
+
+let leaf_pair_nodes ~depth i =
+  let first = (1 lsl depth) - 1 in
+  (first + (2 * i), first + (2 * i) + 1)
+
+let broken_pair_instance ~depth ~break =
+  if depth < 1 then invalid_arg "Balanced_tree.broken_pair_instance: depth must be >= 1";
+  let pairs = 1 lsl (depth - 1) in
+  if break < 0 || break >= pairs then
+    invalid_arg "Balanced_tree.broken_pair_instance: break out of range";
+  let u, w = leaf_pair_nodes ~depth break in
+  make_instance ~depth ~cut:(fun a b -> a = u && b = w)
+
+let embed_disjointness disj =
+  let n = Disjointness.size disj in
+  let depth =
+    let d = Probe_tree.log2_ceil n + 1 in
+    if 1 lsl (d - 1) <> n then
+      invalid_arg "Balanced_tree.embed_disjointness: vector length must be a power of two"
+    else d
+  in
+  make_instance ~depth ~cut:(fun a b ->
+      let first = (1 lsl depth) - 1 in
+      (* only leaf-row sibling links (u_i, w_i) depend on the inputs *)
+      a >= first && b = a + 1 && (a - first) mod 2 = 0
+      &&
+      let i = (a - first) / 2 in
+      disj.Disjointness.x.(i) && disj.Disjointness.y.(i))
+
+let leaf_pair inst i =
+  let depth = row_of (Graph.n inst.graph - 1) in
+  leaf_pair_nodes ~depth i
+
+let comm_world inst ~counter =
+  let g = inst.graph in
+  let leaf_row_first = (1 lsl row_of (Graph.n g - 1)) - 1 in
+  let base = world inst in
+  let start origin =
+    let session = base.World.start origin in
+    let resolve w ~port =
+      let u = session.World.resolve w ~port in
+      (* Only the leaf-row labels depend on Alice's and Bob's private
+         inputs; answering a query that reveals such a node costs the
+         two bits (x_i, y_i).  Everything else is free. *)
+      if u >= leaf_row_first then Comm_counter.charge counter ~bits:2
+      else Comm_counter.free counter;
+      u
+    in
+    { session with World.resolve }
+  in
+  { World.n = base.World.n; start }
+
+let root _inst = 0
+
+(* --- the distance-O(log n) solver (Proposition 4.8) -------------------- *)
+
+let solve_core ~degree ~input ~follow ~n v0 =
+  let status = status_gen ~degree ~input ~follow in
+  let compatible = compatible_gen ~degree ~input ~follow in
+  match status v0 with
+  | TL.Inconsistent -> { verdict = Bal; port = TL.bot }
+  | TL.Leaf ->
+      if compatible v0 then { verdict = Bal; port = (input v0).parent }
+      else { verdict = Unbal; port = TL.bot }
+  | TL.Internal ->
+      if not (compatible v0) then { verdict = Unbal; port = TL.bot }
+      else begin
+        (* Level-order descent through G_T, left children first.  Stop at
+           the first level containing a leaf (depth d); report the first
+           incompatible descendant found up to that level, if any. *)
+        let iv = input v0 in
+        let lc = follow v0 iv.left and rc = follow v0 iv.right in
+        let seen = Hashtbl.create 64 in
+        Hashtbl.add seen v0 ();
+        let enqueue (v, hop) acc =
+          if Hashtbl.mem seen v then acc
+          else begin
+            Hashtbl.add seen v ();
+            (v, hop) :: acc
+          end
+        in
+        let level0 = List.rev (enqueue (rc, iv.right) (enqueue (lc, iv.left) [])) in
+        let cap = Probe_tree.log2_ceil n + 2 in
+        let rec descend level depth_no =
+          match level with
+          | [] -> { verdict = Bal; port = iv.parent }
+          | _ :: _ -> (
+              let incompatible =
+                List.find_opt (fun (v, _) -> not (compatible v)) level
+              in
+              match incompatible with
+              | Some (_, hop) -> { verdict = Unbal; port = hop }
+              | None ->
+                  let has_leaf =
+                    List.exists (fun (v, _) -> TL.equal_status (status v) TL.Leaf) level
+                  in
+                  if has_leaf || depth_no >= cap then { verdict = Bal; port = iv.parent }
+                  else
+                    let next =
+                      List.fold_left
+                        (fun acc (v, hop) ->
+                          match status v with
+                          | TL.Internal ->
+                              let i = input v in
+                              let l = follow v i.left and r = follow v i.right in
+                              enqueue (r, hop) (enqueue (l, hop) acc)
+                          | TL.Leaf | TL.Inconsistent -> acc)
+                        [] level
+                    in
+                    descend (List.rev next) (depth_no + 1))
+        in
+        descend level0 1
+      end
+
+let solve_distance_fn ctx =
+  solve_core
+    ~degree:(Probe.degree ctx)
+    ~input:(fun v -> Probe.input ctx v)
+    ~follow:(fun v p -> Probe.query ctx ~at:v ~port:p)
+    ~n:(Probe.n ctx) (Probe.origin ctx)
+
+let solve_distance =
+  Lcl.solver ~name:"descend-to-defect (Prop 4.8)" ~randomized:false solve_distance_fn
+
+let solvers = [ solve_distance ]

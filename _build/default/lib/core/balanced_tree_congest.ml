@@ -1,0 +1,236 @@
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Congest = Vc_model.Congest
+module BT = Balanced_tree
+
+(* Pointer-target identifiers: what a node's five pointers point at,
+   expressed as ids so neighbors can evaluate reciprocity. *)
+type ptr_ids = {
+  p_parent : int option;
+  p_left : int option;
+  p_right : int option;
+  p_ln : int option;
+  p_rn : int option;
+}
+
+type message =
+  | Hello of int  (** my identifier *)
+  | Pointers of ptr_ids
+  | Internality of bool
+  | Status of TL.status
+  | Defect
+
+(* Per-port knowledge about a neighbor, filled in round by round. *)
+type nbr = {
+  mutable nid : int option;
+  mutable ptrs : ptr_ids option;
+  mutable internal : bool option;
+  mutable status : TL.status option;
+}
+
+type state = {
+  me : BT.node_input;
+  my_id : int;
+  degree : int;
+  n : int;
+  nbrs : nbr array;  (* indexed by port - 1 *)
+  mutable round_no : int;
+  mutable my_internal : bool;
+  mutable my_status : TL.status;
+  mutable compatible : bool;
+  mutable defect_port : int option;  (* first child port a defect came from *)
+  mutable relayed : bool;
+}
+
+let valid st p = p <> TL.bot && p >= 1 && p <= st.degree
+
+let nbr st p = st.nbrs.(p - 1)
+
+let nbr_id st p = if valid st p then (nbr st p).nid else None
+
+let broadcast st msg = List.init st.degree (fun i -> (i + 1, msg))
+
+let my_ptr_ids st =
+  {
+    p_parent = nbr_id st st.me.BT.parent;
+    p_left = nbr_id st st.me.BT.left;
+    p_right = nbr_id st st.me.BT.right;
+    p_ln = nbr_id st st.me.BT.left_nbr;
+    p_rn = nbr_id st st.me.BT.right_nbr;
+  }
+
+(* Reciprocated child: my pointer [p] is a valid port and the node there
+   says its parent is me. *)
+let reciprocated_child st p =
+  valid st p
+  &&
+  match (nbr st p).ptrs with
+  | Some t -> t.p_parent = Some st.my_id
+  | None -> false
+
+let compute_internal st =
+  let i = st.me in
+  valid st i.BT.left && valid st i.BT.right && i.BT.left <> i.BT.right
+  && i.BT.parent <> i.BT.left && i.BT.parent <> i.BT.right
+  && reciprocated_child st i.BT.left
+  && reciprocated_child st i.BT.right
+
+let compute_status st =
+  if st.my_internal then TL.Internal
+  else if valid st st.me.BT.parent && (nbr st st.me.BT.parent).internal = Some true then TL.Leaf
+  else TL.Inconsistent
+
+(* Definition 4.2 over the gathered tables — the message-passing twin of
+   Balanced_tree.compatible_gen. *)
+let compute_compatible st =
+  match st.my_status with
+  | TL.Inconsistent -> false
+  | (TL.Internal | TL.Leaf) as mine ->
+      let i = st.me in
+      let status_of p = if valid st p then (nbr st p).status else None in
+      let ptrs_of p = if valid st p then (nbr st p).ptrs else None in
+      let lateral_ok p ~mirror =
+        p = TL.bot
+        ||
+        match (status_of p, ptrs_of p) with
+        | Some s, Some t ->
+            TL.equal_status s mine && mirror t = Some st.my_id
+        | (None | Some _), _ -> false
+      in
+      let agreement =
+        lateral_ok i.BT.left_nbr ~mirror:(fun t -> t.p_rn)
+        && lateral_ok i.BT.right_nbr ~mirror:(fun t -> t.p_ln)
+      in
+      (match mine with
+      | TL.Leaf -> agreement
+      | TL.Internal ->
+          agreement
+          &&
+          let lc = ptrs_of i.BT.left and rc = ptrs_of i.BT.right in
+          let lc_id = nbr_id st i.BT.left and rc_id = nbr_id st i.BT.right in
+          (match (lc, rc) with
+          | Some lc, Some rc ->
+              (* siblings *)
+              lc.p_rn = rc_id && lc.p_rn <> None
+              && rc.p_ln = lc_id && rc.p_ln <> None
+              (* persistence right: RN(RC(v)) = LC(RN(v)) *)
+              && (i.BT.right_nbr = TL.bot
+                 ||
+                 match ptrs_of i.BT.right_nbr with
+                 | Some w -> rc.p_rn = w.p_left && rc.p_rn <> None
+                 | None -> false)
+              (* persistence left: LN(LC(v)) = RC(LN(v)) *)
+              && (i.BT.left_nbr = TL.bot
+                 ||
+                 match ptrs_of i.BT.left_nbr with
+                 | Some u -> lc.p_ln = u.p_right && lc.p_ln <> None
+                 | None -> false)
+          | (None | Some _), _ -> false)
+      | TL.Inconsistent -> false)
+
+(* The port of my G_T parent: my parent pointer resolves and that node is
+   internal with me as one of its reciprocated children. *)
+let gt_parent_port st =
+  let p = st.me.BT.parent in
+  if not (valid st p) then None
+  else
+    match ((nbr st p).internal, (nbr st p).ptrs) with
+    | Some true, Some t ->
+        if t.p_left = Some st.my_id || t.p_right = Some st.my_id then Some p else None
+    | (Some _ | None), _ -> None
+
+let defect_announcement st =
+  match gt_parent_port st with
+  | Some p when not st.relayed ->
+      st.relayed <- true;
+      [ (p, Defect) ]
+  | Some _ | None ->
+      st.relayed <- true;
+      []
+
+let log2_ceil = Probe_tree.log2_ceil
+
+let decide st =
+  match st.my_status with
+  | TL.Inconsistent -> { BT.verdict = BT.Bal; port = TL.bot }
+  | TL.Leaf ->
+      if st.compatible then { BT.verdict = BT.Bal; port = st.me.BT.parent }
+      else { BT.verdict = BT.Unbal; port = TL.bot }
+  | TL.Internal ->
+      if not st.compatible then { BT.verdict = BT.Unbal; port = TL.bot }
+      else (
+        match st.defect_port with
+        | Some q -> { BT.verdict = BT.Unbal; port = q }
+        | None -> { BT.verdict = BT.Bal; port = st.me.BT.parent })
+
+let algorithm () =
+  let init ~n ~id ~degree ~input =
+    let st =
+      {
+        me = input;
+        my_id = id;
+        degree;
+        n;
+        nbrs = Array.init degree (fun _ -> { nid = None; ptrs = None; internal = None; status = None });
+        round_no = 0;
+        my_internal = false;
+        my_status = TL.Inconsistent;
+        compatible = false;
+        defect_port = None;
+        relayed = false;
+      }
+    in
+    (st, broadcast st (Hello id))
+  in
+  let round st ~inbox =
+    st.round_no <- st.round_no + 1;
+    List.iter
+      (fun (port, msg) ->
+        let nb = nbr st port in
+        match msg with
+        | Hello id -> nb.nid <- Some id
+        | Pointers t -> nb.ptrs <- Some t
+        | Internality b -> nb.internal <- Some b
+        | Status s -> nb.status <- Some s
+        | Defect ->
+            (* record the first defect direction; only child reports count *)
+            if st.defect_port = None then st.defect_port <- Some port)
+      inbox;
+    let deadline = 4 + log2_ceil st.n + 2 in
+    let out =
+      if st.round_no = 1 then broadcast st (Pointers (my_ptr_ids st))
+      else if st.round_no = 2 then begin
+        st.my_internal <- compute_internal st;
+        broadcast st (Internality st.my_internal)
+      end
+      else if st.round_no = 3 then begin
+        st.my_status <- compute_status st;
+        broadcast st (Status st.my_status)
+      end
+      else if st.round_no = 4 then begin
+        st.compatible <- compute_compatible st;
+        if (match st.my_status with TL.Inconsistent -> false | TL.Internal | TL.Leaf -> true)
+           && not st.compatible
+        then defect_announcement st
+        else []
+      end
+      else if st.defect_port <> None && not st.relayed then defect_announcement st
+      else []
+    in
+    let decision = if st.round_no >= deadline then Some (decide st) else None in
+    (st, out, decision)
+  in
+  let message_bits = function
+    | Hello _ -> 64
+    | Pointers _ -> 5 * 65
+    | Internality _ -> 1
+    | Status _ -> 2
+    | Defect -> 1
+  in
+  { Congest.init; round; message_bits }
+
+let run inst ?(bandwidth = 512) () =
+  let g = inst.BT.graph in
+  let deadline = 4 + log2_ceil (Graph.n g) + 4 in
+  Congest.run ~graph:g ~input:(BT.input inst) ~bandwidth ~max_rounds:(deadline + 4)
+    (algorithm ())

@@ -1,0 +1,29 @@
+(** BalancedTree in the CONGEST model (paper Observation 7.4).
+
+    The paper notes that BalancedTree — whose volume complexity is Θ(n) —
+    is solvable in O(log n) CONGEST rounds with O(log n)-bit messages:
+    nodes exchange identifiers and pointer targets for a constant number
+    of rounds to evaluate their own status and compatibility, then
+    incompatibility announcements flood up the pseudo-forest [G_T]; by
+    Lemma 4.6 every unbalanced node hears of a defect within its
+    nearest-leaf distance ≤ log n.  Together with Lemma 2.5 this makes
+    the ∆^Θ(T) relation between CONGEST time and volume tight.
+
+    The implementation is a faithful synchronous message-passing
+    protocol: no node ever reads anything but its own input and the
+    messages on its ports. *)
+
+type message
+(** Identifiers, pointer tables, statuses, or defect announcements;
+    every message fits in O(log n) bits. *)
+
+type state
+
+val algorithm :
+  unit ->
+  (Balanced_tree.node_input, message, state, Balanced_tree.output) Vc_model.Congest.algorithm
+
+val run :
+  Balanced_tree.instance -> ?bandwidth:int -> unit -> Balanced_tree.output Vc_model.Congest.result
+(** Run the protocol to quiescence (at most [2 log n + O(1)] rounds).
+    Default bandwidth 512 bits, ample for the O(log n)-bit messages. *)

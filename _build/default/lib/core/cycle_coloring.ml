@@ -1,0 +1,89 @@
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+
+let problem : (unit, int) Lcl.t =
+  let valid_at g ~input:_ ~output v =
+    let c = output v in
+    if c < 0 || c > 2 then Error "color out of palette {0,1,2}"
+    else if
+      Array.exists (fun w -> output w = c) (Graph.neighbors g v)
+    then Error "neighbor shares the color"
+    else Ok ()
+  in
+  { Lcl.name = "CycleColoring3"; radius = 1; valid_at }
+
+(* Palette evolution of Cole–Vishkin: from K colors to 2·ceil(log2 K). *)
+let next_palette k =
+  let rec bits acc v = if v <= 1 then acc else bits (acc + 1) ((v + 1) / 2) in
+  2 * max 1 (bits 0 k)
+
+let rounds_needed ~n =
+  let rec loop k t = if k <= 6 then t else loop (next_palette k) (t + 1) in
+  loop (n + 1) 0
+
+(* One reduction step: the new color encodes the lowest bit position in
+   which a node's color differs from its predecessor's, and that bit. *)
+let reduce ~own ~pred =
+  let diff = own lxor pred in
+  let rec lowest i v = if v land 1 = 1 then i else lowest (i + 1) (v lsr 1) in
+  let i = lowest 0 diff in
+  (2 * i) + ((own lsr i) land 1)
+
+let solve =
+  Lcl.solver ~name:"Cole-Vishkin 3-coloring" ~randomized:false (fun ctx ->
+      let v0 = Probe.origin ctx in
+      let t = rounds_needed ~n:(Probe.n ctx) in
+      (* Collect ids along the window [-(t+3) .. +3] of the cycle
+         (positive = successor direction, port 1; negative = port 2).
+         Offsets, not node identities, index the window: tiny cycles
+         wrap around and that is fine. *)
+      let lo = -(t + 3) and hi = 3 in
+      let ids = Hashtbl.create (t + 8) in
+      Hashtbl.add ids 0 (Probe.id ctx v0);
+      let rec walk u port offset limit =
+        if offset <> limit then begin
+          let w = Probe.query ctx ~at:u ~port in
+          let offset = if port = 1 then offset + 1 else offset - 1 in
+          Hashtbl.add ids offset (Probe.id ctx w);
+          walk w port offset limit
+        end
+      in
+      walk v0 1 0 hi;
+      walk v0 2 0 lo;
+      (* Reduction rounds: color after round r at offset j needs offsets
+         down to j - r. *)
+      let color = Hashtbl.create (t + 8) in
+      for j = lo to hi do
+        Hashtbl.replace color j (Hashtbl.find ids j)
+      done;
+      for r = 1 to t do
+        let snapshot = Hashtbl.copy color in
+        for j = lo + r to hi do
+          let own = Hashtbl.find snapshot j and pred = Hashtbl.find snapshot (j - 1) in
+          Hashtbl.replace color j (reduce ~own ~pred)
+        done
+      done;
+      (* Conflict resolution: three synchronous rounds shrinking
+         {0..5} to {0,1,2}; round for color c needs both neighbors, so
+         each round trims the known window by one on each side. *)
+      let window = ref (List.init 7 (fun i -> i - 3)) in
+      List.iter
+        (fun c ->
+          let snapshot = Hashtbl.copy color in
+          window := List.filter (fun j -> j > lo + t + (c - 3) && j < hi - (c - 3)) !window;
+          List.iter
+            (fun j ->
+              let own = Hashtbl.find snapshot j in
+              if own = c then begin
+                let l = Hashtbl.find snapshot (j - 1) and r = Hashtbl.find snapshot (j + 1) in
+                let fresh =
+                  List.find (fun x -> x <> l && x <> r) [ 0; 1; 2 ]
+                in
+                Hashtbl.replace color j fresh
+              end)
+            !window)
+        [ 3; 4; 5 ];
+      Hashtbl.find color 0)
+
+let world g = Vc_model.World.of_graph g ~input:(fun _ -> ())

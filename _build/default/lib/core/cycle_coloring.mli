@@ -1,0 +1,28 @@
+(** 3-coloring of consistently oriented cycles: the class-B
+    ("symmetry breaking") reference problem for Figures 1–2.
+
+    Cole–Vishkin color reduction [15]: starting from the unique
+    identifiers, each round replaces a node's color by the position of
+    the lowest bit in which it differs from its predecessor's color
+    (plus that bit), shrinking the palette from [K] to [O(log K)];
+    after Θ(log* n) rounds six colors remain, and three final
+    conflict-resolution rounds reach three colors.  A node's output
+    depends only on the identifiers within distance O(log* n), so both
+    distance and volume are Θ(log* n) — the paper's class B, where
+    distance and volume complexities agree (Section 1.2, citing Even et
+    al. [17] for the volume side). *)
+
+val problem : (unit, int) Vc_lcl.Lcl.t
+(** Proper 3-coloring with colors {0, 1, 2}; radius 1. *)
+
+val solve : (unit, int) Vc_lcl.Lcl.solver
+(** Deterministic Cole–Vishkin on cycles built by
+    {!Vc_graph.Builder.cycle} (port 1 = successor, port 2 =
+    predecessor). *)
+
+val world : Vc_graph.Graph.t -> unit Vc_model.World.t
+
+val rounds_needed : n:int -> int
+(** The number of reduction rounds the solver will use for an [n]-node
+    cycle: Θ(log* n).  Exposed so experiments can plot the predicted
+    radius against the measured cost. *)

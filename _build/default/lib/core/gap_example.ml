@@ -1,0 +1,207 @@
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module World = Vc_model.World
+module Congest = Vc_model.Congest
+module Lcl = Vc_lcl.Lcl
+module Splitmix = Vc_rng.Splitmix
+
+type side = U | V
+
+type node_input = {
+  side : side;
+  index : int;
+  depth : int;
+  bit : bool option;
+}
+
+type instance = {
+  graph : Graph.t;
+  inputs : node_input array;
+  bits : bool array;
+}
+
+let leaf_count ~depth = 1 lsl depth
+
+let first_leaf ~depth = (1 lsl depth) - 1
+
+let make ~depth ~seed =
+  if depth < 1 then invalid_arg "Gap_example.make: depth must be >= 1";
+  let tree = Builder.complete_binary_tree ~depth in
+  let graph, off = Builder.disjoint_union [ tree; tree ] in
+  let graph = Builder.attach graph ~extra_edges:[ (0, off.(1)) ] in
+  let rng = Splitmix.create seed in
+  let bits = Array.init (leaf_count ~depth) (fun _ -> Splitmix.bool rng) in
+  let inputs =
+    Array.init (Graph.n graph) (fun v ->
+        let side = if v < off.(1) then U else V in
+        let index = if v < off.(1) then v else v - off.(1) in
+        let bit =
+          match side with
+          | V when index >= first_leaf ~depth -> Some bits.(index - first_leaf ~depth)
+          | V | U -> None
+        in
+        { side; index; depth; bit })
+  in
+  { graph; inputs; bits }
+
+let input inst v = inst.inputs.(v)
+
+let world inst = World.of_graph inst.graph ~input:(input inst)
+
+let is_u_leaf i = i.side = U && i.index >= first_leaf ~depth:i.depth
+
+let problem : (node_input, bool option) Lcl.t =
+  let valid_at _g ~input ~output v =
+    let i = input v in
+    if is_u_leaf i then begin
+      (* find the matching V-leaf's bit through the input labeling *)
+      let pos = i.index - first_leaf ~depth:i.depth in
+      match output v with
+      | Some b ->
+          (* the expected bit is recoverable only globally; checkers are
+             given the whole graph, so scan for the V-leaf *)
+          let expected = ref None in
+          Graph.iter_nodes _g (fun w ->
+              let iw = input w in
+              if iw.side = V && iw.index = i.index then expected := iw.bit);
+          (match !expected with
+          | Some e when Bool.equal e b -> Ok ()
+          | Some _ -> Error (Fmt.str "U-leaf %d reports the wrong bit" pos)
+          | None -> Error "malformed instance: missing V-leaf")
+      | None -> Error "U-leaf must output a bit"
+    end
+    else
+      match output v with
+      | None -> Ok ()
+      | Some _ -> Error "only U-leaves produce bits"
+  in
+  { Lcl.name = "LeafBitCopy (Ex 7.6)"; radius = max_int; valid_at }
+
+(* --- the O(log n)-volume query solver ----------------------------------- *)
+
+(* Structural port conventions of Builder.complete_binary_tree + attach:
+   root has children on ports 1,2 and the cross edge on port 3;
+   non-root internal nodes have parent on 1 and children on 2,3;
+   leaves have parent on 1. *)
+let child_port ~is_root ~right = if is_root then (if right then 2 else 1) else if right then 3 else 2
+
+let solve =
+  Lcl.solver ~name:"climb-cross-descend" ~randomized:false (fun ctx ->
+      let v0 = Probe.origin ctx in
+      let i0 = Probe.input ctx v0 in
+      if not (is_u_leaf i0) then None
+      else begin
+        (* climb to the U-root *)
+        let rec climb v = if (Probe.input ctx v).index = 0 then v else climb (Probe.query ctx ~at:v ~port:1) in
+        let u_root = climb v0 in
+        let v_root = Probe.query ctx ~at:u_root ~port:3 in
+        (* descend the mirrored heap path *)
+        let path =
+          let rec up x acc = if x = 0 then acc else up ((x - 1) / 2) ((x mod 2 = 1) :: acc) in
+          (* true = left child (odd heap index) *)
+          up i0.index []
+        in
+        let rec descend v = function
+          | [] -> v
+          | is_left :: rest ->
+              let is_root = (Probe.input ctx v).index = 0 in
+              descend (Probe.query ctx ~at:v ~port:(child_port ~is_root ~right:(not is_left))) rest
+        in
+        let v_leaf = descend v_root path in
+        (Probe.input ctx v_leaf).bit
+      end)
+
+(* --- the pipelined CONGEST router ---------------------------------------- *)
+
+type router_state = {
+  me : node_input;
+  degree : int;
+  cap : int;  (** items per edge per round *)
+  mutable pending : (int * (int * bool) list) list;  (** per outgoing port *)
+  mutable decided : bool option option;
+}
+
+let item_bits ~depth = depth + 2
+
+(* Route one item at a U-side node: the port leading towards the leaf
+   with heap index [target]. *)
+let u_route ~me target =
+  let rec contains sub t = if t < sub then false else if t = sub then true else contains sub ((t - 1) / 2) in
+  let left = (2 * me.index) + 1 and right = (2 * me.index) + 2 in
+  let is_root = me.index = 0 in
+  if contains left target then child_port ~is_root ~right:false
+  else if contains right target then child_port ~is_root ~right:true
+  else (* towards the parent: cannot happen for correctly routed items *)
+    1
+
+let enqueue st port items =
+  if items <> [] then
+    st.pending <-
+      (match List.assoc_opt port st.pending with
+      | Some old -> (port, old @ items) :: List.remove_assoc port st.pending
+      | None -> (port, items) :: st.pending)
+
+let drain st =
+  let out =
+    List.filter_map
+      (fun (port, items) ->
+        match items with
+        | [] -> None
+        | _ :: _ ->
+            let rec take k = function
+              | [] -> ([], [])
+              | x :: rest when k > 0 ->
+                  let sent, kept = take (k - 1) rest in
+                  (x :: sent, kept)
+              | rest -> ([], rest)
+            in
+            let sent, kept = take st.cap items in
+            st.pending <- (port, kept) :: List.remove_assoc port st.pending;
+            if sent = [] then None else Some (port, sent))
+      st.pending
+  in
+  out
+
+let route st items =
+  List.iter
+    (fun ((leaf_heap, b) as item) ->
+      match st.me.side with
+      | V ->
+          (* upward towards the V-root, then across *)
+          if st.me.index = 0 then enqueue st 3 [ item ] else enqueue st 1 [ item ]
+      | U ->
+          if st.me.index = leaf_heap then st.decided <- Some (Some b)
+          else enqueue st (u_route ~me:st.me leaf_heap) [ item ])
+    items
+
+let congest_route ~bandwidth =
+  {
+    Congest.init =
+      (fun ~n:_ ~id:_ ~degree ~input:me ->
+        let cap = max 1 (bandwidth / item_bits ~depth:me.depth) in
+        let st = { me; degree; cap; pending = []; decided = None } in
+        (match me.bit with
+        | Some b -> route st [ (me.index, b) ]
+        | None -> ());
+        (st, drain st));
+    round =
+      (fun st ~inbox ->
+        route st (List.concat_map snd inbox);
+        let decision =
+          match st.decided with
+          | Some d -> Some d
+          | None -> if is_u_leaf st.me then None else Some None
+        in
+        (st, drain st, decision));
+    message_bits = (fun items -> List.length items * item_bits ~depth:0);
+  }
+
+let run_congest inst ~bandwidth =
+  let depth = inst.inputs.(0).depth in
+  let algo =
+    { (congest_route ~bandwidth) with
+      Congest.message_bits = (fun items -> List.length items * item_bits ~depth) }
+  in
+  Congest.run ~graph:inst.graph ~input:(input inst) ~bandwidth ~max_rounds:(10 * Graph.n inst.graph)
+    algo

@@ -1,0 +1,207 @@
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+module H = Hierarchical_thc
+module Hy = Hybrid_thc
+module LC = Leaf_coloring
+
+type node_input = {
+  hy : Hy.node_input;
+  bit : bool;
+}
+
+type output = Hy.output
+
+type instance = {
+  graph : Graph.t;
+  labels : node_input array;
+  k : int;
+  l : int;
+}
+
+let input inst v = inst.labels.(v)
+
+let world inst = World.of_graph inst.graph ~input:(input inst)
+
+(* --- bit-masked views ----------------------------------------------------
+
+   Definition 6.4 evaluates each side on its induced subgraph, so a
+   pointer whose target carries the other bit is treated as ⊥. *)
+
+let masked_ptr ~degree ~follow ~bit_of v my_bit p =
+  if p = TL.bot || p < 1 || p > degree v then p
+  else if bit_of (follow v p) = my_bit then p
+  else TL.bot
+
+(* The bit-0 (Hierarchical-THC) view: a colored tree labeling. *)
+let lc_view ~degree ~node_input ~follow v : LC.node_input =
+  let i = (node_input v : node_input) in
+  let m = masked_ptr ~degree ~follow ~bit_of:(fun u -> (node_input u).bit) v i.bit in
+  {
+    LC.parent = m i.hy.Hy.parent;
+    left = m i.hy.Hy.left;
+    right = m i.hy.Hy.right;
+    color = i.hy.Hy.color;
+  }
+
+(* The bit-1 (Hybrid-THC) view. *)
+let hy_view ~degree ~node_input ~follow v : Hy.node_input =
+  let i = (node_input v : node_input) in
+  let m = masked_ptr ~degree ~follow ~bit_of:(fun u -> (node_input u).bit) v i.bit in
+  {
+    i.hy with
+    Hy.parent = m i.hy.Hy.parent;
+    left = m i.hy.Hy.left;
+    right = m i.hy.Hy.right;
+    left_nbr = m i.hy.Hy.left_nbr;
+    right_nbr = m i.hy.Hy.right_nbr;
+  }
+
+(* --- checker (Definition 6.4) --------------------------------------------- *)
+
+let problem ~k ~l : (node_input, output) Lcl.t =
+  if k > l then invalid_arg "Hh_thc.problem: requires k <= l";
+  let valid_at g ~input:inp ~output:out v =
+    let degree = Graph.degree g and follow = Graph.neighbor g in
+    if (inp v).bit then
+      (Hy.problem ~k).Lcl.valid_at g ~input:(hy_view ~degree ~node_input:inp ~follow) ~output:out v
+    else
+      let sym u =
+        (* bit-0 nodes only ever reference bit-0 neighbors through the
+           masked pointers, and those must carry symbol outputs *)
+        match out u with Hy.Sym s -> s | Hy.Solved _ -> H.Decline
+      in
+      (H.problem ~k:l).Lcl.valid_at g
+        ~input:(lc_view ~degree ~node_input:inp ~follow)
+        ~output:sym v
+  in
+  { Lcl.name = Printf.sprintf "HH-THC(%d,%d)" k l; radius = 2 * (l + 2); valid_at }
+
+(* --- instances -------------------------------------------------------------- *)
+
+let mixed_instance ~hier ~hybrid =
+  if hier.H.k < hybrid.Hy.k then invalid_arg "Hh_thc.mixed_instance: requires l >= k";
+  let hg = H.graph hier in
+  let graph, off = Builder.disjoint_union [ hg; hybrid.Hy.graph ] in
+  let n = Graph.n graph in
+  let labels =
+    Array.init n (fun v ->
+        if v < off.(1) then
+          let i = H.input hier v in
+          {
+            hy =
+              {
+                Hy.parent = i.LC.parent;
+                left = i.LC.left;
+                right = i.LC.right;
+                left_nbr = TL.bot;
+                right_nbr = TL.bot;
+                color = i.LC.color;
+                level = 1;
+              };
+            bit = false;
+          }
+        else { hy = Hy.input hybrid (v - off.(1)); bit = true })
+  in
+  { graph; labels; k = hybrid.Hy.k; l = hier.H.k }
+
+let uniform_instance ~k ~l ~size_hint ~seed =
+  if k > l then invalid_arg "Hh_thc.uniform_instance: requires k <= l";
+  let half = max 16 (size_hint / 2) in
+  let hlen =
+    max 2 (int_of_float (Float.round (Float.pow (float_of_int half) (1.0 /. float_of_int l))))
+  in
+  let hier = H.uniform_instance ~k:l ~len:hlen ~seed in
+  (* hybrid side: level-k..2 backbones of length [blen], depth-2 trees *)
+  let blen =
+    max 2
+      (int_of_float
+         (Float.round (Float.pow (float_of_int (half / 8)) (1.0 /. float_of_int (k - 1)))))
+  in
+  let hybrid = Hy.uniform_instance ~k ~len:blen ~bt_depth:2 ~seed:(Int64.add seed 1L) in
+  mixed_instance ~hier ~hybrid
+
+(* --- solvers ------------------------------------------------------------------ *)
+
+let probe_lc_access ctx : LC.node_input H.access =
+  {
+    H.degree = Probe.degree ctx;
+    node_input =
+      (fun v ->
+        lc_view ~degree:(Probe.degree ctx)
+          ~node_input:(fun u -> Probe.input ctx u)
+          ~follow:(fun u p -> Probe.query ctx ~at:u ~port:p)
+          v);
+    follow = (fun v p -> Probe.query ctx ~at:v ~port:p);
+  }
+
+let probe_hy_access ctx : Hy.node_input Hy.access =
+  {
+    Hy.degree = Probe.degree ctx;
+    node_input =
+      (fun v ->
+        hy_view ~degree:(Probe.degree ctx)
+          ~node_input:(fun u -> Probe.input ctx u)
+          ~follow:(fun u p -> Probe.query ctx ~at:u ~port:p)
+          v);
+    follow = (fun v p -> Probe.query ctx ~at:v ~port:p);
+  }
+
+let elect_waypoint ctx ~p v =
+  let scaled = int_of_float (p *. 1073741824.0) in
+  let rec value i acc =
+    if i = 30 then acc else value (i + 1) ((2 * acc) + if Probe.rand_bit_at ctx v i then 1 else 0)
+  in
+  value 0 0 < scaled
+
+let dispatch ~l ~h_waypoint ~hy_solve name ~randomized =
+  Lcl.solver ~name ~randomized (fun ctx ->
+      let v0 = Probe.origin ctx in
+      if (Probe.input ctx v0).bit then hy_solve ctx v0
+      else
+        Hy.Sym
+          (H.solve_access ~k:l
+             ~is_waypoint:(h_waypoint ctx)
+             ~access:(probe_lc_access ctx) ~n:(Probe.n ctx) ~id:(Probe.id ctx) v0))
+
+let solve_distance ~k ~l =
+  dispatch ~l
+    ~h_waypoint:(fun _ctx _ -> true)
+    ~hy_solve:(fun ctx v0 ->
+      Hy.solve_distance_access ~k ~access:(probe_hy_access ctx) ~n:(Probe.n ctx) v0)
+    (Printf.sprintf "HH(%d,%d) distance dispatch" k l)
+    ~randomized:false
+
+let solve_volume_deterministic ~k ~l =
+  dispatch ~l
+    ~h_waypoint:(fun _ctx _ -> true)
+    ~hy_solve:(fun ctx v0 ->
+      Hy.solve_volume_access ~k
+        ~is_waypoint:(fun _ -> true)
+        ~access:(probe_hy_access ctx) ~n:(Probe.n ctx) ~id:(Probe.id ctx) v0)
+    (Printf.sprintf "HH(%d,%d) volume dispatch, deterministic" k l)
+    ~randomized:false
+
+let waypoint_probability ~c ~n ~root_of =
+  Float.min 1.0 (c *. log (float_of_int (max 2 n)) /. float_of_int root_of)
+
+let solve_volume_waypoint ~k ~l ?(c = 3.0) () =
+  dispatch ~l
+    ~h_waypoint:(fun ctx ->
+      let n = Probe.n ctx in
+      let p = waypoint_probability ~c ~n ~root_of:(H.kth_root n l) in
+      elect_waypoint ctx ~p)
+    ~hy_solve:(fun ctx v0 ->
+      let n = Probe.n ctx in
+      let p = waypoint_probability ~c ~n ~root_of:(H.kth_root n k) in
+      Hy.solve_volume_access ~k
+        ~is_waypoint:(elect_waypoint ctx ~p)
+        ~access:(probe_hy_access ctx) ~n ~id:(Probe.id ctx) v0)
+    (Printf.sprintf "HH(%d,%d) volume dispatch, way-point (c=%.1f)" k l c)
+    ~randomized:true
+
+let solvers ~k ~l =
+  [ solve_distance ~k ~l; solve_volume_deterministic ~k ~l; solve_volume_waypoint ~k ~l () ]

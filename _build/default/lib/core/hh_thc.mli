@@ -1,0 +1,61 @@
+(** Hierarchical-or-hybrid 2½-coloring, HH-THC(k, ℓ) (paper Section 6.1).
+
+    Every node carries one extra input bit.  Nodes with bit 0 must solve
+    Hierarchical-THC(ℓ) (their explicit input level is ignored; levels
+    are recomputed from the right-child chains); nodes with bit 1 must
+    solve Hybrid-THC(k).  Since the two subproblems live on the induced
+    subgraphs, a solver simply dispatches on its own bit, and each
+    complexity measure of HH-THC(k, ℓ) is the max of the two sides
+    (Theorem 6.5): for k ≤ ℓ,
+
+    - R-DIST = D-DIST = Θ(n^{1/ℓ})  (dominated by the bit-0 side),
+    - R-VOL = Θ̃(n^{1/k})            (dominated by the bit-1 side),
+    - D-VOL = Θ̃(n). *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+
+type node_input = {
+  hy : Hybrid_thc.node_input;
+  bit : bool;  (** [false] = solve Hierarchical-THC(ℓ); [true] = Hybrid-THC(k) *)
+}
+
+type output = Hybrid_thc.output
+(** Bit-0 nodes use the [Sym] constructor only. *)
+
+type instance = {
+  graph : Graph.t;
+  labels : node_input array;
+  k : int;  (** Hybrid side parameter *)
+  l : int;  (** Hierarchical side parameter; [k <= l] *)
+}
+
+val input : instance -> Graph.node -> node_input
+val world : instance -> node_input Vc_model.World.t
+
+val problem : k:int -> l:int -> (node_input, output) Vc_lcl.Lcl.t
+(** Definition 6.4: validity of each induced subgraph under its own
+    problem.  Pointers crossing the bit boundary are masked, mirroring
+    the induced-subgraph semantics. *)
+
+val mixed_instance :
+  hier:Hierarchical_thc.instance -> hybrid:Hybrid_thc.instance -> instance
+(** Disjoint union: the hierarchical instance's nodes get bit 0, the
+    hybrid instance's nodes bit 1.
+    @raise Invalid_argument unless [hier.k >= hybrid.k] (i.e. ℓ ≥ k). *)
+
+val uniform_instance : k:int -> l:int -> size_hint:int -> seed:int64 -> instance
+(** A mixed instance with a uniform Hierarchical-THC(ℓ) side and a
+    uniform Hybrid-THC(k) side, each roughly [size_hint/2] nodes. *)
+
+val solve_distance : k:int -> l:int -> (node_input, output) Vc_lcl.Lcl.solver
+(** Deterministic dispatch: bit 0 runs Algorithm 2 (distance Θ(n^{1/ℓ})),
+    bit 1 runs the all-exempt strategy (distance Θ(log n)). *)
+
+val solve_volume_deterministic : k:int -> l:int -> (node_input, output) Vc_lcl.Lcl.solver
+
+val solve_volume_waypoint :
+  k:int -> l:int -> ?c:float -> unit -> (node_input, output) Vc_lcl.Lcl.solver
+(** Randomized dispatch: volume Õ(n^{1/k}) overall. *)
+
+val solvers : k:int -> l:int -> (node_input, output) Vc_lcl.Lcl.solver list

@@ -1,0 +1,141 @@
+(** Hierarchical 2½-coloring, Hierarchical-THC(k) (paper Section 5).
+
+    The input is a colored tree labeling that induces a {e hierarchical
+    forest} [G_k] (Definition 5.1): level-ℓ nodes form backbone
+    paths/cycles linked by left-child pointers, and every level-ℓ node
+    (ℓ ≥ 2) hangs a level-(ℓ−1) component from its right-child pointer.
+    Outputs are colors in {R, B, D, X} ("red", "blue", {e decline},
+    {e exempt}) subject to Definition 5.5: short backbones must be
+    colored unanimously by their anchor's input color, long backbones may
+    either decline (below level k) or break themselves into short
+    segments between exempt nodes — and a node may only be exempt if the
+    subtree hanging below it was actually solved.
+
+    Complexities (Theorem 5.9): R-DIST = D-DIST = Θ(n^{1/k}),
+    R-VOL = Õ(n^{1/k}), D-VOL = Θ̃(n).  The deterministic solver is the
+    paper's Algorithm 2 (RecursiveHTHC); the randomized solver is its
+    way-point modification (Proposition 5.14) in which recursive descent
+    happens only at nodes that elect themselves way-points with
+    probability p = c·log n / n^{1/k} using their private randomness. *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+
+type node_input = Leaf_coloring.node_input
+(** Same input as LeafColoring: pointer triple plus input color. *)
+
+type output =
+  | Chromatic of TL.color  (** R or B *)
+  | Decline  (** D *)
+  | Exempt  (** X *)
+
+val equal_output : output -> output -> bool
+val pp_output : Format.formatter -> output -> unit
+
+type instance = {
+  base : Leaf_coloring.instance;
+  k : int;
+}
+
+val input : instance -> Graph.node -> node_input
+val world : instance -> node_input Vc_model.World.t
+val graph : instance -> Graph.t
+
+(** {1 Structure} *)
+
+type 'a access = {
+  degree : Graph.node -> int;
+  node_input : Graph.node -> node_input;
+  follow : Graph.node -> TL.ptr -> Graph.node;
+}
+(** Data accessors shared by the global checker (free) and the
+    probe-model solvers (each [follow] is a query). *)
+
+val graph_access : instance -> unit access
+
+val level : 'a access -> k:int -> Graph.node -> int
+(** The node's level: 1 if its right-child pointer is ⊥/invalid,
+    otherwise one more than its right child's level (Definition 5.1).
+    Levels above [k] (including pointer cycles) are reported as
+    [k + 1]. *)
+
+val backbone_child : 'a access -> k:int -> Graph.node -> Graph.node option
+(** The [G_k] left-child edge target: present when the left pointer is
+    reciprocated and the child has the same level.  [None] means the
+    node is a level-ℓ leaf (Definition 5.2). *)
+
+val backbone_parent : 'a access -> k:int -> Graph.node -> Graph.node option
+(** Symmetric; [None] means the node is a level-ℓ root. *)
+
+val rc_child : 'a access -> Graph.node -> Graph.node option
+(** The reciprocated right-child edge target (the root of the hung
+    level-(ℓ−1) component). *)
+
+val problem : k:int -> (node_input, output) Vc_lcl.Lcl.t
+(** The validity conditions of Definition 5.5. *)
+
+(** {1 Instance generators} *)
+
+val uniform_instance : k:int -> len:int -> seed:int64 -> instance
+(** Every backbone (at every level) is a path of length [len]; each node
+    at level ≥ 2 hangs one level-below component.  Size ≈ [len^k].
+    With [len <= 2·n^{1/k}] all components are shallow — the
+    Θ(n^{1/k})-distance workload of Proposition 5.13. *)
+
+val hard_instance : k:int -> target_n:int -> seed:int64 -> instance * Graph.node
+(** The volume-hard workload: a deep spine at every level whose middle
+    carries a run of recursively hard (hence not cheaply solvable)
+    subtrees, forcing Algorithm 2 to evaluate one subtree per search
+    step (volume Θ̃(n)) while the way-point solver evaluates only
+    O(log n) of them (volume Õ(n^{1/k})).  The returned node sits in
+    the middle of the top-level run — the worst start point. *)
+
+val cycle_backbone_instance : k:int -> len:int -> seed:int64 -> instance
+(** Like {!uniform_instance} but the top-level backbone is a cycle
+    (exercises Observation 5.4's cycle case and the min-ID anchor
+    rule). *)
+
+(** {1 Algorithms} *)
+
+val kth_root : int -> int -> int
+(** [kth_root n k] is ⌈n^{1/k}⌉, the unit of the scan threshold. *)
+
+val backbone_solve :
+  bc:(Graph.node -> Graph.node option) ->
+  bp:(Graph.node -> Graph.node option) ->
+  chi:(Graph.node -> TL.color) ->
+  rc_solved:(Graph.node -> bool) ->
+  decline_allowed:bool ->
+  threshold:int ->
+  Graph.node ->
+  output
+(** One deep-backbone coloring step of Algorithm 2, abstracted over the
+    backbone accessors so Hybrid-THC can reuse it: exempt if the node's
+    own subtree is solved, otherwise segment-color between the nearest
+    anchors (solved nodes or backbone ends) within [threshold], else
+    decline (when allowed). *)
+
+val solve_access :
+  k:int ->
+  is_waypoint:(Graph.node -> bool) ->
+  access:'a access ->
+  n:int ->
+  id:(Graph.node -> int) ->
+  Graph.node ->
+  output
+(** The full RecursiveHTHC decision procedure over abstract accessors
+    (used by HH-THC to run the bit-0 side against its own input type).
+    [is_waypoint] gates recursive descent: the constant-true predicate
+    gives Algorithm 2, a sampled predicate gives Proposition 5.14. *)
+
+val solve_deterministic : k:int -> (node_input, output) Vc_lcl.Lcl.solver
+(** Algorithm 2, RecursiveHTHC: distance O(k·n^{1/k}); volume up to
+    Θ̃(n) on deep instances. *)
+
+val solve_waypoint : k:int -> ?c:float -> unit -> (node_input, output) Vc_lcl.Lcl.solver
+(** Proposition 5.14: way-point sampling with probability
+    [p = c·log n / n^{1/k}] (default [c = 3.0], the proof's constant).
+    Smaller [c] trades volume against failure probability — the
+    ablation bench sweeps it. *)
+
+val solvers : k:int -> (node_input, output) Vc_lcl.Lcl.solver list

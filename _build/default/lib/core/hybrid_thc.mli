@@ -1,0 +1,98 @@
+(** Hybrid balanced 2½-coloring, Hybrid-THC(k) (paper Section 6).
+
+    A hybrid of {!Balanced_tree} and {!Hierarchical_thc}: every node
+    carries an explicit input level in [1 .. k+1].  Level-1 nodes form
+    BalancedTree instances (hung below level-2 backbone nodes); levels
+    ≥ 2 behave like Hierarchical-THC, except that a level-2 node may
+    only exempt itself if the BalancedTree below it is actually solved
+    (its root outputs a (β, port) pair, not D).  A level-1 component may
+    alternatively decline unanimously.
+
+    Complexities (Theorem 6.3): R-DIST = D-DIST = Θ(log n) — every
+    BalancedTree is solvable in O(log n) distance, so all higher levels
+    can exempt themselves — yet R-VOL = Θ̃(n^{1/k}) and D-VOL = Θ̃(n),
+    because BalancedTree costs Θ(volume of the component) to solve
+    (Proposition 4.9).  This is the paper's "distance logarithmic in
+    randomized volume" family. *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module BT = Balanced_tree
+module H = Hierarchical_thc
+
+type node_input = {
+  parent : TL.ptr;
+  left : TL.ptr;
+  right : TL.ptr;
+  left_nbr : TL.ptr;
+  right_nbr : TL.ptr;
+  color : TL.color;
+  level : int;
+}
+
+val pp_node_input : Format.formatter -> node_input -> unit
+
+type output =
+  | Solved of BT.output  (** a level-1 BalancedTree answer *)
+  | Sym of H.output  (** an R/B/D/X symbol *)
+
+val equal_output : output -> output -> bool
+val pp_output : Format.formatter -> output -> unit
+
+type instance = {
+  graph : Graph.t;
+  labels : node_input array;
+  k : int;
+}
+
+val input : instance -> Graph.node -> node_input
+val world : instance -> node_input Vc_model.World.t
+
+val problem : k:int -> (node_input, output) Vc_lcl.Lcl.t
+(** The validity conditions of Definition 6.1. *)
+
+(** {1 Instance generators} *)
+
+val uniform_instance : k:int -> len:int -> bt_depth:int -> seed:int64 -> instance
+(** Backbones of [len] nodes at every level ≥ 2; every level-2 node
+    hangs a fully compatible BalancedTree of depth [bt_depth]. *)
+
+val hard_instance : k:int -> target_n:int -> seed:int64 -> instance * Graph.node
+(** Deep backbones whose middle run hangs BalancedTree components larger
+    than the scan threshold (unsolvable within the volume budget, so
+    their parents cannot exempt and must search), with small trees
+    elsewhere.  Returns the instance and the worst start node. *)
+
+(** {1 Algorithms} *)
+
+type 'a access = {
+  degree : Graph.node -> int;
+  node_input : Graph.node -> node_input;
+  follow : Graph.node -> TL.ptr -> Graph.node;
+}
+(** Data accessors, as in {!Hierarchical_thc.access}. *)
+
+val solve_distance_access : k:int -> access:'a access -> n:int -> Graph.node -> output
+
+val solve_volume_access :
+  k:int ->
+  is_waypoint:(Graph.node -> bool) ->
+  access:'a access ->
+  n:int ->
+  id:(Graph.node -> int) ->
+  Graph.node ->
+  output
+(** Accessor-generic forms of the solvers below, used by HH-THC. *)
+
+val solve_distance : k:int -> (node_input, output) Vc_lcl.Lcl.solver
+(** Theorem 6.3's O(log n)-distance strategy: level-1 nodes run the
+    BalancedTree solver, all other nodes exempt themselves. *)
+
+val solve_volume_deterministic : k:int -> (node_input, output) Vc_lcl.Lcl.solver
+(** The deterministic volume algorithm (declines deep BalancedTrees,
+    scans short ones); Θ̃(n) volume on hard instances. *)
+
+val solve_volume_waypoint : k:int -> ?c:float -> unit -> (node_input, output) Vc_lcl.Lcl.solver
+(** The way-point algorithm of Theorem 6.3: volume Õ(n^{1/k}) w.h.p. *)
+
+val solvers : k:int -> (node_input, output) Vc_lcl.Lcl.solver list

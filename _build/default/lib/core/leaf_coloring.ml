@@ -1,0 +1,252 @@
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+module Splitmix = Vc_rng.Splitmix
+
+type node_input = {
+  parent : TL.ptr;
+  left : TL.ptr;
+  right : TL.ptr;
+  color : TL.color;
+}
+
+let pointers inp = (inp.parent, inp.left, inp.right)
+
+let pp_node_input ppf i =
+  Fmt.pf ppf "P=%d LC=%d RC=%d chi=%a" i.parent i.left i.right TL.pp_color i.color
+
+type instance = {
+  graph : Graph.t;
+  labels : TL.t;
+  colors : TL.color array;
+}
+
+let input inst v =
+  {
+    parent = inst.labels.TL.parent.(v);
+    left = inst.labels.TL.left.(v);
+    right = inst.labels.TL.right.(v);
+    color = inst.colors.(v);
+  }
+
+let world inst = World.of_graph inst.graph ~input:(input inst)
+
+(* Status decision evaluated directly over the checker's [input]
+   function, so checking a node costs O(1) rather than O(n). *)
+let status_of g ~input v =
+  TL.status_gen ~degree:(Graph.degree g)
+    ~pointers:(fun u -> pointers (input u))
+    ~follow:(Graph.neighbor g) v
+
+let problem : (node_input, TL.color) Lcl.t =
+  let valid_at g ~input ~output v =
+    match status_of g ~input v with
+    | TL.Leaf | TL.Inconsistent ->
+        if TL.equal_color (output v) (input v).color then Ok ()
+        else
+          Error
+            (Fmt.str "leaf/inconsistent node must echo input color %a, got %a" TL.pp_color
+               (input v).color TL.pp_color (output v))
+    | TL.Internal ->
+        let lc = Graph.neighbor g v (input v).left in
+        let rc = Graph.neighbor g v (input v).right in
+        if TL.equal_color (output v) (output lc) || TL.equal_color (output v) (output rc) then
+          Ok ()
+        else
+          Error
+            (Fmt.str "internal node output %a matches neither child (%a, %a)" TL.pp_color
+               (output v) TL.pp_color (output lc) TL.pp_color (output rc))
+  in
+  { Lcl.name = "LeafColoring"; radius = 2; valid_at }
+
+(* --- Generators ------------------------------------------------------ *)
+
+let of_tree graph labels ~colors =
+  if Array.length colors <> Graph.n graph then
+    invalid_arg "Leaf_coloring.of_tree: color array size mismatch";
+  { graph; labels; colors }
+
+let random_colors ~n ~rng = Array.init n (fun _ -> if Splitmix.bool rng then TL.Red else TL.Blue)
+
+let random_instance ~n ~seed =
+  let rng = Splitmix.create seed in
+  let graph, labels = TL.of_random_binary_tree ~n ~rng in
+  let colors = random_colors ~n:(Graph.n graph) ~rng in
+  { graph; labels; colors }
+
+let hard_distance_instance ~depth ~leaf_color =
+  let graph, labels = TL.of_complete_binary_tree ~depth in
+  let colors =
+    Array.init (Graph.n graph) (fun v ->
+        if Graph.degree graph v = 1 && depth > 0 then leaf_color else TL.Red)
+  in
+  { graph; labels; colors }
+
+let cycle_instance ~cycle_len ~seed =
+  if cycle_len < 3 then invalid_arg "Leaf_coloring.cycle_instance: cycle_len must be >= 3";
+  let m = cycle_len in
+  let n = 2 * m in
+  (* Nodes 0..m-1 form the directed cycle; node m+i is the pendant leaf
+     of cycle node i. *)
+  let edges =
+    List.init m (fun i -> (i, (i + 1) mod m)) @ List.init m (fun i -> (i, m + i))
+  in
+  let graph = Graph.of_edges ~n edges in
+  let labels =
+    TL.of_structure graph
+      ~parent:(fun v -> if v < m then Some ((v + m - 1) mod m) else Some (v - m))
+      ~left:(fun v -> if v < m then Some ((v + 1) mod m) else None)
+      ~right:(fun v -> if v < m then Some (v + m) else None)
+  in
+  let colors = random_colors ~n ~rng:(Splitmix.create seed) in
+  { graph; labels; colors }
+
+let figure4_instance =
+  (* A pseudo-tree with a 3-cycle, a proper depth-2 tree, and two
+     inconsistent nodes, mirroring the flavor of Figure 4. *)
+  let cyc = cycle_instance ~cycle_len:3 ~seed:0L in
+  let tree_g, tree_lab = TL.of_complete_binary_tree ~depth:2 in
+  let incons = Builder.path 2 in
+  let graph, off = Builder.disjoint_union [ cyc.graph; tree_g; incons ] in
+  let n = Graph.n graph in
+  let labels = TL.make ~n in
+  let copy_labels src ~at =
+    Array.iteri
+      (fun v _ ->
+        labels.TL.parent.(at + v) <- src.TL.parent.(v);
+        labels.TL.left.(at + v) <- src.TL.left.(v);
+        labels.TL.right.(at + v) <- src.TL.right.(v))
+      src.TL.parent
+  in
+  copy_labels cyc.labels ~at:off.(0);
+  copy_labels tree_lab ~at:off.(1);
+  let colors =
+    Array.init n (fun v -> if v mod 3 = 0 then TL.Blue else TL.Red)
+  in
+  { graph; labels; colors }
+
+let root _inst = 0
+
+(* --- Algorithms ------------------------------------------------------ *)
+
+let status ctx v = Probe_tree.status ~pointers ctx v
+
+let children ctx v = Probe_tree.children ~pointers ctx v
+
+(* Proposition 3.9: explore downward in G_T, breadth-first, expanding
+   left children before right children so that the first non-internal
+   node encountered is the left-most nearest descendant leaf.  Output its
+   input color. *)
+let solve_distance_fn ctx =
+  let v0 = Probe.origin ctx in
+  match status ctx v0 with
+  | TL.Leaf | TL.Inconsistent -> (Probe.input ctx v0).color
+  | TL.Internal ->
+      let seen = Hashtbl.create 64 in
+      Hashtbl.add seen v0 ();
+      let rec search frontier =
+        match frontier with
+        | [] ->
+            (* Unreachable on well-formed inputs: Lemma 3.8 guarantees a
+               descendant leaf.  Fall back defensively. *)
+            (Probe.input ctx v0).color
+        | _ :: _ ->
+            let rec scan = function
+              | [] -> None
+              | u :: rest -> (
+                  match status ctx u with
+                  | TL.Leaf | TL.Inconsistent -> Some u
+                  | TL.Internal -> scan rest)
+            in
+            (match scan frontier with
+            | Some leaf -> (Probe.input ctx leaf).color
+            | None ->
+                let next =
+                  List.concat_map
+                    (fun u ->
+                      match children ctx u with
+                      | None -> []
+                      | Some (lc, rc) ->
+                          let fresh w =
+                            if Hashtbl.mem seen w then []
+                            else begin
+                              Hashtbl.add seen w ();
+                              [ w ]
+                            end
+                          in
+                          fresh lc @ fresh rc)
+                    frontier
+                in
+                search next)
+      in
+      (match children ctx v0 with
+      | None -> (Probe.input ctx v0).color
+      | Some (lc, rc) ->
+          Hashtbl.add seen lc ();
+          if not (Hashtbl.mem seen rc) then Hashtbl.add seen rc ();
+          search (if lc = rc then [ lc ] else [ lc; rc ]))
+
+let solve_distance = Lcl.solver ~name:"nearest-leaf (Prop 3.9)" ~randomized:false solve_distance_fn
+
+(* Algorithm 1, RWtoLeaf: a directed random walk towards the leaves.
+   Each internal node steers all walks through it with bit 0 of its
+   private random string; when the walk returns to its origin the bit is
+   flipped, which pushes the walk off the (unique) cycle. *)
+let rw_to_leaf ctx ~flip_on_revisit =
+  let v0 = Probe.origin ctx in
+  let n = Probe.n ctx in
+  let step_cap = (4 * n) + 16 in
+  let rec walk v ~steps =
+    if steps > step_cap then (Probe.input ctx v0).color
+    else
+      match status ctx v with
+      | TL.Leaf | TL.Inconsistent -> (Probe.input ctx v).color
+      | TL.Internal -> (
+          let bit = Probe.rand_bit_at ctx v 0 in
+          let revisit = v = v0 && steps > 0 in
+          let go_right = if flip_on_revisit && revisit then not bit else bit in
+          match children ctx v with
+          | None -> (Probe.input ctx v).color
+          | Some (lc, rc) -> walk (if go_right then rc else lc) ~steps:(steps + 1))
+  in
+  walk v0 ~steps:0
+
+let solve_random_walk =
+  Lcl.solver ~name:"RWtoLeaf (Alg 1)" ~randomized:true (rw_to_leaf ~flip_on_revisit:true)
+
+let solve_random_walk_no_flip =
+  Lcl.solver ~name:"RWtoLeaf without revisit flip (ablation)" ~randomized:true
+    (rw_to_leaf ~flip_on_revisit:false)
+
+let solvers = [ solve_distance; solve_random_walk ]
+
+(* --- Forced outputs --------------------------------------------------- *)
+
+let unique_valid_output inst =
+  let g = inst.graph in
+  let n = Graph.n g in
+  let forced = Array.make n None in
+  Graph.iter_nodes g (fun v ->
+      match TL.status g inst.labels v with
+      | TL.Leaf | TL.Inconsistent -> forced.(v) <- Some inst.colors.(v)
+      | TL.Internal -> ());
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Graph.iter_nodes g (fun v ->
+        if forced.(v) = None then
+          match TL.gt_children g inst.labels v with
+          | Some (lc, rc) -> (
+              match (forced.(lc), forced.(rc)) with
+              | Some a, Some b when TL.equal_color a b ->
+                  forced.(v) <- Some a;
+                  changed := true
+              | Some _, Some _ | Some _, None | None, Some _ | None, None -> ())
+          | None -> ())
+  done;
+  if Array.for_all Option.is_some forced then
+    Some (Array.map (function Some c -> c | None -> assert false) forced)
+  else None

@@ -1,0 +1,95 @@
+(** The LeafColoring problem (paper Section 3).
+
+    Input: a colored tree labeling (Definition 3.1).  Output: one color
+    per node.  Validity (Definition 3.4): leaves and inconsistent nodes
+    must echo their input color; each internal node must output the
+    color output by one of its two children in the pseudo-forest [G_T].
+
+    The paper establishes (Theorem 3.6):
+    - R-DIST, D-DIST and R-VOL are all Θ(log n);
+    - D-VOL is Θ(n) — this is the paper's first separation: randomness
+      buys an exponential volume saving even though it buys nothing for
+      distance.
+
+    This module provides the instance type and generators, the local
+    checker, and the paper's algorithms: the deterministic
+    nearest-leftmost-leaf solver of Proposition 3.9 (distance O(log n))
+    and the random-walk solver [RWtoLeaf] of Algorithm 1 / Proposition
+    3.10 (volume O(log n) w.h.p.).  The Ω(n) deterministic-volume
+    adversary lives in {!Adversary_leaf}. *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+
+type node_input = {
+  parent : TL.ptr;
+  left : TL.ptr;
+  right : TL.ptr;
+  color : TL.color;
+}
+
+val pointers : node_input -> TL.ptr * TL.ptr * TL.ptr
+
+val pp_node_input : Format.formatter -> node_input -> unit
+
+type instance = {
+  graph : Graph.t;
+  labels : TL.t;
+  colors : TL.color array;
+}
+
+val input : instance -> Graph.node -> node_input
+
+val world : instance -> node_input Vc_model.World.t
+
+val problem : (node_input, TL.color) Vc_lcl.Lcl.t
+(** The local checker of Definition 3.4 (radius 2). *)
+
+(** {1 Instance generators}
+
+    All generators are deterministic functions of their parameters. *)
+
+val of_tree : Graph.t -> TL.t -> colors:TL.color array -> instance
+
+val random_instance : n:int -> seed:int64 -> instance
+(** A random all-consistent binary tree with i.i.d. input colors. *)
+
+val hard_distance_instance : depth:int -> leaf_color:TL.color -> instance
+(** The Proposition 3.12 family: the complete binary tree of the given
+    depth, internal nodes red, all leaves colored [leaf_color].  The
+    unique valid output colors every node [leaf_color]. *)
+
+val cycle_instance : cycle_len:int -> seed:int64 -> instance
+(** A pseudo-tree whose [G_T] contains one directed cycle of internal
+    nodes, each carrying a pendant leaf (exercises the revisit-flip rule
+    of Algorithm 1, lines 4–5). *)
+
+val figure4_instance : instance
+(** A small instance in the spirit of Figure 4: consistent and
+    inconsistent nodes, mixed colors. *)
+
+val root : instance -> Graph.node
+(** A canonical interesting start node (the root for tree instances,
+    node 0 otherwise). *)
+
+(** {1 Algorithms} *)
+
+val solve_distance : (node_input, TL.color) Vc_lcl.Lcl.solver
+(** Proposition 3.9: deterministic; distance O(log n); volume may be
+    Θ(n) (which is also the paper's matching D-VOL upper bound). *)
+
+val solve_random_walk : (node_input, TL.color) Vc_lcl.Lcl.solver
+(** Algorithm 1 [RWtoLeaf]: randomized; volume O(log n) w.h.p. *)
+
+val solve_random_walk_no_flip : (node_input, TL.color) Vc_lcl.Lcl.solver
+(** Ablation of Algorithm 1 without the revisit-flip rule: incorrect on
+    instances whose [G_T] has a cycle — the walk can trap itself.  Used
+    by the ablation bench; protects itself with a step cap and returns
+    its input color when trapped. *)
+
+val solvers : (node_input, TL.color) Vc_lcl.Lcl.solver list
+
+val unique_valid_output : instance -> TL.color array option
+(** For instances whose valid output is forced (e.g.
+    {!hard_distance_instance}), the forced output, computed by a global
+    fixpoint; [None] when some node has a genuine choice. *)

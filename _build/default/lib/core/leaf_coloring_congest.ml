@@ -1,0 +1,172 @@
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Congest = Vc_model.Congest
+module LC = Leaf_coloring
+
+type ptr_ids = {
+  p_parent : int option;
+  p_left : int option;
+  p_right : int option;
+}
+
+type message =
+  | Hello of int
+  | Pointers of ptr_ids
+  | Internality of bool
+  | Report of TL.color  (** the sender's nearest-leaf color *)
+
+type nbr = {
+  mutable nid : int option;
+  mutable ptrs : ptr_ids option;
+  mutable internal : bool option;
+}
+
+type state = {
+  me : LC.node_input;
+  my_id : int;
+  degree : int;
+  n : int;
+  nbrs : nbr array;
+  mutable round_no : int;
+  mutable my_internal : bool;
+  mutable my_status : TL.status;
+  mutable report : TL.color option;  (** first nearest-leaf color heard *)
+  mutable relayed : bool;
+}
+
+let valid st p = p <> TL.bot && p >= 1 && p <= st.degree
+
+let nbr st p = st.nbrs.(p - 1)
+
+let nbr_id st p = if valid st p then (nbr st p).nid else None
+
+let broadcast st msg = List.init st.degree (fun i -> (i + 1, msg))
+
+let my_ptr_ids st =
+  {
+    p_parent = nbr_id st st.me.LC.parent;
+    p_left = nbr_id st st.me.LC.left;
+    p_right = nbr_id st st.me.LC.right;
+  }
+
+let reciprocated_child st p =
+  valid st p
+  && (match (nbr st p).ptrs with
+     | Some t -> t.p_parent = Some st.my_id
+     | None -> false)
+
+let compute_internal st =
+  let i = st.me in
+  valid st i.LC.left && valid st i.LC.right && i.LC.left <> i.LC.right
+  && i.LC.parent <> i.LC.left && i.LC.parent <> i.LC.right
+  && reciprocated_child st i.LC.left
+  && reciprocated_child st i.LC.right
+
+let compute_status st =
+  if st.my_internal then TL.Internal
+  else if valid st st.me.LC.parent && (nbr st st.me.LC.parent).internal = Some true then TL.Leaf
+  else TL.Inconsistent
+
+let gt_parent_port st =
+  let p = st.me.LC.parent in
+  if not (valid st p) then None
+  else
+    match ((nbr st p).internal, (nbr st p).ptrs) with
+    | Some true, Some t ->
+        if t.p_left = Some st.my_id || t.p_right = Some st.my_id then Some p else None
+    | (Some _ | None), _ -> None
+
+let relay st =
+  match (st.report, gt_parent_port st) with
+  | Some color, Some p when not st.relayed ->
+      st.relayed <- true;
+      [ (p, Report color) ]
+  | Some _, None ->
+      st.relayed <- true;
+      []
+  | Some _, Some _ | None, _ -> []
+
+let algorithm () =
+  let init ~n ~id ~degree ~input =
+    let st =
+      {
+        me = input;
+        my_id = id;
+        degree;
+        n;
+        nbrs = Array.init degree (fun _ -> { nid = None; ptrs = None; internal = None });
+        round_no = 0;
+        my_internal = false;
+        my_status = TL.Inconsistent;
+        report = None;
+        relayed = false;
+      }
+    in
+    (st, broadcast st (Hello id))
+  in
+  let round st ~inbox =
+    st.round_no <- st.round_no + 1;
+    (* prefer the left child's report on simultaneous arrival, mirroring
+       the probe solver's left-most tie-break (any choice is valid) *)
+    let ordered =
+      List.stable_sort
+        (fun (p, _) (q, _) ->
+          let rank p = if p = st.me.LC.left then 0 else if p = st.me.LC.right then 1 else 2 in
+          compare (rank p) (rank q))
+        inbox
+    in
+    List.iter
+      (fun (port, msg) ->
+        let nb = nbr st port in
+        match msg with
+        | Hello id -> nb.nid <- Some id
+        | Pointers t -> nb.ptrs <- Some t
+        | Internality b -> nb.internal <- Some b
+        | Report color -> if st.report = None then st.report <- Some color)
+      ordered;
+    let deadline = 3 + Probe_tree.log2_ceil st.n + 2 in
+    let out =
+      if st.round_no = 1 then broadcast st (Pointers (my_ptr_ids st))
+      else if st.round_no = 2 then begin
+        st.my_internal <- compute_internal st;
+        broadcast st (Internality st.my_internal)
+      end
+      else if st.round_no = 3 then begin
+        st.my_status <- compute_status st;
+        match st.my_status with
+        | TL.Leaf | TL.Inconsistent ->
+            (* leaves seed the flood towards their G_T parents *)
+            st.report <- Some st.me.LC.color;
+            relay st
+        | TL.Internal -> []
+      end
+      else relay st
+    in
+    let decision =
+      if st.round_no >= deadline then
+        Some
+          (match st.my_status with
+          | TL.Leaf | TL.Inconsistent -> st.me.LC.color
+          | TL.Internal -> (
+              match st.report with
+              | Some c -> c
+              | None ->
+                  (* unreachable on well-formed inputs (Lemma 3.8) *)
+                  st.me.LC.color))
+      else None
+    in
+    (st, out, decision)
+  in
+  let message_bits = function
+    | Hello _ -> 64
+    | Pointers _ -> 3 * 65
+    | Internality _ -> 1
+    | Report _ -> 1
+  in
+  { Congest.init; round; message_bits }
+
+let run inst ?(bandwidth = 256) () =
+  let g = inst.LC.graph in
+  let deadline = 3 + Probe_tree.log2_ceil (Graph.n g) + 4 in
+  Congest.run ~graph:g ~input:(LC.input inst) ~bandwidth ~max_rounds:(deadline + 4)
+    (algorithm ())

@@ -1,0 +1,26 @@
+(** LeafColoring in the CONGEST model (paper Observation 7.4 applied to
+    the Section 3 problem).
+
+    Although LeafColoring costs Θ(n) deterministic volume, it is
+    solvable in O(log n) CONGEST rounds with O(log n)-bit messages:
+    after the constant-round status determination, every leaf announces
+    its input color to its [G_T] parent and internal nodes relay the
+    {e first} report they receive — which carries the color of their
+    nearest descendant leaf (within log n hops by Lemma 3.8).  The
+    output of a node then equals the output of the child that relayed
+    to it, which is exactly Definition 3.4's validity condition. *)
+
+type message
+type state
+
+val algorithm :
+  unit ->
+  (Leaf_coloring.node_input, message, state, Vc_graph.Tree_labels.color) Vc_model.Congest.algorithm
+
+val run :
+  Leaf_coloring.instance ->
+  ?bandwidth:int ->
+  unit ->
+  Vc_graph.Tree_labels.color Vc_model.Congest.result
+(** Run to quiescence (at most [log n + O(1)] rounds; default bandwidth
+    256 bits). *)

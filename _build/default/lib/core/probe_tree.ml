@@ -1,0 +1,44 @@
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+
+type 'i pointers = 'i -> TL.ptr * TL.ptr * TL.ptr
+
+let follow ctx v p =
+  if p = TL.bot || p < 1 || p > Probe.degree ctx v then None
+  else Some (Probe.query ctx ~at:v ~port:p)
+
+let status ~pointers ctx v =
+  TL.status_gen
+    ~degree:(Probe.degree ctx)
+    ~pointers:(fun u -> pointers (Probe.input ctx u))
+    ~follow:(fun u p -> Probe.query ctx ~at:u ~port:p)
+    v
+
+let is_internal ~pointers ctx v = TL.equal_status (status ~pointers ctx v) TL.Internal
+
+let children ~pointers ctx v =
+  match status ~pointers ctx v with
+  | TL.Internal ->
+      let _, l, r = pointers (Probe.input ctx v) in
+      let lc = Probe.query ctx ~at:v ~port:l in
+      let rc = Probe.query ctx ~at:v ~port:r in
+      Some (lc, rc)
+  | TL.Leaf | TL.Inconsistent -> None
+
+let parent ~pointers ctx v =
+  match status ~pointers ctx v with
+  | TL.Inconsistent -> None
+  | TL.Internal | TL.Leaf -> (
+      let p, _, _ = pointers (Probe.input ctx v) in
+      match follow ctx v p with
+      | None -> None
+      | Some u -> (
+          match children ~pointers ctx u with
+          | Some (l, r) when l = v || r = v -> Some u
+          | Some _ | None -> None))
+
+let log2_ceil n =
+  if n <= 1 then 0
+  else
+    let rec loop k pow = if pow >= n then k else loop (k + 1) (2 * pow) in
+    loop 0 1

@@ -1,0 +1,39 @@
+(** Tree-labeling primitives for probe-model algorithms.
+
+    The constructions of Sections 3–6 all run on inputs that contain a
+    tree labeling.  Their algorithms repeatedly need the node-status
+    decision of Definition 3.3 and pointer-following — paid for through
+    queries.  This module adapts {!Vc_graph.Tree_labels.status_gen} to a
+    {!Vc_model.Probe.ctx}: the context is charged for exactly the O(1)
+    nodes the decision procedure inspects. *)
+
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+
+type 'i pointers = 'i -> TL.ptr * TL.ptr * TL.ptr
+(** Extract [(parent, left, right)] from a node's input. *)
+
+val follow : 'i Probe.ctx -> Vc_graph.Graph.node -> TL.ptr -> Vc_graph.Graph.node option
+(** Resolve a pointer of a visited node by querying; [None] when the
+    pointer is ⊥ or not a valid port. *)
+
+val status : pointers:'i pointers -> 'i Probe.ctx -> Vc_graph.Graph.node -> TL.status
+(** Definition 3.3, via queries. *)
+
+val is_internal : pointers:'i pointers -> 'i Probe.ctx -> Vc_graph.Graph.node -> bool
+
+val children :
+  pointers:'i pointers ->
+  'i Probe.ctx ->
+  Vc_graph.Graph.node ->
+  (Vc_graph.Graph.node * Vc_graph.Graph.node) option
+(** [G_T] children (left, right) of an internal node, [None] for
+    non-internal nodes. *)
+
+val parent :
+  pointers:'i pointers -> 'i Probe.ctx -> Vc_graph.Graph.node -> Vc_graph.Graph.node option
+(** [G_T] parent, as in {!Vc_graph.Tree_labels.gt_parent}. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is the least [k] with [2^k >= n]; the exploration radii
+    of the paper's algorithms are phrased in terms of it. *)

@@ -1,0 +1,45 @@
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module LC = Leaf_coloring
+
+let promise_instance ~n ~leaf_color ~seed =
+  let inst = LC.random_instance ~n ~seed in
+  let g = inst.LC.graph in
+  Graph.iter_nodes g (fun v ->
+      match TL.status g inst.LC.labels v with
+      | TL.Leaf | TL.Inconsistent -> inst.LC.colors.(v) <- leaf_color
+      | TL.Internal -> ());
+  inst
+
+let satisfies_promise inst =
+  let g = inst.LC.graph in
+  let colors =
+    Graph.fold_nodes g ~init:[] ~f:(fun acc v ->
+        match TL.status g inst.LC.labels v with
+        | TL.Leaf -> inst.LC.colors.(v) :: acc
+        | TL.Internal | TL.Inconsistent -> acc)
+  in
+  match colors with
+  | [] -> true
+  | c :: rest -> List.for_all (TL.equal_color c) rest
+
+let solve_secret_walk =
+  Lcl.solver ~name:"secret-randomness downward walk" ~randomized:true (fun ctx ->
+      let v0 = Probe.origin ctx in
+      let n = Probe.n ctx in
+      let cap = (4 * n) + 16 in
+      let rec walk v steps =
+        if steps > cap then (Probe.input ctx v0).LC.color
+        else
+          match Probe_tree.status ~pointers:LC.pointers ctx v with
+          | TL.Leaf | TL.Inconsistent -> (Probe.input ctx v).LC.color
+          | TL.Internal -> (
+              match Probe_tree.children ~pointers:LC.pointers ctx v with
+              | None -> (Probe.input ctx v).LC.color
+              | Some (lc, rc) ->
+                  (* steered by the origin's own sequential bits only *)
+                  walk (if Probe.rand_bit ctx v0 then rc else lc) (steps + 1))
+      in
+      walk v0 0)

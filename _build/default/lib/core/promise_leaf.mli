@@ -1,0 +1,24 @@
+(** Promise-LeafColoring under secret randomness (paper Section 7.4).
+
+    The promise version of LeafColoring assumes all leaves carry the
+    same input color, so a node need not coordinate with anyone: it is
+    enough to find {e some} leaf and echo it.  A downward random walk
+    steered by the {e origin's own} random bits — usable even in the
+    secret-randomness regime, where other nodes' bits are invisible —
+    reaches a leaf within O(log n) steps w.h.p., exhibiting a problem
+    where secret randomness beats deterministic volume.
+
+    On non-promise instances the secret walk is useless: different
+    origins land on differently-colored leaves, violating LeafColoring
+    validity — the accompanying test demonstrates the failure. *)
+
+module TL = Vc_graph.Tree_labels
+
+val promise_instance : n:int -> leaf_color:TL.color -> seed:int64 -> Leaf_coloring.instance
+(** A random tree instance whose leaves all carry [leaf_color]. *)
+
+val satisfies_promise : Leaf_coloring.instance -> bool
+
+val solve_secret_walk : (Leaf_coloring.node_input, TL.color) Vc_lcl.Lcl.solver
+(** The downward walk using only the origin's private random string;
+    legal under {!Vc_rng.Randomness.Secret}. *)

@@ -1,0 +1,189 @@
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module Ball = Vc_model.Ball
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+module Splitmix = Vc_rng.Splitmix
+
+type direction = Outgoing | Incoming
+
+type output = direction array
+
+let opposite = function Outgoing -> Incoming | Incoming -> Outgoing
+
+let problem : (unit, output) Lcl.t =
+  let valid_at g ~input:_ ~output v =
+    let dirs = output v in
+    if Array.length dirs <> Graph.degree g v then Error "one direction per port required"
+    else begin
+      let ok = ref (Ok ()) in
+      for p = 1 to Graph.degree g v do
+        let w = Graph.neighbor g v p in
+        match Graph.port_to g w v with
+        | None -> ok := Error "malformed graph"
+        | Some q ->
+            let mine = dirs.(p - 1) and theirs = (output w).(q - 1) in
+            if not (theirs = opposite mine) then
+              ok := Error (Fmt.str "edge via port %d oriented inconsistently" p)
+      done;
+      match !ok with
+      | Error _ as e -> e
+      | Ok () ->
+          if Array.exists (fun d -> d = Outgoing) dirs then Ok ()
+          else Error "sink: no outgoing edge"
+    end
+  in
+  { Lcl.name = "SinklessOrientation"; radius = 1; valid_at }
+
+let world g = World.of_graph g ~input:(fun _ -> ())
+
+(* A Hamiltonian cycle plus a (near-)perfect matching: all degrees 3,
+   except possibly one degree-4 node when n is odd. *)
+let random_cubic ~n ~seed =
+  if n < 6 then invalid_arg "Sinkless.random_cubic: n must be >= 6";
+  let rng = Splitmix.create seed in
+  let cycle_edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let adjacent a b = (a + 1) mod n = b || (b + 1) mod n = a in
+  let rec matching attempt =
+    if attempt > 200 then failwith "Sinkless.random_cubic: could not sample a matching";
+    let perm = Array.init n Fun.id in
+    for i = n - 1 downto 1 do
+      let j = Splitmix.int rng ~bound:(i + 1) in
+      let tmp = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- tmp
+    done;
+    let pairs = ref [] in
+    let ok = ref true in
+    for i = 0 to (n / 2) - 1 do
+      let a = perm.(2 * i) and b = perm.((2 * i) + 1) in
+      if adjacent a b then ok := false else pairs := (a, b) :: !pairs
+    done;
+    (* odd n: hook the leftover node to someone non-adjacent *)
+    if n mod 2 = 1 then begin
+      let leftover = perm.(n - 1) in
+      let partner = perm.(Splitmix.int rng ~bound:(n - 1)) in
+      if adjacent leftover partner || leftover = partner then ok := false
+      else pairs := (leftover, partner) :: !pairs
+    end;
+    if !ok then !pairs else matching (attempt + 1)
+  in
+  Graph.of_edges ~n (cycle_edges @ matching 0)
+
+(* --- the global solver ---------------------------------------------------- *)
+
+(* Canonical orientation of an explored component: BFS (ports ascending)
+   from the minimum-id node; the first non-tree edge in scan order
+   closes the canonical cycle, which is oriented cyclically; all other
+   tree edges point child -> parent (towards the cycle/root); remaining
+   non-tree edges point from smaller to larger id.  Everything is a
+   deterministic function of the component, so every origin agrees. *)
+let solve_global_fn ctx =
+  let v0 = Probe.origin ctx in
+  let ball = Ball.gather ctx ~radius:(Probe.n ctx) in
+  let members = List.map fst ball in
+  let adj v = Ball.adjacency ctx v in
+  let id v = Probe.id ctx v in
+  let root =
+    List.fold_left (fun best v -> if id v < id best then v else best) v0 members
+  in
+  (* BFS with ascending ports *)
+  let parent = Hashtbl.create 64 in
+  let order = ref [] in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace seen root ();
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter
+      (fun (_, w) ->
+        if not (Hashtbl.mem seen w) then begin
+          Hashtbl.replace seen w ();
+          Hashtbl.replace parent w v;
+          Queue.add w queue
+        end)
+      (adj v)
+  done;
+  let order = List.rev !order in
+  let is_tree_edge u w =
+    Hashtbl.find_opt parent u = Some w || Hashtbl.find_opt parent w = Some u
+  in
+  (* first non-tree edge in scan order *)
+  let closing =
+    List.fold_left
+      (fun acc u ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            List.fold_left
+              (fun acc (_, w) ->
+                match acc with
+                | Some _ -> acc
+                | None -> if w <> u && not (is_tree_edge u w) then Some (u, w) else None)
+              None (adj u))
+      None order
+  in
+  (* the canonical cycle as a directed successor map *)
+  let successor = Hashtbl.create 16 in
+  (match closing with
+  | None -> () (* a tree component: impossible at min degree 3, but safe *)
+  | Some (u, w) ->
+      let rec ancestors v acc =
+        match Hashtbl.find_opt parent v with
+        | None -> v :: acc
+        | Some p -> ancestors p (v :: acc)
+      in
+      (* paths root..u and root..w; drop the common prefix to the lca *)
+      let pu = ancestors u [] and pw = ancestors w [] in
+      let rec strip pu pw =
+        match (pu, pw) with
+        | a :: (a' :: _ as pu'), b :: (b' :: _ as pw') when a = b && a' = b' -> strip pu' pw'
+        | _ -> (pu, pw)
+      in
+      let pu, pw = strip pu pw in
+      (* pu = lca..u, pw = lca..w; cycle: u -> ... -> lca -> ... -> w -> u *)
+      let up = List.rev pu in
+      (* u towards lca *)
+      List.iteri
+        (fun i v -> match List.nth_opt up (i + 1) with Some nxt -> Hashtbl.replace successor v nxt | None -> ())
+        up;
+      (* lca towards w *)
+      (match pw with
+      | [] -> ()
+      | _ :: _ ->
+          List.iteri
+            (fun i v ->
+              match List.nth_opt pw (i + 1) with
+              | Some nxt -> Hashtbl.replace successor v nxt
+              | None -> ())
+            pw);
+      Hashtbl.replace successor w u);
+  (* orientation of one edge, from [v]'s perspective *)
+  let direction v w =
+    if Hashtbl.find_opt successor v = Some w then Outgoing
+    else if Hashtbl.find_opt successor w = Some v then Incoming
+    else if Hashtbl.find_opt parent v = Some w then Outgoing (* child -> parent *)
+    else if Hashtbl.find_opt parent w = Some v then Incoming
+    else if id v < id w then Outgoing
+    else Incoming
+  in
+  Array.init (Probe.degree ctx v0) (fun i ->
+      let w = Probe.query ctx ~at:v0 ~port:(i + 1) in
+      direction v0 w)
+
+let solve_global = Lcl.solver ~name:"global cycle orientation" ~randomized:false solve_global_fn
+
+(* --- the distance-1 strawman ----------------------------------------------- *)
+
+let solve_one_round_random =
+  Lcl.solver ~name:"one-round random orientation" ~randomized:true (fun ctx ->
+      let v0 = Probe.origin ctx in
+      let key v = (Probe.rand_bit_at ctx v 0, Probe.id ctx v) in
+      let mine = key v0 in
+      Array.init (Probe.degree ctx v0) (fun i ->
+          let w = Probe.query ctx ~at:v0 ~port:(i + 1) in
+          (* the lexicographically larger endpoint owns the edge *)
+          if mine > key w then Outgoing else Incoming))

@@ -1,0 +1,49 @@
+(** Sinkless orientation — the open-question playground of paper
+    Section 7.2 (Question 7.3).
+
+    SO asks each node of a min-degree-3 graph to orient its incident
+    edges (each edge oriented by exactly one consistent direction) so
+    that no node is a sink.  Its distance complexities are the canonical
+    "shattering" pair — randomized Θ(log log n), deterministic Θ(log n)
+    — and the paper asks what its volume complexities are, noting that
+    an answer would settle whether any LCL sits strictly between
+    Θ(log* n) and o(n) deterministic volume.
+
+    This module provides the LCL formulation (each node outputs, for
+    each port, who owns the edge's direction; edge agreement and
+    sinklessness are locally checkable), instance generators, a
+    linear-volume global solver (orient each component's edges toward a
+    cycle, then around it) as the trivial upper bound, and a
+    distance-one randomized attempt whose measured failure rate
+    illustrates why SO genuinely needs coordination.  The question
+    itself stays open — the harness is here for experimentation. *)
+
+module Graph = Vc_graph.Graph
+
+type direction = Outgoing | Incoming
+(** Orientation of each incident edge from the node's perspective. *)
+
+type output = direction array
+(** Indexed by port - 1. *)
+
+val problem : (unit, output) Vc_lcl.Lcl.t
+(** Validity: each edge's two endpoints disagree (one Outgoing, one
+    Incoming) and every node has at least one Outgoing port. *)
+
+val world : Graph.t -> unit Vc_model.World.t
+
+val random_cubic : n:int -> seed:int64 -> Graph.t
+(** A random connected graph with all degrees in {3, 4} (a union of a
+    Hamiltonian cycle and a near-perfect matching). *)
+
+val solve_global : (unit, output) Vc_lcl.Lcl.solver
+(** The trivial Θ(n)-volume deterministic solver: explore the whole
+    component, find a cycle, orient it consistently and every other
+    edge towards it along a BFS forest. *)
+
+val solve_one_round_random : (unit, output) Vc_lcl.Lcl.solver
+(** A strawman: orient each edge by comparing the endpoints' first
+    private random bits (ties broken by identifier), without any
+    coordination beyond distance 1.  Each node is a sink with
+    probability ≈ 2^-deg, so on large graphs this {e must} fail
+    somewhere — the measured failure rate is the point. *)

@@ -1,0 +1,25 @@
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+
+type parity = Even | Odd
+
+let equal_parity a b =
+  match (a, b) with Even, Even | Odd, Odd -> true | (Even | Odd), _ -> false
+
+let pp_parity ppf = function Even -> Fmt.string ppf "even" | Odd -> Fmt.string ppf "odd"
+
+let parity_of_degree d = if d mod 2 = 0 then Even else Odd
+
+let problem : (unit, parity) Lcl.t =
+  let valid_at g ~input:_ ~output v =
+    if equal_parity (output v) (parity_of_degree (Graph.degree g v)) then Ok ()
+    else Error "output must be the parity of the node's degree"
+  in
+  { Lcl.name = "DegreeParity"; radius = 0; valid_at }
+
+let solve =
+  Lcl.solver ~name:"degree parity" ~randomized:false (fun ctx ->
+      parity_of_degree (Probe.degree ctx (Probe.origin ctx)))
+
+let world g = Vc_model.World.of_graph g ~input:(fun _ -> ())

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Fmt Fun Hashtbl List Printf Queue Vc_rng

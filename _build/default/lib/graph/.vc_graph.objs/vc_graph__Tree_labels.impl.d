@@ -1,0 +1,1 @@
+lib/graph/tree_labels.ml: Array Builder Fmt Graph List Printf

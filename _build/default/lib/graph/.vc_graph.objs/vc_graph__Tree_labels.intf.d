@@ -1,0 +1,1 @@
+lib/graph/tree_labels.mli: Format Graph Vc_rng

@@ -1,0 +1,50 @@
+let distances g v =
+  let dist = Array.make (Graph.n g) max_int in
+  let queue = Queue.create () in
+  dist.(v) <- 0;
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let d = dist.(u) in
+    Array.iter
+      (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- d + 1;
+          Queue.add w queue
+        end)
+      (Graph.neighbors g u)
+  done;
+  dist
+
+let distances_upto g v ~radius =
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add dist v 0;
+  Queue.add v queue;
+  let out = ref [ (v, 0) ] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let d = Hashtbl.find dist u in
+    if d < radius then
+      Array.iter
+        (fun w ->
+          if not (Hashtbl.mem dist w) then begin
+            Hashtbl.add dist w (d + 1);
+            out := (w, d + 1) :: !out;
+            Queue.add w queue
+          end)
+        (Graph.neighbors g u)
+  done;
+  List.rev !out
+
+let ball g v ~radius = List.map fst (distances_upto g v ~radius)
+
+let dist g u v =
+  let d = (distances g u).(v) in
+  if d = max_int then None else Some d
+
+let eccentricity g v =
+  Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 (distances g v)
+
+let diameter g =
+  Graph.fold_nodes g ~init:0 ~f:(fun acc v -> max acc (eccentricity g v))

@@ -1,0 +1,28 @@
+(** Breadth-first search utilities: distances, balls, eccentricity.
+
+    These are used both by algorithms (gathering the radius-[r]
+    neighborhood [N_v(r)] of Section 2.1) and by the cost accountant
+    (the DIST cost of Definition 2.1 is the true graph distance of the
+    farthest visited node). *)
+
+val distances : Graph.t -> Graph.node -> int array
+(** [distances g v] maps every node to its distance from [v];
+    unreachable nodes get [max_int]. *)
+
+val distances_upto : Graph.t -> Graph.node -> radius:int -> (Graph.node * int) list
+(** [distances_upto g v ~radius] lists the nodes at distance at most
+    [radius] from [v] together with their distances, in BFS order
+    (so the list starts with [(v, 0)]). *)
+
+val ball : Graph.t -> Graph.node -> radius:int -> Graph.node list
+(** [ball g v ~radius] is the node set of [N_v(radius)], in BFS order. *)
+
+val dist : Graph.t -> Graph.node -> Graph.node -> int option
+(** Pairwise distance; [None] if disconnected. *)
+
+val eccentricity : Graph.t -> Graph.node -> int
+(** Largest finite distance from the node. *)
+
+val diameter : Graph.t -> int
+(** Largest eccentricity over all nodes (0 for the empty graph).
+    Quadratic; intended for test-sized graphs. *)

@@ -1,0 +1,110 @@
+let path count =
+  if count < 1 then invalid_arg "Builder.path: n must be >= 1";
+  let edges = List.init (count - 1) (fun v -> (v, v + 1)) in
+  Graph.of_edges ~n:count edges
+
+let cycle count =
+  if count < 3 then invalid_arg "Builder.cycle: n must be >= 3";
+  (* Build adjacency directly so that port 1 is the successor and port 2
+     the predecessor, giving a globally consistent orientation. *)
+  let adj = Array.init count (fun v -> [| (v + 1) mod count; (v + count - 1) mod count |]) in
+  let ids = Array.init count (fun v -> v + 1) in
+  Graph.create ~ids ~adj
+
+let tree_parent ~depth v =
+  ignore depth;
+  if v = 0 then None else Some ((v - 1) / 2)
+
+let tree_depth_of v =
+  let rec loop v d = if v = 0 then d else loop ((v - 1) / 2) (d + 1) in
+  loop v 0
+
+let tree_left ~depth v =
+  let c = (2 * v) + 1 in
+  if tree_depth_of v >= depth then None else Some c
+
+let tree_right ~depth v =
+  let c = (2 * v) + 2 in
+  if tree_depth_of v >= depth then None else Some c
+
+let complete_binary_tree ~depth =
+  if depth < 0 then invalid_arg "Builder.complete_binary_tree: depth must be >= 0";
+  let count = (1 lsl (depth + 1)) - 1 in
+  let adj =
+    Array.init count (fun v ->
+        let parent = match tree_parent ~depth v with None -> [] | Some p -> [ p ] in
+        let kids =
+          match (tree_left ~depth v, tree_right ~depth v) with
+          | Some l, Some r -> [ l; r ]
+          | None, None -> []
+          | Some l, None -> [ l ]
+          | None, Some r -> [ r ]
+        in
+        Array.of_list (parent @ kids))
+  in
+  let ids = Array.init count (fun v -> v + 1) in
+  Graph.create ~ids ~adj
+
+let tree_root _g = 0
+
+let leaves_of_complete_tree ~depth =
+  let first = (1 lsl depth) - 1 in
+  List.init (1 lsl depth) (fun i -> first + i)
+
+let random_binary_tree ~n:requested ~rng =
+  if requested < 1 then invalid_arg "Builder.random_binary_tree: n must be >= 1";
+  let internal = (requested - 1) / 2 in
+  let count = (2 * internal) + 1 in
+  (* Grow by repeatedly picking a random current leaf and giving it two
+     children.  Node 0 is the root. *)
+  let parent = Array.make count (-1) in
+  let children = Array.make count None in
+  let leaves = ref [ 0 ] in
+  let next = ref 1 in
+  for _ = 1 to internal do
+    let leaf_list = !leaves in
+    let len = List.length leaf_list in
+    let pick = Vc_rng.Splitmix.int rng ~bound:len in
+    let v = List.nth leaf_list pick in
+    let l = !next and r = !next + 1 in
+    next := !next + 2;
+    parent.(l) <- v;
+    parent.(r) <- v;
+    children.(v) <- Some (l, r);
+    leaves := l :: r :: List.filter (fun u -> u <> v) leaf_list
+  done;
+  let adj =
+    Array.init count (fun v ->
+        let up = if parent.(v) >= 0 then [ parent.(v) ] else [] in
+        let down = match children.(v) with None -> [] | Some (l, r) -> [ l; r ] in
+        Array.of_list (up @ down))
+  in
+  let ids = Array.init count (fun v -> v + 1) in
+  Graph.create ~ids ~adj
+
+let disjoint_union graphs =
+  let total = List.fold_left (fun acc g -> acc + Graph.n g) 0 graphs in
+  let adj = Array.make total [||] in
+  let offsets = Array.make (List.length graphs) 0 in
+  let off = ref 0 in
+  List.iteri
+    (fun i g ->
+      offsets.(i) <- !off;
+      Graph.iter_nodes g (fun v ->
+          adj.(!off + v) <- Array.map (fun w -> !off + w) (Graph.neighbors g v));
+      off := !off + Graph.n g)
+    graphs;
+  let ids = Array.init total (fun v -> v + 1) in
+  (Graph.create ~ids ~adj, offsets)
+
+let attach g ~extra_edges =
+  let count = Graph.n g in
+  let adj = Array.init count (fun v -> Array.to_list (Graph.neighbors g v)) in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- adj.(u) @ [ v ];
+      adj.(v) <- adj.(v) @ [ u ])
+    extra_edges;
+  let adj = Array.map Array.of_list adj in
+  let ids = Array.init count (fun v -> Graph.id g v) in
+  Graph.create ~ids ~adj

@@ -1,0 +1,30 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string ?(name = "volcomp") ?(node_label = fun _ -> "") ?(highlight = fun _ -> false) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  node [shape=circle fontsize=10];\n";
+  Graph.iter_nodes g (fun v ->
+      let extra = node_label v in
+      let label =
+        if extra = "" then string_of_int (Graph.id g v)
+        else Printf.sprintf "%d\\n%s" (Graph.id g v) (escape extra)
+      in
+      let style = if highlight v then " style=filled fillcolor=lightgray" else "" in
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v label style));
+  List.iter
+    (fun (u, v) ->
+      let pu = match Graph.port_to g u v with Some p -> p | None -> 0 in
+      let pv = match Graph.port_to g v u with Some p -> p | None -> 0 in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [taillabel=\"%d\" headlabel=\"%d\" fontsize=8];\n" u v pu
+           pv))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ~path ?name ?node_label ?highlight g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?node_label ?highlight g))

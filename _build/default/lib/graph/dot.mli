@@ -1,0 +1,23 @@
+(** Graphviz DOT export, for inspecting instances by eye.
+
+    Nodes are labeled with their identifiers (and an optional per-node
+    annotation, e.g. an input color or a solver output); edges carry
+    their port numbers on both ends so that labelings can be read off
+    the picture. *)
+
+val to_string :
+  ?name:string ->
+  ?node_label:(Graph.node -> string) ->
+  ?highlight:(Graph.node -> bool) ->
+  Graph.t ->
+  string
+(** Render as an undirected [graph]; [node_label]'s text is appended to
+    the identifier; highlighted nodes are drawn filled. *)
+
+val to_file :
+  path:string ->
+  ?name:string ->
+  ?node_label:(Graph.node -> string) ->
+  ?highlight:(Graph.node -> bool) ->
+  Graph.t ->
+  unit

@@ -1,0 +1,138 @@
+type node = int
+type port = int
+
+type t = {
+  ids : int array;
+  adj : node array array;
+  id_index : (int, node) Hashtbl.t;
+  max_degree : int;
+}
+
+let n g = Array.length g.ids
+
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g = g.max_degree
+
+let id g v = g.ids.(v)
+
+let node_of_id g i = Hashtbl.find_opt g.id_index i
+
+let neighbor g v p =
+  if p < 1 || p > degree g v then
+    invalid_arg
+      (Printf.sprintf "Graph.neighbor: port %d invalid at node %d (degree %d)" p v (degree g v));
+  g.adj.(v).(p - 1)
+
+let port_to g v w =
+  let d = degree g v in
+  let rec loop p = if p > d then None else if g.adj.(v).(p - 1) = w then Some p else loop (p + 1) in
+  loop 1
+
+let neighbors g v = Array.copy g.adj.(v)
+
+let validate ids adj =
+  let count = Array.length ids in
+  if Array.length adj <> count then invalid_arg "Graph.create: ids/adj length mismatch";
+  let seen = Hashtbl.create count in
+  Array.iter
+    (fun i ->
+      if Hashtbl.mem seen i then invalid_arg "Graph.create: duplicate identifier";
+      Hashtbl.add seen i ())
+    ids;
+  Array.iteri
+    (fun v nbrs ->
+      let local = Hashtbl.create (Array.length nbrs) in
+      Array.iter
+        (fun w ->
+          if w < 0 || w >= count then invalid_arg "Graph.create: neighbor out of range";
+          if w = v then invalid_arg "Graph.create: self-loop";
+          if Hashtbl.mem local w then invalid_arg "Graph.create: parallel edge";
+          Hashtbl.add local w ();
+          if not (Array.exists (fun u -> u = v) adj.(w)) then
+            invalid_arg "Graph.create: asymmetric adjacency")
+        nbrs)
+    adj
+
+let create ~ids ~adj =
+  validate ids adj;
+  let id_index = Hashtbl.create (Array.length ids) in
+  Array.iteri (fun v i -> Hashtbl.add id_index i v) ids;
+  let adj = Array.map Array.copy adj in
+  let max_degree = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 adj in
+  { ids = Array.copy ids; adj; id_index; max_degree }
+
+let of_edges ?ids ~n:count edges =
+  let buckets = Array.make count [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= count || v < 0 || v >= count then
+        invalid_arg "Graph.of_edges: endpoint out of range";
+      buckets.(u) <- v :: buckets.(u);
+      buckets.(v) <- u :: buckets.(v))
+    edges;
+  let adj = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+  let ids = match ids with Some a -> a | None -> Array.init count (fun v -> v + 1) in
+  create ~ids ~adj
+
+let edges g =
+  fst
+    (Array.fold_left
+       (fun (acc, v) nbrs ->
+         let acc = Array.fold_left (fun acc w -> if v < w then (v, w) :: acc else acc) acc nbrs in
+         (acc, v + 1))
+       ([], 0) g.adj)
+
+let nodes g = List.init (n g) Fun.id
+
+let iter_nodes g f =
+  for v = 0 to n g - 1 do
+    f v
+  done
+
+let fold_nodes g ~init ~f =
+  let acc = ref init in
+  iter_nodes g (fun v -> acc := f !acc v);
+  !acc
+
+let is_connected g =
+  let count = n g in
+  if count = 0 then true
+  else begin
+    let seen = Array.make count false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    seen.(0) <- true;
+    let visited = ref 1 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            incr visited;
+            Queue.add w queue
+          end)
+        g.adj.(v)
+    done;
+    !visited = count
+  end
+
+let relabel_ids g ~ids = create ~ids ~adj:g.adj
+
+let shuffle_ids g ~rng =
+  let count = n g in
+  let perm = Array.init count (fun v -> v + 1) in
+  for i = count - 1 downto 1 do
+    let j = Vc_rng.Splitmix.int rng ~bound:(i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  relabel_ids g ~ids:perm
+
+let pp ppf g =
+  iter_nodes g (fun v ->
+      Fmt.pf ppf "@[node %d (id %d):" v g.ids.(v);
+      Array.iteri (fun i w -> Fmt.pf ppf " %d->%d" (i + 1) w) g.adj.(v);
+      Fmt.pf ppf "@]@.")

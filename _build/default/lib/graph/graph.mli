@@ -1,0 +1,78 @@
+(** Bounded-degree port-numbered graphs (paper Section 2.1).
+
+    A graph is a set of nodes [0 .. n-1], each carrying a unique
+    identifier, with a port-numbered adjacency structure: node [v]'s
+    incident edges are numbered [1 .. degree v], and [neighbor g v p] is
+    "[v]'s [p]-th neighbor".  Port numberings on the two endpoints of an
+    edge are independent, exactly as in the paper's model.
+
+    Values of type {!t} are immutable once created and are validated at
+    construction time: adjacency must be symmetric, self-loops and
+    parallel edges are rejected, and identifiers must be distinct. *)
+
+type node = int
+(** Dense node index in [0 .. n-1]. *)
+
+type port = int
+(** 1-based port number; [p] is valid at [v] iff [1 <= p <= degree v]. *)
+
+type t
+
+val create : ids:int array -> adj:node array array -> t
+(** [create ~ids ~adj] builds a graph with [Array.length ids] nodes where
+    [adj.(v)] lists [v]'s neighbors in port order ([adj.(v).(p-1)] is the
+    neighbor on port [p]).
+    @raise Invalid_argument if the adjacency is not symmetric, contains a
+    self-loop or a parallel edge, or if identifiers are not distinct. *)
+
+val of_edges : ?ids:int array -> n:int -> (node * node) list -> t
+(** [of_edges ~n edges] assigns ports in the order edges are listed: for
+    each endpoint, its next free port.  Identifiers default to
+    [v + 1]. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val max_degree : t -> int
+(** The maximum degree Δ of the graph (0 for an empty graph). *)
+
+val degree : t -> node -> int
+
+val id : t -> node -> int
+(** The unique identifier of a node. *)
+
+val node_of_id : t -> int -> node option
+(** Inverse of {!id}. *)
+
+val neighbor : t -> node -> port -> node
+(** [neighbor g v p] is the node reached from [v] via port [p].
+    @raise Invalid_argument if [p] is not a valid port at [v]. *)
+
+val port_to : t -> node -> node -> port option
+(** [port_to g v w] is the port of [v] leading to [w], if [v] and [w] are
+    adjacent. *)
+
+val neighbors : t -> node -> node array
+(** All neighbors of [v], in port order.  The array is fresh. *)
+
+val edges : t -> (node * node) list
+(** Undirected edge list with [fst <= snd], each edge once. *)
+
+val nodes : t -> node list
+
+val iter_nodes : t -> (node -> unit) -> unit
+
+val fold_nodes : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val is_connected : t -> bool
+
+val relabel_ids : t -> ids:int array -> t
+(** Same structure, new identifiers (still validated for
+    distinctness). *)
+
+val shuffle_ids : t -> rng:Vc_rng.Splitmix.t -> t
+(** Random permutation of the identifier space [1 .. n], for experiments
+    that must not depend on the default identifier order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: one line per node with id, degree and port map. *)

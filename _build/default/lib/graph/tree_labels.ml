@@ -1,0 +1,151 @@
+type ptr = int
+
+let bot = 0
+
+type t = {
+  parent : ptr array;
+  left : ptr array;
+  right : ptr array;
+}
+
+type status = Internal | Leaf | Inconsistent
+
+let equal_status a b =
+  match (a, b) with
+  | Internal, Internal | Leaf, Leaf | Inconsistent, Inconsistent -> true
+  | (Internal | Leaf | Inconsistent), _ -> false
+
+let pp_status ppf = function
+  | Internal -> Fmt.string ppf "internal"
+  | Leaf -> Fmt.string ppf "leaf"
+  | Inconsistent -> Fmt.string ppf "inconsistent"
+
+type color = Red | Blue
+
+let equal_color a b =
+  match (a, b) with Red, Red | Blue, Blue -> true | (Red | Blue), _ -> false
+
+let pp_color ppf = function Red -> Fmt.string ppf "R" | Blue -> Fmt.string ppf "B"
+
+let flip_color = function Red -> Blue | Blue -> Red
+
+type colored = {
+  labels : t;
+  color : color array;
+}
+
+type balanced = {
+  tree : t;
+  left_nbr : ptr array;
+  right_nbr : ptr array;
+}
+
+let make ~n = { parent = Array.make n bot; left = Array.make n bot; right = Array.make n bot }
+
+let deref g lab v p =
+  ignore lab;
+  if p = bot || p < 1 || p > Graph.degree g v then None else Some (Graph.neighbor g v p)
+
+(* Definition 3.3, evaluated through accessors so that probe-model
+   algorithms can reuse the exact same decision procedure and be charged
+   for each node it inspects. *)
+let status_gen ~degree ~pointers ~follow v =
+  let valid u p = p <> bot && p >= 1 && p <= degree u in
+  let reciprocated_child v child_ptr =
+    (* child pointer resolves, and the child's parent pointer resolves
+       back to [v] *)
+    valid v child_ptr
+    &&
+    let c = follow v child_ptr in
+    let pc, _, _ = pointers c in
+    valid c pc && follow c pc = v
+  in
+  let internal u =
+    let p, l, r = pointers u in
+    valid u l && valid u r && l <> r && p <> l && p <> r
+    && reciprocated_child u l && reciprocated_child u r
+  in
+  if internal v then Internal
+  else
+    let p, _, _ = pointers v in
+    if valid v p && internal (follow v p) then Leaf else Inconsistent
+
+let status g lab v =
+  status_gen
+    ~degree:(Graph.degree g)
+    ~pointers:(fun u -> (lab.parent.(u), lab.left.(u), lab.right.(u)))
+    ~follow:(Graph.neighbor g) v
+
+let is_internal g lab v = equal_status (status g lab v) Internal
+
+let is_leaf g lab v = equal_status (status g lab v) Leaf
+
+let is_consistent g lab v =
+  match status g lab v with Internal | Leaf -> true | Inconsistent -> false
+
+let gt_children g lab v =
+  match status g lab v with
+  | Internal ->
+      let l = Graph.neighbor g v lab.left.(v) in
+      let r = Graph.neighbor g v lab.right.(v) in
+      Some (l, r)
+  | Leaf | Inconsistent -> None
+
+let gt_parent g lab v =
+  match status g lab v with
+  | Inconsistent -> None
+  | Internal | Leaf -> (
+      match deref g lab v lab.parent.(v) with
+      | None -> None
+      | Some u -> (
+          match gt_children g lab u with
+          | Some (l, r) when l = v || r = v -> Some u
+          | Some _ | None -> None))
+
+let gt_nodes g lab = List.filter (is_consistent g lab) (Graph.nodes g)
+
+let of_structure g ~parent ~left ~right =
+  let n = Graph.n g in
+  let lab = make ~n in
+  let port_of v target field =
+    match target with
+    | None -> ()
+    | Some w -> (
+        match Graph.port_to g v w with
+        | Some p -> field.(v) <- p
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Tree_labels.of_structure: nodes %d and %d are not adjacent" v w))
+  in
+  Graph.iter_nodes g (fun v ->
+      port_of v (parent v) lab.parent;
+      port_of v (left v) lab.left;
+      port_of v (right v) lab.right);
+  lab
+
+let of_complete_binary_tree ~depth =
+  let g = Builder.complete_binary_tree ~depth in
+  let lab =
+    of_structure g
+      ~parent:(Builder.tree_parent ~depth)
+      ~left:(Builder.tree_left ~depth)
+      ~right:(Builder.tree_right ~depth)
+  in
+  (g, lab)
+
+let of_random_binary_tree ~n ~rng =
+  let g = Builder.random_binary_tree ~n ~rng in
+  (* The builder's port convention: parent first (absent at the root),
+     then left then right child (absent at the leaves). *)
+  let parent v = if v = 0 then None else Some (Graph.neighbor g v 1) in
+  let first_child v = if v = 0 then 1 else 2 in
+  let left v = if Graph.degree g v >= first_child v then Some (Graph.neighbor g v (first_child v)) else None in
+  let right v =
+    if Graph.degree g v >= first_child v + 1 then Some (Graph.neighbor g v (first_child v + 1))
+    else None
+  in
+  let lab = of_structure g ~parent ~left ~right in
+  (g, lab)
+
+let copy lab =
+  { parent = Array.copy lab.parent; left = Array.copy lab.left; right = Array.copy lab.right }

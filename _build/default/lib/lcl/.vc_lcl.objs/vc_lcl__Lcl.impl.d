@@ -1,0 +1,1 @@
+lib/lcl/lcl.ml: Fmt List Result Vc_graph Vc_model

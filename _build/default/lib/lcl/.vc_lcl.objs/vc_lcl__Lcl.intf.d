@@ -1,0 +1,1 @@
+lib/lcl/lcl.mli: Format Vc_graph Vc_model

@@ -1,0 +1,1 @@
+lib/measure/experiments.ml: Array Fit Fmt Int64 List Printf Runner Vc_commcc Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

@@ -1,0 +1,1 @@
+lib/measure/experiments.mli: Fit Format

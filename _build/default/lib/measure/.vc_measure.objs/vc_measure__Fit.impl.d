@@ -1,0 +1,1 @@
+lib/measure/fit.ml: Float Fmt List

@@ -1,0 +1,1 @@
+lib/measure/runner.ml: Fmt Hashtbl List Vc_graph Vc_lcl Vc_model Vc_rng

@@ -1,0 +1,1 @@
+lib/measure/tail_bounds.ml: Vc_rng

@@ -1,0 +1,1 @@
+lib/measure/tail_bounds.mli:

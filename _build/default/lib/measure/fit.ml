@@ -1,0 +1,61 @@
+type model =
+  | Constant
+  | Log_star
+  | Log
+  | Root of int
+  | Linear
+
+let equal_model a b =
+  match (a, b) with
+  | Constant, Constant | Log_star, Log_star | Log, Log | Linear, Linear -> true
+  | Root i, Root j -> i = j
+  | (Constant | Log_star | Log | Root _ | Linear), _ -> false
+
+let pp_model ppf = function
+  | Constant -> Fmt.string ppf "Theta(1)"
+  | Log_star -> Fmt.string ppf "Theta(log* n)"
+  | Log -> Fmt.string ppf "Theta(log n)"
+  | Root k -> Fmt.pf ppf "Theta(n^(1/%d))" k
+  | Linear -> Fmt.string ppf "Theta(n)"
+
+let log2 x = log x /. log 2.0
+
+let log_star x =
+  let rec loop x acc = if x <= 2.0 then acc +. 1.0 else loop (log2 x) (acc +. 1.0) in
+  if x <= 1.0 then 1.0 else loop x 0.0
+
+let eval m n =
+  let n = Float.max n 2.0 in
+  match m with
+  | Constant -> 1.0
+  | Log_star -> log_star n
+  | Log -> log2 n
+  | Root k -> Float.pow n (1.0 /. float_of_int k)
+  | Linear -> n
+
+let candidates = [ Constant; Log_star; Log; Root 4; Root 3; Root 2; Linear ]
+
+let score m points =
+  if List.length points < 2 then invalid_arg "Fit.score: need at least 2 points";
+  let ratios =
+    List.map
+      (fun (n, y) -> log (Float.max y 1.0 /. eval m (float_of_int n)))
+      points
+  in
+  let len = float_of_int (List.length ratios) in
+  let mean = List.fold_left ( +. ) 0.0 ratios /. len in
+  List.fold_left (fun acc r -> acc +. ((r -. mean) ** 2.0)) 0.0 ratios /. len
+
+let best_fit points =
+  let scored = List.map (fun m -> (m, score m points)) candidates in
+  (* stable, with an epsilon: near-ties between classes (e.g. a flat
+     series fits Constant and Log_star equally up to rounding) resolve
+     to the simpler candidate, listed first *)
+  let ranked =
+    List.stable_sort
+      (fun (_, a) (_, b) -> if Float.abs (a -. b) < 1e-9 then 0 else compare a b)
+      scored
+  in
+  match ranked with
+  | [] -> invalid_arg "Fit.best_fit: no candidates"
+  | (best, _) :: _ -> (best, ranked)

@@ -1,0 +1,36 @@
+(** Growth-class fitting.
+
+    The paper's Table 1 and Figures 1–3 classify problems by asymptotic
+    growth (Θ(1), Θ(log* n), Θ(log n), Θ(n^{1/k}), Θ(n)).  Our
+    reproduction claim is that the measured cost curve of each
+    algorithm falls into the paper's class.  [best_fit] scores each
+    candidate class by the variance of [log (y / g(n))] over the
+    measured points — a curve genuinely proportional to [g] has a
+    near-constant ratio — and returns the classes ordered by score. *)
+
+type model =
+  | Constant
+  | Log_star
+  | Log
+  | Root of int  (** n^{1/k} for k >= 2 *)
+  | Linear
+
+val equal_model : model -> model -> bool
+val pp_model : Format.formatter -> model -> unit
+
+val eval : model -> float -> float
+(** [eval m n] is g(n) for the class's representative function (with
+    g >= 1 everywhere). *)
+
+val log_star : float -> float
+(** Iterated logarithm (base 2), as a float for scoring. *)
+
+val candidates : model list
+(** [Constant; Log_star; Log; Root 4; Root 3; Root 2; Linear]. *)
+
+val score : model -> (int * float) list -> float
+(** Variance of the log-ratio; lower is better.
+    @raise Invalid_argument on fewer than 2 points. *)
+
+val best_fit : (int * float) list -> model * (model * float) list
+(** The winning model and the full ranking. *)

@@ -1,0 +1,96 @@
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Splitmix = Vc_rng.Splitmix
+
+type stats = {
+  runs : int;
+  max_volume : int;
+  mean_volume : float;
+  max_distance : int;
+  mean_distance : float;
+  max_queries : int;
+  max_rand_bits : int;
+  aborted : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "runs=%d vol(max=%d mean=%.1f) dist(max=%d mean=%.1f) queries<=%d bits<=%d aborted=%d"
+    s.runs s.max_volume s.mean_volume s.max_distance s.mean_distance s.max_queries
+    s.max_rand_bits s.aborted
+
+let empty =
+  {
+    runs = 0;
+    max_volume = 0;
+    mean_volume = 0.0;
+    max_distance = 0;
+    mean_distance = 0.0;
+    max_queries = 0;
+    max_rand_bits = 0;
+    aborted = 0;
+  }
+
+let add stats (r : _ Probe.result) =
+  {
+    runs = stats.runs + 1;
+    max_volume = max stats.max_volume r.Probe.volume;
+    mean_volume = stats.mean_volume +. float_of_int r.Probe.volume;
+    max_distance = max stats.max_distance r.Probe.distance;
+    mean_distance = stats.mean_distance +. float_of_int r.Probe.distance;
+    max_queries = max stats.max_queries r.Probe.queries;
+    max_rand_bits = max stats.max_rand_bits r.Probe.rand_bits;
+    aborted = (stats.aborted + if r.Probe.aborted then 1 else 0);
+  }
+
+let finalize stats =
+  if stats.runs = 0 then stats
+  else
+    {
+      stats with
+      mean_volume = stats.mean_volume /. float_of_int stats.runs;
+      mean_distance = stats.mean_distance /. float_of_int stats.runs;
+    }
+
+let measure ~world ~solver ?randomness ?budget ~origins () =
+  let stats = ref empty in
+  let outputs = ref [] in
+  List.iter
+    (fun v ->
+      let r = Probe.run ~world ?randomness ?budget ~origin:v solver.Lcl.solve in
+      stats := add !stats r;
+      match r.Probe.output with
+      | Some o -> outputs := (v, o) :: !outputs
+      | None -> ())
+    origins;
+  (finalize !stats, List.rev !outputs)
+
+let solve_and_check ~world ~problem ~graph ~input ~solver ?randomness () =
+  let origins = Graph.nodes graph in
+  let stats, outputs = measure ~world ~solver ?randomness ~origins () in
+  let tbl = Hashtbl.create (Graph.n graph) in
+  List.iter (fun (v, o) -> Hashtbl.replace tbl v o) outputs;
+  let valid =
+    List.length outputs = Graph.n graph
+    && Lcl.is_valid problem graph ~input ~output:(Hashtbl.find tbl)
+  in
+  (stats, valid)
+
+let sample_origins g ~count ~seed =
+  let n = Graph.n g in
+  if count >= n then Graph.nodes g
+  else begin
+    let rng = Splitmix.create seed in
+    let chosen = Hashtbl.create count in
+    let rec pick acc remaining =
+      if remaining = 0 then acc
+      else
+        let v = Splitmix.int rng ~bound:n in
+        if Hashtbl.mem chosen v then pick acc remaining
+        else begin
+          Hashtbl.add chosen v ();
+          pick (v :: acc) (remaining - 1)
+        end
+    in
+    pick [] count
+  end

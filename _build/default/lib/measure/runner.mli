@@ -1,0 +1,46 @@
+(** Experiment runner: execute a solver over many start nodes, collect
+    DIST/VOL statistics (Definitions 2.1–2.2 take the supremum over
+    start nodes), and check the assembled output with the problem's own
+    local checker. *)
+
+module Graph = Vc_graph.Graph
+module Lcl = Vc_lcl.Lcl
+
+type stats = {
+  runs : int;
+  max_volume : int;
+  mean_volume : float;
+  max_distance : int;
+  mean_distance : float;
+  max_queries : int;
+  max_rand_bits : int;
+  aborted : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val measure :
+  world:'i Vc_model.World.t ->
+  solver:('i, 'o) Lcl.solver ->
+  ?randomness:Vc_rng.Randomness.t ->
+  ?budget:Vc_model.Probe.budget ->
+  origins:Graph.node list ->
+  unit ->
+  stats * (Graph.node * 'o) list
+(** Run the solver from each origin; aborted runs contribute their cost
+    but no output. *)
+
+val solve_and_check :
+  world:'i Vc_model.World.t ->
+  problem:('i, 'o) Lcl.t ->
+  graph:Graph.t ->
+  input:(Graph.node -> 'i) ->
+  solver:('i, 'o) Lcl.solver ->
+  ?randomness:Vc_rng.Randomness.t ->
+  unit ->
+  stats * bool
+(** Run from {e every} node, assemble the full output labeling, and
+    report whether it is globally valid. *)
+
+val sample_origins : Graph.t -> count:int -> seed:int64 -> Graph.node list
+(** Deterministic sample of distinct start nodes. *)

@@ -1,0 +1,60 @@
+module Splitmix = Vc_rng.Splitmix
+
+let check_delta delta =
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Tail_bounds: delta must be in (0, 1)"
+
+let chernoff_upper ~mu ~delta =
+  check_delta delta;
+  exp (-.mu *. delta *. delta /. 3.0)
+
+let chernoff_lower ~mu ~delta =
+  check_delta delta;
+  exp (-.mu *. delta *. delta /. 2.0)
+
+let negative_binomial_tail ~k ~p ~c =
+  if c <= 1.0 then invalid_arg "Tail_bounds: c must exceed 1";
+  if k < 1 then invalid_arg "Tail_bounds: k must be >= 1";
+  if p <= 0.0 || p > 1.0 then invalid_arg "Tail_bounds: p must be in (0, 1]";
+  exp (-.float_of_int k *. ((c -. 1.0) ** 2.0) /. (2.0 *. c))
+
+let bernoulli rng p = Splitmix.float rng < p
+
+let empirical_binomial_tail ~trials ~m ~p ~threshold ~seed =
+  let rng = Splitmix.create seed in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let y = ref 0 in
+    for _ = 1 to m do
+      if bernoulli rng p then incr y
+    done;
+    if threshold !y then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials
+
+let empirical_binomial_upper_tail ~trials ~m ~p ~delta ~seed =
+  let mu = float_of_int m *. p in
+  empirical_binomial_tail ~trials ~m ~p
+    ~threshold:(fun y -> float_of_int y >= (1.0 +. delta) *. mu)
+    ~seed
+
+let empirical_binomial_lower_tail ~trials ~m ~p ~delta ~seed =
+  let mu = float_of_int m *. p in
+  empirical_binomial_tail ~trials ~m ~p
+    ~threshold:(fun y -> float_of_int y <= (1.0 -. delta) *. mu)
+    ~seed
+
+let empirical_negative_binomial_tail ~trials ~k ~p ~c ~seed =
+  let rng = Splitmix.create seed in
+  let cutoff = c *. float_of_int k /. p in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    let successes = ref 0 in
+    let steps = ref 0 in
+    while !successes < k && float_of_int !steps <= cutoff do
+      incr steps;
+      if bernoulli rng p then incr successes
+    done;
+    if !successes < k then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

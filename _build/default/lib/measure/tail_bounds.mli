@@ -1,0 +1,37 @@
+(** The tail bounds of paper Section 2.6, as checkable formulas.
+
+    Lemma 2.11 (Chernoff): for independent 0/1 summands with mean µ,
+    [P(Y >= (1+δ)µ) <= exp(-µδ²/3)] and [P(Y <= (1-δ)µ) <= exp(-µδ²/2)]
+    for 0 < δ < 1.
+
+    Lemma 2.12 (negative binomial): for N ~ N(k, p) — the number of
+    Bernoulli(p) trials needed to collect k successes —
+    [P(N > c·k/p) <= exp(-k(c-1)²/(2c))] for c > 1.
+
+    The paper uses Lemma 2.12 to bound the length of the RWtoLeaf random
+    walk (Proposition 3.10) and Lemma 2.11 for the way-point density
+    (Lemma 5.16).  The [empirical_*] estimators simulate the experiments
+    so tests can verify that the bounds really dominate the observed
+    tails. *)
+
+val chernoff_upper : mu:float -> delta:float -> float
+(** The bound of Lemma 2.11(3). @raise Invalid_argument unless 0 < δ < 1. *)
+
+val chernoff_lower : mu:float -> delta:float -> float
+(** The bound of Lemma 2.11(4). *)
+
+val negative_binomial_tail : k:int -> p:float -> c:float -> float
+(** The bound of Lemma 2.12. @raise Invalid_argument unless c > 1,
+    k >= 1 and 0 < p <= 1. *)
+
+val empirical_binomial_upper_tail :
+  trials:int -> m:int -> p:float -> delta:float -> seed:int64 -> float
+(** Estimate [P(Y >= (1+δ)µ)] for [Y = sum of m Bernoulli(p)] by
+    simulation. *)
+
+val empirical_binomial_lower_tail :
+  trials:int -> m:int -> p:float -> delta:float -> seed:int64 -> float
+
+val empirical_negative_binomial_tail :
+  trials:int -> k:int -> p:float -> c:float -> seed:int64 -> float
+(** Estimate [P(N > c·k/p)] by simulation. *)

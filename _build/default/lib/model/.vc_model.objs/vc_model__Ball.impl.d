@@ -1,0 +1,1 @@
+lib/model/ball.ml: Hashtbl List Probe Queue Vc_graph

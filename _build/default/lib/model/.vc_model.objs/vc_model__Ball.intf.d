@@ -1,0 +1,1 @@
+lib/model/ball.mli: Probe Vc_graph

@@ -1,0 +1,1 @@
+lib/model/congest.ml: Array List Option Vc_graph

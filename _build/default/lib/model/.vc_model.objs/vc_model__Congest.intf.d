@@ -1,0 +1,1 @@
+lib/model/congest.mli: Vc_graph

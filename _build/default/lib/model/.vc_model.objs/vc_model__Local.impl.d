@@ -1,0 +1,1 @@
+lib/model/local.ml: Array Hashtbl Queue Vc_graph View World

@@ -1,0 +1,1 @@
+lib/model/local.mli: Vc_graph World

@@ -1,0 +1,1 @@
+lib/model/probe.ml: Fmt Hashtbl List Vc_graph Vc_rng View World

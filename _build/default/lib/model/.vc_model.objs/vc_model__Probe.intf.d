@@ -1,0 +1,1 @@
+lib/model/probe.mli: Vc_graph Vc_rng View World

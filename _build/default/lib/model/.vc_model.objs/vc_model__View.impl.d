@@ -1,0 +1,1 @@
+lib/model/view.ml: Fmt Vc_graph

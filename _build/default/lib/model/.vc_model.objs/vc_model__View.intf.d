@@ -1,0 +1,1 @@
+lib/model/view.mli: Format Vc_graph

@@ -1,0 +1,1 @@
+lib/model/world.ml: Array Vc_graph View

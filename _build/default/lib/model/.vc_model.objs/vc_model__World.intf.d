@@ -1,0 +1,1 @@
+lib/model/world.mli: Vc_graph View

@@ -1,0 +1,35 @@
+module Graph = Vc_graph.Graph
+
+let gather_from ctx ~from ~radius =
+  let depth = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add depth from 0;
+  Queue.add from queue;
+  let order = ref [ (from, 0) ] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let d = Hashtbl.find depth v in
+    if d < radius then
+      for port = 1 to Probe.degree ctx v do
+        let u = Probe.query ctx ~at:v ~port in
+        if not (Hashtbl.mem depth u) then begin
+          Hashtbl.add depth u (d + 1);
+          order := (u, d + 1) :: !order;
+          Queue.add u queue
+        end
+      done
+  done;
+  List.rev !order
+
+let gather ctx ~radius = gather_from ctx ~from:(Probe.origin ctx) ~radius
+
+let adjacency ctx v =
+  let deg = Probe.degree ctx v in
+  let rec loop port acc =
+    if port > deg then List.rev acc
+    else
+      match Probe.resolved ctx ~at:v ~port with
+      | Some u -> loop (port + 1) ((port, u) :: acc)
+      | None -> loop (port + 1) acc
+  in
+  loop 1 []

@@ -1,0 +1,73 @@
+module Graph = Vc_graph.Graph
+
+type 'msg outgoing = (int * 'msg) list
+
+type ('i, 'msg, 'state, 'o) algorithm = {
+  init : n:int -> id:int -> degree:int -> input:'i -> 'state * 'msg outgoing;
+  round : 'state -> inbox:(int * 'msg) list -> 'state * 'msg outgoing * 'o option;
+  message_bits : 'msg -> int;
+}
+
+type 'o result = {
+  outputs : 'o option array;
+  rounds : int;
+  max_message_bits : int;
+  total_bits : int;
+}
+
+exception Bandwidth_exceeded of { round : int; bits : int; limit : int }
+
+let run ~graph ~input ?bandwidth ~max_rounds algo =
+  let count = Graph.n graph in
+  let outputs = Array.make count None in
+  let states = Array.make count None in
+  (* in_flight.(v) collects (port-at-v, msg) arriving at v next round. *)
+  let in_flight = Array.make count [] in
+  let max_bits = ref 0 in
+  let total_bits = ref 0 in
+  let pending = ref false in
+  let deliver ~round_no sender out =
+    List.iter
+      (fun (port, msg) ->
+        let bits = algo.message_bits msg in
+        (match bandwidth with
+        | Some limit when bits > limit ->
+            raise (Bandwidth_exceeded { round = round_no; bits; limit })
+        | Some _ | None -> ());
+        if bits > !max_bits then max_bits := bits;
+        total_bits := !total_bits + bits;
+        let receiver = Graph.neighbor graph sender port in
+        let back_port =
+          match Graph.port_to graph receiver sender with
+          | Some p -> p
+          | None -> assert false
+        in
+        in_flight.(receiver) <- (back_port, msg) :: in_flight.(receiver);
+        pending := true)
+      out
+  in
+  (* Round 0: initialization. *)
+  Graph.iter_nodes graph (fun v ->
+      let state, out =
+        algo.init ~n:count ~id:(Graph.id graph v) ~degree:(Graph.degree graph v)
+          ~input:(input v)
+      in
+      states.(v) <- Some state;
+      deliver ~round_no:0 v out);
+  let all_decided () = Array.for_all Option.is_some outputs in
+  let rounds = ref 0 in
+  while (!pending || not (all_decided ())) && !rounds < max_rounds do
+    incr rounds;
+    let inboxes = Array.map (fun msgs -> List.rev msgs) in_flight in
+    Array.fill in_flight 0 count [];
+    pending := false;
+    Graph.iter_nodes graph (fun v ->
+        let state = match states.(v) with Some s -> s | None -> assert false in
+        let state, out, decision = algo.round state ~inbox:inboxes.(v) in
+        states.(v) <- Some state;
+        (match (decision, outputs.(v)) with
+        | Some o, None -> outputs.(v) <- Some o
+        | Some _, Some _ | None, _ -> ());
+        deliver ~round_no:!rounds v out)
+  done;
+  { outputs; rounds = !rounds; max_message_bits = !max_bits; total_bits = !total_bits }

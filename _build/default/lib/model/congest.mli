@@ -1,0 +1,45 @@
+(** A synchronous CONGEST simulator (paper Section 7.3).
+
+    The CONGEST model refines LOCAL by charging for communication: per
+    round, each node may send at most [bandwidth] bits over each incident
+    edge.  We simulate synchronous rounds over a port-numbered graph,
+    measure round counts and per-edge message sizes, and optionally
+    enforce the bandwidth cap.  This is the substrate for Observations
+    7.4–7.5 and the Example 7.6 gap experiment. *)
+
+type 'msg outgoing = (int * 'msg) list
+(** Messages to send this round, keyed by port. *)
+
+type ('i, 'msg, 'state, 'o) algorithm = {
+  init : n:int -> id:int -> degree:int -> input:'i -> 'state * 'msg outgoing;
+      (** Initial state and round-1 messages.  A node knows only [n],
+          its identifier, degree, and input. *)
+  round :
+    'state -> inbox:(int * 'msg) list -> 'state * 'msg outgoing * 'o option;
+      (** One synchronous round: consume the messages that arrived on
+          each port, emit next messages, optionally decide the output.
+          After deciding, a node keeps participating (it may still relay
+          messages) but must not change its decision. *)
+  message_bits : 'msg -> int;
+      (** Size accounting for bandwidth enforcement and statistics. *)
+}
+
+type 'o result = {
+  outputs : 'o option array;
+  rounds : int;  (** rounds executed until quiescence or all-decided *)
+  max_message_bits : int;
+  total_bits : int;  (** sum of message sizes over all rounds/edges *)
+}
+
+exception Bandwidth_exceeded of { round : int; bits : int; limit : int }
+
+val run :
+  graph:Vc_graph.Graph.t ->
+  input:(Vc_graph.Graph.node -> 'i) ->
+  ?bandwidth:int ->
+  max_rounds:int ->
+  ('i, 'msg, 'state, 'o) algorithm ->
+  'o result
+(** Run until every node has decided and no message is in flight, or
+    until [max_rounds].  When [bandwidth] is given, any oversized message
+    raises {!Bandwidth_exceeded}. *)

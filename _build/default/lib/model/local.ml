@@ -1,0 +1,123 @@
+module Graph = Vc_graph.Graph
+
+type 'i record = {
+  degree : int;
+  id : int;
+  input : 'i;
+  ports : Graph.node option array;
+}
+
+type 'i knowledge = (Graph.node, 'i record) Hashtbl.t
+
+let nodes_known k = Hashtbl.length k
+
+type 'i gathering = {
+  views : 'i knowledge array;
+  rounds : int;
+  max_message_bits : int;
+}
+
+(* Merge [incoming] into [mine]; records about the same node only ever
+   grow their known-ports set. *)
+let merge mine incoming =
+  Hashtbl.iter
+    (fun v (r : _ record) ->
+      match Hashtbl.find_opt mine v with
+      | None -> Hashtbl.replace mine v { r with ports = Array.copy r.ports }
+      | Some existing ->
+          Array.iteri
+            (fun i t -> match t with Some _ when existing.ports.(i) = None -> existing.ports.(i) <- t | Some _ | None -> ())
+            r.ports)
+    incoming
+
+let record_bits (r : _ record) = 64 * (2 + Array.length r.ports)
+
+let knowledge_bits k = Hashtbl.fold (fun _ r acc -> acc + record_bits r) k 0
+
+(* Synchronous flooding, run directly (per-round semantics identical to
+   a LOCAL execution): in each round every node merges its neighbors'
+   previous-round knowledge and learns which node sits on each of its
+   ports. *)
+let gather ~graph ~input ~rounds =
+  let n = Graph.n graph in
+  let fresh v : _ knowledge =
+    let k = Hashtbl.create 16 in
+    Hashtbl.replace k v
+      {
+        degree = Graph.degree graph v;
+        id = Graph.id graph v;
+        input = input v;
+        ports = Array.make (Graph.degree graph v) None;
+      };
+    k
+  in
+  let current = ref (Array.init n fresh) in
+  let max_bits = ref 0 in
+  for _ = 1 to rounds do
+    let next =
+      Array.mapi
+        (fun v k ->
+          (* deep-copy records so merges do not alias across nodes *)
+          let mine' : _ knowledge = Hashtbl.create (Hashtbl.length k) in
+          Hashtbl.iter (fun u r -> Hashtbl.replace mine' u { r with ports = Array.copy r.ports }) k;
+          for port = 1 to Graph.degree graph v do
+            let u = Graph.neighbor graph v port in
+            let msg = !current.(u) in
+            max_bits := max !max_bits (knowledge_bits msg);
+            merge mine' msg;
+            (* receiving on port [port] reveals that edge *)
+            (Hashtbl.find mine' v).ports.(port - 1) <- Some u
+          done;
+          mine')
+        !current
+    in
+    current := next
+  done;
+  { views = !current; rounds; max_message_bits = !max_bits }
+
+exception Outside_ball of Graph.node
+
+let world_of_knowledge ~n ~origin know =
+  let find v =
+    match Hashtbl.find_opt know v with Some r -> r | None -> raise (Outside_ball v)
+  in
+  (* BFS distances within the knowledge subgraph *)
+  let distances () =
+    let dist = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.replace dist origin 0;
+    Queue.add origin queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      let d = Hashtbl.find dist v in
+      match Hashtbl.find_opt know v with
+      | None -> ()
+      | Some r ->
+          Array.iter
+            (function
+              | Some u when not (Hashtbl.mem dist u) ->
+                  Hashtbl.replace dist u (d + 1);
+                  Queue.add u queue
+              | Some _ | None -> ())
+            r.ports
+    done;
+    dist
+  in
+  let start origin' =
+    if origin' <> origin then invalid_arg "Local.world_of_knowledge: wrong origin";
+    let dist = distances () in
+    {
+      World.view =
+        (fun v ->
+          let r = find v in
+          { View.node = v; id = r.id; degree = r.degree; input = r.input });
+      resolve =
+        (fun w ~port ->
+          let r = find w in
+          match r.ports.(port - 1) with
+          | Some u -> u
+          | None -> raise (Outside_ball w));
+      dist = (fun v -> match Hashtbl.find_opt dist v with Some d -> d | None -> max_int);
+    }
+  in
+  { World.n; start }

@@ -1,0 +1,43 @@
+(** Full-information LOCAL simulation (paper Remark 2.3).
+
+    In the LOCAL model, after [T] synchronous rounds a node can know its
+    entire radius-[T] neighborhood.  {!gather} runs that flooding
+    protocol over the {!Congest} engine with unbounded messages: each
+    round every node broadcasts everything it has learned, so the
+    per-node {!knowledge} after [T] rounds is exactly the radius-[T]
+    ball (with all edges incident to its interior).
+
+    {!world_of_knowledge} turns a node's knowledge into a {!World.t}, so
+    {e the very same probe-model algorithm} can be replayed against what
+    the node learned by message passing.  This makes Remark 2.3 an
+    executable theorem: an algorithm with DIST cost at most [T-1]
+    produces identical output against the true world and against any
+    node's [T]-round knowledge (the replay raises if the algorithm
+    strays outside the ball).
+
+    The measured message sizes also exhibit the Δ^Θ(T) growth that
+    separates LOCAL from CONGEST (Observations 7.4–7.5). *)
+
+type 'i knowledge
+
+val nodes_known : 'i knowledge -> int
+
+type 'i gathering = {
+  views : 'i knowledge array;
+  rounds : int;
+  max_message_bits : int;  (** grows like Δ^T·log n: the LOCAL/CONGEST gap *)
+}
+
+val gather :
+  graph:Vc_graph.Graph.t -> input:(Vc_graph.Graph.node -> 'i) -> rounds:int -> 'i gathering
+(** Flood knowledge for the given number of rounds. *)
+
+exception Outside_ball of Vc_graph.Graph.node
+(** Raised by a knowledge-backed world when an algorithm tries to
+    resolve a port of a node whose neighborhood was not learned. *)
+
+val world_of_knowledge : n:int -> origin:Vc_graph.Graph.node -> 'i knowledge -> 'i World.t
+(** A world answering queries from the knowledge; [n] is the true node
+    count (known to every algorithm).  Distances are reported within
+    the knowledge subgraph, which agrees with the true graph distances
+    inside the ball. *)

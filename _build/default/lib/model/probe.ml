@@ -1,0 +1,159 @@
+module Graph = Vc_graph.Graph
+module Randomness = Vc_rng.Randomness
+module Stream = Vc_rng.Stream
+
+exception Illegal of string
+
+exception Budget_exhausted
+
+type budget = {
+  max_volume : int option;
+  max_distance : int option;
+}
+
+let unlimited = { max_volume = None; max_distance = None }
+
+let volume_budget v = { unlimited with max_volume = Some v }
+
+let distance_budget d = { unlimited with max_distance = Some d }
+
+type 'i ctx = {
+  session : 'i World.session;
+  world_n : int;
+  origin : Graph.node;
+  randomness : Randomness.t option;
+  budget : budget;
+  views : (Graph.node, 'i View.t) Hashtbl.t;
+  mutable visit_order : Graph.node list; (* reversed *)
+  resolved_tbl : (Graph.node * int, Graph.node) Hashtbl.t;
+  cursors : (Graph.node, int) Hashtbl.t;
+  mutable n_queries : int;
+  mutable n_rand_bits : int;
+  mutable max_dist : int;
+}
+
+let origin ctx = ctx.origin
+
+let n ctx = ctx.world_n
+
+let illegal fmt = Fmt.kstr (fun s -> raise (Illegal s)) fmt
+
+let visited ctx v = Hashtbl.mem ctx.views v
+
+let view ctx v =
+  match Hashtbl.find_opt ctx.views v with
+  | Some w -> w
+  | None -> illegal "view of unvisited node %d" v
+
+let input ctx v = (view ctx v).View.input
+
+let degree ctx v = (view ctx v).View.degree
+
+let id ctx v = (view ctx v).View.id
+
+let admit ctx v =
+  if not (visited ctx v) then begin
+    (match ctx.budget.max_volume with
+    | Some cap when Hashtbl.length ctx.views >= cap -> raise Budget_exhausted
+    | Some _ | None -> ());
+    let d = ctx.session.World.dist v in
+    (match ctx.budget.max_distance with
+    | Some cap when d > cap -> raise Budget_exhausted
+    | Some _ | None -> ());
+    Hashtbl.add ctx.views v (ctx.session.World.view v);
+    ctx.visit_order <- v :: ctx.visit_order;
+    if d > ctx.max_dist then ctx.max_dist <- d
+  end
+
+let query ctx ~at ~port =
+  if not (visited ctx at) then illegal "query from unvisited node %d" at;
+  let d = degree ctx at in
+  if port < 1 || port > d then illegal "query(%d, %d): invalid port (degree %d)" at port d;
+  ctx.n_queries <- ctx.n_queries + 1;
+  let u =
+    match Hashtbl.find_opt ctx.resolved_tbl (at, port) with
+    | Some u -> u
+    | None ->
+        let u = ctx.session.World.resolve at ~port in
+        Hashtbl.add ctx.resolved_tbl (at, port) u;
+        u
+  in
+  admit ctx u;
+  u
+
+let resolved ctx ~at ~port = Hashtbl.find_opt ctx.resolved_tbl (at, port)
+
+let check_rand_access ctx v =
+  if not (visited ctx v) then illegal "random bits of unvisited node %d" v;
+  match ctx.randomness with
+  | None -> illegal "deterministic execution reads random bits"
+  | Some r ->
+      if not (Randomness.readable r ~origin:ctx.origin ~node:v) then
+        illegal "randomness regime forbids reading node %d's bits from origin %d" v ctx.origin;
+      r
+
+let rand_bit_at ctx v i =
+  let r = check_rand_access ctx v in
+  ctx.n_rand_bits <- ctx.n_rand_bits + 1;
+  Stream.bit (Randomness.stream r v) i
+
+let rand_bit ctx v =
+  let r = check_rand_access ctx v in
+  let cursor = match Hashtbl.find_opt ctx.cursors v with Some c -> c | None -> 0 in
+  Hashtbl.replace ctx.cursors v (cursor + 1);
+  ctx.n_rand_bits <- ctx.n_rand_bits + 1;
+  Stream.bit (Randomness.stream r v) cursor
+
+let volume ctx = Hashtbl.length ctx.views
+
+let queries ctx = ctx.n_queries
+
+let visited_nodes ctx = List.rev ctx.visit_order
+
+type 'o result = {
+  output : 'o option;
+  volume : int;
+  distance : int;
+  queries : int;
+  rand_bits : int;
+  aborted : bool;
+}
+
+let run ~world ?randomness ?(budget = unlimited) ~origin:start algo =
+  let session = world.World.start start in
+  let ctx =
+    {
+      session;
+      world_n = world.World.n;
+      origin = start;
+      randomness;
+      budget;
+      views = Hashtbl.create 64;
+      visit_order = [];
+      resolved_tbl = Hashtbl.create 64;
+      cursors = Hashtbl.create 8;
+      n_queries = 0;
+      n_rand_bits = 0;
+      max_dist = 0;
+    }
+  in
+  (* The origin is always visitable, irrespective of budgets. *)
+  Hashtbl.add ctx.views start (session.World.view start);
+  ctx.visit_order <- [ start ];
+  let output, aborted =
+    match algo ctx with
+    | out -> (Some out, false)
+    | exception Budget_exhausted -> (None, true)
+  in
+  {
+    output;
+    volume = volume ctx;
+    distance = ctx.max_dist;
+    queries = ctx.n_queries;
+    rand_bits = ctx.n_rand_bits;
+    aborted;
+  }
+
+let run_exn ~world ?randomness ?budget ~origin algo =
+  let r = run ~world ?randomness ?budget ~origin algo in
+  if r.aborted then failwith "Probe.run_exn: execution exceeded its budget" else r

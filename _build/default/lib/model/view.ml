@@ -1,0 +1,9 @@
+type 'i t = {
+  node : Vc_graph.Graph.node;
+  id : int;
+  degree : int;
+  input : 'i;
+}
+
+let pp pp_input ppf v =
+  Fmt.pf ppf "@[<h>{node=%d; id=%d; deg=%d; input=%a}@]" v.node v.id v.degree pp_input v.input

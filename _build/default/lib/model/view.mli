@@ -1,0 +1,16 @@
+(** What a query reveals about a node (paper Section 2.2).
+
+    Answering [query(w, j)] reveals the identity of the resolved node,
+    its degree, and its entire (problem-specific) input.  Nothing else:
+    in particular the node's own port numbering is not revealed — an
+    algorithm that wants to know which port of [u] leads back to [w] has
+    to query [u]'s ports one by one. *)
+
+type 'i t = {
+  node : Vc_graph.Graph.node;  (** dense index, the simulator's handle *)
+  id : int;  (** the unique identifier visible to the algorithm *)
+  degree : int;
+  input : 'i;
+}
+
+val pp : (Format.formatter -> 'i -> unit) -> Format.formatter -> 'i t -> unit

@@ -1,0 +1,28 @@
+module Graph = Vc_graph.Graph
+module Bfs = Vc_graph.Bfs
+
+type 'i session = {
+  view : Graph.node -> 'i View.t;
+  resolve : Graph.node -> port:int -> Graph.node;
+  dist : Graph.node -> int;
+}
+
+type 'i t = {
+  n : int;
+  start : Graph.node -> 'i session;
+}
+
+let of_graph_claiming ~n g ~input =
+  let start origin =
+    let distances = Bfs.distances g origin in
+    {
+      view =
+        (fun v ->
+          { View.node = v; id = Graph.id g v; degree = Graph.degree g v; input = input v });
+      resolve = (fun w ~port -> Graph.neighbor g w port);
+      dist = (fun v -> distances.(v));
+    }
+  in
+  { n; start }
+
+let of_graph g ~input = of_graph_claiming ~n:(Graph.n g) g ~input

@@ -1,0 +1,44 @@
+(** The "world" an execution runs against.
+
+    The probe model of Section 2.2 does not care whether queries are
+    answered by a fixed labeled graph or by an adversary that invents the
+    graph on the fly — lower-bound arguments such as the process P of
+    Proposition 3.13 exploit exactly this.  A [World.t] is therefore an
+    abstract query-answering service; {!of_graph} wraps a concrete
+    labeled graph, while adversaries implement the record directly.
+
+    An execution starts by calling {!start}, which fixes the origin node
+    and returns a session; all queries of that execution go through the
+    session.  Sessions of adversarial worlds are typically stateful. *)
+
+type 'i session = {
+  view : Vc_graph.Graph.node -> 'i View.t;
+      (** View of a node that has already been revealed to this
+          execution (the origin, or the result of an earlier
+          [resolve]). *)
+  resolve : Vc_graph.Graph.node -> port:int -> Vc_graph.Graph.node;
+      (** Answer [query(w, j)].  Precondition (enforced by the
+          executor, not the world): [w] was revealed earlier and
+          [1 <= j <= degree w].  Returns the node on the other side. *)
+  dist : Vc_graph.Graph.node -> int;
+      (** Graph distance from the execution's origin to a revealed node,
+          used for DIST cost accounting (Definition 2.1).  Adversarial
+          worlds report distances in the graph built so far; for the
+          pendant-growth adversaries of the paper these distances are
+          already final. *)
+}
+
+type 'i t = {
+  n : int;  (** the number of nodes, given to every algorithm as input *)
+  start : Vc_graph.Graph.node -> 'i session;
+}
+
+val of_graph : Vc_graph.Graph.t -> input:(Vc_graph.Graph.node -> 'i) -> 'i t
+(** The standard world: a fixed graph with a fixed input labeling.
+    Distances are computed by BFS from the origin once per session. *)
+
+val of_graph_claiming :
+  n:int -> Vc_graph.Graph.t -> input:(Vc_graph.Graph.node -> 'i) -> 'i t
+(** Like {!of_graph} but reports [n] instead of the true node count —
+    used by experiments that embed a small gadget in a nominally larger
+    instance. *)

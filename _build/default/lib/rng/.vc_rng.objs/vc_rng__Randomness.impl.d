@@ -1,0 +1,1 @@
+lib/rng/randomness.ml: Array Int64 Splitmix Stream

@@ -1,0 +1,1 @@
+lib/rng/randomness.mli: Stream

@@ -1,0 +1,45 @@
+type regime = Private | Public | Secret
+
+type t = {
+  regime : regime;
+  seed : int64;
+  n : int;
+  streams : Stream.t option array; (* lazily created; Public uses slot 0 *)
+}
+
+let create ?(regime = Private) ~seed ~n () =
+  if n <= 0 then invalid_arg "Randomness.create: n must be positive";
+  { regime; seed; n; streams = Array.make n None }
+
+let regime t = t.regime
+
+let n t = t.n
+
+let slot t v =
+  match t.regime with
+  | Public -> 0
+  | Private | Secret ->
+      if v < 0 || v >= t.n then invalid_arg "Randomness.stream: node out of range";
+      v
+
+let stream t v =
+  let i = slot t v in
+  match t.streams.(i) with
+  | Some s -> s
+  | None ->
+      let root = Splitmix.create t.seed in
+      let s = Stream.create (Splitmix.split root ~key:(Int64.of_int i)) in
+      t.streams.(i) <- Some s;
+      s
+
+let readable t ~origin ~node =
+  match t.regime with
+  | Private | Public -> true
+  | Secret -> origin = node
+
+let total_bits_consumed t =
+  Array.fold_left
+    (fun acc s -> match s with None -> acc | Some s -> acc + Stream.bits_consumed s)
+    0 t.streams
+
+let reseed t s = create ~regime:t.regime ~seed:s ~n:t.n ()

@@ -1,0 +1,42 @@
+(** Randomness regimes of the volume model (paper Sections 2.2 and 7.4).
+
+    A {!t} assigns a random string to every node of an [n]-node graph.
+    Three regimes are supported:
+
+    - {e private}: each node has an independent stream; any algorithm that
+      has visited node [v] may read [r_v] (the paper's default model);
+    - {e public}: a single shared stream visible to everyone;
+    - {e secret}: each node has an independent stream, but an execution
+      started at [v0] may only read [r_{v0}] — querying another node does
+      not reveal its randomness.
+
+    All regimes are deterministic functions of a seed, so experiments are
+    reproducible. *)
+
+type regime = Private | Public | Secret
+
+type t
+
+val create : ?regime:regime -> seed:int64 -> n:int -> unit -> t
+(** [create ~regime ~seed ~n ()] builds the random strings for an
+    [n]-node graph.  Default regime is [Private]. *)
+
+val regime : t -> regime
+
+val n : t -> int
+
+val stream : t -> int -> Stream.t
+(** [stream t v] is node [v]'s random string (in the [Public] regime all
+    nodes share one stream).  Streams are created lazily and memoized. *)
+
+val readable : t -> origin:int -> node:int -> bool
+(** [readable t ~origin ~node] tells whether an execution initiated at
+    [origin] may read [node]'s stream under [t]'s regime. *)
+
+val total_bits_consumed : t -> int
+(** Sum of {!Stream.bits_consumed} over all materialized streams: the
+    total amount of randomness revealed so far (Question 7.8). *)
+
+val reseed : t -> int64 -> t
+(** [reseed t s] is a fresh assignment with the same regime and size but
+    seed [s]; used to repeat randomized experiments over many seeds. *)

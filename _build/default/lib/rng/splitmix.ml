@@ -1,0 +1,41 @@
+type t = { mutable state : int64; seed : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed; seed }
+
+let copy g = { state = g.state; seed = g.seed }
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g ~key =
+  (* Derive a child seed from the parent seed (not its moving state) so
+     that per-key streams are stable across the parent's usage. *)
+  let child = mix (Int64.add (mix g.seed) (Int64.mul key golden_gamma)) in
+  create child
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let rec loop () =
+    let r = Int64.shift_right_logical (next g) 1 in
+    let v = Int64.rem r b in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int b) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let float g =
+  let r = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0)

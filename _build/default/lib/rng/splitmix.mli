@@ -1,0 +1,37 @@
+(** SplitMix64: a small, fast, splittable pseudo-random number generator.
+
+    The generator is deterministic: the same seed always yields the same
+    sequence.  [split] derives an independent generator from a key, which
+    is how we give every node of a graph its own private random stream
+    (Section 2.2 of the paper) while keeping whole experiments
+    reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 fresh pseudo-random bits. *)
+
+val split : t -> key:int64 -> t
+(** [split g ~key] derives a new generator from [g]'s seed and [key]
+    without advancing [g].  Distinct keys give statistically independent
+    streams. *)
+
+val int : t -> bound:int -> int
+(** [int g ~bound] is a uniform integer in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+(** [bool g] is a uniform coin flip. *)
+
+val float : t -> float
+(** [float g] is uniform in [0, 1). *)
+
+val mix : int64 -> int64
+(** [mix z] is the SplitMix64 finalizer, usable as a standalone hash. *)

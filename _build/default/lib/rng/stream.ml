@@ -1,0 +1,37 @@
+type t = {
+  gen : Splitmix.t;
+  mutable bits : Bytes.t; (* memoized bits, one per byte for simplicity *)
+  mutable materialized : int; (* number of memoized bits *)
+  mutable cursor : int;
+}
+
+let create gen = { gen; bits = Bytes.create 16; materialized = 0; cursor = 0 }
+
+let of_seed s = create (Splitmix.create s)
+
+let ensure s i =
+  if i >= Bytes.length s.bits then begin
+    let len = max (2 * Bytes.length s.bits) (i + 1) in
+    let fresh = Bytes.create len in
+    Bytes.blit s.bits 0 fresh 0 s.materialized;
+    s.bits <- fresh
+  end;
+  while s.materialized <= i do
+    let b = if Splitmix.bool s.gen then '\001' else '\000' in
+    Bytes.set s.bits s.materialized b;
+    s.materialized <- s.materialized + 1
+  done
+
+let bit s i =
+  if i < 0 then invalid_arg "Stream.bit: negative index";
+  ensure s i;
+  Bytes.get s.bits i = '\001'
+
+let next_bit s =
+  let b = bit s s.cursor in
+  s.cursor <- s.cursor + 1;
+  b
+
+let reset_cursor s = s.cursor <- 0
+
+let bits_consumed s = s.materialized

@@ -1,0 +1,35 @@
+(** Sequential private random bit streams.
+
+    The paper's model (Section 2.2) equips every node [v] with a random
+    string [r_v : N -> {0,1}] that is read {e sequentially}; the number of
+    bits consumed must be bounded with high probability (footnote 1 and
+    Question 7.8).  A [Stream.t] is exactly such a string: bits are
+    produced lazily and deterministically from a seed, every read is
+    counted, and reads are memoized so that two algorithm executions that
+    both inspect node [v] observe the same bits. *)
+
+type t
+(** One node's random string. *)
+
+val create : Splitmix.t -> t
+(** [create gen] makes a stream whose bits are drawn from [gen]. *)
+
+val of_seed : int64 -> t
+(** [of_seed s] is [create (Splitmix.create s)]. *)
+
+val bit : t -> int -> bool
+(** [bit s i] is the [i]-th bit of the string (0-indexed).  Reads are
+    memoized: the same index always yields the same bit. *)
+
+val next_bit : t -> bool
+(** [next_bit s] reads the next unread bit, advancing an internal
+    cursor.  This is the sequential-access discipline assumed by the
+    paper. *)
+
+val reset_cursor : t -> unit
+(** [reset_cursor s] rewinds the sequential cursor to bit 0 without
+    forgetting memoized bits (used when re-running an execution). *)
+
+val bits_consumed : t -> int
+(** [bits_consumed s] is the highest bit index materialized so far plus
+    one; i.e. how much randomness this node has revealed. *)

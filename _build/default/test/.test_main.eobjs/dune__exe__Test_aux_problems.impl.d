@@ -1,0 +1,1 @@
+test/test_aux_problems.ml: Alcotest Array List Option Printf Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

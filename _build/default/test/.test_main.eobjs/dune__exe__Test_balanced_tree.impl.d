@@ -1,0 +1,1 @@
+test/test_balanced_tree.ml: Alcotest Array Fmt Gen List Printf QCheck QCheck_alcotest Vc_commcc Vc_graph Vc_lcl Vc_model Volcomp

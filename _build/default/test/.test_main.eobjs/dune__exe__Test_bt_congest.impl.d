@@ -1,0 +1,1 @@
+test/test_bt_congest.ml: Alcotest Array List Printf Vc_commcc Vc_graph Vc_lcl Vc_model Volcomp

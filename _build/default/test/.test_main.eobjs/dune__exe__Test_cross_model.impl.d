@@ -1,0 +1,1 @@
+test/test_cross_model.ml: Array Int64 List QCheck QCheck_alcotest Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

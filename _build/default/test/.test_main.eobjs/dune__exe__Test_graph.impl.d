@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Vc_graph Vc_rng

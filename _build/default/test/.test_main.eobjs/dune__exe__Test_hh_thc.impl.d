@@ -1,0 +1,1 @@
+test/test_hh_thc.ml: Alcotest Array List Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

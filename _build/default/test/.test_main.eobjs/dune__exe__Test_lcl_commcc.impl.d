@@ -1,0 +1,1 @@
+test/test_lcl_commcc.ml: Alcotest Bool List Vc_commcc Vc_graph Vc_lcl

@@ -1,0 +1,1 @@
+test/test_leaf_coloring.ml: Alcotest Array Fmt Int64 List Printf QCheck QCheck_alcotest Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

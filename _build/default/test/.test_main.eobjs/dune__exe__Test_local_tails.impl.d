@@ -1,0 +1,1 @@
+test/test_local_tails.ml: Alcotest Array Int64 List Printf Vc_graph Vc_lcl Vc_measure Vc_model Vc_rng Volcomp

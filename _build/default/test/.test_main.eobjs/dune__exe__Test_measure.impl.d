@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Float List Vc_graph Vc_lcl Vc_measure Vc_model Volcomp

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array List Option Vc_graph Vc_lcl Vc_model Vc_rng

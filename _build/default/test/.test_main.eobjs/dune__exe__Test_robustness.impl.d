@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array List Printf QCheck QCheck_alcotest Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

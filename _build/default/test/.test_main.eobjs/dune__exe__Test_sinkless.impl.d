@@ -1,0 +1,1 @@
+test/test_sinkless.ml: Alcotest Array Int64 List Printf String Vc_graph Vc_lcl Vc_model Vc_rng Volcomp

@@ -1,0 +1,213 @@
+(* Tests for the auxiliary problems: the class-A and class-B reference
+   LCLs (Figures 1-2), the Example 7.6 CONGEST gap, and the Section 7.4
+   secret-randomness promise problem. *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module Congest = Vc_model.Congest
+module Lcl = Vc_lcl.Lcl
+module Randomness = Vc_rng.Randomness
+module Trivial = Volcomp.Trivial_lcl
+module CC = Volcomp.Cycle_coloring
+module Gap = Volcomp.Gap_example
+module PL = Volcomp.Promise_leaf
+module LC = Volcomp.Leaf_coloring
+module Splitmix = Vc_rng.Splitmix
+
+(* --- class A: degree parity ----------------------------------------------- *)
+
+let test_trivial_constant_cost () =
+  let g = Builder.complete_binary_tree ~depth:6 in
+  let world = Trivial.world g in
+  let out = Array.make (Graph.n g) Trivial.Even in
+  Graph.iter_nodes g (fun v ->
+      let r = Probe.run ~world ~origin:v Trivial.solve.Lcl.solve in
+      Alcotest.(check int) "volume 1" 1 r.Probe.volume;
+      Alcotest.(check int) "distance 0" 0 r.Probe.distance;
+      out.(v) <- Option.get r.Probe.output);
+  Alcotest.(check bool) "valid" true
+    (Lcl.is_valid Trivial.problem g ~input:(fun _ -> ()) ~output:(fun v -> out.(v)))
+
+(* --- class B: Cole-Vishkin cycle coloring ---------------------------------- *)
+
+let solve_cycle n ~seed =
+  let g = Graph.shuffle_ids (Builder.cycle n) ~rng:(Splitmix.create seed) in
+  let world = CC.world g in
+  let out = Array.make n 0 in
+  let worst_vol = ref 0 and worst_dist = ref 0 in
+  Graph.iter_nodes g (fun v ->
+      let r = Probe.run ~world ~origin:v CC.solve.Lcl.solve in
+      worst_vol := max !worst_vol r.Probe.volume;
+      worst_dist := max !worst_dist r.Probe.distance;
+      out.(v) <- Option.get r.Probe.output);
+  (g, out, !worst_vol, !worst_dist)
+
+let test_cycle_coloring_valid () =
+  List.iter
+    (fun (n, seed) ->
+      let g, out, _, _ = solve_cycle n ~seed in
+      match Lcl.check CC.problem g ~input:(fun _ -> ()) ~output:(fun v -> out.(v)) with
+      | Ok () -> ()
+      | Error vs -> Alcotest.failf "n=%d: %a" n Lcl.pp_violation (List.hd vs))
+    [ (3, 1L); (4, 2L); (5, 3L); (17, 4L); (64, 5L); (301, 6L) ]
+
+let test_cycle_coloring_log_star_cost () =
+  (* the window is t+7 nodes with t = rounds_needed: constant-ish even
+     for large n, and growing extremely slowly *)
+  let _, _, vol_small, _ = solve_cycle 32 ~seed:7L in
+  let _, _, vol_large, dist_large = solve_cycle 4096 ~seed:8L in
+  let t = CC.rounds_needed ~n:4096 in
+  Alcotest.(check bool) "volume stays tiny" true (vol_large <= t + 8);
+  Alcotest.(check bool) "volume barely grows" true (vol_large - vol_small <= 3);
+  Alcotest.(check bool) "distance ~ window" true (dist_large <= t + 4)
+
+let test_rounds_needed_growth () =
+  (* log* growth: doubling n rarely adds rounds *)
+  Alcotest.(check bool) "monotone" true
+    (CC.rounds_needed ~n:100 <= CC.rounds_needed ~n:1_000_000);
+  Alcotest.(check bool) "tiny even for huge n" true (CC.rounds_needed ~n:1_000_000 <= 6)
+
+(* --- Example 7.6: volume vs CONGEST ---------------------------------------- *)
+
+let test_gap_query_solver () =
+  let inst = Gap.make ~depth:6 ~seed:1L in
+  let world = Gap.world inst in
+  let n = Graph.n inst.Gap.graph in
+  let out = Array.make n None in
+  let worst_vol = ref 0 in
+  Graph.iter_nodes inst.Gap.graph (fun v ->
+      let r = Probe.run ~world ~origin:v Gap.solve.Lcl.solve in
+      worst_vol := max !worst_vol r.Probe.volume;
+      out.(v) <- Option.get r.Probe.output);
+  (match
+     Lcl.check Gap.problem inst.Gap.graph ~input:(Gap.input inst) ~output:(fun v -> out.(v))
+   with
+  | Ok () -> ()
+  | Error vs -> Alcotest.failf "%a" Lcl.pp_violation (List.hd vs));
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  Alcotest.(check bool)
+    (Printf.sprintf "volume %d = O(log n)" !worst_vol)
+    true
+    (!worst_vol <= (2 * logn) + 6)
+
+let test_gap_congest_rounds_scale () =
+  let inst = Gap.make ~depth:7 ~seed:2L in
+  let res32 = Gap.run_congest inst ~bandwidth:32 in
+  let res128 = Gap.run_congest inst ~bandwidth:128 in
+  (* all U-leaves decided correctly *)
+  Graph.iter_nodes inst.Gap.graph (fun v ->
+      let i = Gap.input inst v in
+      if i.Gap.side = Gap.U && i.Gap.index >= (1 lsl 7) - 1 then
+        let pos = i.Gap.index - ((1 lsl 7) - 1) in
+        Alcotest.(check (option (option bool)))
+          "bit delivered" (Some (Some inst.Gap.bits.(pos)))
+          res32.Congest.outputs.(v));
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds shrink with bandwidth (%d vs %d)" res32.Congest.rounds
+       res128.Congest.rounds)
+    true
+    (res128.Congest.rounds * 2 <= res32.Congest.rounds);
+  (* rounds at B=32: about 2^7 * 9 bits / 32 across the root edge *)
+  Alcotest.(check bool) "rounds lower-bounded by the cut" true
+    (res32.Congest.rounds >= 128 * 9 / 32)
+
+let test_gap_congest_respects_bandwidth () =
+  let inst = Gap.make ~depth:5 ~seed:3L in
+  let res = Gap.run_congest inst ~bandwidth:16 in
+  Alcotest.(check bool) "max message within bandwidth" true (res.Congest.max_message_bits <= 16)
+
+(* --- Section 7.4: secret randomness ----------------------------------------- *)
+
+let test_secret_walk_solves_promise () =
+  List.iter
+    (fun leaf_color ->
+      let inst = PL.promise_instance ~n:257 ~leaf_color ~seed:4L in
+      Alcotest.(check bool) "promise holds" true (PL.satisfies_promise inst);
+      let world = LC.world inst in
+      let rand =
+        Randomness.create ~regime:Randomness.Secret ~seed:5L ~n:(Graph.n inst.LC.graph) ()
+      in
+      Graph.iter_nodes inst.LC.graph (fun v ->
+          let r = Probe.run ~world ~randomness:rand ~origin:v PL.solve_secret_walk.Lcl.solve in
+          Alcotest.(check bool) "echoes the promised color" true
+            (TL.equal_color (Option.get r.Probe.output) leaf_color)))
+    [ TL.Red; TL.Blue ]
+
+let test_secret_walk_cheap () =
+  let inst = PL.promise_instance ~n:1025 ~leaf_color:TL.Red ~seed:6L in
+  let world = LC.world inst in
+  let rand =
+    Randomness.create ~regime:Randomness.Secret ~seed:7L ~n:(Graph.n inst.LC.graph) ()
+  in
+  let logn = Volcomp.Probe_tree.log2_ceil (Graph.n inst.LC.graph) in
+  let worst = ref 0 in
+  Graph.iter_nodes inst.LC.graph (fun v ->
+      let r = Probe.run ~world ~randomness:rand ~origin:v PL.solve_secret_walk.Lcl.solve in
+      worst := max !worst r.Probe.volume);
+  Alcotest.(check bool)
+    (Printf.sprintf "volume %d = O(log n)" !worst)
+    true
+    (!worst <= 64 * logn)
+
+let test_secret_walk_fails_without_promise () =
+  (* without the promise, origins land on differently colored leaves *)
+  let inst = LC.random_instance ~n:257 ~seed:8L in
+  let world = LC.world inst in
+  let rand =
+    Randomness.create ~regime:Randomness.Secret ~seed:9L ~n:(Graph.n inst.LC.graph) ()
+  in
+  let out =
+    Array.init (Graph.n inst.LC.graph) (fun v ->
+        Option.get
+          (Probe.run ~world ~randomness:rand ~origin:v PL.solve_secret_walk.Lcl.solve)
+            .Probe.output)
+  in
+  Alcotest.(check bool) "invalid on non-promise input" false
+    (Lcl.is_valid LC.problem inst.LC.graph ~input:(LC.input inst) ~output:(fun v -> out.(v)))
+
+let test_public_randomness_is_degenerate_for_waypoints () =
+  (* Question 7.9 flavor: under public randomness every node reads the
+     same string, so way-point election becomes all-or-nothing — the
+     per-node independence the Lemma 5.18 anchors rely on disappears.
+     We verify the mechanism: all nodes elect identically. *)
+  let module H = Volcomp.Hierarchical_thc in
+  let inst, _ = H.hard_instance ~k:2 ~target_n:400 ~seed:17L in
+  let g = H.graph inst in
+  let world = H.world inst in
+  let public = Randomness.create ~regime:Randomness.Public ~seed:18L ~n:(Graph.n g) () in
+  let elected origin =
+    (Probe.run ~world ~randomness:public ~origin (fun ctx ->
+         (* read the 30 election bits of the origin itself *)
+         List.init 30 (fun i -> Probe.rand_bit_at ctx origin i)))
+      .Probe.output
+  in
+  Alcotest.(check (option (list bool)))
+    "all nodes see the same public bits" (elected 0) (elected 17)
+
+let suites =
+  [
+    ( "aux:class-a",
+      [ Alcotest.test_case "degree parity constant cost" `Quick test_trivial_constant_cost ] );
+    ( "aux:class-b",
+      [
+        Alcotest.test_case "3-coloring valid" `Quick test_cycle_coloring_valid;
+        Alcotest.test_case "log* cost" `Quick test_cycle_coloring_log_star_cost;
+        Alcotest.test_case "rounds_needed growth" `Quick test_rounds_needed_growth;
+      ] );
+    ( "aux:congest-gap",
+      [
+        Alcotest.test_case "query solver O(log n)" `Quick test_gap_query_solver;
+        Alcotest.test_case "congest rounds scale with 1/B" `Quick test_gap_congest_rounds_scale;
+        Alcotest.test_case "bandwidth respected" `Quick test_gap_congest_respects_bandwidth;
+      ] );
+    ( "aux:secret-randomness",
+      [
+        Alcotest.test_case "solves the promise problem" `Quick test_secret_walk_solves_promise;
+        Alcotest.test_case "O(log n) volume" `Slow test_secret_walk_cheap;
+        Alcotest.test_case "fails without the promise" `Quick test_secret_walk_fails_without_promise;
+        Alcotest.test_case "public randomness degeneracy" `Quick
+          test_public_randomness_is_degenerate_for_waypoints;
+      ] );
+  ]

@@ -1,0 +1,229 @@
+(* Tests for BalancedTree (paper Section 4): compatibility, the checker,
+   the O(log n)-distance solver, and the disjointness embedding with
+   communication accounting (Proposition 4.9). *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module BT = Volcomp.Balanced_tree
+module Disjointness = Vc_commcc.Disjointness
+module Comm_counter = Vc_commcc.Comm_counter
+
+let output_t = Alcotest.testable BT.pp_output BT.equal_output
+
+let solve_all inst (solver : (BT.node_input, BT.output) Lcl.solver) =
+  let world = BT.world inst in
+  let n = Graph.n inst.BT.graph in
+  let costs = ref [] in
+  let out =
+    Array.init n (fun v ->
+        let r = Probe.run ~world ~origin:v solver.Lcl.solve in
+        costs := r :: !costs;
+        match r.Probe.output with Some o -> o | None -> Alcotest.fail "solver aborted")
+  in
+  (out, !costs)
+
+let check_valid inst out =
+  match
+    Lcl.check BT.problem inst.BT.graph ~input:(BT.input inst) ~output:(fun v -> out.(v))
+  with
+  | Ok () -> ()
+  | Error vs -> Alcotest.failf "invalid: %a" Fmt.(list ~sep:comma Lcl.pp_violation) vs
+
+(* --- compatibility ------------------------------------------------------ *)
+
+let test_balanced_instance_fully_compatible () =
+  let inst = BT.balanced_instance ~depth:4 in
+  Graph.iter_nodes inst.BT.graph (fun v ->
+      Alcotest.(check bool) (Printf.sprintf "node %d compatible" v) true (BT.compatible inst v))
+
+let test_broken_pair_incompatibility_localized () =
+  let depth = 4 in
+  let break = 3 in
+  let inst = BT.broken_pair_instance ~depth ~break in
+  let u, w = BT.leaf_pair inst break in
+  let parent = (u - 1) / 2 in
+  (* Exactly the pair's parent fails the siblings condition. *)
+  Alcotest.(check bool) "parent incompatible" false (BT.compatible inst parent);
+  Graph.iter_nodes inst.BT.graph (fun v ->
+      if v <> parent then
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d still compatible" v)
+          true (BT.compatible inst v));
+  ignore w
+
+let test_missing_lateral_breaks_sibling_parents () =
+  (* Cutting an internal-row lateral link breaks persistence at the
+     neighbors' parents (or agreement at the endpoints). *)
+  let inst = BT.balanced_instance ~depth:3 in
+  (* erase the lateral pointers between internal row-2 nodes 3 and 4 *)
+  let labels = Array.copy inst.BT.labels in
+  labels.(3) <- { (labels.(3)) with BT.right_nbr = TL.bot };
+  labels.(4) <- { (labels.(4)) with BT.left_nbr = TL.bot };
+  let inst' = { inst with BT.labels } in
+  Alcotest.(check bool) "some node incompatible" true
+    (Graph.fold_nodes inst'.BT.graph ~init:false ~f:(fun acc v ->
+         acc || not (BT.compatible inst' v)))
+
+(* --- checker ------------------------------------------------------------- *)
+
+let test_checker_accepts_all_balanced () =
+  let inst = BT.balanced_instance ~depth:3 in
+  let out = Array.map (fun (i : BT.node_input) -> { BT.verdict = BT.Bal; port = i.BT.parent }) inst.BT.labels in
+  check_valid inst out
+
+let test_checker_rejects_unfounded_unbalanced () =
+  let inst = BT.balanced_instance ~depth:3 in
+  let out = Array.map (fun (i : BT.node_input) -> { BT.verdict = BT.Bal; port = i.BT.parent }) inst.BT.labels in
+  out.(0) <- { BT.verdict = BT.Unbal; port = TL.bot };
+  Alcotest.(check bool) "rejected" false
+    (Lcl.is_valid BT.problem inst.BT.graph ~input:(BT.input inst) ~output:(fun v -> out.(v)))
+
+(* --- solver -------------------------------------------------------------- *)
+
+let test_solver_on_balanced () =
+  let inst = BT.balanced_instance ~depth:5 in
+  let out, _ = solve_all inst BT.solve_distance in
+  check_valid inst out;
+  Alcotest.check output_t "root says balanced" { BT.verdict = BT.Bal; port = TL.bot } out.(0)
+
+let test_solver_on_broken () =
+  let depth = 5 in
+  List.iter
+    (fun break ->
+      let inst = BT.broken_pair_instance ~depth ~break in
+      let out, _ = solve_all inst BT.solve_distance in
+      check_valid inst out;
+      Alcotest.(check bool) "root says unbalanced" true
+        (match out.(0).BT.verdict with BT.Unbal -> true | BT.Bal -> false))
+    [ 0; 5; 15 ]
+
+let test_solver_distance_logarithmic () =
+  let inst = BT.broken_pair_instance ~depth:7 ~break:17 in
+  let n = Graph.n inst.BT.graph in
+  let _, costs = solve_all inst BT.solve_distance in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  List.iter
+    (fun (r : BT.output Probe.result) ->
+      Alcotest.(check bool) "distance O(log n)" true (r.Probe.distance <= logn + 4))
+    costs
+
+let test_unbalanced_chain_points_to_defect () =
+  (* Following the output ports from the root must reach the
+     incompatible node. *)
+  let depth = 5 in
+  let break = 9 in
+  let inst = BT.broken_pair_instance ~depth ~break in
+  let u, _ = BT.leaf_pair inst break in
+  let defect = (u - 1) / 2 in
+  let out, _ = solve_all inst BT.solve_distance in
+  let rec chase v steps =
+    if steps > Graph.n inst.BT.graph then Alcotest.fail "output chain does not terminate"
+    else
+      match out.(v).BT.verdict with
+      | BT.Bal -> Alcotest.fail "chain reached a balanced node before the defect"
+      | BT.Unbal ->
+          if out.(v).BT.port = TL.bot then v
+          else chase (Graph.neighbor inst.BT.graph v out.(v).BT.port) (steps + 1)
+  in
+  Alcotest.(check int) "chain ends at the defect" defect (chase 0 0)
+
+(* --- disjointness embedding (Proposition 4.9) ---------------------------- *)
+
+let test_embedding_reflects_disjointness () =
+  List.iter
+    (fun (intersecting, seed) ->
+      let disj = Disjointness.random_promise ~n:16 ~intersecting ~seed in
+      let inst = BT.embed_disjointness disj in
+      let out, _ = solve_all inst BT.solve_distance in
+      check_valid inst out;
+      let root_balanced =
+        match out.(0).BT.verdict with BT.Bal -> true | BT.Unbal -> false
+      in
+      Alcotest.(check bool) "root output = disj(x,y)" (Disjointness.eval disj) root_balanced)
+    [ (true, 1L); (true, 2L); (false, 3L); (false, 4L) ]
+
+let test_embedding_communication_linear () =
+  (* Solving from the root on a disjoint instance requires inspecting
+     every leaf pair: the Alice/Bob simulation must exchange 2 bits per
+     pair, i.e. 2N bits total at least. *)
+  let n = 64 in
+  let disj = Disjointness.random_promise ~n ~intersecting:false ~seed:9L in
+  let inst = BT.embed_disjointness disj in
+  let counter = Comm_counter.create () in
+  let world = BT.comm_world inst ~counter in
+  let r = Probe.run ~world ~origin:0 BT.solve_distance.Lcl.solve in
+  (match r.Probe.output with
+  | Some o ->
+      Alcotest.(check bool) "root balanced" true
+        (match o.BT.verdict with BT.Bal -> true | BT.Unbal -> false)
+  | None -> Alcotest.fail "aborted");
+  Alcotest.(check bool)
+    (Printf.sprintf "bits %d >= 2N = %d" (Comm_counter.bits counter) (2 * n))
+    true
+    (Comm_counter.bits counter >= 2 * n);
+  Alcotest.(check int) "per-query cost B = 2" 2 (Comm_counter.max_bits_per_query counter);
+  (* Theorem 2.9: queries >= R(disj)/B; with R(disj) >= N the implied
+     bound is N/2, and the observed query count must respect it. *)
+  let implied = Comm_counter.implied_query_lower_bound counter ~comm_lower_bound:n in
+  Alcotest.(check bool) "observed queries >= implied bound" true (r.Probe.queries >= implied)
+
+let test_embedding_volume_linear () =
+  (* The measured volume of the solver from the root grows linearly in n
+     on disjoint embeddings — the shape of Theorem 4.5's Θ(n). *)
+  let vol_for n =
+    let disj = Disjointness.random_promise ~n ~intersecting:false ~seed:11L in
+    let inst = BT.embed_disjointness disj in
+    let r = Probe.run ~world:(BT.world inst) ~origin:0 BT.solve_distance.Lcl.solve in
+    (r.Probe.volume, Graph.n inst.BT.graph)
+  in
+  let v1, n1 = vol_for 32 in
+  let v2, n2 = vol_for 128 in
+  let ratio = float_of_int v2 /. float_of_int v1 in
+  let nratio = float_of_int n2 /. float_of_int n1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "volume scales linearly (%.2f vs %.2f)" ratio nratio)
+    true
+    (ratio > 0.5 *. nratio)
+
+let prop_embedding_valid_any_bits =
+  QCheck.Test.make ~name:"balancedtree: embedding solvable and valid for arbitrary bit vectors"
+    ~count:12
+    QCheck.(pair (list_of_size (Gen.return 8) bool) (list_of_size (Gen.return 8) bool))
+    (fun (x, y) ->
+      let disj =
+        Disjointness.create ~x:(Array.of_list x) ~y:(Array.of_list y)
+      in
+      let inst = BT.embed_disjointness disj in
+      let out, _ = solve_all inst BT.solve_distance in
+      Lcl.is_valid BT.problem inst.BT.graph ~input:(BT.input inst) ~output:(fun v -> out.(v)))
+
+let suites =
+  [
+    ( "balancedtree:compatibility",
+      [
+        Alcotest.test_case "balanced fully compatible" `Quick test_balanced_instance_fully_compatible;
+        Alcotest.test_case "broken pair localized" `Quick test_broken_pair_incompatibility_localized;
+        Alcotest.test_case "missing lateral detected" `Quick test_missing_lateral_breaks_sibling_parents;
+      ] );
+    ( "balancedtree:checker",
+      [
+        Alcotest.test_case "accepts all-balanced" `Quick test_checker_accepts_all_balanced;
+        Alcotest.test_case "rejects unfounded U" `Quick test_checker_rejects_unfounded_unbalanced;
+      ] );
+    ( "balancedtree:solver",
+      [
+        Alcotest.test_case "balanced instance" `Quick test_solver_on_balanced;
+        Alcotest.test_case "broken instances" `Quick test_solver_on_broken;
+        Alcotest.test_case "distance O(log n)" `Quick test_solver_distance_logarithmic;
+        Alcotest.test_case "chain points to defect" `Quick test_unbalanced_chain_points_to_defect;
+      ] );
+    ( "balancedtree:disjointness",
+      [
+        Alcotest.test_case "embedding reflects disj" `Quick test_embedding_reflects_disjointness;
+        Alcotest.test_case "communication linear" `Quick test_embedding_communication_linear;
+        Alcotest.test_case "volume linear" `Quick test_embedding_volume_linear;
+        QCheck_alcotest.to_alcotest prop_embedding_valid_any_bits;
+      ] );
+  ]

@@ -1,0 +1,154 @@
+(* Tests for the CONGEST BalancedTree protocol (paper Observation 7.4):
+   O(log n) rounds and O(log n)-bit messages solve a problem whose
+   volume complexity is Theta(n) — the tight side of Lemma 2.5's
+   Delta^Theta(T) relation. *)
+
+module Graph = Vc_graph.Graph
+module TL = Vc_graph.Tree_labels
+module Lcl = Vc_lcl.Lcl
+module Congest = Vc_model.Congest
+module BT = Volcomp.Balanced_tree
+module BTC = Volcomp.Balanced_tree_congest
+module Disjointness = Vc_commcc.Disjointness
+
+let outputs_of inst =
+  let res = BTC.run inst () in
+  let out =
+    Array.map
+      (function Some o -> o | None -> Alcotest.fail "node did not decide")
+      res.Congest.outputs
+  in
+  (out, res)
+
+let check_valid inst out =
+  match
+    Lcl.check BT.problem inst.BT.graph ~input:(BT.input inst) ~output:(fun v -> out.(v))
+  with
+  | Ok () -> ()
+  | Error vs -> Alcotest.failf "invalid: %a" Lcl.pp_violation (List.hd vs)
+
+let test_balanced_instance () =
+  let inst = BT.balanced_instance ~depth:4 in
+  let out, _ = outputs_of inst in
+  check_valid inst out;
+  Alcotest.(check bool) "root balanced" true
+    (match out.(0).BT.verdict with BT.Bal -> true | BT.Unbal -> false)
+
+let test_broken_instances () =
+  List.iter
+    (fun break ->
+      let inst = BT.broken_pair_instance ~depth:5 ~break in
+      let out, _ = outputs_of inst in
+      check_valid inst out;
+      Alcotest.(check bool) "root unbalanced" true
+        (match out.(0).BT.verdict with BT.Unbal -> true | BT.Bal -> false))
+    [ 0; 7; 15 ]
+
+let test_embedding_instances () =
+  List.iter
+    (fun (intersecting, seed) ->
+      let disj = Disjointness.random_promise ~n:16 ~intersecting ~seed in
+      let inst = BT.embed_disjointness disj in
+      let out, _ = outputs_of inst in
+      check_valid inst out;
+      let root_balanced = match out.(0).BT.verdict with BT.Bal -> true | BT.Unbal -> false in
+      Alcotest.(check bool) "root = disj" (Disjointness.eval disj) root_balanced)
+    [ (true, 1L); (false, 2L) ]
+
+let test_rounds_logarithmic () =
+  let inst = BT.broken_pair_instance ~depth:7 ~break:31 in
+  let n = Graph.n inst.BT.graph in
+  let _, res = outputs_of inst in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d <= log n + 10 (%d)" res.Congest.rounds (logn + 10))
+    true
+    (res.Congest.rounds <= logn + 10)
+
+let test_messages_logarithmic_bits () =
+  let inst = BT.balanced_instance ~depth:6 in
+  let _, res = outputs_of inst in
+  Alcotest.(check bool) "messages fit in 512 bits" true (res.Congest.max_message_bits <= 512)
+
+let test_agrees_with_probe_solver_verdicts () =
+  (* The CONGEST protocol and the probe solver may point at defects via
+     different ports, but their B/U verdicts must coincide (the verdict
+     is semantically forced). *)
+  let inst = BT.broken_pair_instance ~depth:5 ~break:9 in
+  let out_c, _ = outputs_of inst in
+  let world = BT.world inst in
+  Graph.iter_nodes inst.BT.graph (fun v ->
+      let r = Vc_model.Probe.run ~world ~origin:v BT.solve_distance.Lcl.solve in
+      match (r.Vc_model.Probe.output, BT.status inst v) with
+      | Some o, (TL.Internal | TL.Leaf) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "verdicts agree at node %d" v)
+            true
+            ((match o.BT.verdict with BT.Bal -> 0 | BT.Unbal -> 1)
+            = (match out_c.(v).BT.verdict with BT.Bal -> 0 | BT.Unbal -> 1))
+      | Some _, TL.Inconsistent | None, _ -> ())
+
+let suites =
+  [
+    ( "balancedtree:congest",
+      [
+        Alcotest.test_case "balanced instance" `Quick test_balanced_instance;
+        Alcotest.test_case "broken instances" `Quick test_broken_instances;
+        Alcotest.test_case "embedding instances" `Quick test_embedding_instances;
+        Alcotest.test_case "rounds O(log n)" `Quick test_rounds_logarithmic;
+        Alcotest.test_case "message bits bounded" `Quick test_messages_logarithmic_bits;
+        Alcotest.test_case "verdicts match probe solver" `Quick test_agrees_with_probe_solver_verdicts;
+      ] );
+  ]
+
+(* --- LeafColoring in CONGEST (same Observation 7.4 phenomenon) ---------- *)
+
+module LC = Volcomp.Leaf_coloring
+module LCC = Volcomp.Leaf_coloring_congest
+
+let lc_outputs inst =
+  let res = LCC.run inst () in
+  ( Array.map
+      (function Some c -> c | None -> Alcotest.fail "node did not decide")
+      res.Congest.outputs,
+    res )
+
+let lc_check inst out =
+  match
+    Lcl.check LC.problem inst.LC.graph ~input:(LC.input inst) ~output:(fun v -> out.(v))
+  with
+  | Ok () -> ()
+  | Error vs -> Alcotest.failf "invalid: %a" Lcl.pp_violation (List.hd vs)
+
+let test_lc_congest_random_instances () =
+  List.iter
+    (fun seed ->
+      let inst = LC.random_instance ~n:201 ~seed in
+      let out, _ = lc_outputs inst in
+      lc_check inst out)
+    [ 31L; 32L; 33L ]
+
+let test_lc_congest_cycle_instance () =
+  let inst = LC.cycle_instance ~cycle_len:19 ~seed:34L in
+  let out, _ = lc_outputs inst in
+  lc_check inst out
+
+let test_lc_congest_forced_instance () =
+  let inst = LC.hard_distance_instance ~depth:6 ~leaf_color:TL.Blue in
+  let out, res = lc_outputs inst in
+  lc_check inst out;
+  Graph.iter_nodes inst.LC.graph (fun v ->
+      Alcotest.(check bool) "everyone blue" true (TL.equal_color out.(v) TL.Blue));
+  let logn = Volcomp.Probe_tree.log2_ceil (Graph.n inst.LC.graph) in
+  Alcotest.(check bool) "rounds O(log n)" true (res.Congest.rounds <= logn + 10)
+
+let suites =
+  suites
+  @ [
+      ( "leafcoloring:congest",
+        [
+          Alcotest.test_case "random instances" `Quick test_lc_congest_random_instances;
+          Alcotest.test_case "cycle instance" `Quick test_lc_congest_cycle_instance;
+          Alcotest.test_case "forced instance" `Quick test_lc_congest_forced_instance;
+        ] );
+    ]

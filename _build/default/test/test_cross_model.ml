@@ -1,0 +1,106 @@
+(* Cross-model property tests: the probe executor against BFS ground
+   truth, and the CONGEST router against the query solver on the
+   Example 7.6 instances. *)
+
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Bfs = Vc_graph.Bfs
+module Probe = Vc_model.Probe
+module Ball = Vc_model.Ball
+module Lcl = Vc_lcl.Lcl
+module Gap = Volcomp.Gap_example
+module SO = Volcomp.Sinkless
+module TL = Vc_graph.Tree_labels
+module Splitmix = Vc_rng.Splitmix
+
+let prop_probe_distance_equals_bfs =
+  QCheck.Test.make
+    ~name:"probe DIST accounting equals true BFS distance of the farthest visited node"
+    ~count:30
+    QCheck.(pair int64 (int_range 8 60))
+    (fun (seed, n) ->
+      let rng = Splitmix.create seed in
+      let g = SO.random_cubic ~n:(max 8 n) ~seed:(Splitmix.next rng) in
+      let world = Vc_model.World.of_graph g ~input:(fun _ -> ()) in
+      let origin = Splitmix.int rng ~bound:(Graph.n g) in
+      let steps = 1 + Splitmix.int rng ~bound:20 in
+      let r =
+        Probe.run ~world ~origin (fun ctx ->
+            (* random exploration: repeatedly query a random port of a
+               random visited node *)
+            let visited = ref [ origin ] in
+            for _ = 1 to steps do
+              let at = List.nth !visited (Splitmix.int rng ~bound:(List.length !visited)) in
+              let port = 1 + Splitmix.int rng ~bound:(Probe.degree ctx at) in
+              let u = Probe.query ctx ~at ~port in
+              if not (List.mem u !visited) then visited := u :: !visited
+            done;
+            !visited)
+      in
+      match r.Probe.output with
+      | None -> false
+      | Some visited ->
+          let dist = Bfs.distances g origin in
+          let expected = List.fold_left (fun acc v -> max acc dist.(v)) 0 visited in
+          r.Probe.distance = expected && r.Probe.volume = List.length visited)
+
+let prop_ball_gather_equals_bfs_ball =
+  QCheck.Test.make ~name:"ball gathering visits exactly the BFS ball" ~count:30
+    QCheck.(pair int64 (int_range 3 5))
+    (fun (seed, radius) ->
+      let rng = Splitmix.create seed in
+      let g = SO.random_cubic ~n:(30 + Splitmix.int rng ~bound:40) ~seed:(Splitmix.next rng) in
+      let world = Vc_model.World.of_graph g ~input:(fun _ -> ()) in
+      let origin = Splitmix.int rng ~bound:(Graph.n g) in
+      let r =
+        Probe.run ~world ~origin (fun ctx ->
+            List.sort compare (List.map fst (Ball.gather ctx ~radius)))
+      in
+      let expected = List.sort compare (Bfs.ball g origin ~radius) in
+      r.Probe.output = Some expected)
+
+let prop_congest_router_matches_query_solver =
+  QCheck.Test.make ~name:"Ex 7.6: CONGEST router delivers the query solver's answers"
+    ~count:10
+    QCheck.(pair int64 (int_range 3 6))
+    (fun (seed, depth) ->
+      let inst = Gap.make ~depth ~seed in
+      let res = Gap.run_congest inst ~bandwidth:64 in
+      let world = Gap.world inst in
+      Graph.fold_nodes inst.Gap.graph ~init:true ~f:(fun acc v ->
+          acc
+          &&
+          let q = Probe.run ~world ~origin:v Gap.solve.Lcl.solve in
+          match (q.Probe.output, res.Vc_model.Congest.outputs.(v)) with
+          | Some a, Some b -> a = b
+          | (Some _ | None), _ -> false))
+
+let prop_shuffled_ids_preserve_validity =
+  QCheck.Test.make ~name:"identifier assignment does not affect solver validity" ~count:10
+    QCheck.int64
+    (fun seed ->
+      (* LeafColoring validity is id-independent; re-shuffling ids and
+         re-solving must stay valid *)
+      let inst = Volcomp.Leaf_coloring.random_instance ~n:65 ~seed in
+      let module LC = Volcomp.Leaf_coloring in
+      let g' = Graph.shuffle_ids inst.LC.graph ~rng:(Splitmix.create (Int64.add seed 1L)) in
+      let inst' = { inst with LC.graph = g' } in
+      let world = LC.world inst' in
+      let out =
+        Array.init (Graph.n g') (fun v ->
+            match (Probe.run ~world ~origin:v LC.solve_distance.Lcl.solve).Probe.output with
+            | Some c -> c
+            | None -> TL.Red)
+      in
+      Lcl.is_valid LC.problem g' ~input:(LC.input inst') ~output:(fun v -> out.(v)))
+
+let suites =
+  [
+    ( "cross-model",
+      [
+        QCheck_alcotest.to_alcotest prop_probe_distance_equals_bfs;
+        QCheck_alcotest.to_alcotest prop_ball_gather_equals_bfs_ball;
+        QCheck_alcotest.to_alcotest prop_congest_router_matches_query_solver;
+        QCheck_alcotest.to_alcotest prop_shuffled_ids_preserve_validity;
+      ] );
+  ]

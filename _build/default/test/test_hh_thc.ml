@@ -1,0 +1,93 @@
+(* Tests for HH-THC(k, l) (paper Section 6.1): the dispatch problem that
+   combines Hierarchical-THC(l) with Hybrid-THC(k). *)
+
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module HH = Volcomp.Hh_thc
+module H = Volcomp.Hierarchical_thc
+module Hy = Volcomp.Hybrid_thc
+module Randomness = Vc_rng.Randomness
+
+let solve_all ?randomness inst (solver : (HH.node_input, HH.output) Lcl.solver) =
+  let world = HH.world inst in
+  let n = Graph.n inst.HH.graph in
+  let out =
+    Array.init n (fun v ->
+        match (Probe.run ~world ?randomness ~origin:v solver.Lcl.solve).Probe.output with
+        | Some o -> o
+        | None -> Alcotest.fail "solver aborted")
+  in
+  out
+
+let check_valid inst out =
+  match
+    Lcl.check
+      (HH.problem ~k:inst.HH.k ~l:inst.HH.l)
+      inst.HH.graph ~input:(HH.input inst)
+      ~output:(fun v -> out.(v))
+  with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid (%d violations), first: %a" (List.length vs) Lcl.pp_violation
+        (List.hd vs)
+
+let test_mixed_instance_shape () =
+  let inst = HH.uniform_instance ~k:2 ~l:3 ~size_hint:300 ~seed:1L in
+  let bits0 =
+    Array.fold_left (fun acc (i : HH.node_input) -> if i.HH.bit then acc else acc + 1) 0
+      inst.HH.labels
+  in
+  Alcotest.(check bool) "has bit-0 nodes" true (bits0 > 0);
+  Alcotest.(check bool) "has bit-1 nodes" true (bits0 < Graph.n inst.HH.graph);
+  Alcotest.(check bool) "disconnected union" false (Graph.is_connected inst.HH.graph)
+
+let test_distance_solver_valid () =
+  List.iter
+    (fun (k, l) ->
+      let inst = HH.uniform_instance ~k ~l ~size_hint:300 ~seed:2L in
+      let out = solve_all inst (HH.solve_distance ~k ~l) in
+      check_valid inst out)
+    [ (2, 2); (2, 3); (3, 3) ]
+
+let test_volume_deterministic_valid () =
+  let inst = HH.uniform_instance ~k:2 ~l:3 ~size_hint:300 ~seed:3L in
+  let out = solve_all inst (HH.solve_volume_deterministic ~k:2 ~l:3) in
+  check_valid inst out
+
+let test_volume_waypoint_valid () =
+  let inst = HH.uniform_instance ~k:2 ~l:3 ~size_hint:300 ~seed:4L in
+  let rand = Randomness.create ~seed:5L ~n:(Graph.n inst.HH.graph) () in
+  let out = solve_all ~randomness:rand inst (HH.solve_volume_waypoint ~k:2 ~l:3 ()) in
+  check_valid inst out
+
+let test_rejects_k_above_l () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (HH.uniform_instance ~k:3 ~l:2 ~size_hint:100 ~seed:1L);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hard_mixed_instance () =
+  (* combine a hard hierarchical side with a hard hybrid side *)
+  let hier, _ = H.hard_instance ~k:3 ~target_n:600 ~seed:6L in
+  let hybrid, _ = Hy.hard_instance ~k:2 ~target_n:400 ~seed:7L in
+  let inst = HH.mixed_instance ~hier ~hybrid in
+  let out = solve_all inst (HH.solve_volume_deterministic ~k:2 ~l:3) in
+  check_valid inst out;
+  let rand = Randomness.create ~seed:8L ~n:(Graph.n inst.HH.graph) () in
+  let out_r = solve_all ~randomness:rand inst (HH.solve_volume_waypoint ~k:2 ~l:3 ()) in
+  check_valid inst out_r
+
+let suites =
+  [
+    ( "hhthc",
+      [
+        Alcotest.test_case "mixed instance shape" `Quick test_mixed_instance_shape;
+        Alcotest.test_case "distance solver valid" `Quick test_distance_solver_valid;
+        Alcotest.test_case "volume deterministic valid" `Quick test_volume_deterministic_valid;
+        Alcotest.test_case "volume way-point valid" `Quick test_volume_waypoint_valid;
+        Alcotest.test_case "rejects k > l" `Quick test_rejects_k_above_l;
+        Alcotest.test_case "hard mixed instance" `Quick test_hard_mixed_instance;
+      ] );
+  ]

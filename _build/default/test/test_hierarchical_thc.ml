@@ -1,0 +1,258 @@
+(* Tests for Hierarchical-THC(k) (paper Section 5): levels and the
+   hierarchical forest, the Definition 5.5 checker, Algorithm 2 and its
+   randomized way-point variant, and the volume separation between
+   them. *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module H = Volcomp.Hierarchical_thc
+module Randomness = Vc_rng.Randomness
+
+let solve_all ?randomness inst (solver : (H.node_input, H.output) Lcl.solver) =
+  let world = H.world inst in
+  let n = Graph.n (H.graph inst) in
+  let costs = ref [] in
+  let out =
+    Array.init n (fun v ->
+        let r = Probe.run ~world ?randomness ~origin:v solver.Lcl.solve in
+        costs := r :: !costs;
+        match r.Probe.output with Some o -> o | None -> Alcotest.fail "solver aborted")
+  in
+  (out, !costs)
+
+let check_valid inst out =
+  match
+    Lcl.check (H.problem ~k:inst.H.k) (H.graph inst) ~input:(H.input inst)
+      ~output:(fun v -> out.(v))
+  with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid: %a"
+        Fmt.(list ~sep:comma Lcl.pp_violation)
+        (if List.length vs > 5 then [ List.hd vs ] else vs)
+
+let rand_for inst seed = Randomness.create ~seed ~n:(Graph.n (H.graph inst)) ()
+
+(* --- structure ----------------------------------------------------------- *)
+
+let test_levels_uniform () =
+  let inst = H.uniform_instance ~k:3 ~len:4 ~seed:1L in
+  let a = H.graph_access inst in
+  (* node 0 is the top-level backbone root *)
+  Alcotest.(check int) "root level k" 3 (H.level a ~k:3 0);
+  (* level histogram: 4 + 16 + 64 nodes at levels 3, 2, 1 *)
+  let counts = Array.make 4 0 in
+  Graph.iter_nodes (H.graph inst) (fun v ->
+      let l = H.level a ~k:3 v in
+      Alcotest.(check bool) "level within 1..3" true (l >= 1 && l <= 3);
+      counts.(l) <- counts.(l) + 1);
+  Alcotest.(check int) "level-3 nodes" 4 counts.(3);
+  Alcotest.(check int) "level-2 nodes" 16 counts.(2);
+  Alcotest.(check int) "level-1 nodes" 64 counts.(1)
+
+let test_backbone_edges () =
+  let inst = H.uniform_instance ~k:2 ~len:3 ~seed:1L in
+  let a = H.graph_access inst in
+  (* top backbone 0 -> 1 -> 2; each hangs a level-1 backbone of 3 *)
+  Alcotest.(check (option int)) "bc of root" (Some 1) (H.backbone_child a ~k:2 0);
+  Alcotest.(check (option int)) "bp of 1" (Some 0) (H.backbone_parent a ~k:2 1);
+  Alcotest.(check (option int)) "root has no bp" None (H.backbone_parent a ~k:2 0);
+  (match H.rc_child a 0 with
+  | None -> Alcotest.fail "level-2 node must hang a subtree"
+  | Some r -> Alcotest.(check int) "hung root is level 1" 1 (H.level a ~k:2 r));
+  (* the last backbone node is a level-2 leaf *)
+  let rec last v = match H.backbone_child a ~k:2 v with None -> v | Some u -> last u in
+  Alcotest.(check (option int)) "leaf has no bc" None (H.backbone_child a ~k:2 (last 0))
+
+let test_instance_sizes () =
+  let inst = H.uniform_instance ~k:2 ~len:8 ~seed:1L in
+  Alcotest.(check int) "n = len + len^2" 72 (Graph.n (H.graph inst));
+  let inst3 = H.uniform_instance ~k:3 ~len:4 ~seed:1L in
+  Alcotest.(check int) "n = 4 + 16 + 64" 84 (Graph.n (H.graph inst3))
+
+let test_cycle_backbone_levels () =
+  let inst = H.cycle_backbone_instance ~k:2 ~len:5 ~seed:1L in
+  let a = H.graph_access inst in
+  (* every top node has a backbone child and parent (cycle) *)
+  for v = 0 to 4 do
+    if H.level a ~k:2 v = 2 then begin
+      Alcotest.(check bool) "has bc" true (H.backbone_child a ~k:2 v <> None);
+      Alcotest.(check bool) "has bp" true (H.backbone_parent a ~k:2 v <> None)
+    end
+  done
+
+(* --- checker + deterministic solver -------------------------------------- *)
+
+let test_deterministic_uniform_k2 () =
+  List.iter
+    (fun seed ->
+      let inst = H.uniform_instance ~k:2 ~len:8 ~seed in
+      let out, _ = solve_all inst (H.solve_deterministic ~k:2) in
+      check_valid inst out)
+    [ 1L; 2L; 3L ]
+
+let test_deterministic_uniform_k3 () =
+  let inst = H.uniform_instance ~k:3 ~len:4 ~seed:5L in
+  let out, _ = solve_all inst (H.solve_deterministic ~k:3) in
+  check_valid inst out
+
+let test_deterministic_hard_k2 () =
+  let inst, _ = H.hard_instance ~k:2 ~target_n:400 ~seed:7L in
+  let out, _ = solve_all inst (H.solve_deterministic ~k:2) in
+  check_valid inst out
+
+let test_deterministic_cycle_backbone () =
+  let inst = H.cycle_backbone_instance ~k:2 ~len:6 ~seed:9L in
+  let out, _ = solve_all inst (H.solve_deterministic ~k:2) in
+  check_valid inst out
+
+let test_small_components_unanimous () =
+  (* uniform len=8, n=72: threshold 2*ceil(sqrt(72)) = 18 > 8, so every
+     component is shallow and must be unanimously colored by its anchor's
+     input color. *)
+  let inst = H.uniform_instance ~k:2 ~len:8 ~seed:11L in
+  let out, _ = solve_all inst (H.solve_deterministic ~k:2) in
+  check_valid inst out;
+  let a = H.graph_access inst in
+  Graph.iter_nodes (H.graph inst) (fun v ->
+      match H.backbone_child a ~k:2 v with
+      | Some u ->
+          Alcotest.(check bool) "backbone unanimous" true (H.equal_output out.(v) out.(u))
+      | None -> ())
+
+let test_checker_rejects_decline_at_top () =
+  let inst = H.uniform_instance ~k:2 ~len:8 ~seed:1L in
+  let out, _ = solve_all inst (H.solve_deterministic ~k:2) in
+  let out = Array.copy out in
+  out.(0) <- H.Decline;
+  Alcotest.(check bool) "rejected" false
+    (Lcl.is_valid (H.problem ~k:2) (H.graph inst) ~input:(H.input inst)
+       ~output:(fun v -> out.(v)))
+
+let test_checker_rejects_unanchored_exempt () =
+  let inst = H.uniform_instance ~k:2 ~len:8 ~seed:1L in
+  let out, _ = solve_all inst (H.solve_deterministic ~k:2) in
+  let a = H.graph_access inst in
+  (* find a level-1 node and mark it exempt: forbidden by condition 3 *)
+  let v1 =
+    Graph.fold_nodes (H.graph inst) ~init:None ~f:(fun acc v ->
+        match acc with Some _ -> acc | None -> if H.level a ~k:2 v = 1 then Some v else None)
+  in
+  match v1 with
+  | None -> Alcotest.fail "no level-1 node"
+  | Some v ->
+      let out = Array.copy out in
+      out.(v) <- H.Exempt;
+      Alcotest.(check bool) "rejected" false
+        (Lcl.is_valid (H.problem ~k:2) (H.graph inst) ~input:(H.input inst)
+           ~output:(fun v -> out.(v)))
+
+(* --- randomized way-point solver ------------------------------------------ *)
+
+let test_waypoint_uniform_k2 () =
+  List.iter
+    (fun seed ->
+      let inst = H.uniform_instance ~k:2 ~len:8 ~seed in
+      let rand = rand_for inst (Int64.add seed 77L) in
+      let out, _ = solve_all ~randomness:rand inst (H.solve_waypoint ~k:2 ()) in
+      check_valid inst out)
+    [ 1L; 2L ]
+
+let test_waypoint_hard_k2 () =
+  List.iter
+    (fun seed ->
+      let inst, _ = H.hard_instance ~k:2 ~target_n:400 ~seed in
+      let rand = rand_for inst (Int64.add seed 177L) in
+      let out, _ = solve_all ~randomness:rand inst (H.solve_waypoint ~k:2 ()) in
+      check_valid inst out)
+    [ 3L; 4L ]
+
+let test_waypoint_hard_k3 () =
+  let inst, _ = H.hard_instance ~k:3 ~target_n:3000 ~seed:5L in
+  let rand = rand_for inst 205L in
+  let out, _ = solve_all ~randomness:rand inst (H.solve_waypoint ~k:3 ()) in
+  check_valid inst out
+
+(* --- the volume separation (Table 1 row 3, measured) ---------------------- *)
+
+let test_volume_separation_on_hard_instance () =
+  (* Needs an n large enough that p = c·log n / sqrt n is genuinely
+     small; at toy sizes the way-point rate saturates. *)
+  let inst, hot = H.hard_instance ~k:2 ~target_n:30_000 ~seed:13L in
+  let world = H.world inst in
+  let n = Graph.n (H.graph inst) in
+  (* measure from the middle of the top-level run of hard subtrees *)
+  let det = Probe.run ~world ~origin:hot (H.solve_deterministic ~k:2).Lcl.solve in
+  let rand = rand_for inst 14L in
+  let way =
+    Probe.run ~world ~randomness:rand ~origin:hot ((H.solve_waypoint ~k:2 ~c:1.5 ()).Lcl.solve)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "deterministic volume %d is a constant fraction of n=%d" det.Probe.volume n)
+    true
+    (det.Probe.volume * 4 >= n);
+  Alcotest.(check bool)
+    (Printf.sprintf "way-point volume %d well below deterministic %d" way.Probe.volume
+       det.Probe.volume)
+    true
+    (way.Probe.volume * 3 <= det.Probe.volume);
+  (* both stay at distance O(n^{1/2}) *)
+  let root = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  Alcotest.(check bool) "det distance O(sqrt n)" true (det.Probe.distance <= 8 * root);
+  Alcotest.(check bool) "way distance O(sqrt n)" true (way.Probe.distance <= 8 * root)
+
+let prop_deterministic_valid_uniform =
+  QCheck.Test.make ~name:"hthc: deterministic solver valid on uniform instances" ~count:8
+    QCheck.(pair (int_range 2 3) (int_range 3 7))
+    (fun (k, len) ->
+      let inst = H.uniform_instance ~k ~len ~seed:(Int64.of_int ((k * 100) + len)) in
+      let out, _ = solve_all inst (H.solve_deterministic ~k) in
+      Lcl.is_valid (H.problem ~k) (H.graph inst) ~input:(H.input inst) ~output:(fun v -> out.(v)))
+
+let prop_waypoint_valid_hard =
+  QCheck.Test.make ~name:"hthc: way-point solver valid on hard instances (whp)" ~count:6
+    QCheck.(int_range 200 600)
+    (fun target_n ->
+      let inst, _ = H.hard_instance ~k:2 ~target_n ~seed:(Int64.of_int target_n) in
+      let rand = rand_for inst (Int64.of_int (target_n + 9)) in
+      let out, _ = solve_all ~randomness:rand inst (H.solve_waypoint ~k:2 ()) in
+      Lcl.is_valid (H.problem ~k:2) (H.graph inst) ~input:(H.input inst)
+        ~output:(fun v -> out.(v)))
+
+let suites =
+  [
+    ( "hthc:structure",
+      [
+        Alcotest.test_case "levels uniform" `Quick test_levels_uniform;
+        Alcotest.test_case "backbone edges" `Quick test_backbone_edges;
+        Alcotest.test_case "instance sizes" `Quick test_instance_sizes;
+        Alcotest.test_case "cycle backbone levels" `Quick test_cycle_backbone_levels;
+      ] );
+    ( "hthc:deterministic",
+      [
+        Alcotest.test_case "uniform k=2" `Quick test_deterministic_uniform_k2;
+        Alcotest.test_case "uniform k=3" `Quick test_deterministic_uniform_k3;
+        Alcotest.test_case "hard k=2" `Quick test_deterministic_hard_k2;
+        Alcotest.test_case "cycle backbone" `Quick test_deterministic_cycle_backbone;
+        Alcotest.test_case "small components unanimous" `Quick test_small_components_unanimous;
+      ] );
+    ( "hthc:checker",
+      [
+        Alcotest.test_case "rejects decline at top" `Quick test_checker_rejects_decline_at_top;
+        Alcotest.test_case "rejects unanchored exempt" `Quick test_checker_rejects_unanchored_exempt;
+      ] );
+    ( "hthc:waypoint",
+      [
+        Alcotest.test_case "uniform k=2" `Quick test_waypoint_uniform_k2;
+        Alcotest.test_case "hard k=2" `Quick test_waypoint_hard_k2;
+        Alcotest.test_case "hard k=3" `Slow test_waypoint_hard_k3;
+        Alcotest.test_case "volume separation" `Quick test_volume_separation_on_hard_instance;
+      ] );
+    ( "hthc:properties",
+      [
+        QCheck_alcotest.to_alcotest prop_deterministic_valid_uniform;
+        QCheck_alcotest.to_alcotest prop_waypoint_valid_hard;
+      ] );
+  ]

@@ -1,0 +1,193 @@
+(* Tests for Hybrid-THC(k) (paper Section 6): the Definition 6.1
+   checker, the O(log n)-distance strategy, the volume solvers and the
+   distance-vs-volume decoupling that motivates the construction. *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Hy = Volcomp.Hybrid_thc
+module H = Volcomp.Hierarchical_thc
+module Randomness = Vc_rng.Randomness
+
+let solve_all ?randomness inst (solver : (Hy.node_input, Hy.output) Lcl.solver) =
+  let world = Hy.world inst in
+  let n = Graph.n inst.Hy.graph in
+  let costs = ref [] in
+  let out =
+    Array.init n (fun v ->
+        let r = Probe.run ~world ?randomness ~origin:v solver.Lcl.solve in
+        costs := r :: !costs;
+        match r.Probe.output with Some o -> o | None -> Alcotest.fail "solver aborted")
+  in
+  (out, !costs)
+
+let check_valid inst out =
+  match
+    Lcl.check (Hy.problem ~k:inst.Hy.k) inst.Hy.graph ~input:(Hy.input inst)
+      ~output:(fun v -> out.(v))
+  with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid (%d violations), first: %a" (List.length vs) Lcl.pp_violation
+        (List.hd vs)
+
+let rand_for inst seed = Randomness.create ~seed ~n:(Graph.n inst.Hy.graph) ()
+
+(* --- structure ------------------------------------------------------------ *)
+
+let test_uniform_levels () =
+  let inst = Hy.uniform_instance ~k:2 ~len:4 ~bt_depth:2 ~seed:1L in
+  (* 4 backbone nodes, each hanging a depth-2 BT of 7 nodes *)
+  Alcotest.(check int) "n" 32 (Graph.n inst.Hy.graph);
+  let levels = Array.map (fun (i : Hy.node_input) -> i.Hy.level) inst.Hy.labels in
+  Alcotest.(check int) "level-2 count" 4
+    (Array.fold_left (fun acc l -> if l = 2 then acc + 1 else acc) 0 levels);
+  Alcotest.(check int) "level-1 count" 28
+    (Array.fold_left (fun acc l -> if l = 1 then acc + 1 else acc) 0 levels)
+
+(* --- distance solver -------------------------------------------------------- *)
+
+let test_distance_solver_valid () =
+  List.iter
+    (fun (k, len, bt_depth) ->
+      let inst = Hy.uniform_instance ~k ~len ~bt_depth ~seed:2L in
+      let out, _ = solve_all inst (Hy.solve_distance ~k) in
+      check_valid inst out)
+    [ (2, 4, 2); (2, 6, 3); (3, 3, 2) ]
+
+let test_distance_solver_logarithmic () =
+  (* Even with a large BalancedTree below, DIST stays O(log n): the
+     level-1 nodes run the O(log n)-distance BalancedTree solver and the
+     rest exempt themselves after an O(1) look. *)
+  let inst = Hy.uniform_instance ~k:2 ~len:4 ~bt_depth:7 ~seed:3L in
+  let n = Graph.n inst.Hy.graph in
+  let _, costs = solve_all inst (Hy.solve_distance ~k:2) in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  List.iter
+    (fun (r : Hy.output Probe.result) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "distance %d <= log n + 6 (%d)" r.Probe.distance (logn + 6))
+        true
+        (r.Probe.distance <= logn + 6))
+    costs
+
+let test_distance_solver_on_broken_bt () =
+  (* Break one BalancedTree's sibling pointers: its nodes flip to U
+     outputs; levels >= 2 may still exempt (U counts as solved). *)
+  let inst = Hy.uniform_instance ~k:2 ~len:4 ~bt_depth:3 ~seed:4L in
+  let labels = Array.copy inst.Hy.labels in
+  (* find a level-1 node with both lateral pointers and cut them *)
+  let cut = ref None in
+  Array.iteri
+    (fun v (i : Hy.node_input) ->
+      if !cut = None && i.Hy.level = 1 && i.Hy.left_nbr <> TL.bot && i.Hy.right_nbr <> TL.bot
+      then begin
+        cut := Some v;
+        labels.(v) <- { i with Hy.left_nbr = TL.bot }
+      end)
+    inst.Hy.labels;
+  Alcotest.(check bool) "found a node to break" true (!cut <> None);
+  let inst = { inst with Hy.labels } in
+  let out, _ = solve_all inst (Hy.solve_distance ~k:2) in
+  check_valid inst out;
+  Alcotest.(check bool) "some node reports unbalanced" true
+    (Array.exists
+       (function Hy.Solved { Volcomp.Balanced_tree.verdict = Volcomp.Balanced_tree.Unbal; _ } -> true | _ -> false)
+       out)
+
+(* --- volume solvers ---------------------------------------------------------- *)
+
+let test_volume_deterministic_valid () =
+  let inst = Hy.uniform_instance ~k:2 ~len:4 ~bt_depth:2 ~seed:5L in
+  let out, _ = solve_all inst (Hy.solve_volume_deterministic ~k:2) in
+  check_valid inst out
+
+let test_volume_deterministic_hard () =
+  let inst, _ = Hy.hard_instance ~k:2 ~target_n:300 ~seed:6L in
+  let out, _ = solve_all inst (Hy.solve_volume_deterministic ~k:2) in
+  check_valid inst out
+
+let test_volume_waypoint_valid () =
+  List.iter
+    (fun seed ->
+      let inst, _ = Hy.hard_instance ~k:2 ~target_n:300 ~seed in
+      let rand = rand_for inst (Int64.add seed 31L) in
+      let out, _ = solve_all ~randomness:rand inst (Hy.solve_volume_waypoint ~k:2 ()) in
+      check_valid inst out)
+    [ 7L; 8L ]
+
+let test_deep_bt_declines () =
+  (* In the hard instance, the run's big BalancedTrees exceed the scan
+     threshold, so the volume solver declines them unanimously. *)
+  let inst, hot = Hy.hard_instance ~k:2 ~target_n:300 ~seed:9L in
+  let out, _ = solve_all inst (Hy.solve_volume_deterministic ~k:2) in
+  check_valid inst out;
+  let a = Volcomp.Hybrid_thc.input inst in
+  ignore a;
+  ignore hot;
+  Alcotest.(check bool) "some level-1 node declines" true
+    (Array.exists
+       (fun i -> i = Hy.Sym H.Decline)
+       (Array.mapi
+          (fun v o -> if (Hy.input inst v).Hy.level = 1 then o else Hy.Sym H.Exempt)
+          out))
+
+(* --- the distance/volume decoupling (Table 1 row 4) -------------------------- *)
+
+let test_distance_vs_volume_decoupling () =
+  (* On the hard instance: the distance solver answers every node within
+     O(log n) distance, while any solver that answers from the hot node
+     with small volume must be the way-point one; the deterministic
+     volume solver pays a constant fraction of n. *)
+  let inst, hot = Hy.hard_instance ~k:2 ~target_n:20_000 ~seed:10L in
+  let world = Hy.world inst in
+  let n = Graph.n inst.Hy.graph in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  let dist_run = Probe.run ~world ~origin:hot (Hy.solve_distance ~k:2).Lcl.solve in
+  Alcotest.(check bool) "distance solver: O(log n) distance" true
+    (dist_run.Probe.distance <= logn + 6);
+  let det = Probe.run ~world ~origin:hot (Hy.solve_volume_deterministic ~k:2).Lcl.solve in
+  let rand = rand_for inst 11L in
+  let way =
+    Probe.run ~world ~randomness:rand ~origin:hot
+      ((Hy.solve_volume_waypoint ~k:2 ~c:1.5 ()).Lcl.solve)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "deterministic volume %d = Ω(n), n=%d" det.Probe.volume n)
+    true
+    (det.Probe.volume * 6 >= n);
+  Alcotest.(check bool)
+    (Printf.sprintf "way-point volume %d well below deterministic %d" way.Probe.volume
+       det.Probe.volume)
+    true
+    (way.Probe.volume * 3 <= det.Probe.volume)
+
+let prop_distance_solver_valid =
+  QCheck.Test.make ~name:"hybrid: distance solver valid on uniform instances" ~count:8
+    QCheck.(pair (int_range 2 3) (int_range 2 4))
+    (fun (k, len) ->
+      let inst = Hy.uniform_instance ~k ~len ~bt_depth:2 ~seed:(Int64.of_int ((k * 10) + len)) in
+      let out, _ = solve_all inst (Hy.solve_distance ~k) in
+      Lcl.is_valid (Hy.problem ~k) inst.Hy.graph ~input:(Hy.input inst) ~output:(fun v -> out.(v)))
+
+let suites =
+  [
+    ( "hybrid:structure",
+      [ Alcotest.test_case "uniform levels" `Quick test_uniform_levels ] );
+    ( "hybrid:distance",
+      [
+        Alcotest.test_case "valid" `Quick test_distance_solver_valid;
+        Alcotest.test_case "O(log n) distance" `Quick test_distance_solver_logarithmic;
+        Alcotest.test_case "broken BT handled" `Quick test_distance_solver_on_broken_bt;
+      ] );
+    ( "hybrid:volume",
+      [
+        Alcotest.test_case "deterministic uniform" `Quick test_volume_deterministic_valid;
+        Alcotest.test_case "deterministic hard" `Quick test_volume_deterministic_hard;
+        Alcotest.test_case "way-point hard" `Quick test_volume_waypoint_valid;
+        Alcotest.test_case "deep BT declines" `Quick test_deep_bt_declines;
+        Alcotest.test_case "distance/volume decoupling" `Quick test_distance_vs_volume_decoupling;
+      ] );
+    ( "hybrid:properties", [ QCheck_alcotest.to_alcotest prop_distance_solver_valid ] );
+  ]

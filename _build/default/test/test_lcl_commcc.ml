@@ -1,0 +1,89 @@
+(* Tests for the LCL framework and the communication-complexity
+   substrate. *)
+
+module Lcl = Vc_lcl.Lcl
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Disjointness = Vc_commcc.Disjointness
+module Comm_counter = Vc_commcc.Comm_counter
+
+(* A toy LCL: output must equal the input bit. *)
+let echo_problem : (bool, bool) Lcl.t =
+  {
+    Lcl.name = "Echo";
+    radius = 0;
+    valid_at =
+      (fun _g ~input ~output v ->
+        if Bool.equal (input v) (output v) then Ok () else Error "must echo input");
+  }
+
+let test_check_collects_all_violations () =
+  let g = Builder.path 5 in
+  match Lcl.check echo_problem g ~input:(fun _ -> true) ~output:(fun v -> v mod 2 = 0) with
+  | Ok () -> Alcotest.fail "should be invalid"
+  | Error vs ->
+      Alcotest.(check int) "two violations (odd nodes)" 2 (List.length vs);
+      Alcotest.(check (list int)) "at nodes 1 and 3" [ 1; 3 ]
+        (List.map (fun v -> v.Lcl.node) vs)
+
+let test_is_valid_positive () =
+  let g = Builder.path 5 in
+  Alcotest.(check bool) "valid" true
+    (Lcl.is_valid echo_problem g ~input:(fun v -> v = 0) ~output:(fun v -> v = 0))
+
+let test_lemma_2_5_bounds () =
+  let lo, hi = Lcl.volume_bounds_from_distance ~delta:3 ~distance:4 in
+  Alcotest.(check int) "lower = T" 4 lo;
+  Alcotest.(check int) "upper = 3^4 + 1" 82 hi;
+  let _, hi = Lcl.volume_bounds_from_distance ~delta:3 ~distance:60 in
+  Alcotest.(check int) "saturates" max_int hi
+
+let test_disjointness_eval () =
+  let d = Disjointness.create ~x:[| true; false; true |] ~y:[| false; true; true |] in
+  Alcotest.(check bool) "intersecting" false (Disjointness.eval d);
+  Alcotest.(check int) "intersection size" 1 (Disjointness.intersection_size d);
+  let d2 = Disjointness.create ~x:[| true; false |] ~y:[| false; true |] in
+  Alcotest.(check bool) "disjoint" true (Disjointness.eval d2)
+
+let test_disjointness_promise () =
+  List.iter
+    (fun intersecting ->
+      let d = Disjointness.random_promise ~n:64 ~intersecting ~seed:5L in
+      let expected = if intersecting then 1 else 0 in
+      Alcotest.(check int) "promise holds" expected (Disjointness.intersection_size d))
+    [ true; false ]
+
+let test_disjointness_rejects_mismatch () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Disjointness.create ~x:[| true |] ~y:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_comm_counter () =
+  let c = Comm_counter.create () in
+  Comm_counter.free c;
+  Comm_counter.charge c ~bits:2;
+  Comm_counter.charge c ~bits:5;
+  Alcotest.(check int) "queries" 3 (Comm_counter.queries c);
+  Alcotest.(check int) "charged" 2 (Comm_counter.charged_queries c);
+  Alcotest.(check int) "bits" 7 (Comm_counter.bits c);
+  Alcotest.(check int) "max per query" 5 (Comm_counter.max_bits_per_query c);
+  Alcotest.(check int) "implied bound" 20 (Comm_counter.implied_query_lower_bound c ~comm_lower_bound:100)
+
+let suites =
+  [
+    ( "lcl",
+      [
+        Alcotest.test_case "check collects violations" `Quick test_check_collects_all_violations;
+        Alcotest.test_case "is_valid" `Quick test_is_valid_positive;
+        Alcotest.test_case "lemma 2.5 bounds" `Quick test_lemma_2_5_bounds;
+      ] );
+    ( "commcc",
+      [
+        Alcotest.test_case "disjointness eval" `Quick test_disjointness_eval;
+        Alcotest.test_case "disjointness promise" `Quick test_disjointness_promise;
+        Alcotest.test_case "rejects mismatch" `Quick test_disjointness_rejects_mismatch;
+        Alcotest.test_case "comm counter" `Quick test_comm_counter;
+      ] );
+  ]

@@ -1,0 +1,320 @@
+(* Tests for LeafColoring (paper Section 3): checker, both solvers, the
+   hard instances and the interactive deterministic-volume adversary. *)
+
+module TL = Vc_graph.Tree_labels
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module LC = Volcomp.Leaf_coloring
+module Adv = Volcomp.Adversary_leaf
+module Randomness = Vc_rng.Randomness
+
+let color_t = Alcotest.testable TL.pp_color TL.equal_color
+
+(* Solve an instance by running a solver from every node. *)
+let solve_all ?randomness inst (solver : (LC.node_input, TL.color) Lcl.solver) =
+  let world = LC.world inst in
+  let n = Graph.n inst.LC.graph in
+  let costs = ref [] in
+  let out =
+    Array.init n (fun v ->
+        let r = Probe.run ~world ?randomness ~origin:v solver.Lcl.solve in
+        costs := r :: !costs;
+        match r.Probe.output with Some c -> c | None -> Alcotest.fail "solver aborted")
+  in
+  (out, !costs)
+
+let check_valid inst out =
+  match Lcl.check LC.problem inst.LC.graph ~input:(LC.input inst) ~output:(fun v -> out.(v)) with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "invalid output: %a" Fmt.(list ~sep:comma Lcl.pp_violation) vs
+
+let rand_for inst seed =
+  Randomness.create ~seed ~n:(Graph.n inst.LC.graph) ()
+
+(* --- checker ----------------------------------------------------------- *)
+
+let test_checker_accepts_forced () =
+  let inst = LC.hard_distance_instance ~depth:4 ~leaf_color:TL.Blue in
+  match LC.unique_valid_output inst with
+  | None -> Alcotest.fail "complete tree should have forced output"
+  | Some out ->
+      check_valid inst out;
+      Alcotest.check color_t "root forced to leaf color" TL.Blue out.(0)
+
+let test_checker_rejects_wrong_root () =
+  let inst = LC.hard_distance_instance ~depth:3 ~leaf_color:TL.Blue in
+  match LC.unique_valid_output inst with
+  | None -> Alcotest.fail "forced output expected"
+  | Some out ->
+      let out' = Array.copy out in
+      out'.(0) <- TL.Red;
+      Alcotest.(check bool) "rejected" false
+        (Lcl.is_valid LC.problem inst.LC.graph ~input:(LC.input inst)
+           ~output:(fun v -> out'.(v)))
+
+let test_checker_rejects_lying_leaf () =
+  let inst = LC.hard_distance_instance ~depth:2 ~leaf_color:TL.Blue in
+  match LC.unique_valid_output inst with
+  | None -> Alcotest.fail "forced output expected"
+  | Some out ->
+      let leaf = 6 in
+      Alcotest.(check int) "leaf degree" 1 (Graph.degree inst.LC.graph leaf);
+      let out' = Array.copy out in
+      out'.(leaf) <- TL.Red;
+      Alcotest.(check bool) "rejected" false
+        (Lcl.is_valid LC.problem inst.LC.graph ~input:(LC.input inst)
+           ~output:(fun v -> out'.(v)))
+
+let test_inconsistent_nodes_echo () =
+  let inst = LC.figure4_instance in
+  let out, _ = solve_all inst LC.solve_distance in
+  check_valid inst out
+
+(* --- deterministic distance solver (Prop 3.9) --------------------------- *)
+
+let test_solve_distance_random_instances () =
+  List.iter
+    (fun seed ->
+      let inst = LC.random_instance ~n:129 ~seed in
+      let out, _ = solve_all inst LC.solve_distance in
+      check_valid inst out)
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_solve_distance_cycle_instance () =
+  let inst = LC.cycle_instance ~cycle_len:17 ~seed:7L in
+  let out, _ = solve_all inst LC.solve_distance in
+  check_valid inst out
+
+let test_solve_distance_cost_logarithmic () =
+  let inst = LC.hard_distance_instance ~depth:9 ~leaf_color:TL.Blue in
+  let n = Graph.n inst.LC.graph in
+  let _, costs = solve_all inst LC.solve_distance in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  List.iter
+    (fun (r : TL.color Probe.result) ->
+      Alcotest.(check bool) "distance O(log n)" true (r.Probe.distance <= logn + 2))
+    costs
+
+(* --- randomized random-walk solver (Alg 1) ------------------------------ *)
+
+let test_random_walk_valid_on_trees () =
+  List.iter
+    (fun seed ->
+      let inst = LC.random_instance ~n:201 ~seed in
+      let rand = rand_for inst (Int64.add seed 100L) in
+      let out, _ = solve_all ~randomness:rand inst LC.solve_random_walk in
+      check_valid inst out)
+    [ 11L; 12L; 13L ]
+
+let test_random_walk_valid_on_cycles () =
+  List.iter
+    (fun seed ->
+      let inst = LC.cycle_instance ~cycle_len:33 ~seed in
+      let rand = rand_for inst (Int64.add seed 500L) in
+      let out, _ = solve_all ~randomness:rand inst LC.solve_random_walk in
+      check_valid inst out)
+    [ 21L; 22L; 23L ]
+
+let test_random_walk_volume_logarithmic () =
+  (* On a complete binary tree, RWtoLeaf reaches a leaf in exactly
+     depth steps, so volume is O(log n) deterministically here; on
+     random trees it is O(log n) w.h.p. — checked with a generous
+     constant over many seeds. *)
+  let inst = LC.random_instance ~n:1025 ~seed:31L in
+  let n = Graph.n inst.LC.graph in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  let rand = rand_for inst 32L in
+  let _, costs = solve_all ~randomness:rand inst LC.solve_random_walk in
+  let worst = List.fold_left (fun acc (r : TL.color Probe.result) -> max acc r.Probe.volume) 0 costs in
+  Alcotest.(check bool)
+    (Printf.sprintf "worst volume %d <= 64 log n (%d)" worst (64 * logn))
+    true
+    (worst <= 64 * logn)
+
+let test_random_walk_agreement_along_path () =
+  (* All walks started anywhere in a tree component must settle on one
+     leaf color per G_T path: validity of the assembled output captures
+     exactly that, so this is the integration check on a deep instance. *)
+  let inst = LC.random_instance ~n:511 ~seed:41L in
+  let rand = rand_for inst 42L in
+  let out, _ = solve_all ~randomness:rand inst LC.solve_random_walk in
+  check_valid inst out
+
+let test_random_walk_no_flip_fails_on_cycles () =
+  (* Ablation: without the revisit flip, when every cycle node's bit
+     points along the cycle the walk rotates forever (it gets
+     step-capped and outputs junk).  The trap event has probability
+     2^-cycle_len per randomness seed, so use a short cycle, colors that
+     make any trapped output invalid (alternating colors on the cycle,
+     anti-parent colors on the leaves), and scan seeds until the trap is
+     hit.  The flipped variant must stay valid on the very same seeds. *)
+  let cycle_len = 4 in
+  let inst = LC.cycle_instance ~cycle_len ~seed:3L in
+  Array.iteri
+    (fun v _ ->
+      if v < cycle_len then inst.LC.colors.(v) <- (if v mod 2 = 0 then TL.Red else TL.Blue)
+      else inst.LC.colors.(v) <- TL.flip_color inst.LC.colors.(v - cycle_len))
+    inst.LC.colors;
+  let valid_under solver seed =
+    let rand = rand_for inst (Int64.of_int seed) in
+    let out, _ = solve_all ~randomness:rand inst solver in
+    Lcl.is_valid LC.problem inst.LC.graph ~input:(LC.input inst) ~output:(fun v -> out.(v))
+  in
+  let rec find_failure seed =
+    if seed > 500 then None
+    else if not (valid_under LC.solve_random_walk_no_flip seed) then Some seed
+    else find_failure (seed + 1)
+  in
+  match find_failure 1 with
+  | None -> Alcotest.fail "no-flip variant never trapped in 500 seeds"
+  | Some seed ->
+      Alcotest.(check bool) "flip rule repairs the same seed" true
+        (valid_under LC.solve_random_walk seed)
+
+(* --- Proposition 3.12: distance lower bound ------------------------------ *)
+
+let test_distance_lower_bound () =
+  (* A distance-(k-1) algorithm at the root cannot see any leaf, so its
+     output is independent of the leaf color: it must fail on one of the
+     two instances. *)
+  let depth = 6 in
+  let run leaf_color =
+    let inst = LC.hard_distance_instance ~depth ~leaf_color in
+    let world = LC.world inst in
+    let r =
+      Probe.run ~world ~budget:(Probe.distance_budget (depth - 1)) ~origin:0
+        LC.solve_distance.Lcl.solve
+    in
+    (* An aborted run models "truncate and output arbitrarily": fix Red. *)
+    match r.Probe.output with Some c -> c | None -> TL.Red
+  in
+  let on_blue = run TL.Blue and on_red = run TL.Red in
+  Alcotest.check color_t "output independent of leaf color" on_blue on_red;
+  Alcotest.(check bool) "hence fails on one instance" true
+    (not (TL.equal_color on_blue TL.Blue) || not (TL.equal_color on_red TL.Red))
+
+let test_full_distance_solver_sees_leaves () =
+  let depth = 6 in
+  List.iter
+    (fun leaf_color ->
+      let inst = LC.hard_distance_instance ~depth ~leaf_color in
+      let out, _ = solve_all inst LC.solve_distance in
+      check_valid inst out;
+      Alcotest.check color_t "root echoes leaf color" leaf_color out.(0))
+    [ TL.Red; TL.Blue ]
+
+(* --- Proposition 3.13: the interactive adversary ------------------------- *)
+
+(* A deterministic algorithm that gives up quickly: classify the origin;
+   if internal, look a couple of levels down and output the majority
+   input color seen. *)
+let impatient_solver =
+  Lcl.solver ~name:"impatient" ~randomized:false (fun ctx ->
+      let v0 = Probe.origin ctx in
+      match Volcomp.Probe_tree.status ~pointers:LC.pointers ctx v0 with
+      | TL.Leaf | TL.Inconsistent -> (Probe.input ctx v0).LC.color
+      | TL.Internal -> (
+          match Volcomp.Probe_tree.children ~pointers:LC.pointers ctx v0 with
+          | None -> (Probe.input ctx v0).LC.color
+          | Some (lc, _) -> (Probe.input ctx lc).LC.color))
+
+let test_adversary_fools_impatient () =
+  match Adv.duel ~claimed_n:300 impatient_solver with
+  | Adv.Survived _ -> Alcotest.fail "impatient solver should be fooled"
+  | Adv.Fooled { algorithm_output; forced_output; instance; _ } ->
+      Alcotest.(check bool) "output differs from forced" false
+        (TL.equal_color algorithm_output forced_output);
+      (* The completed instance must itself be a well-formed LeafColoring
+         instance whose forced output is consistent. *)
+      let inst = instance in
+      (match LC.unique_valid_output inst with
+      | None -> Alcotest.fail "completed instance must have forced output"
+      | Some out -> check_valid inst out)
+
+let test_adversary_cannot_fool_thorough () =
+  (* The honest solver keeps digging for a leaf; within the n/3 query
+     budget the adversary can only answer with more internal nodes, so
+     the solver exceeds the budget: Survived, never Fooled. *)
+  match Adv.duel ~claimed_n:300 LC.solve_distance with
+  | Adv.Survived { volume } -> Alcotest.(check bool) "paid >= n/3 volume" true (volume >= 100)
+  | Adv.Fooled _ -> Alcotest.fail "honest solver must not be fooled below n/3 volume"
+
+let test_adversary_rejects_randomized () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Adv.duel ~claimed_n:100 LC.solve_random_walk);
+       false
+     with Invalid_argument _ -> true)
+
+let test_adversary_instance_size_bounded () =
+  match Adv.duel ~claimed_n:300 impatient_solver with
+  | Adv.Survived _ -> Alcotest.fail "expected Fooled"
+  | Adv.Fooled { instance; _ } ->
+      Alcotest.(check bool) "completed instance fits the claim" true
+        (Graph.n instance.LC.graph <= 300)
+
+(* --- properties ---------------------------------------------------------- *)
+
+let prop_both_solvers_agree_with_checker =
+  QCheck.Test.make ~name:"leafcoloring: both solvers valid on random instances" ~count:15
+    QCheck.(int_range 9 120)
+    (fun n ->
+      let seed = Int64.of_int (n * 31) in
+      let inst = LC.random_instance ~n ~seed in
+      let out_d, _ = solve_all inst LC.solve_distance in
+      let rand = rand_for inst (Int64.of_int ((n * 7) + 1)) in
+      let out_r, _ = solve_all ~randomness:rand inst LC.solve_random_walk in
+      Lcl.is_valid LC.problem inst.LC.graph ~input:(LC.input inst) ~output:(fun v -> out_d.(v))
+      && Lcl.is_valid LC.problem inst.LC.graph ~input:(LC.input inst) ~output:(fun v ->
+             out_r.(v)))
+
+let prop_dist_le_vol =
+  QCheck.Test.make ~name:"leafcoloring: DIST <= VOL on every run (Lemma 2.5)" ~count:10
+    QCheck.(int_range 9 80)
+    (fun n ->
+      let inst = LC.random_instance ~n ~seed:(Int64.of_int n) in
+      let world = LC.world inst in
+      Graph.fold_nodes inst.LC.graph ~init:true ~f:(fun acc v ->
+          let r = Probe.run ~world ~origin:v LC.solve_distance.Lcl.solve in
+          acc && r.Probe.distance <= r.Probe.volume))
+
+let suites =
+  [
+    ( "leafcoloring:checker",
+      [
+        Alcotest.test_case "accepts forced output" `Quick test_checker_accepts_forced;
+        Alcotest.test_case "rejects wrong root" `Quick test_checker_rejects_wrong_root;
+        Alcotest.test_case "rejects lying leaf" `Quick test_checker_rejects_lying_leaf;
+        Alcotest.test_case "figure-4 style instance" `Quick test_inconsistent_nodes_echo;
+      ] );
+    ( "leafcoloring:solve-distance",
+      [
+        Alcotest.test_case "random instances" `Quick test_solve_distance_random_instances;
+        Alcotest.test_case "cycle instance" `Quick test_solve_distance_cycle_instance;
+        Alcotest.test_case "distance O(log n)" `Quick test_solve_distance_cost_logarithmic;
+        Alcotest.test_case "sees leaves at full radius" `Quick test_full_distance_solver_sees_leaves;
+      ] );
+    ( "leafcoloring:random-walk",
+      [
+        Alcotest.test_case "valid on trees" `Quick test_random_walk_valid_on_trees;
+        Alcotest.test_case "valid on cycles" `Quick test_random_walk_valid_on_cycles;
+        Alcotest.test_case "volume O(log n)" `Slow test_random_walk_volume_logarithmic;
+        Alcotest.test_case "agreement along paths" `Quick test_random_walk_agreement_along_path;
+        Alcotest.test_case "no-flip ablation fails" `Quick test_random_walk_no_flip_fails_on_cycles;
+      ] );
+    ( "leafcoloring:lower-bounds",
+      [
+        Alcotest.test_case "Prop 3.12 distance bound" `Quick test_distance_lower_bound;
+        Alcotest.test_case "adversary fools impatient" `Quick test_adversary_fools_impatient;
+        Alcotest.test_case "adversary vs thorough" `Quick test_adversary_cannot_fool_thorough;
+        Alcotest.test_case "adversary rejects randomized" `Quick test_adversary_rejects_randomized;
+        Alcotest.test_case "completed instance bounded" `Quick test_adversary_instance_size_bounded;
+      ] );
+    ( "leafcoloring:properties",
+      [
+        QCheck_alcotest.to_alcotest prop_both_solvers_agree_with_checker;
+        QCheck_alcotest.to_alcotest prop_dist_le_vol;
+      ] );
+  ]

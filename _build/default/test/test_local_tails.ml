@@ -1,0 +1,176 @@
+(* Tests for the LOCAL full-information simulator (Remark 2.3) and the
+   Section 2.6 tail bounds. *)
+
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+module Local = Vc_model.Local
+module Lcl = Vc_lcl.Lcl
+module LC = Volcomp.Leaf_coloring
+module TB = Vc_measure.Tail_bounds
+module Randomness = Vc_rng.Randomness
+module Splitmix = Vc_rng.Splitmix
+
+(* --- LOCAL gathering ---------------------------------------------------- *)
+
+let test_gather_ball_sizes () =
+  let g = Builder.complete_binary_tree ~depth:4 in
+  let got = Local.gather ~graph:g ~input:(fun _ -> ()) ~rounds:2 in
+  (* the root's 2-ball has 7 nodes; a leaf's has 4 (leaf, parent,
+     grandparent, sibling) *)
+  Alcotest.(check int) "root knows 7" 7 (Local.nodes_known got.Local.views.(0));
+  let leaf = List.hd (Builder.leaves_of_complete_tree ~depth:4) in
+  Alcotest.(check int) "leaf knows 4" 4 (Local.nodes_known got.Local.views.(leaf))
+
+let test_gather_message_growth () =
+  (* message sizes grow like Delta^T: the LOCAL/CONGEST separation *)
+  let g = Builder.complete_binary_tree ~depth:7 in
+  let bits r = (Local.gather ~graph:g ~input:(fun _ -> ()) ~rounds:r).Local.max_message_bits in
+  let b2 = bits 2 and b5 = bits 5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "b5=%d >= 4*b2=%d" b5 (4 * b2))
+    true (b5 >= 4 * b2)
+
+let test_remark_2_3_replay () =
+  (* Remark 2.3, executable: the deterministic LeafColoring solver has
+     DIST <= log n + 2; replaying it against every node's (log n + 3)-
+     round knowledge yields exactly the outputs of the true world. *)
+  let inst = LC.random_instance ~n:201 ~seed:3L in
+  let g = inst.LC.graph in
+  let n = Graph.n g in
+  let rounds = Volcomp.Probe_tree.log2_ceil n + 3 in
+  let got = Local.gather ~graph:g ~input:(LC.input inst) ~rounds in
+  let true_world = LC.world inst in
+  Graph.iter_nodes g (fun v ->
+      let truth = Probe.run ~world:true_world ~origin:v LC.solve_distance.Lcl.solve in
+      let kworld = Local.world_of_knowledge ~n ~origin:v got.Local.views.(v) in
+      let replay = Probe.run ~world:kworld ~origin:v LC.solve_distance.Lcl.solve in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d same output" v)
+        true
+        (match (truth.Probe.output, replay.Probe.output) with
+        | Some a, Some b -> TL.equal_color a b
+        | (Some _ | None), _ -> false);
+      Alcotest.(check int) "same volume" truth.Probe.volume replay.Probe.volume)
+
+let test_outside_ball_detected () =
+  let g = Builder.path 10 in
+  let got = Local.gather ~graph:g ~input:(fun _ -> ()) ~rounds:2 in
+  let w = Local.world_of_knowledge ~n:10 ~origin:0 got.Local.views.(0) in
+  let r =
+    Probe.run ~world:w ~origin:0 (fun ctx ->
+        (* walk right past the knowledge horizon *)
+        try
+          let a = Probe.query ctx ~at:0 ~port:1 in
+          let b = Probe.query ctx ~at:a ~port:2 in
+          let c = Probe.query ctx ~at:b ~port:2 in
+          ignore c;
+          false
+        with Local.Outside_ball _ -> true)
+  in
+  Alcotest.(check (option bool)) "strays detected" (Some true) r.Probe.output
+
+(* --- tail bounds ----------------------------------------------------------- *)
+
+let test_chernoff_formulas () =
+  Alcotest.(check bool) "upper decreasing in mu" true
+    (TB.chernoff_upper ~mu:100.0 ~delta:0.5 < TB.chernoff_upper ~mu:10.0 ~delta:0.5);
+  Alcotest.(check bool) "lower tighter than upper" true
+    (TB.chernoff_lower ~mu:10.0 ~delta:0.5 <= TB.chernoff_upper ~mu:10.0 ~delta:0.5);
+  Alcotest.(check bool) "rejects delta >= 1" true
+    (try
+       ignore (TB.chernoff_upper ~mu:1.0 ~delta:1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_chernoff_dominates_empirical () =
+  List.iter
+    (fun (m, p, delta) ->
+      let bound = TB.chernoff_upper ~mu:(float_of_int m *. p) ~delta in
+      let emp = TB.empirical_binomial_upper_tail ~trials:3000 ~m ~p ~delta ~seed:5L in
+      Alcotest.(check bool)
+        (Printf.sprintf "m=%d p=%.2f d=%.2f: emp %.4f <= bound %.4f (+slack)" m p delta emp bound)
+        true
+        (emp <= bound +. 0.02);
+      let lbound = TB.chernoff_lower ~mu:(float_of_int m *. p) ~delta in
+      let lemp = TB.empirical_binomial_lower_tail ~trials:3000 ~m ~p ~delta ~seed:6L in
+      Alcotest.(check bool) "lower tail dominated" true (lemp <= lbound +. 0.02))
+    [ (200, 0.5, 0.3); (500, 0.2, 0.5); (100, 0.8, 0.2) ]
+
+let test_negative_binomial_dominates_empirical () =
+  List.iter
+    (fun (k, p, c) ->
+      let bound = TB.negative_binomial_tail ~k ~p ~c in
+      let emp = TB.empirical_negative_binomial_tail ~trials:3000 ~k ~p ~c ~seed:7L in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d p=%.2f c=%.1f: emp %.4f <= bound %.4f (+slack)" k p c emp bound)
+        true
+        (emp <= bound +. 0.02))
+    [ (10, 0.5, 2.0); (20, 0.3, 1.5); (8, 0.9, 3.0) ]
+
+let test_rwtoleaf_walk_length_tail () =
+  (* The Prop 3.10 claim instantiated: P(walk length >= 16 log n) is
+     tiny.  We measure walk lengths through the volume of RWtoLeaf runs
+     (volume ~ a constant times walk length). *)
+  let inst = LC.random_instance ~n:513 ~seed:8L in
+  let n = Graph.n inst.LC.graph in
+  let world = LC.world inst in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  let violations = ref 0 in
+  let runs = ref 0 in
+  for seed = 1 to 20 do
+    let rand = Randomness.create ~seed:(Int64.of_int seed) ~n () in
+    Graph.iter_nodes inst.LC.graph (fun v ->
+        if v mod 8 = 0 then begin
+          incr runs;
+          let r = Probe.run ~world ~randomness:rand ~origin:v LC.solve_random_walk.Lcl.solve in
+          (* each walk step costs at most 8 queries/visits *)
+          if r.Probe.volume > 8 * 16 * logn then incr violations
+        end)
+  done;
+  Alcotest.(check int)
+    (Printf.sprintf "no 16-log-n violations in %d runs" !runs)
+    0 !violations
+
+let test_waypoint_density_chernoff () =
+  (* Lemma 5.16's shape: in windows of m nodes with waypoint probability
+     p, the count exceeds twice its mean with frequency below the
+     Chernoff bound. *)
+  let rng = Splitmix.create 9L in
+  let m = 400 and p = 0.05 in
+  let mu = float_of_int m *. p in
+  let trials = 2000 in
+  let crowded = ref 0 in
+  for _ = 1 to trials do
+    let count = ref 0 in
+    for _ = 1 to m do
+      if Splitmix.float rng < p then incr count
+    done;
+    if float_of_int !count >= 2.0 *. mu then incr crowded
+  done;
+  let emp = float_of_int !crowded /. float_of_int trials in
+  let bound = TB.chernoff_upper ~mu ~delta:0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "crowded windows %.4f <= %.4f (+slack)" emp bound)
+    true
+    (emp <= bound +. 0.02)
+
+let suites =
+  [
+    ( "model:local",
+      [
+        Alcotest.test_case "ball sizes" `Quick test_gather_ball_sizes;
+        Alcotest.test_case "message growth Delta^T" `Quick test_gather_message_growth;
+        Alcotest.test_case "Remark 2.3 replay" `Slow test_remark_2_3_replay;
+        Alcotest.test_case "outside ball detected" `Quick test_outside_ball_detected;
+      ] );
+    ( "measure:tail-bounds",
+      [
+        Alcotest.test_case "chernoff formulas" `Quick test_chernoff_formulas;
+        Alcotest.test_case "chernoff dominates empirical" `Slow test_chernoff_dominates_empirical;
+        Alcotest.test_case "neg-binomial dominates empirical" `Slow test_negative_binomial_dominates_empirical;
+        Alcotest.test_case "RWtoLeaf walk-length tail" `Slow test_rwtoleaf_walk_length_tail;
+        Alcotest.test_case "waypoint density (Lemma 5.16)" `Quick test_waypoint_density_chernoff;
+      ] );
+  ]

@@ -1,0 +1,24 @@
+(* Entry point aggregating every test suite.  Each [Test_*] module
+   exposes a [suites] value: a list of Alcotest (name, cases) pairs. *)
+
+let () =
+  Alcotest.run "volcomp"
+    (List.concat
+       [
+         Test_rng.suites;
+         Test_graph.suites;
+         Test_model.suites;
+         Test_leaf_coloring.suites;
+         Test_balanced_tree.suites;
+         Test_hierarchical_thc.suites;
+         Test_hybrid_thc.suites;
+         Test_hh_thc.suites;
+         Test_aux_problems.suites;
+         Test_lcl_commcc.suites;
+         Test_bt_congest.suites;
+         Test_measure.suites;
+         Test_local_tails.suites;
+         Test_sinkless.suites;
+         Test_robustness.suites;
+         Test_cross_model.suites;
+       ])

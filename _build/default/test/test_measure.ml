@@ -1,0 +1,142 @@
+(* Tests for the measurement harness: growth-class fitting, the runner,
+   and the experiment pipeline itself (on tiny ladders). *)
+
+module Fit = Vc_measure.Fit
+module Runner = Vc_measure.Runner
+module Experiments = Vc_measure.Experiments
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module Trivial = Volcomp.Trivial_lcl
+
+let model_t = Alcotest.testable Fit.pp_model Fit.equal_model
+
+let ladder = [ 64; 256; 1024; 4096; 16384 ]
+
+let series f = List.map (fun n -> (n, f (float_of_int n))) ladder
+
+let test_fit_constant () =
+  let best, _ = Fit.best_fit (series (fun _ -> 7.0)) in
+  Alcotest.check model_t "constant" Fit.Constant best
+
+let test_fit_log () =
+  let best, _ = Fit.best_fit (series (fun n -> 3.0 *. log n /. log 2.0)) in
+  Alcotest.check model_t "log" Fit.Log best
+
+let test_fit_sqrt () =
+  let best, _ = Fit.best_fit (series (fun n -> 2.0 *. sqrt n)) in
+  Alcotest.check model_t "sqrt" (Fit.Root 2) best
+
+let test_fit_cbrt () =
+  let best, _ = Fit.best_fit (series (fun n -> 5.0 *. Float.pow n (1.0 /. 3.0))) in
+  Alcotest.check model_t "cbrt" (Fit.Root 3) best
+
+let test_fit_linear () =
+  let best, _ = Fit.best_fit (series (fun n -> 0.4 *. n)) in
+  Alcotest.check model_t "linear" Fit.Linear best
+
+let test_fit_noise_tolerant () =
+  (* multiplicative noise of +/-15% must not change the class *)
+  let noisy =
+    List.mapi
+      (fun i (n, y) -> (n, y *. (if i mod 2 = 0 then 1.15 else 0.87)))
+      (series (fun n -> 2.0 *. sqrt n))
+  in
+  let best, _ = Fit.best_fit noisy in
+  Alcotest.check model_t "still sqrt" (Fit.Root 2) best
+
+let test_fit_rejects_short_series () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Fit.score Fit.Log [ (10, 1.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_log_star () =
+  Alcotest.(check bool) "log*(2^16) small" true (Fit.log_star 65536.0 <= 5.0);
+  Alcotest.(check bool) "monotone" true (Fit.log_star 1e9 >= Fit.log_star 100.0)
+
+let test_runner_stats () =
+  let g = Builder.path 9 in
+  let world = Trivial.world g in
+  let stats, outputs =
+    Runner.measure ~world ~solver:Trivial.solve ~origins:(Graph.nodes g) ()
+  in
+  Alcotest.(check int) "runs" 9 stats.Runner.runs;
+  Alcotest.(check int) "outputs" 9 (List.length outputs);
+  Alcotest.(check int) "volume 1" 1 stats.Runner.max_volume;
+  Alcotest.(check int) "aborted 0" 0 stats.Runner.aborted
+
+let test_runner_abort_counted () =
+  let g = Builder.path 9 in
+  let world = Trivial.world g in
+  let greedy =
+    Vc_lcl.Lcl.solver ~name:"greedy" ~randomized:false (fun ctx ->
+        let rec go v =
+          let d = Probe.degree ctx v in
+          go (Probe.query ctx ~at:v ~port:d)
+        in
+        go (Probe.origin ctx))
+  in
+  let stats, outputs =
+    Runner.measure ~world ~solver:greedy ~budget:(Probe.volume_budget 2) ~origins:[ 0; 4 ] ()
+  in
+  Alcotest.(check int) "both aborted" 2 stats.Runner.aborted;
+  Alcotest.(check int) "no outputs" 0 (List.length outputs)
+
+let test_sample_origins_distinct () =
+  let g = Builder.cycle 50 in
+  let sample = Runner.sample_origins g ~count:20 ~seed:3L in
+  Alcotest.(check int) "20 samples" 20 (List.length sample);
+  Alcotest.(check int) "distinct" 20 (List.length (List.sort_uniq compare sample))
+
+let test_solve_and_check_valid () =
+  let g = Builder.complete_binary_tree ~depth:4 in
+  let stats, valid =
+    Runner.solve_and_check ~world:(Trivial.world g) ~problem:Trivial.problem ~graph:g
+      ~input:(fun _ -> ()) ~solver:Trivial.solve ()
+  in
+  Alcotest.(check bool) "valid" true valid;
+  Alcotest.(check int) "all nodes" (Graph.n g) stats.Runner.runs
+
+(* End-to-end: two representative experiment reports on their quick
+   ladders must agree with the paper. *)
+let test_experiment_leafcoloring_agrees () =
+  let r = Experiments.table1_leafcoloring ~quick:true in
+  Alcotest.(check bool) "leafcoloring row reproduces" true (Experiments.all_agree r)
+
+let test_experiment_figure12_agrees () =
+  let r = Experiments.figure12_classes ~quick:true in
+  Alcotest.(check bool) "figure 1-2 classes reproduce" true (Experiments.all_agree r)
+
+let test_experiment_adversary_agrees () =
+  let r = Experiments.figure8_adversary ~quick:true in
+  Alcotest.(check bool) "adversary report reproduces" true (Experiments.all_agree r)
+
+let suites =
+  [
+    ( "measure:fit",
+      [
+        Alcotest.test_case "constant" `Quick test_fit_constant;
+        Alcotest.test_case "log" `Quick test_fit_log;
+        Alcotest.test_case "sqrt" `Quick test_fit_sqrt;
+        Alcotest.test_case "cbrt" `Quick test_fit_cbrt;
+        Alcotest.test_case "linear" `Quick test_fit_linear;
+        Alcotest.test_case "noise tolerant" `Quick test_fit_noise_tolerant;
+        Alcotest.test_case "rejects short series" `Quick test_fit_rejects_short_series;
+        Alcotest.test_case "log star" `Quick test_log_star;
+      ] );
+    ( "measure:runner",
+      [
+        Alcotest.test_case "stats" `Quick test_runner_stats;
+        Alcotest.test_case "abort counted" `Quick test_runner_abort_counted;
+        Alcotest.test_case "sample origins" `Quick test_sample_origins_distinct;
+        Alcotest.test_case "solve and check" `Quick test_solve_and_check_valid;
+      ] );
+    ( "measure:experiments",
+      [
+        Alcotest.test_case "leafcoloring row" `Slow test_experiment_leafcoloring_agrees;
+        Alcotest.test_case "figure 1-2" `Slow test_experiment_figure12_agrees;
+        Alcotest.test_case "adversary report" `Slow test_experiment_adversary_agrees;
+      ] );
+  ]

@@ -1,0 +1,251 @@
+(* Tests for the probe executor, worlds, ball gathering and CONGEST. *)
+
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Probe = Vc_model.Probe
+module World = Vc_model.World
+module Ball = Vc_model.Ball
+module Congest = Vc_model.Congest
+module Randomness = Vc_rng.Randomness
+
+let unit_world g = World.of_graph g ~input:(fun _ -> ())
+
+let test_origin_visible () =
+  let w = unit_world (Builder.path 4) in
+  let r =
+    Probe.run ~world:w ~origin:2 (fun ctx ->
+        Alcotest.(check int) "origin" 2 (Probe.origin ctx);
+        Alcotest.(check int) "n" 4 (Probe.n ctx);
+        Alcotest.(check int) "initial volume" 1 (Probe.volume ctx);
+        Probe.id ctx 2)
+  in
+  Alcotest.(check (option int)) "id of origin" (Some 3) r.Probe.output
+
+let test_query_extends_visited () =
+  let w = unit_world (Builder.path 4) in
+  let r =
+    Probe.run ~world:w ~origin:0 (fun ctx ->
+        let u = Probe.query ctx ~at:0 ~port:1 in
+        Alcotest.(check int) "neighbor" 1 u;
+        Alcotest.(check bool) "now visited" true (Probe.visited ctx u);
+        Probe.query ctx ~at:u ~port:2)
+  in
+  Alcotest.(check (option int)) "second hop" (Some 2) r.Probe.output;
+  Alcotest.(check int) "volume 3" 3 r.Probe.volume;
+  Alcotest.(check int) "distance 2" 2 r.Probe.distance;
+  Alcotest.(check int) "queries 2" 2 r.Probe.queries
+
+let test_query_from_unvisited_rejected () =
+  let w = unit_world (Builder.path 4) in
+  let r =
+    Probe.run ~world:w ~origin:0 (fun ctx ->
+        try
+          ignore (Probe.query ctx ~at:3 ~port:1);
+          false
+        with Probe.Illegal _ -> true)
+  in
+  Alcotest.(check (option bool)) "illegal" (Some true) r.Probe.output
+
+let test_invalid_port_rejected () =
+  let w = unit_world (Builder.path 4) in
+  let r =
+    Probe.run ~world:w ~origin:0 (fun ctx ->
+        try
+          ignore (Probe.query ctx ~at:0 ~port:2);
+          false
+        with Probe.Illegal _ -> true)
+  in
+  Alcotest.(check (option bool)) "illegal" (Some true) r.Probe.output
+
+let test_requery_free_volume () =
+  let w = unit_world (Builder.path 4) in
+  let r =
+    Probe.run ~world:w ~origin:0 (fun ctx ->
+        ignore (Probe.query ctx ~at:0 ~port:1);
+        ignore (Probe.query ctx ~at:0 ~port:1);
+        ignore (Probe.query ctx ~at:0 ~port:1))
+  in
+  Alcotest.(check int) "volume 2" 2 r.Probe.volume;
+  Alcotest.(check int) "queries 3" 3 r.Probe.queries
+
+let test_volume_budget_aborts () =
+  let w = unit_world (Builder.path 10) in
+  let r =
+    Probe.run ~world:w ~budget:(Probe.volume_budget 3) ~origin:0 (fun ctx ->
+        let rec go v = go (Probe.query ctx ~at:v ~port:(Graph.degree (Builder.path 10) v)) in
+        go 0)
+  in
+  Alcotest.(check bool) "aborted" true r.Probe.aborted;
+  Alcotest.(check bool) "no output" true (Option.is_none r.Probe.output);
+  Alcotest.(check int) "volume capped" 3 r.Probe.volume
+
+let test_distance_budget_aborts () =
+  let w = unit_world (Builder.path 10) in
+  let r =
+    Probe.run ~world:w ~budget:(Probe.distance_budget 2) ~origin:0 (fun ctx ->
+        let rec go v = go (Probe.query ctx ~at:v ~port:(if v = 0 then 1 else 2)) in
+        go 0)
+  in
+  Alcotest.(check bool) "aborted" true r.Probe.aborted;
+  Alcotest.(check int) "distance capped" 2 r.Probe.distance
+
+let test_deterministic_rand_rejected () =
+  let w = unit_world (Builder.path 4) in
+  let r =
+    Probe.run ~world:w ~origin:0 (fun ctx ->
+        try
+          ignore (Probe.rand_bit ctx 0);
+          false
+        with Probe.Illegal _ -> true)
+  in
+  Alcotest.(check (option bool)) "illegal" (Some true) r.Probe.output
+
+let test_rand_bits_consistent_across_runs () =
+  let g = Builder.path 4 in
+  let w = unit_world g in
+  let rand = Randomness.create ~seed:9L ~n:4 () in
+  let read origin =
+    (Probe.run ~world:w ~randomness:rand ~origin (fun ctx ->
+         ignore (Probe.query ctx ~at:origin ~port:1);
+         let v = Graph.neighbor g origin 1 in
+         List.init 8 (fun i -> Probe.rand_bit_at ctx v i)))
+      .Probe.output
+  in
+  (* Nodes 0 and 2 both read node 1's bits (ports: node 0 port 1 -> 1;
+     node 2 port 1 -> 1? node 2's port 1 is node 1 in a path built from
+     edges (0,1),(1,2),(2,3)). *)
+  Alcotest.(check (option (list bool))) "same bits seen by different executions" (read 0) (read 2)
+
+let test_secret_randomness_enforced () =
+  let w = unit_world (Builder.path 4) in
+  let rand = Randomness.create ~regime:Randomness.Secret ~seed:9L ~n:4 () in
+  let r =
+    Probe.run ~world:w ~randomness:rand ~origin:0 (fun ctx ->
+        ignore (Probe.rand_bit ctx 0);
+        let u = Probe.query ctx ~at:0 ~port:1 in
+        try
+          ignore (Probe.rand_bit ctx u);
+          false
+        with Probe.Illegal _ -> true)
+  in
+  Alcotest.(check (option bool)) "own ok, other's forbidden" (Some true) r.Probe.output
+
+let test_rand_accounting () =
+  let w = unit_world (Builder.path 4) in
+  let rand = Randomness.create ~seed:9L ~n:4 () in
+  let r =
+    Probe.run ~world:w ~randomness:rand ~origin:0 (fun ctx ->
+        ignore (Probe.rand_bit ctx 0);
+        ignore (Probe.rand_bit ctx 0);
+        ignore (Probe.rand_bit_at ctx 0 5))
+  in
+  Alcotest.(check int) "3 bits read" 3 r.Probe.rand_bits
+
+let test_ball_gather () =
+  let g = Builder.complete_binary_tree ~depth:3 in
+  let w = unit_world g in
+  let r =
+    Probe.run ~world:w ~origin:0 (fun ctx ->
+        let ball = Ball.gather ctx ~radius:2 in
+        List.length ball)
+  in
+  Alcotest.(check (option int)) "ball size" (Some 7) r.Probe.output;
+  (* gathering radius 2 queries all ports of depth<2 nodes: visits depth 3? no *)
+  Alcotest.(check int) "distance exactly 2" 2 r.Probe.distance;
+  Alcotest.(check int) "volume equals ball size" 7 r.Probe.volume
+
+let test_ball_depths_match_bfs () =
+  let g = Builder.cycle 9 in
+  let w = unit_world g in
+  let r =
+    Probe.run ~world:w ~origin:4 (fun ctx -> Ball.gather ctx ~radius:3)
+  in
+  let expected = Vc_graph.Bfs.distances_upto g 4 ~radius:3 in
+  Alcotest.(check (option (list (pair int int)))) "bfs agreement" (Some expected) r.Probe.output
+
+let test_lemma_2_5_volume_of_distance_sim () =
+  (* Gathering radius T costs volume <= Delta^T + 1 (Lemma 2.5). *)
+  let g = Builder.complete_binary_tree ~depth:5 in
+  let w = unit_world g in
+  List.iter
+    (fun t ->
+      let r = Probe.run ~world:w ~origin:0 (fun ctx -> ignore (Ball.gather ctx ~radius:t)) in
+      let _, upper = Vc_lcl.Lcl.volume_bounds_from_distance ~delta:(Graph.max_degree g) ~distance:t in
+      Alcotest.(check bool) "vol <= Delta^T + 1" true (r.Probe.volume <= upper);
+      Alcotest.(check bool) "dist <= vol" true (r.Probe.distance <= r.Probe.volume))
+    [ 0; 1; 2; 3 ]
+
+(* --- CONGEST ---------------------------------------------------------- *)
+
+(* Flood the maximum identifier: a classic O(diameter) CONGEST task with
+   O(log n)-bit messages. *)
+let flood_max_algorithm ~rounds_needed =
+  let open Congest in
+  {
+    init =
+      (fun ~n:_ ~id ~degree ~input:() ->
+        let out = List.init degree (fun p -> (p + 1, id)) in
+        ((id, degree, 0), out));
+    round =
+      (fun (best, degree, age) ~inbox ->
+        let best' = List.fold_left (fun acc (_, m) -> max acc m) best inbox in
+        let out = if best' > best then List.init degree (fun p -> (p + 1, best')) else [] in
+        let age = age + 1 in
+        let decision = if age >= rounds_needed then Some best' else None in
+        ((best', degree, age), out, decision));
+    message_bits = (fun _ -> 32);
+  }
+
+let test_congest_flood_max () =
+  let g = Builder.path 8 in
+  let res =
+    Congest.run ~graph:g ~input:(fun _ -> ()) ~max_rounds:50 (flood_max_algorithm ~rounds_needed:8)
+  in
+  Array.iter
+    (fun o -> Alcotest.(check (option int)) "max id everywhere" (Some 8) o)
+    res.Congest.outputs;
+  Alcotest.(check bool) "rounds bounded" true (res.Congest.rounds <= 20)
+
+let test_congest_bandwidth_enforced () =
+  let g = Builder.path 3 in
+  let algo =
+    {
+      Congest.init = (fun ~n:_ ~id:_ ~degree ~input:() -> ((), List.init degree (fun p -> (p + 1, ()))));
+      round = (fun () ~inbox:_ -> ((), [], Some ()));
+      message_bits = (fun () -> 100);
+    }
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Congest.run ~graph:g ~input:(fun _ -> ()) ~bandwidth:32 ~max_rounds:5 algo);
+       false
+     with Congest.Bandwidth_exceeded _ -> true)
+
+let suites =
+  [
+    ( "model:probe",
+      [
+        Alcotest.test_case "origin visible" `Quick test_origin_visible;
+        Alcotest.test_case "query extends visited" `Quick test_query_extends_visited;
+        Alcotest.test_case "query from unvisited rejected" `Quick test_query_from_unvisited_rejected;
+        Alcotest.test_case "invalid port rejected" `Quick test_invalid_port_rejected;
+        Alcotest.test_case "requery free volume" `Quick test_requery_free_volume;
+        Alcotest.test_case "volume budget aborts" `Quick test_volume_budget_aborts;
+        Alcotest.test_case "distance budget aborts" `Quick test_distance_budget_aborts;
+        Alcotest.test_case "deterministic rand rejected" `Quick test_deterministic_rand_rejected;
+        Alcotest.test_case "rand bits consistent" `Quick test_rand_bits_consistent_across_runs;
+        Alcotest.test_case "secret randomness enforced" `Quick test_secret_randomness_enforced;
+        Alcotest.test_case "rand accounting" `Quick test_rand_accounting;
+      ] );
+    ( "model:ball",
+      [
+        Alcotest.test_case "gather" `Quick test_ball_gather;
+        Alcotest.test_case "depths match bfs" `Quick test_ball_depths_match_bfs;
+        Alcotest.test_case "lemma 2.5 simulation bound" `Quick test_lemma_2_5_volume_of_distance_sim;
+      ] );
+    ( "model:congest",
+      [
+        Alcotest.test_case "flood max" `Quick test_congest_flood_max;
+        Alcotest.test_case "bandwidth enforced" `Quick test_congest_bandwidth_enforced;
+      ] );
+  ]

@@ -1,0 +1,155 @@
+(* Tests for the splittable PRNG and per-node random streams. *)
+
+module Splitmix = Vc_rng.Splitmix
+module Stream = Vc_rng.Stream
+module Randomness = Vc_rng.Randomness
+
+let test_determinism () =
+  let g1 = Splitmix.create 42L and g2 = Splitmix.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same sequence" (Splitmix.next g1) (Splitmix.next g2)
+  done
+
+let test_distinct_seeds () =
+  let g1 = Splitmix.create 1L and g2 = Splitmix.create 2L in
+  let a = List.init 8 (fun _ -> Splitmix.next g1) in
+  let b = List.init 8 (fun _ -> Splitmix.next g2) in
+  Alcotest.(check bool) "different sequences" true (a <> b)
+
+let test_split_independent_of_use () =
+  let g = Splitmix.create 7L in
+  let child_before = Splitmix.split g ~key:5L in
+  let _ = Splitmix.next g in
+  let child_after = Splitmix.split g ~key:5L in
+  Alcotest.(check int64) "split keyed on seed, not state" (Splitmix.next child_before)
+    (Splitmix.next child_after)
+
+let test_split_distinct_keys () =
+  let g = Splitmix.create 7L in
+  let a = Splitmix.next (Splitmix.split g ~key:1L) in
+  let b = Splitmix.next (Splitmix.split g ~key:2L) in
+  Alcotest.(check bool) "distinct key streams differ" true (a <> b)
+
+let test_int_bounds () =
+  let g = Splitmix.create 3L in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int g ~bound:17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_nonpositive () =
+  let g = Splitmix.create 3L in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Splitmix.int g ~bound:0))
+
+let test_float_range () =
+  let g = Splitmix.create 4L in
+  for _ = 1 to 1000 do
+    let f = Splitmix.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_int_roughly_uniform () =
+  let g = Splitmix.create 9L in
+  let counts = Array.make 4 0 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    let v = Splitmix.int g ~bound:4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = trials / 4 in
+      Alcotest.(check bool) "within 5% of uniform" true (abs (c - expected) < expected / 20))
+    counts
+
+let test_stream_memoized () =
+  let s = Stream.of_seed 11L in
+  let b5 = Stream.bit s 5 in
+  let b5' = Stream.bit s 5 in
+  Alcotest.(check bool) "memoized bit" b5 b5';
+  Alcotest.(check int) "bits consumed counts materialization" 6 (Stream.bits_consumed s)
+
+let test_stream_sequential () =
+  let s = Stream.of_seed 12L in
+  let a = List.init 20 (fun _ -> Stream.next_bit s) in
+  Stream.reset_cursor s;
+  let b = List.init 20 (fun _ -> Stream.next_bit s) in
+  Alcotest.(check (list bool)) "cursor reset replays" a b
+
+let test_stream_same_seed_same_bits () =
+  let s1 = Stream.of_seed 13L and s2 = Stream.of_seed 13L in
+  for i = 0 to 63 do
+    Alcotest.(check bool) "same bit" (Stream.bit s1 i) (Stream.bit s2 i)
+  done
+
+let test_randomness_private_streams_differ () =
+  let r = Randomness.create ~seed:5L ~n:4 () in
+  let bits v = List.init 32 (fun i -> Stream.bit (Randomness.stream r v) i) in
+  Alcotest.(check bool) "node 0 and 1 differ" true (bits 0 <> bits 1)
+
+let test_randomness_public_is_shared () =
+  let r = Randomness.create ~regime:Randomness.Public ~seed:5L ~n:4 () in
+  Alcotest.(check bool) "same stream object" true (Randomness.stream r 0 == Randomness.stream r 3)
+
+let test_randomness_secret_visibility () =
+  let r = Randomness.create ~regime:Randomness.Secret ~seed:5L ~n:4 () in
+  Alcotest.(check bool) "own stream readable" true (Randomness.readable r ~origin:2 ~node:2);
+  Alcotest.(check bool) "other stream hidden" false (Randomness.readable r ~origin:2 ~node:3)
+
+let test_randomness_bit_accounting () =
+  let r = Randomness.create ~seed:5L ~n:4 () in
+  ignore (Stream.bit (Randomness.stream r 1) 9);
+  ignore (Stream.bit (Randomness.stream r 2) 4);
+  Alcotest.(check int) "total bits" 15 (Randomness.total_bits_consumed r)
+
+let test_randomness_reseed () =
+  let r = Randomness.create ~seed:5L ~n:4 () in
+  let r' = Randomness.reseed r 6L in
+  let bits t = List.init 32 (fun i -> Stream.bit (Randomness.stream t 0) i) in
+  Alcotest.(check bool) "reseeded stream differs" true (bits r <> bits r')
+
+let prop_mix_injective_on_sample =
+  QCheck.Test.make ~name:"splitmix mix has no collisions on random sample" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (a, b) -> a = b || Splitmix.mix a <> Splitmix.mix b)
+
+let prop_stream_bits_stable =
+  QCheck.Test.make ~name:"stream bits stable under access order" ~count:200
+    QCheck.(pair int64 (small_list (int_bound 200)))
+    (fun (seed, indices) ->
+      let s1 = Stream.of_seed seed and s2 = Stream.of_seed seed in
+      let via_order = List.map (fun i -> Stream.bit s1 i) indices in
+      let via_reverse = List.rev_map (fun i -> Stream.bit s2 i) (List.rev indices) in
+      via_order = via_reverse)
+
+let suites =
+  [
+    ( "rng:splitmix",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+        Alcotest.test_case "split independent of use" `Quick test_split_independent_of_use;
+        Alcotest.test_case "split distinct keys" `Quick test_split_distinct_keys;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int rejects nonpositive" `Quick test_int_rejects_nonpositive;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "int roughly uniform" `Slow test_int_roughly_uniform;
+        QCheck_alcotest.to_alcotest prop_mix_injective_on_sample;
+      ] );
+    ( "rng:stream",
+      [
+        Alcotest.test_case "memoized" `Quick test_stream_memoized;
+        Alcotest.test_case "sequential cursor" `Quick test_stream_sequential;
+        Alcotest.test_case "same seed same bits" `Quick test_stream_same_seed_same_bits;
+        QCheck_alcotest.to_alcotest prop_stream_bits_stable;
+      ] );
+    ( "rng:randomness",
+      [
+        Alcotest.test_case "private streams differ" `Quick test_randomness_private_streams_differ;
+        Alcotest.test_case "public is shared" `Quick test_randomness_public_is_shared;
+        Alcotest.test_case "secret visibility" `Quick test_randomness_secret_visibility;
+        Alcotest.test_case "bit accounting" `Quick test_randomness_bit_accounting;
+        Alcotest.test_case "reseed" `Quick test_randomness_reseed;
+      ] );
+  ]

@@ -1,0 +1,215 @@
+(* Robustness suite: the solvers are total functions of their inputs.
+
+   LCL inputs are arbitrary labelings — nothing promises that pointers
+   describe trees.  Every solver must terminate without raising on
+   garbage labels (their outputs need not be valid: the checkers define
+   validity, and conditions can be vacuous or unsatisfiable on garbage).
+   Plus: the Proposition 5.13 distance lower-bound shape and the
+   Question 7.8 randomness-consumption accounting. *)
+
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Randomness = Vc_rng.Randomness
+module Splitmix = Vc_rng.Splitmix
+module LC = Volcomp.Leaf_coloring
+module BT = Volcomp.Balanced_tree
+module H = Volcomp.Hierarchical_thc
+module Hy = Volcomp.Hybrid_thc
+module SO = Volcomp.Sinkless
+
+(* random garbage: pointers uniform over {bot} ∪ ports (possibly
+   invalid), arbitrary colors and levels *)
+let garbage_ptr rng deg = Splitmix.int rng ~bound:(deg + 3) (* may exceed the degree *)
+
+let garbage_graph rng =
+  if Splitmix.bool rng then SO.random_cubic ~n:(20 + Splitmix.int rng ~bound:30) ~seed:(Splitmix.next rng)
+  else Builder.random_binary_tree ~n:(21 + (2 * Splitmix.int rng ~bound:15)) ~rng
+
+let run_safely ~world ?randomness origins solve =
+  List.for_all
+    (fun v ->
+      match Probe.run ~world ?randomness ~budget:(Probe.volume_budget 500) ~origin:v solve with
+      | _ -> true
+      | exception Probe.Illegal _ -> false)
+    origins
+
+let prop_leafcoloring_total =
+  QCheck.Test.make ~name:"fuzz: LeafColoring solvers never crash on garbage labels" ~count:25
+    QCheck.int64
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let g = garbage_graph rng in
+      let n = Graph.n g in
+      let input _v =
+        {
+          LC.parent = garbage_ptr rng 4;
+          left = garbage_ptr rng 4;
+          right = garbage_ptr rng 4;
+          color = (if Splitmix.bool rng then TL.Red else TL.Blue);
+        }
+      in
+      let inputs = Array.init n input in
+      let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
+      let rand = Randomness.create ~seed:(Splitmix.next rng) ~n () in
+      let origins = [ 0; n / 2; n - 1 ] in
+      run_safely ~world origins LC.solve_distance.Lcl.solve
+      && run_safely ~world ~randomness:rand origins LC.solve_random_walk.Lcl.solve)
+
+let prop_balancedtree_total =
+  QCheck.Test.make ~name:"fuzz: BalancedTree solver never crashes on garbage labels" ~count:25
+    QCheck.int64
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let g = garbage_graph rng in
+      let n = Graph.n g in
+      let inputs =
+        Array.init n (fun _ ->
+            {
+              BT.parent = garbage_ptr rng 4;
+              left = garbage_ptr rng 4;
+              right = garbage_ptr rng 4;
+              left_nbr = garbage_ptr rng 4;
+              right_nbr = garbage_ptr rng 4;
+            })
+      in
+      let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
+      run_safely ~world [ 0; n / 2; n - 1 ] BT.solve_distance.Lcl.solve)
+
+let prop_hthc_total =
+  QCheck.Test.make ~name:"fuzz: Hierarchical-THC solvers never crash on garbage labels"
+    ~count:20 QCheck.int64
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let g = garbage_graph rng in
+      let n = Graph.n g in
+      let inputs =
+        Array.init n (fun _ ->
+            {
+              LC.parent = garbage_ptr rng 4;
+              left = garbage_ptr rng 4;
+              right = garbage_ptr rng 4;
+              color = (if Splitmix.bool rng then TL.Red else TL.Blue);
+            })
+      in
+      let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
+      let rand = Randomness.create ~seed:(Splitmix.next rng) ~n () in
+      let origins = [ 0; n - 1 ] in
+      run_safely ~world origins (H.solve_deterministic ~k:2).Lcl.solve
+      && run_safely ~world ~randomness:rand origins ((H.solve_waypoint ~k:2 ()).Lcl.solve))
+
+let prop_hybrid_total =
+  QCheck.Test.make ~name:"fuzz: Hybrid-THC solvers never crash on garbage labels" ~count:20
+    QCheck.int64
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let g = garbage_graph rng in
+      let n = Graph.n g in
+      let inputs =
+        Array.init n (fun _ ->
+            {
+              Hy.parent = garbage_ptr rng 4;
+              left = garbage_ptr rng 4;
+              right = garbage_ptr rng 4;
+              left_nbr = garbage_ptr rng 4;
+              right_nbr = garbage_ptr rng 4;
+              color = (if Splitmix.bool rng then TL.Red else TL.Blue);
+              level = Splitmix.int rng ~bound:5;
+            })
+      in
+      let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
+      let origins = [ 0; n - 1 ] in
+      run_safely ~world origins (Hy.solve_distance ~k:2).Lcl.solve
+      && run_safely ~world origins (Hy.solve_volume_deterministic ~k:2).Lcl.solve)
+
+let prop_checkers_total =
+  QCheck.Test.make ~name:"fuzz: checkers accept or reject but never crash" ~count:20
+    QCheck.int64
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let g = garbage_graph rng in
+      let n = Graph.n g in
+      let inputs =
+        Array.init n (fun _ ->
+            {
+              LC.parent = garbage_ptr rng 4;
+              left = garbage_ptr rng 4;
+              right = garbage_ptr rng 4;
+              color = TL.Red;
+            })
+      in
+      let out = Array.init n (fun _ -> if Splitmix.bool rng then TL.Red else TL.Blue) in
+      let _ =
+        Lcl.check LC.problem g ~input:(fun v -> inputs.(v)) ~output:(fun v -> out.(v))
+      in
+      true)
+
+(* --- Proposition 5.13: the distance lower bound shape --------------------- *)
+
+let test_hthc_distance_truncation_fails () =
+  (* On the balanced instances every component has backbone len ~
+     n^{1/k}; an algorithm confined to distance n^{1/k}/4 cannot even
+     finish the component scan. *)
+  let inst = H.uniform_instance ~k:2 ~len:40 ~seed:21L in
+  let g = H.graph inst in
+  let n = Graph.n g in
+  let world = H.world inst in
+  let cap = H.kth_root n 2 / 4 in
+  let aborted = ref 0 and total = ref 0 in
+  Graph.iter_nodes g (fun v ->
+      if v mod 97 = 0 then begin
+        incr total;
+        let r =
+          Probe.run ~world ~budget:(Probe.distance_budget cap) ~origin:v
+            (H.solve_deterministic ~k:2).Lcl.solve
+        in
+        if r.Probe.aborted then incr aborted
+      end);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d sampled runs exceeded distance %d" !aborted !total cap)
+    true
+    (!aborted > !total / 2)
+
+(* --- Question 7.8: bounded randomness consumption -------------------------- *)
+
+let test_rand_bits_bounded () =
+  (* RWtoLeaf reads exactly one bit per walk step (O(log n) whp);
+     the way-point solver reads 30 bits per election. *)
+  let inst = LC.random_instance ~n:513 ~seed:22L in
+  let n = Graph.n inst.LC.graph in
+  let world = LC.world inst in
+  let rand = Randomness.create ~seed:23L ~n () in
+  let logn = Volcomp.Probe_tree.log2_ceil n in
+  Graph.iter_nodes inst.LC.graph (fun v ->
+      if v mod 16 = 0 then begin
+        let r = Probe.run ~world ~randomness:rand ~origin:v LC.solve_random_walk.Lcl.solve in
+        Alcotest.(check bool) "bits <= walk length bound" true (r.Probe.rand_bits <= 16 * logn)
+      end);
+  let hinst, hot = H.hard_instance ~k:2 ~target_n:2_000 ~seed:24L in
+  let hn = Graph.n (H.graph hinst) in
+  let hrand = Randomness.create ~seed:25L ~n:hn () in
+  let r =
+    Probe.run ~world:(H.world hinst) ~randomness:hrand ~origin:hot
+      ((H.solve_waypoint ~k:2 ()).Lcl.solve)
+  in
+  Alcotest.(check bool) "waypoint bits <= 30 * volume" true
+    (r.Probe.rand_bits <= 30 * r.Probe.volume)
+
+let suites =
+  [
+    ( "robustness:fuzz",
+      [
+        QCheck_alcotest.to_alcotest prop_leafcoloring_total;
+        QCheck_alcotest.to_alcotest prop_balancedtree_total;
+        QCheck_alcotest.to_alcotest prop_hthc_total;
+        QCheck_alcotest.to_alcotest prop_hybrid_total;
+        QCheck_alcotest.to_alcotest prop_checkers_total;
+      ] );
+    ( "robustness:bounds",
+      [
+        Alcotest.test_case "Prop 5.13 distance truncation" `Quick test_hthc_distance_truncation_fails;
+        Alcotest.test_case "Q7.8 randomness consumption" `Quick test_rand_bits_bounded;
+      ] );
+  ]

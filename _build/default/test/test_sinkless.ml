@@ -1,0 +1,103 @@
+(* Tests for the sinkless-orientation playground (paper Question 7.3). *)
+
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module SO = Volcomp.Sinkless
+module Randomness = Vc_rng.Randomness
+
+let solve_all ?randomness g (solver : (unit, SO.output) Lcl.solver) =
+  let world = SO.world g in
+  Array.init (Graph.n g) (fun v ->
+      match (Probe.run ~world ?randomness ~origin:v solver.Lcl.solve).Probe.output with
+      | Some o -> o
+      | None -> Alcotest.fail "solver aborted")
+
+let is_valid g out =
+  Lcl.is_valid SO.problem g ~input:(fun _ -> ()) ~output:(fun v -> out.(v))
+
+let test_random_cubic_degrees () =
+  List.iter
+    (fun n ->
+      let g = SO.random_cubic ~n ~seed:(Int64.of_int n) in
+      Alcotest.(check int) "n nodes" n (Graph.n g);
+      Alcotest.(check bool) "connected" true (Graph.is_connected g);
+      Graph.iter_nodes g (fun v ->
+          Alcotest.(check bool) "degree 3 or 4" true
+            (Graph.degree g v = 3 || Graph.degree g v = 4)))
+    [ 10; 11; 40 ]
+
+let test_global_solver_valid () =
+  List.iter
+    (fun (n, seed) ->
+      let g = SO.random_cubic ~n ~seed in
+      let out = solve_all g SO.solve_global in
+      Alcotest.(check bool) (Printf.sprintf "valid on n=%d" n) true (is_valid g out))
+    [ (10, 1L); (23, 2L); (60, 3L); (101, 4L) ]
+
+let test_global_solver_linear_volume () =
+  let g = SO.random_cubic ~n:60 ~seed:5L in
+  let world = SO.world g in
+  let r = Probe.run ~world ~origin:0 SO.solve_global.Lcl.solve in
+  Alcotest.(check int) "explores everything" 60 r.Probe.volume
+
+let test_checker_rejects_sink () =
+  let g = SO.random_cubic ~n:10 ~seed:6L in
+  let out = solve_all g SO.solve_global in
+  let out = Array.copy out in
+  (* flipping all of node 0's ports to Incoming breaks agreement and/or
+     creates a sink *)
+  out.(0) <- Array.map (fun _ -> SO.Incoming) out.(0);
+  Alcotest.(check bool) "rejected" false (is_valid g out)
+
+let test_one_round_random_fails_at_scale () =
+  (* With ~n/2^4 expected sinks, a 200-node instance virtually always
+     has one; scan a few seeds and require at least one failure, and
+     also that failures are local sinks rather than edge disagreements
+     (agreement is guaranteed by construction). *)
+  let g = SO.random_cubic ~n:200 ~seed:7L in
+  let failures = ref 0 in
+  for s = 1 to 5 do
+    let randomness = Randomness.create ~seed:(Int64.of_int s) ~n:(Graph.n g) () in
+    let out = solve_all ~randomness g SO.solve_one_round_random in
+    (* edge agreement must hold even when invalid *)
+    Graph.iter_nodes g (fun v ->
+        Array.iteri
+          (fun i d ->
+            let w = Graph.neighbor g v (i + 1) in
+            match Graph.port_to g w v with
+            | Some q ->
+                Alcotest.(check bool) "edge agreement" true
+                  (match (d, out.(w).(q - 1)) with
+                  | SO.Outgoing, SO.Incoming | SO.Incoming, SO.Outgoing -> true
+                  | (SO.Outgoing | SO.Incoming), _ -> false)
+            | None -> Alcotest.fail "malformed")
+          out.(v));
+    if not (is_valid g out) then incr failures
+  done;
+  Alcotest.(check bool) "uncoordinated orientation sinks somewhere" true (!failures > 0)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_dot_export_renders () =
+  let g = SO.random_cubic ~n:10 ~seed:8L in
+  let dot = Vc_graph.Dot.to_string ~name:"so" g in
+  Alcotest.(check bool) "mentions every node" true
+    (List.for_all (fun v -> contains dot (Printf.sprintf "n%d " v)) (Graph.nodes g));
+  Alcotest.(check bool) "has edges" true (contains dot "--")
+
+let suites =
+  [
+    ( "sinkless",
+      [
+        Alcotest.test_case "random cubic degrees" `Quick test_random_cubic_degrees;
+        Alcotest.test_case "global solver valid" `Quick test_global_solver_valid;
+        Alcotest.test_case "global solver linear volume" `Quick test_global_solver_linear_volume;
+        Alcotest.test_case "checker rejects sink" `Quick test_checker_rejects_sink;
+        Alcotest.test_case "one-round random fails" `Quick test_one_round_random_fails_at_scale;
+        Alcotest.test_case "dot export" `Quick test_dot_export_renders;
+      ] );
+  ]
