@@ -11,7 +11,11 @@
 
    `dune exec bench/main.exe` runs both; pass `--quick` (or set
    VOLCOMP_QUICK=1) for the shortened ladders, `--no-wallclock` to skip
-   the Bechamel pass. *)
+   the Bechamel pass, `-j N` (or VOLCOMP_JOBS) to size the domain pool,
+   and `--json PATH` to also record everything machine-readably
+   (including a sequential-vs-parallel speedup entry).  Exits non-zero
+   when any report has a [MISMATCH] fitted class, so CI can gate on the
+   reproduction. *)
 
 open Bechamel
 
@@ -31,6 +35,9 @@ module CC = Volcomp.Cycle_coloring
 module Gap = Volcomp.Gap_example
 module Disjointness = Vc_commcc.Disjointness
 module Experiments = Vc_measure.Experiments
+module Runner = Vc_measure.Runner
+module Fit = Vc_measure.Fit
+module Pool = Vc_exec.Pool
 
 let run_solver ~world ?randomness ~origin (solver : (_, _) Lcl.solver) () =
   let r = Probe.run ~world ?randomness ~origin solver.Lcl.solve in
@@ -143,21 +150,165 @@ let run_wallclock () =
         (name, ns) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   Fmt.pr "@.== Wall-clock microbenchmarks (one per paper artifact) ==@.";
-  List.iter
-    (fun (name, ns) -> Fmt.pr "  %-40s %12.0f ns/run@." name ns)
-    (List.sort compare rows)
+  List.iter (fun (name, ns) -> Fmt.pr "  %-40s %12.0f ns/run@." name ns) rows;
+  rows
+
+(* --- sequential vs parallel speedup --------------------------------------- *)
+
+type speedup = {
+  workload : string;
+  sp_domains : int;
+  seq_seconds : float;
+  par_seconds : float;
+  speedup : float;
+}
+
+(* Full-graph solve_and_check: n independent probe runs, each paying a
+   session BFS — the embarrassingly parallel hot loop of every report. *)
+let measure_speedup ~pool ~quick =
+  let depth = if quick then 10 else 12 in
+  let inst = LC.hard_distance_instance ~depth ~leaf_color:TL.Blue in
+  let world = LC.world inst in
+  let solve pool =
+    Runner.solve_and_check ~world ~problem:LC.problem ~graph:inst.LC.graph
+      ~input:(LC.input inst) ~solver:LC.solve_distance ?pool ()
+  in
+  let time pool =
+    let t0 = Unix.gettimeofday () in
+    let stats, valid = solve pool in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, stats, valid)
+  in
+  let seq_seconds, seq_stats, seq_valid = time None in
+  let par_seconds, par_stats, par_valid = time pool in
+  if not (seq_valid && par_valid && seq_stats = par_stats) then
+    failwith "speedup workload: parallel run diverged from sequential run";
+  let sp_domains = match pool with Some p -> Pool.domains p | None -> 1 in
+  {
+    workload = Printf.sprintf "leafcoloring/solve_and_check/depth-%d" depth;
+    sp_domains;
+    seq_seconds;
+    par_seconds;
+    speedup = seq_seconds /. par_seconds;
+  }
+
+(* --- machine-readable output ----------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let measurement_json m =
+  let points =
+    String.concat ","
+      (List.map (fun (n, y) -> Printf.sprintf "[%d,%s]" n (json_float y)) m.Experiments.points)
+  in
+  Printf.sprintf
+    {|{"quantity":"%s","paper_claim":"%s","fitted":"%s","agrees":%b,"points":[%s]}|}
+    (json_escape m.Experiments.quantity)
+    (json_escape m.Experiments.paper_claim)
+    (json_escape (Fmt.str "%a" Fit.pp_model (Experiments.fitted m)))
+    (Experiments.agrees m) points
+
+let report_json r =
+  Printf.sprintf {|{"title":"%s","all_agree":%b,"measurements":[%s]}|}
+    (json_escape r.Experiments.title) (Experiments.all_agree r)
+    (String.concat "," (List.map measurement_json r.Experiments.measurements))
+
+let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup =
+  let wallclock_json =
+    match wallclock with
+    | None -> "null"
+    | Some rows ->
+        Printf.sprintf "[%s]"
+          (String.concat ","
+             (List.map
+                (fun (name, ns) ->
+                  Printf.sprintf {|{"name":"%s","ns_per_run":%s}|} (json_escape name)
+                    (json_float ns))
+                rows))
+  in
+  let speedup_json =
+    Printf.sprintf
+      {|{"workload":"%s","domains":%d,"seq_seconds":%s,"par_seconds":%s,"speedup":%s}|}
+      (json_escape speedup.workload) speedup.sp_domains
+      (json_float speedup.seq_seconds) (json_float speedup.par_seconds)
+      (json_float speedup.speedup)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{"quick":%b,"domains":%d,"reports":[%s],"wallclock":%s,"speedup":%s}|} quick domains
+    (String.concat "," (List.map report_json reports))
+    wallclock_json speedup_json;
+  output_char oc '\n';
+  close_out oc
+
+(* --- entry ------------------------------------------------------------------ *)
+
+let parse_args () =
+  let argv = Sys.argv in
+  let quick = ref (Sys.getenv_opt "VOLCOMP_QUICK" = Some "1") in
+  let wallclock = ref true in
+  let json = ref None in
+  let jobs = ref None in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--quick" -> quick := true
+    | "--no-wallclock" -> wallclock := false
+    | "--json" ->
+        incr i;
+        if !i >= Array.length argv then failwith "--json requires a path";
+        json := Some argv.(!i)
+    | "-j" | "--jobs" ->
+        incr i;
+        let bad () = failwith "-j requires a positive integer" in
+        if !i >= Array.length argv then bad ();
+        (match int_of_string_opt argv.(!i) with
+        | Some j when j >= 1 -> jobs := Some j
+        | Some _ | None -> bad ())
+    | arg -> failwith (Printf.sprintf "unknown argument %S" arg));
+    incr i
+  done;
+  (!quick, !wallclock, !json, !jobs)
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let quick = List.mem "--quick" args || Sys.getenv_opt "VOLCOMP_QUICK" = Some "1" in
-  let wallclock = not (List.mem "--no-wallclock" args) in
+  let quick, wallclock, json, jobs = parse_args () in
+  let domains = match jobs with Some j -> j | None -> Pool.default_domains () in
+  let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
   Fmt.pr "volcomp benchmark harness — reproducing every table and figure of@.";
-  Fmt.pr "\"Seeing Far vs. Seeing Wide\" (Rosenbaum & Suomela, PODC 2020)%s@.@."
-    (if quick then " [quick ladders]" else "");
-  let reports = Experiments.all ~quick in
+  Fmt.pr "\"Seeing Far vs. Seeing Wide\" (Rosenbaum & Suomela, PODC 2020)%s [%d domain%s]@.@."
+    (if quick then " [quick ladders]" else "")
+    domains
+    (if domains = 1 then "" else "s");
+  let reports = Experiments.all ?pool ~quick () in
   List.iter (fun r -> Fmt.pr "%a@." Experiments.pp_report r) reports;
   let agreements = List.filter Experiments.all_agree reports in
   Fmt.pr "== Summary: %d/%d reports have every fitted class within the paper's claim ==@."
     (List.length agreements) (List.length reports);
-  if wallclock then run_wallclock ()
+  let wallclock_rows = if wallclock then Some (run_wallclock ()) else None in
+  (match json with
+  | None -> ()
+  | Some path ->
+      let speedup = measure_speedup ~pool ~quick in
+      Fmt.pr "@.== Speedup: %s — %.2fs sequential, %.2fs on %d domain%s (%.2fx) ==@."
+        speedup.workload speedup.seq_seconds speedup.par_seconds speedup.sp_domains
+        (if speedup.sp_domains = 1 then "" else "s")
+        speedup.speedup;
+      write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup;
+      Fmt.pr "wrote %s@." path);
+  Option.iter Pool.shutdown pool;
+  if List.length agreements <> List.length reports then exit 1

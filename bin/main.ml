@@ -23,6 +23,21 @@ module Gap = Volcomp.Gap_example
 module Runner = Vc_measure.Runner
 module Experiments = Vc_measure.Experiments
 module Disjointness = Vc_commcc.Disjointness
+module Pool = Vc_exec.Pool
+
+(* --- worker domains (-j / VOLCOMP_JOBS) ------------------------------------ *)
+
+let jobs_term =
+  let doc =
+    "Number of worker domains for the parallel runner (default: $(b,VOLCOMP_JOBS) if set, \
+     else the recommended domain count).  Results are identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let with_jobs jobs f =
+  let domains = match jobs with Some j -> j | None -> Pool.default_domains () in
+  if domains < 1 then invalid_arg "-j must be a positive integer";
+  if domains > 1 then Pool.with_pool ~domains (fun pool -> f (Some pool)) else f None
 
 (* --- experiments ---------------------------------------------------------- *)
 
@@ -35,8 +50,8 @@ let experiments_cmd =
       value & pos 0 (some string) None
       & info [] ~docv:"FILTER" ~doc:"Only run reports whose title contains \\$(docv).")
   in
-  let run quick filter =
-    let reports = Experiments.all ~quick in
+  let run quick filter jobs =
+    let reports = with_jobs jobs (fun pool -> Experiments.all ?pool ~quick ()) in
     let selected =
       match filter with
       | None -> reports
@@ -57,7 +72,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's tables and figures.")
-    Term.(const run $ quick $ filter)
+    Term.(const run $ quick $ filter $ jobs_term)
 
 (* --- solve ----------------------------------------------------------------- *)
 
@@ -82,8 +97,9 @@ let solve_cmd =
   let randomized =
     Arg.(value & flag & info [ "randomized"; "r" ] ~doc:"Use the randomized solver.")
   in
-  let run problem n seed k randomized =
+  let run problem n seed k randomized jobs =
     let seed64 = Int64.of_int seed in
+    with_jobs jobs @@ fun pool ->
     match problem with
     | `Leaf ->
         let inst = LC.random_instance ~n ~seed:seed64 in
@@ -96,7 +112,7 @@ let solve_cmd =
         in
         let stats, valid =
           Runner.solve_and_check ~world ~problem:LC.problem ~graph:inst.LC.graph
-            ~input:(LC.input inst) ~solver ?randomness ()
+            ~input:(LC.input inst) ~solver ?randomness ?pool ()
         in
         report_solution solver.Lcl.solver_name stats valid
     | `Bt ->
@@ -106,7 +122,7 @@ let solve_cmd =
         let inst = BT.embed_disjointness disj in
         let stats, valid =
           Runner.solve_and_check ~world:(BT.world inst) ~problem:BT.problem
-            ~graph:inst.BT.graph ~input:(BT.input inst) ~solver:BT.solve_distance ()
+            ~graph:inst.BT.graph ~input:(BT.input inst) ~solver:BT.solve_distance ?pool ()
         in
         Fmt.pr "disjointness instance (disj = %b): %a@." (Disjointness.eval disj)
           Disjointness.pp disj;
@@ -122,7 +138,7 @@ let solve_cmd =
         in
         let stats, valid =
           Runner.solve_and_check ~world ~problem:(H.problem ~k) ~graph:(H.graph inst)
-            ~input:(H.input inst) ~solver ?randomness ()
+            ~input:(H.input inst) ~solver ?randomness ?pool ()
         in
         report_solution solver.Lcl.solver_name stats valid
     | `Sinkless ->
@@ -130,7 +146,7 @@ let solve_cmd =
         let stats, valid =
           Runner.solve_and_check ~world:(Volcomp.Sinkless.world g)
             ~problem:Volcomp.Sinkless.problem ~graph:g ~input:(fun _ -> ())
-            ~solver:Volcomp.Sinkless.solve_global ()
+            ~solver:Volcomp.Sinkless.solve_global ?pool ()
         in
         report_solution Volcomp.Sinkless.solve_global.Lcl.solver_name stats valid
     | `Hybrid ->
@@ -146,14 +162,14 @@ let solve_cmd =
         in
         let stats, valid =
           Runner.solve_and_check ~world ~problem:(Hy.problem ~k) ~graph:inst.Hy.graph
-            ~input:(Hy.input inst) ~solver ?randomness ()
+            ~input:(Hy.input inst) ~solver ?randomness ?pool ()
         in
         report_solution solver.Lcl.solver_name stats valid
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve a random instance from every node and validate the assembled output.")
-    Term.(const run $ problem $ n $ seed $ k $ randomized)
+    Term.(const run $ problem $ n $ seed $ k $ randomized $ jobs_term)
 
 (* --- adversary -------------------------------------------------------------- *)
 

@@ -1,0 +1,161 @@
+type t = {
+  domains : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "VOLCOMP_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+          invalid_arg (Printf.sprintf "VOLCOMP_JOBS must be a positive integer, got %S" s))
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if t.closed then None
+    else
+      match Queue.take_opt t.queue with
+      | Some job -> Some job
+      | None ->
+          Condition.wait t.nonempty t.lock;
+          next ()
+  in
+  let job = next () in
+  Mutex.unlock t.lock;
+  match job with
+  | None -> ()
+  | Some job ->
+      (* Jobs wrap their own exceptions; a raise here would tear the
+         worker down silently, so swallow defensively. *)
+      (try job () with _ -> ());
+      worker_loop t
+
+let create ?domains () =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      domains;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.domains
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Chunk size depends only on the input length and the pool width, never
+   on scheduling, so the chunk partition seen by [body] is reproducible
+   run to run.  8 chunks per domain keeps the tail balanced without
+   drowning small inputs in queue traffic. *)
+let chunk_size t n = max 1 ((n + (t.domains * 8) - 1) / (t.domains * 8))
+
+(* Run [body c start stop] for every chunk [c] covering [start, stop).
+   The caller participates; [domains - 1] helper jobs are enqueued.  The
+   call returns once every chunk has completed (on any domain).  [body]
+   must not raise. *)
+let run_chunks t ~n ~chunk body =
+  if n > 0 then begin
+    let nchunks = (n + chunk - 1) / chunk in
+    let next = Atomic.make 0 in
+    let remaining = Atomic.make nchunks in
+    let fin_lock = Mutex.create () in
+    let fin_cond = Condition.create () in
+    let finished = ref false in
+    let rec participate () =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < nchunks then begin
+        body c (c * chunk) (min n ((c + 1) * chunk));
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock fin_lock;
+          finished := true;
+          Condition.signal fin_cond;
+          Mutex.unlock fin_lock
+        end;
+        participate ()
+      end
+    in
+    if t.domains > 1 && nchunks > 1 then begin
+      Mutex.lock t.lock;
+      for _ = 2 to min t.domains nchunks do
+        Queue.add participate t.queue
+      done;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.lock
+    end;
+    participate ();
+    Mutex.lock fin_lock;
+    while not !finished do
+      Condition.wait fin_cond fin_lock
+    done;
+    Mutex.unlock fin_lock
+  end
+
+type 'b cell =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let reraise_first cells =
+  Array.iter
+    (function Failed (e, bt) -> Printexc.raise_with_backtrace e bt | Pending | Done _ -> ())
+    cells
+
+let map t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let out = Array.make n Pending in
+  run_chunks t ~n ~chunk:(chunk_size t n) (fun _ start stop ->
+      for i = start to stop - 1 do
+        out.(i) <-
+          (try Done (f arr.(i)) with e -> Failed (e, Printexc.get_raw_backtrace ()))
+      done);
+  reraise_first out;
+  List.init n (fun i -> match out.(i) with Done v -> v | Pending | Failed _ -> assert false)
+
+let map_reduce t ~map:f ~combine ~init xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then init
+  else begin
+    let chunk = chunk_size t n in
+    let nchunks = (n + chunk - 1) / chunk in
+    let partials = Array.make nchunks Pending in
+    run_chunks t ~n ~chunk (fun c start stop ->
+        partials.(c) <-
+          (try
+             let acc = ref (f arr.(start)) in
+             for i = start + 1 to stop - 1 do
+               acc := combine !acc (f arr.(i))
+             done;
+             Done !acc
+           with e -> Failed (e, Printexc.get_raw_backtrace ())));
+    reraise_first partials;
+    Array.fold_left
+      (fun acc cell ->
+        match cell with Done p -> combine acc p | Pending | Failed _ -> assert false)
+      init partials
+  end

@@ -1,0 +1,67 @@
+(** A reusable pool of worker domains for embarrassingly parallel work.
+
+    The pool owns [domains - 1] worker domains (stdlib {!Domain}) blocked
+    on a [Mutex]/[Condition] work queue; the calling domain always
+    participates in every {!map}/{!map_reduce}, so a pool of size 1 spawns
+    no domains and degenerates to the sequential path.  Work items are
+    distributed by chunked self-scheduling: the input is cut into
+    contiguous chunks of a deterministic size (a function of the input
+    length and [domains] only) and idle participants grab the next chunk
+    off a shared counter.  Chunk boundaries — and therefore the shape of
+    any chunk-level reduction — do not depend on scheduling, which is what
+    makes {!map_reduce} reproducible.
+
+    {b Determinism.}  [map t f xs] evaluates [f] on every element exactly
+    once and returns results in input order, so it equals [List.map f xs]
+    whenever [f] is pure.  [map_reduce] folds chunk partials left to
+    right; it equals the sequential fold whenever [combine] is
+    associative and [init] is an identity for [combine].
+
+    {b Exceptions.}  If [f] raises, every remaining element is still
+    evaluated, and the exception raised by the {e lowest-indexed} failing
+    element is re-raised (with its backtrace) in the caller — matching
+    [List.map]'s choice of exception on pure inputs.
+
+    {b Nesting.}  Calling {!map} from inside a task running on this pool
+    is allowed and cannot deadlock: the inner caller participates in its
+    own work, and helper jobs that arrive after the work is drained
+    return immediately.
+
+    {b Thread-safety.}  All operations on a pool may be called from any
+    domain.  The values produced by [f] are published to the caller with
+    a proper happens-before edge, so no additional synchronisation is
+    needed to read the results. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains.  When
+    [domains] is omitted it is taken from {!default_domains}.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Total parallelism of the pool, including the calling domain. *)
+
+val default_domains : unit -> int
+(** The [VOLCOMP_JOBS] environment variable if set, otherwise
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [VOLCOMP_JOBS] is not a positive integer. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] is [List.map f xs], computed on the pool. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> init:'b -> 'a list -> 'b
+(** [map_reduce t ~map ~combine ~init xs] is
+    [List.fold_left (fun acc x -> combine acc (map x)) init xs] for
+    associative [combine] with identity [init].  Each chunk is reduced
+    in element order as it is mapped (no intermediate list), and chunk
+    partials are folded into [init] in chunk order. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Call once no {!map} is in
+    flight; afterwards the pool must not be used again.  Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)

@@ -54,13 +54,21 @@ let origins_for g ~extra =
 
 let max_stat stats pick = float_of_int (pick stats)
 
-let measure_max ~world ~solver ?randomness ~origins () =
-  let stats, _ = Runner.measure ~world ~solver ?randomness ~origins () in
+let measure_max ~world ~solver ?randomness ?pool ~origins () =
+  let stats, _ = Runner.measure ~world ~solver ?randomness ?pool ~origins () in
   stats
+
+(* Ladder rows are independent; with a pool they run on separate domains
+   (and each row's origin fan-out may itself use the pool — nested maps
+   are safe and deterministic). *)
+let pmap pool f xs =
+  match pool with
+  | Some p when Vc_exec.Pool.domains p > 1 -> Vc_exec.Pool.map p f xs
+  | Some _ | None -> List.map f xs
 
 (* --- Table 1 row 1: LeafColoring ------------------------------------------ *)
 
-let table1_leafcoloring ~quick =
+let table1_leafcoloring ?pool ~quick () =
   let depths = if quick then [ 6; 8; 10 ] else [ 7; 9; 11; 13 ] in
   let per_depth d =
     let inst = LC.hard_distance_instance ~depth:d ~leaf_color:TL.Blue in
@@ -68,9 +76,9 @@ let table1_leafcoloring ~quick =
     let n = Graph.n g in
     let world = LC.world inst in
     let origins = origins_for g ~extra:[ 0 ] in
-    let det = measure_max ~world ~solver:LC.solve_distance ~origins () in
+    let det = measure_max ~world ~solver:LC.solve_distance ?pool ~origins () in
     let rand = Randomness.create ~seed:(Int64.of_int d) ~n () in
-    let rw = measure_max ~world ~solver:LC.solve_random_walk ~randomness:rand ~origins () in
+    let rw = measure_max ~world ~solver:LC.solve_random_walk ~randomness:rand ?pool ~origins () in
     let adv_vol =
       match Adv.duel ~claimed_n:n LC.solve_distance with
       | Adv.Survived { volume } -> float_of_int volume
@@ -78,7 +86,7 @@ let table1_leafcoloring ~quick =
     in
     (n, det, rw, adv_vol)
   in
-  let rows = List.map per_depth depths in
+  let rows = pmap pool per_depth depths in
   {
     title = "Table 1, row LeafColoring (Thm 3.6)";
     measurements =
@@ -117,7 +125,7 @@ let table1_leafcoloring ~quick =
 
 (* --- Table 1 row 2: BalancedTree ------------------------------------------- *)
 
-let table1_balancedtree ~quick =
+let table1_balancedtree ?pool ~quick () =
   let sizes = if quick then [ 16; 64; 256 ] else [ 16; 64; 256; 1024 ] in
   let per_size sz =
     let disj = Disjointness.random_promise ~n:sz ~intersecting:false ~seed:(Int64.of_int sz) in
@@ -126,13 +134,14 @@ let table1_balancedtree ~quick =
     let n = Graph.n g in
     let world = BT.world inst in
     let origins = origins_for g ~extra:[ 0 ] in
-    let det = measure_max ~world ~solver:BT.solve_distance ~origins () in
+    let det = measure_max ~world ~solver:BT.solve_distance ?pool ~origins () in
     let counter = Comm_counter.create () in
     let cw = BT.comm_world inst ~counter in
+    (* [cw] counts communication through shared state: sequential only. *)
     let root_run = Probe.run ~world:cw ~origin:0 BT.solve_distance.Lcl.solve in
     (n, det, root_run, Comm_counter.bits counter)
   in
-  let rows = List.map per_size sizes in
+  let rows = pmap pool per_size sizes in
   {
     title = "Table 1, row BalancedTree (Thm 4.5)";
     measurements =
@@ -176,7 +185,7 @@ let table1_balancedtree ~quick =
 
 (* --- Table 1 row 3: Hierarchical-THC(k) ------------------------------------- *)
 
-let table1_hierarchical_thc ~quick ~k =
+let table1_hierarchical_thc ?pool ~quick ~k () =
   let targets = if quick then [ 2_000; 8_000; 32_000 ] else [ 4_000; 16_000; 64_000; 256_000 ] in
   let per_target t =
     let inst, hot = H.hard_instance ~k ~target_n:t ~seed:(Int64.of_int t) in
@@ -209,7 +218,7 @@ let table1_hierarchical_thc ~quick ~k =
     in
     (n, det, way)
   in
-  let rows = List.map per_target targets in
+  let rows = pmap pool per_target targets in
   let root_models = [ Fit.Root k; (if k = 2 then Fit.Root 3 else Fit.Root (k + 1)) ] in
   {
     title = Printf.sprintf "Table 1, row Hierarchical-THC(%d) (Thm 5.9)" k;
@@ -257,7 +266,7 @@ let table1_hierarchical_thc ~quick ~k =
 
 (* --- Table 1 row 4: Hybrid-THC(k) -------------------------------------------- *)
 
-let table1_hybrid_thc ~quick =
+let table1_hybrid_thc ?pool ~quick () =
   let k = 2 in
   let targets = if quick then [ 2_000; 8_000; 32_000 ] else [ 4_000; 16_000; 64_000; 256_000 ] in
   let per_target t =
@@ -278,12 +287,12 @@ let table1_hybrid_thc ~quick =
         (Runner.sample_origins inst.Hy.graph ~count:16 ~seed:3L)
     in
     let dist_stats =
-      measure_max ~world ~solver:(Hy.solve_distance ~k) ~origins:(hot :: bt_starts) ()
+      measure_max ~world ~solver:(Hy.solve_distance ~k) ?pool ~origins:(hot :: bt_starts) ()
     in
     ignore dist_run;
     (n, dist_stats, det, way)
   in
-  let rows = List.map per_target targets in
+  let rows = pmap pool per_target targets in
   {
     title = "Table 1, row Hybrid-THC(2) (Thm 6.3)";
     measurements =
@@ -322,7 +331,7 @@ let table1_hybrid_thc ~quick =
 
 (* --- Table 1 row 5: HH-THC(k, l) ---------------------------------------------- *)
 
-let table1_hh_thc ~quick =
+let table1_hh_thc ?pool ~quick () =
   let k = 2 and l = 3 in
   let targets = if quick then [ 2_000; 8_000; 32_000 ] else [ 4_000; 16_000; 64_000; 256_000 ] in
   let per_target t =
@@ -359,7 +368,7 @@ let table1_hh_thc ~quick =
     in
     (n_a, n_b, dist_run, det_vol, way_vol)
   in
-  let rows = List.map per_target targets in
+  let rows = pmap pool per_target targets in
   {
     title = "Table 1, row HH-THC(2,3) (Thm 6.5)";
     measurements =
@@ -396,15 +405,15 @@ let table1_hh_thc ~quick =
 
 (* --- Figures 1-2: classes A and B ---------------------------------------------- *)
 
-let figure12_classes ~quick =
+let figure12_classes ?pool ~quick () =
   let sizes = if quick then [ 255; 1023; 4095 ] else [ 255; 2047; 16383; 65535 ] in
   let parity_points =
-    List.map
+    pmap pool
       (fun n ->
         let depth = Volcomp.Probe_tree.log2_ceil (n + 1) - 1 in
         let g = Builder.complete_binary_tree ~depth in
         let stats =
-          measure_max ~world:(Trivial.world g) ~solver:Trivial.solve
+          measure_max ~world:(Trivial.world g) ~solver:Trivial.solve ?pool
             ~origins:(Runner.sample_origins g ~count:16 ~seed:1L)
             ()
         in
@@ -413,11 +422,11 @@ let figure12_classes ~quick =
   in
   let cycle_sizes = if quick then [ 256; 4096; 65536 ] else [ 256; 4096; 65536; 1048576 ] in
   let cycle_points pick =
-    List.map
+    pmap pool
       (fun n ->
         let g = Builder.cycle n in
         let stats =
-          measure_max ~world:(CC.world g) ~solver:CC.solve
+          measure_max ~world:(CC.world g) ~solver:CC.solve ?pool
             ~origins:(Runner.sample_origins g ~count:16 ~seed:2L)
             ()
         in
@@ -458,6 +467,7 @@ let figure12_classes ~quick =
 
 let figure3_lines ~quick reports =
   ignore quick;
+  (* derived from already-computed reports: nothing to parallelize *)
   let line r =
     let get q =
       match List.find_opt (fun m -> m.quantity = q) r.measurements with
@@ -475,10 +485,12 @@ let figure3_lines ~quick reports =
 
 (* --- Figure 8 / Prop 3.13: the adversary ------------------------------------------ *)
 
-let figure8_adversary ~quick =
+let figure8_adversary ?pool ~quick () =
   let sizes = if quick then [ 300; 1_200; 4_800 ] else [ 300; 1_200; 4_800; 19_200 ] in
+  (* each duel drives a stateful adversarial world — rows parallelize,
+     the duel itself must stay on one domain *)
   let survived =
-    List.map
+    pmap pool
       (fun n ->
         match Adv.duel ~claimed_n:n LC.solve_distance with
         | Adv.Survived { volume } -> (n, float_of_int volume)
@@ -522,18 +534,18 @@ let figure8_adversary ~quick =
 
 (* --- Example 7.6: volume vs CONGEST ------------------------------------------------ *)
 
-let congest_gap ~quick =
+let congest_gap ?pool ~quick () =
   let depth = if quick then 7 else 9 in
   let inst = Gap.make ~depth ~seed:1L in
   let n = Graph.n inst.Gap.graph in
   let bandwidths = [ 16; 32; 64; 128; 256 ] in
   let rounds =
-    List.map
+    pmap pool
       (fun b -> (b, float_of_int (Gap.run_congest inst ~bandwidth:b).Vc_model.Congest.rounds))
       bandwidths
   in
   let vol_points =
-    List.map
+    pmap pool
       (fun d ->
         let inst = Gap.make ~depth:d ~seed:2L in
         let leaf = Graph.n inst.Gap.graph / 2 - 1 in
@@ -563,10 +575,10 @@ let congest_gap ~quick =
 
 (* --- Observation 7.4: BalancedTree in CONGEST ---------------------------------------- *)
 
-let congest_balancedtree ~quick =
+let congest_balancedtree ?pool ~quick () =
   let depths = if quick then [ 4; 6; 8 ] else [ 4; 6; 8; 10 ] in
   let rows =
-    List.map
+    pmap pool
       (fun depth ->
         let inst = BT.broken_pair_instance ~depth ~break:((1 lsl (depth - 1)) - 1) in
         let n = Graph.n inst.BT.graph in
@@ -609,7 +621,7 @@ let congest_balancedtree ~quick =
 
 (* --- ablations ----------------------------------------------------------------------- *)
 
-let ablation_waypoint_rate ~quick =
+let ablation_waypoint_rate ?pool ~quick () =
   let k = 2 in
   let target = if quick then 10_000 else 40_000 in
   let inst, hot = H.hard_instance ~k ~target_n:target ~seed:5L in
@@ -618,7 +630,7 @@ let ablation_waypoint_rate ~quick =
   let small_inst, _ = H.hard_instance ~k ~target_n:500 ~seed:6L in
   let cs = [ 0.25; 0.5; 1.0; 2.0; 3.0 ] in
   let notes =
-    List.map
+    pmap pool
       (fun c ->
         let rand = Randomness.create ~seed:7L ~n () in
         let run =
@@ -634,7 +646,7 @@ let ablation_waypoint_rate ~quick =
           let _, valid =
             Runner.solve_and_check ~world:(H.world small_inst) ~problem:(H.problem ~k)
               ~graph:(H.graph small_inst) ~input:(H.input small_inst)
-              ~solver:(H.solve_waypoint ~k ~c ()) ~randomness:rand ()
+              ~solver:(H.solve_waypoint ~k ~c ()) ~randomness:rand ?pool ()
           in
           if not valid then incr failures
         done;
@@ -651,7 +663,8 @@ let ablation_waypoint_rate ~quick =
            Lemmas 5.16/5.18 rely on" ];
   }
 
-let ablation_walk_flip ~quick =
+let ablation_walk_flip ~quick () =
+  (* tiny 4-cycle instances: pool fan-out would cost more than the runs *)
   let trials = if quick then 40 else 200 in
   let count solver =
     let failures = ref 0 in
@@ -680,24 +693,24 @@ let ablation_walk_flip ~quick =
       ];
   }
 
-let all ~quick =
+let all ?pool ~quick () =
   let t1 =
     [
-      table1_leafcoloring ~quick;
-      table1_balancedtree ~quick;
-      table1_hierarchical_thc ~quick ~k:2;
-      table1_hierarchical_thc ~quick ~k:3;
-      table1_hybrid_thc ~quick;
-      table1_hh_thc ~quick;
+      table1_leafcoloring ?pool ~quick ();
+      table1_balancedtree ?pool ~quick ();
+      table1_hierarchical_thc ?pool ~quick ~k:2 ();
+      table1_hierarchical_thc ?pool ~quick ~k:3 ();
+      table1_hybrid_thc ?pool ~quick ();
+      table1_hh_thc ?pool ~quick ();
     ]
   in
   t1
   @ [
-      figure12_classes ~quick;
-      figure8_adversary ~quick;
-      congest_gap ~quick;
-      congest_balancedtree ~quick;
-      ablation_waypoint_rate ~quick;
-      ablation_walk_flip ~quick;
+      figure12_classes ?pool ~quick ();
+      figure8_adversary ?pool ~quick ();
+      congest_gap ?pool ~quick ();
+      congest_balancedtree ?pool ~quick ();
+      ablation_waypoint_rate ?pool ~quick ();
+      ablation_walk_flip ~quick ();
       figure3_lines ~quick t1;
     ]

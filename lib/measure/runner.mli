@@ -1,7 +1,14 @@
 (** Experiment runner: execute a solver over many start nodes, collect
     DIST/VOL statistics (Definitions 2.1–2.2 take the supremum over
     start nodes), and check the assembled output with the problem's own
-    local checker. *)
+    local checker.
+
+    Passing [?pool] fans the start nodes out across the pool's domains.
+    Because each probe run opens its own {!Vc_model.World.session} and
+    works on a domain-local {!Vc_rng.Randomness.fork}, and {!merge} is an
+    exact integer monoid, the parallel path returns stats and outputs
+    {e bit-identical} to the sequential path — the world merely has to
+    honour the shareability contract documented in {!Vc_model.World}. *)
 
 module Graph = Vc_graph.Graph
 module Lcl = Vc_lcl.Lcl
@@ -9,13 +16,30 @@ module Lcl = Vc_lcl.Lcl
 type stats = {
   runs : int;
   max_volume : int;
-  mean_volume : float;
+  sum_volume : int;
   max_distance : int;
-  mean_distance : float;
+  sum_distance : int;
   max_queries : int;
   max_rand_bits : int;
   aborted : int;
 }
+(** All-integer cost summary of a batch of runs.  Keeping sums (not
+    means) makes {!merge} exact, so merge order can never leak into
+    results. *)
+
+val empty : stats
+(** The {!merge} identity. *)
+
+val add : stats -> 'o Vc_model.Probe.result -> stats
+(** Fold one probe run into the summary. *)
+
+val merge : stats -> stats -> stats
+(** Associative, commutative combination of two disjoint batches, with
+    identity {!empty}; used to fold per-domain partial stats. *)
+
+val mean_volume : stats -> float
+
+val mean_distance : stats -> float
 
 val pp_stats : Format.formatter -> stats -> unit
 
@@ -24,11 +48,14 @@ val measure :
   solver:('i, 'o) Lcl.solver ->
   ?randomness:Vc_rng.Randomness.t ->
   ?budget:Vc_model.Probe.budget ->
+  ?pool:Vc_exec.Pool.t ->
   origins:Graph.node list ->
   unit ->
   stats * (Graph.node * 'o) list
 (** Run the solver from each origin; aborted runs contribute their cost
-    but no output. *)
+    but no output.  Outputs are in origin order.  With [?pool] the runs
+    are distributed over the pool's domains (the world must be
+    domain-shareable); a pool of width 1 takes the sequential path. *)
 
 val solve_and_check :
   world:'i Vc_model.World.t ->
@@ -37,10 +64,13 @@ val solve_and_check :
   input:(Graph.node -> 'i) ->
   solver:('i, 'o) Lcl.solver ->
   ?randomness:Vc_rng.Randomness.t ->
+  ?pool:Vc_exec.Pool.t ->
   unit ->
   stats * bool
 (** Run from {e every} node, assemble the full output labeling, and
     report whether it is globally valid. *)
 
 val sample_origins : Graph.t -> count:int -> seed:int64 -> Graph.node list
-(** Deterministic sample of distinct start nodes. *)
+(** Deterministic sample of [count] distinct start nodes by partial
+    Fisher–Yates (all nodes when [count >= n]).
+    @raise Invalid_argument if [count <= 0]. *)

@@ -9,7 +9,19 @@
 
     An execution starts by calling {!start}, which fixes the origin node
     and returns a session; all queries of that execution go through the
-    session.  Sessions of adversarial worlds are typically stateful. *)
+    session.  Sessions of adversarial worlds are typically stateful.
+
+    {b Thread-safety contract.}  A [t] destined for the parallel runner
+    ({!Vc_measure.Runner.measure} with [?pool]) must be shareable across
+    domains: [start] may be called concurrently, and the sessions it
+    returns must not communicate through shared mutable state.  The
+    {!of_graph} worlds satisfy this — {!Vc_graph.Graph.t} is immutable
+    after construction and each session owns its private BFS distance
+    array.  A {e session} is never shareable: it belongs to the single
+    execution (and domain) that started it.  Stateful adversarial worlds
+    (e.g. {!Volcomp.Adversary_leaf.world_internal}, or the
+    communication-counting worlds of {!Vc_commcc}) violate the [t]
+    contract by design and must be driven sequentially. *)
 
 type 'i session = {
   view : Vc_graph.Graph.node -> 'i View.t;

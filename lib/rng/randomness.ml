@@ -43,3 +43,5 @@ let total_bits_consumed t =
     0 t.streams
 
 let reseed t s = create ~regime:t.regime ~seed:s ~n:t.n ()
+
+let fork t = create ~regime:t.regime ~seed:t.seed ~n:t.n ()

@@ -11,7 +11,16 @@
       not reveal its randomness.
 
     All regimes are deterministic functions of a seed, so experiments are
-    reproducible. *)
+    reproducible.
+
+    {b Thread-safety.}  A [t] is {e not} safe to share across domains:
+    {!stream} lazily materializes memoized {!Stream.t}s, and the streams
+    themselves memoize bits on read.  Because every bit is a pure
+    function of [(seed, node, index)], a parallel runner instead gives
+    each domain its own {!fork} of the assignment — the forks return
+    bit-identical values, so results cannot depend on which domain ran
+    which execution.  ({!total_bits_consumed} then only accounts the
+    bits revealed through that particular fork.) *)
 
 type regime = Private | Public | Secret
 
@@ -40,3 +49,9 @@ val total_bits_consumed : t -> int
 val reseed : t -> int64 -> t
 (** [reseed t s] is a fresh assignment with the same regime and size but
     seed [s]; used to repeat randomized experiments over many seeds. *)
+
+val fork : t -> t
+(** [fork t] is an independent copy with the same regime, size {e and}
+    seed, but no shared mutable state: it yields bit-for-bit the same
+    strings as [t].  Parallel runners fork once per domain so that no
+    stream is ever touched by two domains. *)

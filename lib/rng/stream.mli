@@ -6,7 +6,12 @@
     Question 7.8).  A [Stream.t] is exactly such a string: bits are
     produced lazily and deterministically from a seed, every read is
     counted, and reads are memoized so that two algorithm executions that
-    both inspect node [v] observe the same bits. *)
+    both inspect node [v] observe the same bits.
+
+    {b Thread-safety.}  A [t] mutates on every read (memoization and the
+    sequential cursor) and must stay confined to one domain; see
+    {!Randomness.fork} for the domain-local replication scheme used by
+    the parallel runner. *)
 
 type t
 (** One node's random string. *)

@@ -1,0 +1,230 @@
+(* Tests for the execution engine: Pool.map/map_reduce semantics and the
+   bit-identical determinism guarantee of the parallel runner. *)
+
+module Pool = Vc_exec.Pool
+module Runner = Vc_measure.Runner
+module Graph = Vc_graph.Graph
+module Randomness = Vc_rng.Randomness
+module TL = Vc_graph.Tree_labels
+module LC = Volcomp.Leaf_coloring
+module BT = Volcomp.Balanced_tree
+module H = Volcomp.Hierarchical_thc
+module Disjointness = Vc_commcc.Disjointness
+
+let widths = [ 1; 2; 4 ]
+
+let with_width w f = Pool.with_pool ~domains:w f
+
+(* --- Pool.map semantics --------------------------------------------------- *)
+
+let test_map_matches_list_map () =
+  List.iter
+    (fun w ->
+      with_width w (fun pool ->
+          List.iter
+            (fun n ->
+              let xs = List.init n (fun i -> i) in
+              let f x = (x * x) - (3 * x) in
+              Alcotest.(check (list int))
+                (Printf.sprintf "map n=%d domains=%d" n w)
+                (List.map f xs) (Pool.map pool f xs))
+            [ 0; 1; 2; 7; 100; 1000 ]))
+    widths
+
+let test_map_exception_propagation () =
+  List.iter
+    (fun w ->
+      with_width w (fun pool ->
+          let f x = if x mod 10 = 3 then failwith (Printf.sprintf "boom-%d" x) else x in
+          let xs = List.init 50 (fun i -> i) in
+          (* List.map on pure inputs raises for the first failing element;
+             Pool.map promises the same exception. *)
+          let got =
+            match Pool.map pool f xs with
+            | _ -> None
+            | exception Failure m -> Some m
+          in
+          Alcotest.(check (option string))
+            (Printf.sprintf "first failure wins (domains=%d)" w)
+            (Some "boom-3") got))
+    widths
+
+let test_map_reduce_matches_fold () =
+  List.iter
+    (fun w ->
+      with_width w (fun pool ->
+          List.iter
+            (fun n ->
+              let xs = List.init n (fun i -> i + 1) in
+              let f x = (2 * x) + 1 in
+              Alcotest.(check int)
+                (Printf.sprintf "sum n=%d domains=%d" n w)
+                (List.fold_left (fun acc x -> acc + f x) 0 xs)
+                (Pool.map_reduce pool ~map:f ~combine:( + ) ~init:0 xs);
+              Alcotest.(check int)
+                (Printf.sprintf "max n=%d domains=%d" n w)
+                (List.fold_left (fun acc x -> max acc (f x)) min_int xs)
+                (Pool.map_reduce pool ~map:f ~combine:max ~init:min_int xs))
+            [ 0; 1; 5; 64; 513 ]))
+    widths
+
+let test_nested_map () =
+  with_width 4 (fun pool ->
+      let expected = List.init 20 (fun i -> List.init 20 (fun j -> i * j)) in
+      let got =
+        Pool.map pool
+          (fun i -> Pool.map pool (fun j -> i * j) (List.init 20 (fun j -> j)))
+          (List.init 20 (fun i -> i))
+      in
+      Alcotest.(check (list (list int))) "nested maps" expected got)
+
+let test_create_rejects_nonpositive () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Pool.create ~domains:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* qcheck: Pool.map agrees with List.map for arbitrary functions/inputs. *)
+let qcheck_map_equals_list_map =
+  QCheck.Test.make ~count:60 ~name:"Pool.map = List.map (arbitrary f, xs)"
+    QCheck.(pair (fun1 Observable.int small_int) (small_list int))
+    (fun (f, xs) ->
+      let f = QCheck.Fn.apply f in
+      List.for_all
+        (fun w -> with_width w (fun pool -> Pool.map pool f xs = List.map f xs))
+        [ 2; 3 ])
+
+(* --- parallel runner determinism ------------------------------------------ *)
+
+let stats_t = Alcotest.testable Runner.pp_stats (fun a b -> a = b)
+
+(* solve_and_check with ~pool at every width must return stats, outputs
+   and validity bit-identical to the sequential path. *)
+let check_solve_determinism ~msg ~world ~problem ~graph ~input ~solver ?randomness () =
+  let seq_stats, seq_valid =
+    Runner.solve_and_check ~world ~problem ~graph ~input ~solver ?randomness ()
+  in
+  let seq_outputs =
+    snd (Runner.measure ~world ~solver ?randomness ~origins:(Graph.nodes graph) ())
+  in
+  List.iter
+    (fun w ->
+      with_width w (fun pool ->
+          let stats, valid =
+            Runner.solve_and_check ~world ~problem ~graph ~input ~solver ?randomness ~pool ()
+          in
+          Alcotest.check stats_t (Printf.sprintf "%s: stats (domains=%d)" msg w) seq_stats stats;
+          Alcotest.(check bool) (Printf.sprintf "%s: valid (domains=%d)" msg w) seq_valid valid;
+          let outputs =
+            snd
+              (Runner.measure ~world ~solver ?randomness ~pool ~origins:(Graph.nodes graph) ())
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: outputs (domains=%d)" msg w)
+            true
+            (outputs = seq_outputs)))
+    widths
+
+let test_determinism_leafcoloring () =
+  let inst = LC.hard_distance_instance ~depth:7 ~leaf_color:TL.Blue in
+  check_solve_determinism ~msg:"leafcoloring/deterministic" ~world:(LC.world inst)
+    ~problem:LC.problem ~graph:inst.LC.graph ~input:(LC.input inst) ~solver:LC.solve_distance ()
+
+let test_determinism_leafcoloring_randomized () =
+  let inst = LC.random_instance ~n:201 ~seed:7L in
+  let randomness = Randomness.create ~seed:11L ~n:(Graph.n inst.LC.graph) () in
+  check_solve_determinism ~msg:"leafcoloring/random-walk" ~world:(LC.world inst)
+    ~problem:LC.problem ~graph:inst.LC.graph ~input:(LC.input inst) ~solver:LC.solve_random_walk
+    ~randomness ()
+
+let test_determinism_balancedtree () =
+  let disj = Disjointness.random_promise ~n:64 ~intersecting:false ~seed:5L in
+  let inst = BT.embed_disjointness disj in
+  check_solve_determinism ~msg:"balancedtree" ~world:(BT.world inst) ~problem:BT.problem
+    ~graph:inst.BT.graph ~input:(BT.input inst) ~solver:BT.solve_distance ()
+
+let test_determinism_hierarchical_thc () =
+  let k = 2 in
+  let inst, _ = H.hard_instance ~k ~target_n:600 ~seed:3L in
+  let n = Graph.n (H.graph inst) in
+  let randomness = Randomness.create ~seed:17L ~n () in
+  check_solve_determinism ~msg:"hierarchical-thc/waypoint" ~world:(H.world inst)
+    ~problem:(H.problem ~k) ~graph:(H.graph inst) ~input:(H.input inst)
+    ~solver:(H.solve_waypoint ~k ()) ~randomness ()
+
+let test_measure_budget_parallel () =
+  (* aborts are counted identically through the pool *)
+  let g = Vc_graph.Builder.path 9 in
+  let world = Volcomp.Trivial_lcl.world g in
+  let greedy =
+    Vc_lcl.Lcl.solver ~name:"greedy" ~randomized:false (fun ctx ->
+        let rec go v =
+          let d = Vc_model.Probe.degree ctx v in
+          go (Vc_model.Probe.query ctx ~at:v ~port:d)
+        in
+        go (Vc_model.Probe.origin ctx))
+  in
+  let seq =
+    Runner.measure ~world ~solver:greedy ~budget:(Vc_model.Probe.volume_budget 2)
+      ~origins:[ 0; 4 ] ()
+  in
+  with_width 2 (fun pool ->
+      let par =
+        Runner.measure ~world ~solver:greedy ~budget:(Vc_model.Probe.volume_budget 2) ~pool
+          ~origins:[ 0; 4 ] ()
+      in
+      Alcotest.check stats_t "aborted stats" (fst seq) (fst par);
+      Alcotest.(check int) "no outputs" 0 (List.length (snd par)))
+
+let test_sample_origins_rejects_nonpositive () =
+  let g = Vc_graph.Builder.cycle 10 in
+  List.iter
+    (fun count ->
+      Alcotest.(check bool)
+        (Printf.sprintf "count=%d raises" count)
+        true
+        (try
+           ignore (Runner.sample_origins g ~count ~seed:1L);
+           false
+         with Invalid_argument _ -> true))
+    [ 0; -3 ]
+
+let test_sample_origins_near_n () =
+  (* the old rejection loop degenerated as count -> n; the partial
+     Fisher-Yates must stay exact and cheap *)
+  let g = Vc_graph.Builder.cycle 500 in
+  List.iter
+    (fun count ->
+      let sample = Runner.sample_origins g ~count ~seed:9L in
+      Alcotest.(check int) (Printf.sprintf "count=%d size" count) count (List.length sample);
+      Alcotest.(check int)
+        (Printf.sprintf "count=%d distinct" count)
+        count
+        (List.length (List.sort_uniq compare sample));
+      List.iter (fun v -> assert (v >= 0 && v < 500)) sample)
+    [ 1; 250; 498; 499 ]
+
+let suites =
+  [
+    ( "exec:pool",
+      [
+        Alcotest.test_case "map = List.map" `Quick test_map_matches_list_map;
+        Alcotest.test_case "exception propagation" `Quick test_map_exception_propagation;
+        Alcotest.test_case "map_reduce = fold" `Quick test_map_reduce_matches_fold;
+        Alcotest.test_case "nested maps" `Quick test_nested_map;
+        Alcotest.test_case "rejects domains < 1" `Quick test_create_rejects_nonpositive;
+        QCheck_alcotest.to_alcotest qcheck_map_equals_list_map;
+      ] );
+    ( "exec:determinism",
+      [
+        Alcotest.test_case "leafcoloring det" `Quick test_determinism_leafcoloring;
+        Alcotest.test_case "leafcoloring rand" `Quick test_determinism_leafcoloring_randomized;
+        Alcotest.test_case "balancedtree" `Quick test_determinism_balancedtree;
+        Alcotest.test_case "hierarchical-thc" `Slow test_determinism_hierarchical_thc;
+        Alcotest.test_case "budget aborts" `Quick test_measure_budget_parallel;
+        Alcotest.test_case "sample_origins rejects <= 0" `Quick
+          test_sample_origins_rejects_nonpositive;
+        Alcotest.test_case "sample_origins near n" `Quick test_sample_origins_near_n;
+      ] );
+  ]

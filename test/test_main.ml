@@ -17,6 +17,7 @@ let () =
          Test_lcl_commcc.suites;
          Test_bt_congest.suites;
          Test_measure.suites;
+         Test_exec.suites;
          Test_local_tails.suites;
          Test_sinkless.suites;
          Test_robustness.suites;

@@ -102,15 +102,15 @@ let test_solve_and_check_valid () =
 (* End-to-end: two representative experiment reports on their quick
    ladders must agree with the paper. *)
 let test_experiment_leafcoloring_agrees () =
-  let r = Experiments.table1_leafcoloring ~quick:true in
+  let r = Experiments.table1_leafcoloring ~quick:true () in
   Alcotest.(check bool) "leafcoloring row reproduces" true (Experiments.all_agree r)
 
 let test_experiment_figure12_agrees () =
-  let r = Experiments.figure12_classes ~quick:true in
+  let r = Experiments.figure12_classes ~quick:true () in
   Alcotest.(check bool) "figure 1-2 classes reproduce" true (Experiments.all_agree r)
 
 let test_experiment_adversary_agrees () =
-  let r = Experiments.figure8_adversary ~quick:true in
+  let r = Experiments.figure8_adversary ~quick:true () in
   Alcotest.(check bool) "adversary report reproduces" true (Experiments.all_agree r)
 
 let suites =
