@@ -220,6 +220,73 @@ let congest_cmd =
     (Cmd.info "congest" ~doc:"Volume vs CONGEST rounds on the two-tree instance.")
     Term.(const run $ depth $ bandwidth)
 
+(* --- check ----------------------------------------------------------------- *)
+
+let check_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Master seed for the whole run.")
+  in
+  let count =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"N" ~doc:"Mutation-fuzzing rounds per problem.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use each problem's small instance sizes.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the report as JSON to $(docv).")
+  in
+  let only =
+    Arg.(
+      value & opt (some string) None
+      & info [ "only" ] ~docv:"SUBSTR"
+          ~doc:"Only check problems whose name contains $(docv) (case-insensitive).")
+  in
+  let run seed count quick json only jobs =
+    let entries =
+      match only with
+      | None -> Vc_check.Registry.all ()
+      | Some f ->
+          let lower = String.lowercase_ascii in
+          List.filter
+            (fun (e : Vc_check.Registry.entry) ->
+              let name = lower e.name and f = lower f in
+              let rec contains i =
+                i + String.length f <= String.length name
+                && (String.sub name i (String.length f) = f || contains (i + 1))
+              in
+              contains 0)
+            (Vc_check.Registry.all ())
+    in
+    if entries = [] then begin
+      Fmt.epr "check: no problem matches the filter@.";
+      2
+    end
+    else begin
+      let seed64 = Int64.of_int seed in
+      let report =
+        with_jobs jobs (fun pool ->
+            Vc_check.Oracle.run ?pool ~entries ~seed:seed64 ~count ~quick ())
+      in
+      Fmt.pr "%a@." Vc_check.Report.pp report;
+      Option.iter (fun path -> Vc_check.Report.write_json report ~path) json;
+      if Vc_check.Report.ok report then 0
+      else begin
+        (* the seed is everything needed to reproduce the failure *)
+        Fmt.epr "reproduce with: volcomp check --seed %d --count %d%s@." seed count
+          (if quick then " --quick" else "");
+        1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential conformance and fuzzing oracle over all registered problems.")
+    Term.(const run $ seed $ count $ quick $ json $ only $ jobs_term)
+
 (* --- export ----------------------------------------------------------------- *)
 
 let export_cmd =
@@ -266,4 +333,5 @@ let () =
   let info = Cmd.info "volcomp" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ experiments_cmd; solve_cmd; adversary_cmd; congest_cmd; export_cmd ]))
+       (Cmd.group info
+          [ experiments_cmd; solve_cmd; adversary_cmd; congest_cmd; check_cmd; export_cmd ]))

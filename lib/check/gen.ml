@@ -1,0 +1,112 @@
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module TL = Vc_graph.Tree_labels
+module Splitmix = Vc_rng.Splitmix
+module LC = Volcomp.Leaf_coloring
+module BT = Volcomp.Balanced_tree
+module Hy = Volcomp.Hybrid_thc
+module SO = Volcomp.Sinkless
+
+(* --- graph specs --------------------------------------------------------- *)
+
+type shape = Path | Cycle | Complete_tree | Random_tree | Cubic
+
+let all_shapes = [ Path; Cycle; Complete_tree; Random_tree; Cubic ]
+
+let pp_shape ppf = function
+  | Path -> Fmt.string ppf "path"
+  | Cycle -> Fmt.string ppf "cycle"
+  | Complete_tree -> Fmt.string ppf "complete-tree"
+  | Random_tree -> Fmt.string ppf "random-tree"
+  | Cubic -> Fmt.string ppf "cubic"
+
+type graph_spec = {
+  shape : shape;
+  size : int;
+  g_seed : int64;
+}
+
+let pp_spec ppf s = Fmt.pf ppf "%a(size=%d, seed=%Ld)" pp_shape s.shape s.size s.g_seed
+
+let min_size_of = function
+  | Path -> 1
+  | Cycle -> 3
+  | Complete_tree -> 3
+  | Random_tree -> 3
+  | Cubic -> 8
+
+let build spec =
+  let size = max (min_size_of spec.shape) spec.size in
+  match spec.shape with
+  | Path -> Builder.path size
+  | Cycle -> Builder.cycle size
+  | Complete_tree ->
+      (* the largest complete tree with at most [size] nodes *)
+      let depth = max 1 (Volcomp.Probe_tree.log2_ceil (size + 2) - 1) in
+      Builder.complete_binary_tree ~depth
+  | Random_tree -> Builder.random_binary_tree ~n:size ~rng:(Splitmix.create spec.g_seed)
+  | Cubic -> SO.random_cubic ~n:size ~seed:spec.g_seed
+
+let spec ?(shapes = all_shapes) ?(min_size = 8) ?(max_size = 64) () =
+  if shapes = [] then invalid_arg "Gen.spec: shapes must be non-empty";
+  let gen =
+    QCheck.Gen.map3
+      (fun i size g_seed -> { shape = List.nth shapes i; size; g_seed })
+      (QCheck.Gen.int_range 0 (List.length shapes - 1))
+      (QCheck.Gen.int_range min_size max_size)
+      QCheck.Gen.int64
+  in
+  (* shrink towards the smallest same-shape, same-seed graph *)
+  let shrink spec yield =
+    let s = ref (spec.size / 2) in
+    while !s >= min_size do
+      yield { spec with size = !s };
+      s := !s / 2
+    done
+  in
+  QCheck.make gen ~print:(Fmt.str "%a" pp_spec) ~shrink
+
+(* --- labeled instances ---------------------------------------------------- *)
+
+let colored_tree ~n ~seed = LC.random_instance ~n ~seed
+
+let pseudo_tree ~cycle_len ~seed = LC.cycle_instance ~cycle_len ~seed
+
+(* --- garbage labelings ----------------------------------------------------- *)
+
+let garbage_ptr rng deg = Splitmix.int rng ~bound:(deg + 3)
+
+let garbage_color rng = if Splitmix.bool rng then TL.Red else TL.Blue
+
+let garbage_graph rng =
+  if Splitmix.bool rng then
+    SO.random_cubic ~n:(20 + Splitmix.int rng ~bound:30) ~seed:(Splitmix.next rng)
+  else Builder.random_binary_tree ~n:(21 + (2 * Splitmix.int rng ~bound:15)) ~rng
+
+let garbage_leaf_input rng =
+  {
+    LC.parent = garbage_ptr rng 4;
+    left = garbage_ptr rng 4;
+    right = garbage_ptr rng 4;
+    color = garbage_color rng;
+  }
+
+let garbage_balanced_input rng =
+  {
+    BT.parent = garbage_ptr rng 4;
+    left = garbage_ptr rng 4;
+    right = garbage_ptr rng 4;
+    left_nbr = garbage_ptr rng 4;
+    right_nbr = garbage_ptr rng 4;
+  }
+
+let garbage_hybrid_input rng =
+  {
+    Hy.parent = garbage_ptr rng 4;
+    left = garbage_ptr rng 4;
+    right = garbage_ptr rng 4;
+    left_nbr = garbage_ptr rng 4;
+    right_nbr = garbage_ptr rng 4;
+    color = garbage_color rng;
+    level = Splitmix.int rng ~bound:5;
+  }

@@ -1,0 +1,183 @@
+module Splitmix = Vc_rng.Splitmix
+module Runner = Vc_measure.Runner
+module Pool = Vc_exec.Pool
+
+(* Per-trial seeds mix the entry name in, so no two problems (and no two
+   trials of one problem) ever share an instance seed. *)
+let trial_seed ~seed ~name i =
+  Splitmix.mix (Int64.add seed (Int64.of_int ((Hashtbl.hash name * 1000003) + i)))
+
+let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  let guarded what f default =
+    try f () with
+    | exn ->
+        fail "%s raised %s" what (Printexc.to_string exn);
+        default
+  in
+  let sizes = if quick then e.quick_sizes else e.sizes in
+  let trials =
+    List.mapi (fun i size -> (size, e.make ~size ~seed:(trial_seed ~seed ~name:e.name i))) sizes
+  in
+  (* probe 1: differential solving + cost envelope *)
+  let all_outcomes =
+    List.map
+      (fun (size, t) ->
+        ( size,
+          t,
+          guarded
+            (Fmt.str "solvers at size %d" size)
+            (fun () -> t.Registry.run_solvers ?pool ())
+            [] ))
+      trials
+  in
+  List.iter
+    (fun (size, t, outcomes) ->
+      List.iter
+        (fun (o : Registry.solver_outcome) ->
+          let st = o.stats in
+          if not o.valid then fail "%s: invalid output at size %d" o.solver size;
+          if st.Runner.runs <> t.Registry.t_n then
+            fail "%s: ran %d of %d nodes at size %d" o.solver st.Runner.runs t.Registry.t_n size;
+          if st.Runner.aborted > 0 then
+            fail "%s: %d aborted runs at size %d" o.solver st.Runner.aborted size;
+          if st.Runner.max_volume < st.Runner.max_distance then
+            fail "%s: max VOL %d < max DIST %d at size %d (violates Lemma 2.5)" o.solver
+              st.Runner.max_volume st.Runner.max_distance size;
+          if st.Runner.max_volume < 1 then
+            fail "%s: max volume %d < 1 at size %d" o.solver st.Runner.max_volume size;
+          if (not o.randomized) && st.Runner.max_rand_bits > 0 then
+            fail "%s: deterministic solver consumed %d random bits at size %d" o.solver
+              st.Runner.max_rand_bits size)
+        outcomes)
+    all_outcomes;
+  let solver_aggs =
+    match all_outcomes with
+    | [] -> []
+    | (_, _, first) :: _ ->
+        List.map
+          (fun (o0 : Registry.solver_outcome) ->
+            List.fold_left
+              (fun agg (_, _, os) ->
+                match
+                  List.find_opt (fun (o : Registry.solver_outcome) -> o.solver = o0.solver) os
+                with
+                | None -> agg
+                | Some o ->
+                    {
+                      agg with
+                      Report.s_trials = agg.Report.s_trials + 1;
+                      s_valid = (agg.Report.s_valid + if o.valid then 1 else 0);
+                      s_max_volume = max agg.Report.s_max_volume o.stats.Runner.max_volume;
+                      s_max_distance = max agg.Report.s_max_distance o.stats.Runner.max_distance;
+                      s_max_rand_bits = max agg.Report.s_max_rand_bits o.stats.Runner.max_rand_bits;
+                    })
+              {
+                Report.s_name = o0.solver;
+                s_randomized = o0.randomized;
+                s_trials = 0;
+                s_valid = 0;
+                s_max_volume = 0;
+                s_max_distance = 0;
+                s_max_rand_bits = 0;
+              }
+              all_outcomes)
+          first
+  in
+  (* probe 2: merge consistency, on the first (smallest) trial only *)
+  let merge_consistent =
+    match trials with
+    | [] -> true
+    | (_, t) :: _ ->
+        guarded "merge consistency"
+          (fun () ->
+            match t.Registry.merge_consistency ~widths:[ 1; 2; 4 ] with
+            | Ok () -> true
+            | Error msg ->
+                fail "merge: %s" msg;
+                false)
+          false
+  in
+  (* probe 3: cross-model executions, on every trial *)
+  let cross_model =
+    let names =
+      match trials with [] -> [] | (_, t) :: _ -> List.map fst t.Registry.cross_model
+    in
+    List.map
+      (fun name ->
+        let passed =
+          List.fold_left
+            (fun acc (size, t) ->
+              match List.assoc_opt name t.Registry.cross_model with
+              | None -> acc
+              | Some f ->
+                  guarded
+                    (Fmt.str "cross-model %s at size %d" name size)
+                    (fun () ->
+                      match f () with
+                      | Ok () -> acc
+                      | Error msg ->
+                          fail "cross-model %s at size %d: %s" name size msg;
+                          false)
+                    false)
+            true trials
+        in
+        (name, passed))
+      names
+  in
+  (* probe 4: mutation fuzzing, [count] rounds round-robin over trials *)
+  let kind_order = ref [] in
+  let kinds : (string, Report.kind_agg) Hashtbl.t = Hashtbl.create 8 in
+  let record (o : Mutate.outcome) =
+    let agg =
+      match Hashtbl.find_opt kinds o.kind with
+      | Some a -> a
+      | None ->
+          kind_order := o.kind :: !kind_order;
+          { Report.k_kind = o.kind; k_total = 0; k_rejected = 0; k_out_of_radius = 0 }
+    in
+    Hashtbl.replace kinds o.kind
+      {
+        agg with
+        Report.k_total = agg.Report.k_total + 1;
+        k_rejected = (agg.Report.k_rejected + if o.rejected then 1 else 0);
+        k_out_of_radius =
+          (agg.Report.k_out_of_radius + if o.rejected && not o.in_radius then 1 else 0);
+      }
+  in
+  let ntrials = List.length trials in
+  if ntrials > 0 then
+    for i = 0 to count - 1 do
+      let _, t = List.nth trials (i mod ntrials) in
+      let rng =
+        Splitmix.create
+          (Splitmix.mix (Int64.add (trial_seed ~seed ~name:e.name (-1)) (Int64.of_int i)))
+      in
+      List.iter
+        (fun (o : Mutate.outcome) ->
+          if o.Mutate.kind = "reference" then fail "reference output: %s" o.detail
+          else begin
+            record o;
+            if o.rejected && not o.in_radius then
+              fail "mutation %s at node %d: violation outside radius %d (%s)" o.kind o.site
+                e.radius o.detail
+          end)
+        (guarded (Fmt.str "fuzz round %d" i) (fun () -> t.Registry.mutate rng) [])
+    done;
+  {
+    Report.p_name = e.name;
+    p_radius = e.radius;
+    p_instances = List.length trials;
+    p_solvers = solver_aggs;
+    p_merge_consistent = merge_consistent;
+    p_cross_model = cross_model;
+    p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
+    p_failures = List.rev !failures;
+  }
+
+let run ?pool ?entries ~seed ~count ~quick () =
+  let entries = match entries with Some es -> es | None -> Registry.all () in
+  let domains = match pool with None -> 1 | Some p -> Pool.domains p in
+  let problems = List.map (run_entry ?pool ~seed ~count ~quick) entries in
+  { Report.seed; count; domains; quick; problems }

@@ -1,0 +1,33 @@
+(** The differential conformance oracle.
+
+    For every registry entry (or a chosen subset) the oracle builds the
+    entry's trials and runs the four conformance probes:
+
+    + every registered solver solves every instance; the assembled
+      output must pass the problem's own checker, and the cost envelope
+      must hold — [runs = n], no aborts, [VOL >= DIST >= 0], [VOL >= 1],
+      and deterministic solvers consume zero random bits;
+    + {!Vc_measure.Runner} statistics are bit-identical across pool
+      widths 1, 2 and 4 (merge consistency);
+    + cross-model executions (CONGEST protocols) produce complete,
+      valid outputs;
+    + [count] mutation-fuzzing rounds, round-robin over the entry's
+      trials: every rejection must be anchored within the checkability
+      radius of the mutation site, and at least one mutant per problem
+      must be rejected overall.
+
+    Everything is a deterministic function of [seed]; a failing run is
+    reproducible with [volcomp check --seed N]. *)
+
+val run :
+  ?pool:Vc_exec.Pool.t ->
+  ?entries:Registry.entry list ->
+  seed:int64 ->
+  count:int ->
+  quick:bool ->
+  unit ->
+  Report.t
+(** [run ~seed ~count ~quick ()] checks [entries] (default:
+    {!Registry.all}).  [quick] selects each entry's small sizes — the
+    [dune runtest] profile.  [?pool] parallelizes the per-solver runs;
+    the report's verdicts do not depend on it. *)

@@ -1,0 +1,553 @@
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module TL = Vc_graph.Tree_labels
+module Splitmix = Vc_rng.Splitmix
+module Randomness = Vc_rng.Randomness
+module Lcl = Vc_lcl.Lcl
+module Runner = Vc_measure.Runner
+module Pool = Vc_exec.Pool
+module TR = Volcomp.Trivial_lcl
+module CC = Volcomp.Cycle_coloring
+module SO = Volcomp.Sinkless
+module LC = Volcomp.Leaf_coloring
+module LCC = Volcomp.Leaf_coloring_congest
+module PL = Volcomp.Promise_leaf
+module BT = Volcomp.Balanced_tree
+module BTC = Volcomp.Balanced_tree_congest
+module H = Volcomp.Hierarchical_thc
+module Hy = Volcomp.Hybrid_thc
+module HH = Volcomp.Hh_thc
+module Gap = Volcomp.Gap_example
+
+type solver_outcome = {
+  solver : string;
+  randomized : bool;
+  stats : Runner.stats;
+  valid : bool;
+}
+
+type trial = {
+  t_n : int;
+  run_solvers : ?pool:Pool.t -> unit -> solver_outcome list;
+  merge_consistency : widths:int list -> (unit, string) result;
+  cross_model : (string * (unit -> (unit, string) result)) list;
+  mutate : Splitmix.t -> Mutate.outcome list;
+}
+
+type entry = {
+  name : string;
+  radius : int;
+  sizes : int list;
+  quick_sizes : int list;
+  make : size:int -> seed:int64 -> trial;
+}
+
+(* --- shared helpers ------------------------------------------------------ *)
+
+let assemble outputs =
+  let missing = Array.fold_left (fun c o -> if o = None then c + 1 else c) 0 outputs in
+  if missing > 0 then Error (Fmt.str "%d of %d nodes undecided" missing (Array.length outputs))
+  else Ok (Array.map (function Some o -> o | None -> assert false) outputs)
+
+let first_violation = function
+  | v :: _ -> Fmt.str "%a" Lcl.pp_violation v
+  | [] -> "invalid (no violation record)"
+
+let congest_check ~problem ~graph ~input (result : _ Vc_model.Congest.result) =
+  match assemble result.Vc_model.Congest.outputs with
+  | Error e -> Error ("congest: " ^ e)
+  | Ok out -> (
+      match Lcl.check problem graph ~input ~output:(fun v -> out.(v)) with
+      | Ok () -> Ok ()
+      | Error vs -> Error ("congest output invalid: " ^ first_violation vs))
+
+let pick rng = function
+  | [] -> None
+  | xs -> Some (List.nth xs (Splitmix.int rng ~bound:(List.length xs)))
+
+let nodes_where graph p = List.filter p (Graph.nodes graph)
+
+(* A mutant that only touches the (already copied) output array. *)
+let out_mutant site out = Some { Mutate.site; input = None; output = (fun v -> out.(v)) }
+
+let any_node rng out = Splitmix.int rng ~bound:(Array.length out)
+
+(* Package one concrete instance as a trial.  The reference output (the
+   mutation fuzzer's starting point) is the first deterministic solver's,
+   computed lazily once per trial; per-solver randomness is derived from
+   the trial seed and the solver's position, so every probe is
+   reproducible from the trial's (size, seed) alone. *)
+let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node -> i) ~world
+    ~(solvers : (i, o) Lcl.solver list) ?(regime = Randomness.Private) ?(cross_model = [])
+    ~(mutants : (string * (Splitmix.t -> o array -> (i, o) Mutate.t option)) list) ~seed () :
+    trial =
+  let n = Graph.n graph in
+  let randomness_for idx (s : _ Lcl.solver) =
+    if s.Lcl.randomized then
+      Some (Randomness.create ~regime ~seed:(Int64.add seed (Int64.of_int (1 + idx))) ~n ())
+    else None
+  in
+  let run_solvers ?pool () =
+    List.mapi
+      (fun idx s ->
+        let stats, valid =
+          Runner.solve_and_check ~world ~problem ~graph ~input ~solver:s
+            ?randomness:(randomness_for idx s) ?pool ()
+        in
+        { solver = s.Lcl.solver_name; randomized = s.Lcl.randomized; stats; valid })
+      solvers
+  in
+  let ref_solver =
+    match List.find_opt (fun s -> not s.Lcl.randomized) solvers with
+    | Some s -> s
+    | None -> List.hd solvers
+  in
+  let merge_consistency ~widths =
+    let run ?pool () =
+      fst
+        (Runner.solve_and_check ~world ~problem ~graph ~input ~solver:ref_solver
+           ?randomness:(randomness_for 0 ref_solver) ?pool ())
+    in
+    let base = run () in
+    List.fold_left
+      (fun acc w ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            let stats = Pool.with_pool ~domains:w (fun pool -> run ~pool ()) in
+            if stats = base then Ok ()
+            else
+              Error
+                (Fmt.str "%s: stats at pool width %d differ from sequential"
+                   ref_solver.Lcl.solver_name w))
+      (Ok ()) widths
+  in
+  let reference =
+    lazy
+      (let stats, outs =
+         Runner.measure ~world ~solver:ref_solver ?randomness:(randomness_for 0 ref_solver)
+           ~origins:(Graph.nodes graph) ()
+       in
+       if stats.Runner.aborted > 0 then Error "reference solver aborted"
+       else
+         let arr = Array.make n None in
+         List.iter (fun (v, o) -> arr.(v) <- Some o) outs;
+         match assemble arr with
+         | Error e -> Error ("reference: " ^ e)
+         | Ok out -> (
+             match Lcl.check problem graph ~input ~output:(fun v -> out.(v)) with
+             | Ok () -> Ok out
+             | Error vs -> Error ("reference output invalid: " ^ first_violation vs)))
+  in
+  let mutate rng =
+    match Lazy.force reference with
+    | Error msg -> [ Mutate.reference_failure ~msg ]
+    | Ok out ->
+        List.filter_map
+          (fun (kind, build) ->
+            match build rng (Array.copy out) with
+            | None -> None
+            | Some m -> Some (Mutate.check ~problem ~graph ~input ~kind m))
+          mutants
+  in
+  { t_n = n; run_solvers; merge_consistency; cross_model; mutate }
+
+(* --- entries, in paper order --------------------------------------------- *)
+
+let degree_parity =
+  let problem = TR.problem in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 24; 40 ];
+    quick_sizes = [ 16 ];
+    make =
+      (fun ~size ~seed ->
+        let graph = Gen.build { Gen.shape = Gen.Cubic; size; g_seed = seed } in
+        let input _ = () in
+        make_trial ~problem ~graph ~input ~world:(TR.world graph) ~solvers:TR.solvers
+          ~mutants:
+            [
+              ( "flip-parity",
+                fun rng out ->
+                  let v = any_node rng out in
+                  out.(v) <- (match out.(v) with TR.Even -> TR.Odd | TR.Odd -> TR.Even);
+                  out_mutant v out );
+            ]
+          ~seed ());
+  }
+
+let cycle_coloring =
+  let problem = CC.problem in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 16; 33 ];
+    quick_sizes = [ 9 ];
+    make =
+      (fun ~size ~seed ->
+        (* shuffled identifiers vary the Cole–Vishkin trajectory per seed *)
+        let graph =
+          Graph.shuffle_ids (Builder.cycle (max 3 size)) ~rng:(Splitmix.create seed)
+        in
+        let input _ = () in
+        make_trial ~problem ~graph ~input ~world:(CC.world graph) ~solvers:CC.solvers
+          ~mutants:
+            [
+              ( "copy-neighbor",
+                fun rng out ->
+                  let v = any_node rng out in
+                  out.(v) <- out.(Graph.neighbor graph v 1);
+                  out_mutant v out );
+              ( "out-of-palette",
+                fun rng out ->
+                  let v = any_node rng out in
+                  out.(v) <- 3;
+                  out_mutant v out );
+            ]
+          ~seed ());
+  }
+
+let sinkless =
+  let problem = SO.problem in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 20; 32 ];
+    quick_sizes = [ 12 ];
+    make =
+      (fun ~size ~seed ->
+        let graph = SO.random_cubic ~n:(max 8 size) ~seed in
+        let input _ = () in
+        let flip = function SO.Outgoing -> SO.Incoming | SO.Incoming -> SO.Outgoing in
+        make_trial ~problem ~graph ~input ~world:(SO.world graph) ~solvers:SO.solvers
+          ~mutants:
+            [
+              ( "swap-port",
+                fun rng out ->
+                  let v = any_node rng out in
+                  let p = Splitmix.int rng ~bound:(Graph.degree graph v) in
+                  (* replace, don't mutate: the inner array is shared with
+                     the reference output *)
+                  let a = Array.copy out.(v) in
+                  a.(p) <- flip a.(p);
+                  out.(v) <- a;
+                  out_mutant v out );
+              ( "make-sink",
+                fun rng out ->
+                  let v = any_node rng out in
+                  out.(v) <- Array.make (Graph.degree graph v) SO.Incoming;
+                  out_mutant v out );
+            ]
+          ~seed ());
+  }
+
+(* Mutation kinds shared by LeafColoring and its promise variant. *)
+let lc_mutants inst =
+  let graph = inst.LC.graph in
+  let leaves =
+    nodes_where graph (fun v -> TL.equal_status (TL.status graph inst.LC.labels v) TL.Leaf)
+  in
+  [
+    ( "relabel-node",
+      fun rng out ->
+        let v = any_node rng out in
+        out.(v) <- TL.flip_color out.(v);
+        out_mutant v out );
+    ( "recolor-leaf",
+      fun rng out ->
+        match pick rng leaves with
+        | None -> None
+        | Some v ->
+            out.(v) <- TL.flip_color out.(v);
+            out_mutant v out );
+    ( "break-input-color",
+      fun rng out ->
+        match pick rng leaves with
+        | None -> None
+        | Some v ->
+            let base = LC.input inst in
+            let mutated u =
+              if u = v then { (base u) with LC.color = TL.flip_color (base u).LC.color }
+              else base u
+            in
+            Some { Mutate.site = v; input = Some mutated; output = (fun u -> out.(u)) } );
+  ]
+
+let leaf_coloring =
+  let problem = LC.problem in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 31; 63 ];
+    quick_sizes = [ 15 ];
+    make =
+      (fun ~size ~seed ->
+        let inst = LC.random_instance ~n:size ~seed in
+        let graph = inst.LC.graph in
+        let input = LC.input inst in
+        make_trial ~problem ~graph ~input ~world:(LC.world inst) ~solvers:LC.solvers
+          ~cross_model:
+            [ ("congest", fun () -> congest_check ~problem ~graph ~input (LCC.run inst ())) ]
+          ~mutants:(lc_mutants inst) ~seed ());
+  }
+
+let promise_leaf =
+  let problem = LC.problem in
+  {
+    name = "PromiseLeafColoring (secret)";
+    radius = problem.Lcl.radius;
+    sizes = [ 31; 63 ];
+    quick_sizes = [ 15 ];
+    make =
+      (fun ~size ~seed ->
+        let leaf_color = if Int64.logand seed 1L = 0L then TL.Red else TL.Blue in
+        let inst = PL.promise_instance ~n:size ~leaf_color ~seed in
+        let graph = inst.LC.graph in
+        let input = LC.input inst in
+        make_trial ~problem ~graph ~input ~world:(LC.world inst)
+          ~solvers:(LC.solve_distance :: PL.solvers)
+          ~regime:Randomness.Secret ~mutants:(lc_mutants inst) ~seed ());
+  }
+
+let balanced_tree =
+  let problem = BT.problem in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 3; 4 ];
+    quick_sizes = [ 3 ];
+    make =
+      (fun ~size ~seed ->
+        let inst =
+          if Int64.logand seed 1L = 1L then BT.broken_pair_instance ~depth:size ~break:0
+          else BT.balanced_instance ~depth:size
+        in
+        let graph = inst.BT.graph in
+        let input = BT.input inst in
+        (* consistent nodes whose output is forced by Definition 4.3:
+           every leaf, and every incompatible internal node *)
+        let forced =
+          nodes_where graph (fun v ->
+              match BT.status inst v with
+              | TL.Inconsistent -> false
+              | TL.Leaf -> true
+              | TL.Internal -> not (BT.compatible inst v))
+        in
+        let laterals =
+          nodes_where graph (fun v -> inst.BT.labels.(v).BT.left_nbr <> TL.bot)
+        in
+        let flip = function BT.Bal -> BT.Unbal | BT.Unbal -> BT.Bal in
+        make_trial ~problem ~graph ~input ~world:(BT.world inst) ~solvers:BT.solvers
+          ~cross_model:
+            [ ("congest", fun () -> congest_check ~problem ~graph ~input (BTC.run inst ())) ]
+          ~mutants:
+            [
+              ( "flip-verdict",
+                fun rng out ->
+                  match pick rng forced with
+                  | None -> None
+                  | Some v ->
+                      out.(v) <- { out.(v) with BT.verdict = flip out.(v).BT.verdict };
+                      out_mutant v out );
+              ( "swap-port",
+                fun rng out ->
+                  match pick rng forced with
+                  | None -> None
+                  | Some v ->
+                      out.(v) <-
+                        { out.(v) with BT.port = (if out.(v).BT.port = TL.bot then 1 else TL.bot) };
+                      out_mutant v out );
+              ( "erase-lateral",
+                fun rng out ->
+                  match pick rng laterals with
+                  | None -> None
+                  | Some v ->
+                      let mutated u =
+                        if u = v then { (input u) with BT.left_nbr = TL.bot } else input u
+                      in
+                      Some { Mutate.site = v; input = Some mutated; output = (fun u -> out.(u)) } );
+            ]
+          ~seed ());
+  }
+
+let hierarchical =
+  let k = 2 in
+  let problem = H.problem ~k in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 4; 5 ];
+    quick_sizes = [ 3 ];
+    make =
+      (fun ~size ~seed ->
+        let inst = H.uniform_instance ~k ~len:size ~seed in
+        let graph = H.graph inst in
+        let input = H.input inst in
+        let access = H.graph_access inst in
+        let level1 = nodes_where graph (fun v -> H.level access ~k v = 1) in
+        make_trial ~problem ~graph ~input ~world:(H.world inst) ~solvers:(H.solvers ~k)
+          ~mutants:
+            [
+              ( "exempt-level-1",
+                fun rng out ->
+                  match pick rng level1 with
+                  | None -> None
+                  | Some v ->
+                      out.(v) <- H.Exempt;
+                      out_mutant v out );
+              ( "relabel-rotate",
+                fun rng out ->
+                  let v = any_node rng out in
+                  out.(v) <-
+                    (match out.(v) with
+                    | H.Chromatic TL.Red -> H.Chromatic TL.Blue
+                    | H.Chromatic TL.Blue -> H.Decline
+                    | H.Decline -> H.Exempt
+                    | H.Exempt -> H.Chromatic TL.Red);
+                  out_mutant v out );
+            ]
+          ~seed ());
+  }
+
+let rotate_sym = function
+  | H.Chromatic TL.Red -> H.Chromatic TL.Blue
+  | H.Chromatic TL.Blue -> H.Decline
+  | H.Decline -> H.Exempt
+  | H.Exempt -> H.Chromatic TL.Red
+
+let hybrid =
+  let k = 2 in
+  let problem = Hy.problem ~k in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 3; 4 ];
+    quick_sizes = [ 3 ];
+    make =
+      (fun ~size ~seed ->
+        let inst = Hy.uniform_instance ~k ~len:size ~bt_depth:3 ~seed in
+        let graph = inst.Hy.graph in
+        let input = Hy.input inst in
+        let high = nodes_where graph (fun v -> (input v).Hy.level >= 2) in
+        make_trial ~problem ~graph ~input ~world:(Hy.world inst) ~solvers:(Hy.solvers ~k)
+          ~mutants:
+            [
+              ( "solved-junk",
+                fun rng out ->
+                  match pick rng high with
+                  | None -> None
+                  | Some v ->
+                      out.(v) <- Hy.Solved { BT.verdict = BT.Bal; port = TL.bot };
+                      out_mutant v out );
+              ( "relabel-node",
+                fun rng out ->
+                  let v = any_node rng out in
+                  out.(v) <-
+                    (match out.(v) with
+                    | Hy.Sym s -> Hy.Sym (rotate_sym s)
+                    | Hy.Solved o -> Hy.Solved { o with BT.verdict = BT.Unbal });
+                  out_mutant v out );
+            ]
+          ~seed ());
+  }
+
+let hh =
+  let k = 2 and l = 3 in
+  let problem = HH.problem ~k ~l in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 60 ];
+    quick_sizes = [ 40 ];
+    make =
+      (fun ~size ~seed ->
+        let inst = HH.uniform_instance ~k ~l ~size_hint:size ~seed in
+        let graph = inst.HH.graph in
+        let input = HH.input inst in
+        let hy_high =
+          nodes_where graph (fun v ->
+              let i = input v in
+              i.HH.bit && i.HH.hy.Hy.level >= 2)
+        in
+        make_trial ~problem ~graph ~input ~world:(HH.world inst) ~solvers:(HH.solvers ~k ~l)
+          ~mutants:
+            [
+              ( "solved-junk-bit1",
+                fun rng out ->
+                  match pick rng hy_high with
+                  | None -> None
+                  | Some v ->
+                      out.(v) <- Hy.Solved { BT.verdict = BT.Bal; port = TL.bot };
+                      out_mutant v out );
+              ( "relabel-node",
+                fun rng out ->
+                  let v = any_node rng out in
+                  out.(v) <-
+                    (match out.(v) with
+                    | Hy.Sym s -> Hy.Sym (rotate_sym s)
+                    | Hy.Solved o -> Hy.Solved { o with BT.verdict = BT.Unbal });
+                  out_mutant v out );
+            ]
+          ~seed ());
+  }
+
+let gap =
+  let problem = Gap.problem in
+  {
+    name = problem.Lcl.name;
+    radius = problem.Lcl.radius;
+    sizes = [ 4; 5 ];
+    quick_sizes = [ 3 ];
+    make =
+      (fun ~size ~seed ->
+        let inst = Gap.make ~depth:size ~seed in
+        let graph = inst.Gap.graph in
+        let input = Gap.input inst in
+        let partition out =
+          let some = ref [] and none = ref [] in
+          Array.iteri
+            (fun v o -> match o with Some _ -> some := v :: !some | None -> none := v :: !none)
+            out;
+          (!some, !none)
+        in
+        make_trial ~problem ~graph ~input ~world:(Gap.world inst) ~solvers:Gap.solvers
+          ~cross_model:
+            [
+              ( "congest",
+                fun () ->
+                  congest_check ~problem ~graph ~input (Gap.run_congest inst ~bandwidth:8) );
+            ]
+          ~mutants:
+            [
+              ( "flip-bit",
+                fun rng out ->
+                  match pick rng (fst (partition out)) with
+                  | None -> None
+                  | Some v ->
+                      out.(v) <- Option.map not out.(v);
+                      out_mutant v out );
+              ( "spurious-output",
+                fun rng out ->
+                  match pick rng (snd (partition out)) with
+                  | None -> None
+                  | Some v ->
+                      out.(v) <- Some true;
+                      out_mutant v out );
+            ]
+          ~seed ());
+  }
+
+let all () =
+  [
+    degree_parity;
+    cycle_coloring;
+    sinkless;
+    leaf_coloring;
+    promise_leaf;
+    balanced_tree;
+    hierarchical;
+    hybrid;
+    hh;
+    gap;
+  ]

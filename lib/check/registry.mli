@@ -1,0 +1,64 @@
+(** The conformance registry: every problem of [lib/core], packaged
+    uniformly for differential checking.
+
+    Each {!entry} knows how to build {e trials} — concrete instances at a
+    given size and seed — and each trial exposes the four conformance
+    probes the oracle runs:
+
+    - {b differential solving}: run every registered solver over the same
+      instance and report per-solver cost statistics plus output
+      validity.  Solvers of the same problem may legitimately produce
+      {e different} outputs (LCLs admit output freedom); what they must
+      agree on is validity under the problem's own checker.
+    - {b merge consistency}: the reference solver's {!Vc_measure.Runner}
+      statistics must be bit-identical whether the start nodes are
+      processed sequentially or fanned out over a {!Vc_exec.Pool} of any
+      width.
+    - {b cross-model checks}: where a second model implementation exists
+      (the CONGEST protocols of Observation 7.4, the Example 7.6
+      router), run it and verify its output against the same checker.
+    - {b mutation fuzzing}: perturb a valid output (or its input
+      labeling) and classify the checker's reaction — see {!Mutate}.
+
+    Heterogeneous problem types are hidden behind monomorphic closures,
+    so the oracle iterates over [entry list] without knowing any
+    problem's input or output type. *)
+
+module Splitmix = Vc_rng.Splitmix
+module Runner = Vc_measure.Runner
+
+type solver_outcome = {
+  solver : string;
+  randomized : bool;
+  stats : Runner.stats;
+  valid : bool;  (** the assembled output passes the problem's checker *)
+}
+
+type trial = {
+  t_n : int;  (** node count of the instance *)
+  run_solvers : ?pool:Vc_exec.Pool.t -> unit -> solver_outcome list;
+      (** Run every registered solver from every node of the instance. *)
+  merge_consistency : widths:int list -> (unit, string) result;
+      (** Re-run the reference solver under pools of the given widths and
+          compare the stats against the sequential run. *)
+  cross_model : (string * (unit -> (unit, string) result)) list;
+      (** Named alternative-model executions (e.g. ["congest"]). *)
+  mutate : Splitmix.t -> Mutate.outcome list;
+      (** One fuzzing round: apply each of the entry's mutation kinds
+          once, at sites drawn from the given rng. *)
+}
+
+type entry = {
+  name : string;
+  radius : int;  (** the problem's checkability radius *)
+  sizes : int list;  (** instance sizes for the full profile *)
+  quick_sizes : int list;  (** smaller sizes for the [dune runtest] profile *)
+  make : size:int -> seed:int64 -> trial;
+      (** Deterministic: the same (size, seed) builds the same trial. *)
+}
+
+val all : unit -> entry list
+(** Every problem of [lib/core], in paper order: DegreeParity,
+    CycleColoring3, Sinkless, LeafColoring, PromiseLeafColoring (secret
+    regime), BalancedTree, Hierarchical-THC(2), Hybrid-THC(2),
+    HH-THC(2,3), LeafBitCopy (Example 7.6). *)

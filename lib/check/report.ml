@@ -1,0 +1,130 @@
+type solver_agg = {
+  s_name : string;
+  s_randomized : bool;
+  s_trials : int;
+  s_valid : int;
+  s_max_volume : int;
+  s_max_distance : int;
+  s_max_rand_bits : int;
+}
+
+type kind_agg = {
+  k_kind : string;
+  k_total : int;
+  k_rejected : int;
+  k_out_of_radius : int;
+}
+
+type problem_report = {
+  p_name : string;
+  p_radius : int;
+  p_instances : int;
+  p_solvers : solver_agg list;
+  p_merge_consistent : bool;
+  p_cross_model : (string * bool) list;
+  p_mutations : kind_agg list;
+  p_failures : string list;
+}
+
+type t = {
+  seed : int64;
+  count : int;
+  domains : int;
+  quick : bool;
+  problems : problem_report list;
+}
+
+let mutations_total p = List.fold_left (fun acc k -> acc + k.k_total) 0 p.p_mutations
+
+let mutations_rejected p = List.fold_left (fun acc k -> acc + k.k_rejected) 0 p.p_mutations
+
+let problem_ok p = p.p_failures = [] && mutations_rejected p >= 1
+
+let ok t = List.for_all problem_ok t.problems
+
+(* --- human rendering ------------------------------------------------------ *)
+
+let pp_problem ppf p =
+  Fmt.pf ppf "@[<v 2>%s  [%s]@," p.p_name (if problem_ok p then "ok" else "FAIL");
+  Fmt.pf ppf "instances: %d  radius: %s@," p.p_instances
+    (if p.p_radius = max_int then "unbounded" else string_of_int p.p_radius);
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "solver %-28s %s  valid %d/%d  max vol %d  max dist %d  rand bits %d@,"
+        s.s_name
+        (if s.s_randomized then "(rand)" else "(det) ")
+        s.s_valid s.s_trials s.s_max_volume s.s_max_distance s.s_max_rand_bits)
+    p.p_solvers;
+  Fmt.pf ppf "merge-consistent: %b@," p.p_merge_consistent;
+  List.iter (fun (name, passed) -> Fmt.pf ppf "cross-model %s: %b@," name passed) p.p_cross_model;
+  List.iter
+    (fun k ->
+      Fmt.pf ppf "mutants %-18s rejected %d/%d%s@," k.k_kind k.k_rejected k.k_total
+        (if k.k_out_of_radius > 0 then Fmt.str "  OUT-OF-RADIUS %d" k.k_out_of_radius else ""))
+    p.p_mutations;
+  List.iter (fun f -> Fmt.pf ppf "failure: %s@," f) p.p_failures;
+  Fmt.pf ppf "@]"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>conformance check  seed=%Ld count=%d domains=%d%s@,@," t.seed t.count t.domains
+    (if t.quick then " (quick)" else "");
+  List.iter (fun p -> Fmt.pf ppf "%a@," pp_problem p) t.problems;
+  let failed = List.filter (fun p -> not (problem_ok p)) t.problems in
+  if failed = [] then Fmt.pf ppf "all %d problems conformant@." (List.length t.problems)
+  else
+    Fmt.pf ppf "%d/%d problems FAILED: %s@." (List.length failed) (List.length t.problems)
+      (String.concat ", " (List.map (fun p -> p.p_name) failed))
+
+(* --- JSON rendering (hand-rolled, same idiom as bench --json) ------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let solver_json s =
+  Printf.sprintf
+    {|{"name":"%s","randomized":%b,"trials":%d,"valid":%d,"max_volume":%d,"max_distance":%d,"max_rand_bits":%d}|}
+    (json_escape s.s_name) s.s_randomized s.s_trials s.s_valid s.s_max_volume s.s_max_distance
+    s.s_max_rand_bits
+
+let kind_json k =
+  Printf.sprintf {|{"kind":"%s","total":%d,"rejected":%d,"out_of_radius":%d}|}
+    (json_escape k.k_kind) k.k_total k.k_rejected k.k_out_of_radius
+
+let problem_json p =
+  Printf.sprintf
+    {|{"problem":"%s","ok":%b,"radius":%s,"instances":%d,"solvers":[%s],"merge_consistent":%b,"cross_model":{%s},"mutations":{"total":%d,"rejected":%d,"out_of_radius":%d,"by_kind":[%s]},"failures":[%s]}|}
+    (json_escape p.p_name) (problem_ok p)
+    (if p.p_radius = max_int then {|"unbounded"|} else string_of_int p.p_radius)
+    p.p_instances
+    (String.concat "," (List.map solver_json p.p_solvers))
+    p.p_merge_consistent
+    (String.concat ","
+       (List.map (fun (n, b) -> Printf.sprintf {|"%s":%b|} (json_escape n) b) p.p_cross_model))
+    (mutations_total p) (mutations_rejected p)
+    (List.fold_left (fun acc k -> acc + k.k_out_of_radius) 0 p.p_mutations)
+    (String.concat "," (List.map kind_json p.p_mutations))
+    (String.concat "," (List.map (fun f -> "\"" ^ json_escape f ^ "\"") p.p_failures))
+
+let to_json t =
+  Printf.sprintf
+    {|{"seed":%Ld,"count":%d,"domains":%d,"quick":%b,"ok":%b,"problems":[%s]}|}
+    t.seed t.count t.domains t.quick (ok t)
+    (String.concat "," (List.map problem_json t.problems))
+
+let write_json t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json t);
+      output_char oc '\n')

@@ -1,0 +1,62 @@
+(** Conformance run results: aggregation, verdicts, human and JSON
+    rendering.
+
+    A report is pure data — {!Oracle} fills it in, the [volcomp check]
+    CLI renders it.  The JSON shape mirrors [volcomp bench --json]: one
+    top-level object with the run parameters and one entry per problem,
+    so dashboards can ingest both with the same tooling. *)
+
+type solver_agg = {
+  s_name : string;
+  s_randomized : bool;
+  s_trials : int;  (** instances this solver ran on *)
+  s_valid : int;  (** instances on which its output passed the checker *)
+  s_max_volume : int;
+  s_max_distance : int;
+  s_max_rand_bits : int;
+}
+
+type kind_agg = {
+  k_kind : string;  (** mutation kind, e.g. ["relabel-node"] *)
+  k_total : int;
+  k_rejected : int;
+  k_out_of_radius : int;
+      (** rejections with a violation outside the checkability radius of
+          the mutation site — always a conformance failure *)
+}
+
+type problem_report = {
+  p_name : string;
+  p_radius : int;
+  p_instances : int;
+  p_solvers : solver_agg list;
+  p_merge_consistent : bool;
+  p_cross_model : (string * bool) list;
+  p_mutations : kind_agg list;
+  p_failures : string list;
+      (** human-readable conformance failures; empty means conformant *)
+}
+
+type t = {
+  seed : int64;
+  count : int;
+  domains : int;
+  quick : bool;
+  problems : problem_report list;
+}
+
+val mutations_total : problem_report -> int
+val mutations_rejected : problem_report -> int
+
+val problem_ok : problem_report -> bool
+(** No failures, and the fuzzer rejected at least one mutant (a problem
+    whose checker never rejects anything proves nothing). *)
+
+val ok : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Human summary: one block per problem plus a final verdict line. *)
+
+val to_json : t -> string
+
+val write_json : t -> path:string -> unit

@@ -87,3 +87,5 @@ let solve =
       Hashtbl.find color 0)
 
 let world g = Vc_model.World.of_graph g ~input:(fun _ -> ())
+
+let solvers = [ solve ]

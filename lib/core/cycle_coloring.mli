@@ -20,6 +20,9 @@ val solve : (unit, int) Vc_lcl.Lcl.solver
     {!Vc_graph.Builder.cycle} (port 1 = successor, port 2 =
     predecessor). *)
 
+val solvers : (unit, int) Vc_lcl.Lcl.solver list
+(** All conformance-tested solvers of the problem ([[solve]]). *)
+
 val world : Vc_graph.Graph.t -> unit Vc_model.World.t
 
 val rounds_needed : n:int -> int

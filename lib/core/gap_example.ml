@@ -205,3 +205,5 @@ let run_congest inst ~bandwidth =
   in
   Congest.run ~graph:inst.graph ~input:(input inst) ~bandwidth ~max_rounds:(10 * Graph.n inst.graph)
     algo
+
+let solvers = [ solve ]

@@ -44,6 +44,9 @@ val problem : (node_input, bool option) Vc_lcl.Lcl.t
 val solve : (node_input, bool option) Vc_lcl.Lcl.solver
 (** The O(log n)-volume climb-cross-descend query algorithm. *)
 
+val solvers : (node_input, bool option) Vc_lcl.Lcl.solver list
+(** All conformance-tested solvers of the problem ([[solve]]). *)
+
 type router_state
 
 val congest_route :

@@ -43,3 +43,5 @@ let solve_secret_walk =
                   walk (if Probe.rand_bit ctx v0 then rc else lc) (steps + 1))
       in
       walk v0 0)
+
+let solvers = [ solve_secret_walk ]

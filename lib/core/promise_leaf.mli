@@ -22,3 +22,7 @@ val satisfies_promise : Leaf_coloring.instance -> bool
 val solve_secret_walk : (Leaf_coloring.node_input, TL.color) Vc_lcl.Lcl.solver
 (** The downward walk using only the origin's private random string;
     legal under {!Vc_rng.Randomness.Secret}. *)
+
+val solvers : (Leaf_coloring.node_input, TL.color) Vc_lcl.Lcl.solver list
+(** All conformance-tested solvers ([[solve_secret_walk]]); only valid
+    on promise instances. *)

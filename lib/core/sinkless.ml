@@ -187,3 +187,8 @@ let solve_one_round_random =
           let w = Probe.query ctx ~at:v0 ~port:(i + 1) in
           (* the lexicographically larger endpoint owns the edge *)
           if mine > key w then Outgoing else Incoming))
+
+(* [solve_one_round_random] is deliberately excluded: failing somewhere
+   is its point (see the mli), so it does not belong in the conformance
+   set. *)
+let solvers = [ solve_global ]

@@ -41,6 +41,10 @@ val solve_global : (unit, output) Vc_lcl.Lcl.solver
     component, find a cycle, orient it consistently and every other
     edge towards it along a BFS forest. *)
 
+val solvers : (unit, output) Vc_lcl.Lcl.solver list
+(** The conformance-tested solvers ([[solve_global]] only —
+    {!solve_one_round_random} fails by design and is excluded). *)
+
 val solve_one_round_random : (unit, output) Vc_lcl.Lcl.solver
 (** A strawman: orient each edge by comparing the endpoints' first
     private random bits (ties broken by identifier), without any

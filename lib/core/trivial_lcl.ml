@@ -23,3 +23,5 @@ let solve =
       parity_of_degree (Probe.degree ctx (Probe.origin ctx)))
 
 let world g = Vc_model.World.of_graph g ~input:(fun _ -> ())
+
+let solvers = [ solve ]

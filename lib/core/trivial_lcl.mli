@@ -15,4 +15,7 @@ val problem : (unit, parity) Vc_lcl.Lcl.t
 val solve : (unit, parity) Vc_lcl.Lcl.solver
 (** Constant distance and volume: looks only at the origin. *)
 
+val solvers : (unit, parity) Vc_lcl.Lcl.solver list
+(** All conformance-tested solvers of the problem ([[solve]]). *)
+
 val world : Vc_graph.Graph.t -> unit Vc_model.World.t

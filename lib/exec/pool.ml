@@ -55,6 +55,8 @@ let create ?domains () =
 
 let domains t = t.domains
 
+let worker_count t = List.length t.workers
+
 let shutdown t =
   Mutex.lock t.lock;
   t.closed <- true;
@@ -124,38 +126,51 @@ let reraise_first cells =
     (function Failed (e, bt) -> Printexc.raise_with_backtrace e bt | Pending | Done _ -> ())
     cells
 
+(* A width-1 pool owns no workers and no queue traffic: [map] and
+   [map_reduce] run entirely on the calling domain, with no atomics,
+   mutexes or chunk bookkeeping.  The only observable difference from
+   the parallel path is exception eagerness: the sequential path stops
+   at the first raising element instead of evaluating the rest (the
+   re-raised exception is the same either way). *)
+
 let map t f xs =
-  let arr = Array.of_list xs in
-  let n = Array.length arr in
-  let out = Array.make n Pending in
-  run_chunks t ~n ~chunk:(chunk_size t n) (fun _ start stop ->
-      for i = start to stop - 1 do
-        out.(i) <-
-          (try Done (f arr.(i)) with e -> Failed (e, Printexc.get_raw_backtrace ()))
-      done);
-  reraise_first out;
-  List.init n (fun i -> match out.(i) with Done v -> v | Pending | Failed _ -> assert false)
+  if t.domains = 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let out = Array.make n Pending in
+    run_chunks t ~n ~chunk:(chunk_size t n) (fun _ start stop ->
+        for i = start to stop - 1 do
+          out.(i) <-
+            (try Done (f arr.(i)) with e -> Failed (e, Printexc.get_raw_backtrace ()))
+        done);
+    reraise_first out;
+    List.init n (fun i -> match out.(i) with Done v -> v | Pending | Failed _ -> assert false)
+  end
 
 let map_reduce t ~map:f ~combine ~init xs =
-  let arr = Array.of_list xs in
-  let n = Array.length arr in
-  if n = 0 then init
+  if t.domains = 1 then List.fold_left (fun acc x -> combine acc (f x)) init xs
   else begin
-    let chunk = chunk_size t n in
-    let nchunks = (n + chunk - 1) / chunk in
-    let partials = Array.make nchunks Pending in
-    run_chunks t ~n ~chunk (fun c start stop ->
-        partials.(c) <-
-          (try
-             let acc = ref (f arr.(start)) in
-             for i = start + 1 to stop - 1 do
-               acc := combine !acc (f arr.(i))
-             done;
-             Done !acc
-           with e -> Failed (e, Printexc.get_raw_backtrace ())));
-    reraise_first partials;
-    Array.fold_left
-      (fun acc cell ->
-        match cell with Done p -> combine acc p | Pending | Failed _ -> assert false)
-      init partials
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    if n = 0 then init
+    else begin
+      let chunk = chunk_size t n in
+      let nchunks = (n + chunk - 1) / chunk in
+      let partials = Array.make nchunks Pending in
+      run_chunks t ~n ~chunk (fun c start stop ->
+          partials.(c) <-
+            (try
+               let acc = ref (f arr.(start)) in
+               for i = start + 1 to stop - 1 do
+                 acc := combine !acc (f arr.(i))
+               done;
+               Done !acc
+             with e -> Failed (e, Printexc.get_raw_backtrace ())));
+      reraise_first partials;
+      Array.fold_left
+        (fun acc cell ->
+          match cell with Done p -> combine acc p | Pending | Failed _ -> assert false)
+        init partials
+    end
   end

@@ -17,10 +17,17 @@
     right; it equals the sequential fold whenever [combine] is
     associative and [init] is an identity for [combine].
 
-    {b Exceptions.}  If [f] raises, every remaining element is still
-    evaluated, and the exception raised by the {e lowest-indexed} failing
-    element is re-raised (with its backtrace) in the caller — matching
-    [List.map]'s choice of exception on pure inputs.
+    {b Exceptions.}  If [f] raises, the exception raised by the
+    {e lowest-indexed} failing element is re-raised (with its backtrace)
+    in the caller — matching [List.map]'s choice of exception on pure
+    inputs.  On a pool of width [>= 2] every remaining element is still
+    evaluated first; a width-1 pool stops at the raising element, like
+    [List.map].
+
+    {b Width 1.}  A pool of width 1 is a pure sequential fast path:
+    {!create} spawns no domains, and {!map}/{!map_reduce} bypass the
+    work queue entirely (no atomics, no chunking) and run on the calling
+    domain.
 
     {b Nesting.}  Calling {!map} from inside a task running on this pool
     is allowed and cannot deadlock: the inner caller participates in its
@@ -41,6 +48,10 @@ val create : ?domains:int -> unit -> t
 
 val domains : t -> int
 (** Total parallelism of the pool, including the calling domain. *)
+
+val worker_count : t -> int
+(** Number of worker domains actually spawned ([domains t - 1], and [0]
+    after {!shutdown} or for a width-1 pool). *)
 
 val default_domains : unit -> int
 (** The [VOLCOMP_JOBS] environment variable if set, otherwise

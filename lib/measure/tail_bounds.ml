@@ -20,7 +20,11 @@ let negative_binomial_tail ~k ~p ~c =
 
 let bernoulli rng p = Splitmix.float rng < p
 
+let check_trials trials =
+  if trials <= 0 then invalid_arg "Tail_bounds: trials must be >= 1"
+
 let empirical_binomial_tail ~trials ~m ~p ~threshold ~seed =
+  check_trials trials;
   let rng = Splitmix.create seed in
   let hits = ref 0 in
   for _ = 1 to trials do
@@ -45,6 +49,7 @@ let empirical_binomial_lower_tail ~trials ~m ~p ~delta ~seed =
     ~seed
 
 let empirical_negative_binomial_tail ~trials ~k ~p ~c ~seed =
+  check_trials trials;
   let rng = Splitmix.create seed in
   let cutoff = c *. float_of_int k /. p in
   let hits = ref 0 in

@@ -27,11 +27,13 @@ val negative_binomial_tail : k:int -> p:float -> c:float -> float
 val empirical_binomial_upper_tail :
   trials:int -> m:int -> p:float -> delta:float -> seed:int64 -> float
 (** Estimate [P(Y >= (1+δ)µ)] for [Y = sum of m Bernoulli(p)] by
-    simulation. *)
+    simulation.  @raise Invalid_argument if [trials <= 0] (an empty
+    sample has no empirical frequency, not frequency [nan]). *)
 
 val empirical_binomial_lower_tail :
   trials:int -> m:int -> p:float -> delta:float -> seed:int64 -> float
 
 val empirical_negative_binomial_tail :
   trials:int -> k:int -> p:float -> c:float -> seed:int64 -> float
-(** Estimate [P(N > c·k/p)] by simulation. *)
+(** Estimate [P(N > c·k/p)] by simulation.
+    @raise Invalid_argument if [trials <= 0]. *)

@@ -3,24 +3,26 @@
    Example 7.6 instances. *)
 
 module Graph = Vc_graph.Graph
-module Builder = Vc_graph.Builder
 module Bfs = Vc_graph.Bfs
 module Probe = Vc_model.Probe
 module Ball = Vc_model.Ball
 module Lcl = Vc_lcl.Lcl
 module Gap = Volcomp.Gap_example
-module SO = Volcomp.Sinkless
 module TL = Vc_graph.Tree_labels
 module Splitmix = Vc_rng.Splitmix
+
+(* graphs come as Gen.spec values: counterexamples print as (shape, size,
+   seed) and shrink to the smallest graph of the family that still fails *)
+module Gen = Vc_check.Gen
 
 let prop_probe_distance_equals_bfs =
   QCheck.Test.make
     ~name:"probe DIST accounting equals true BFS distance of the farthest visited node"
     ~count:30
-    QCheck.(pair int64 (int_range 8 60))
-    (fun (seed, n) ->
+    (QCheck.pair (Gen.spec ~min_size:8 ~max_size:60 ()) QCheck.int64)
+    (fun (gspec, seed) ->
       let rng = Splitmix.create seed in
-      let g = SO.random_cubic ~n:(max 8 n) ~seed:(Splitmix.next rng) in
+      let g = Gen.build gspec in
       let world = Vc_model.World.of_graph g ~input:(fun _ -> ()) in
       let origin = Splitmix.int rng ~bound:(Graph.n g) in
       let steps = 1 + Splitmix.int rng ~bound:20 in
@@ -46,12 +48,11 @@ let prop_probe_distance_equals_bfs =
 
 let prop_ball_gather_equals_bfs_ball =
   QCheck.Test.make ~name:"ball gathering visits exactly the BFS ball" ~count:30
-    QCheck.(pair int64 (int_range 3 5))
-    (fun (seed, radius) ->
-      let rng = Splitmix.create seed in
-      let g = SO.random_cubic ~n:(30 + Splitmix.int rng ~bound:40) ~seed:(Splitmix.next rng) in
+    (QCheck.pair (Gen.spec ~min_size:30 ~max_size:70 ()) (QCheck.int_range 3 5))
+    (fun (gspec, radius) ->
+      let g = Gen.build gspec in
       let world = Vc_model.World.of_graph g ~input:(fun _ -> ()) in
-      let origin = Splitmix.int rng ~bound:(Graph.n g) in
+      let origin = Splitmix.int (Splitmix.create gspec.Gen.g_seed) ~bound:(Graph.n g) in
       let r =
         Probe.run ~world ~origin (fun ctx ->
             List.sort compare (List.map fst (Ball.gather ctx ~radius)))

@@ -78,6 +78,41 @@ let test_nested_map () =
       in
       Alcotest.(check (list (list int))) "nested maps" expected got)
 
+let test_width1_sequential_fast_path () =
+  (* a width-1 pool must not spawn any Domain and must run everything on
+     the caller's domain, bypassing the worker queue *)
+  let pool = Pool.create ~domains:1 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "no worker domain spawned" 0 (Pool.worker_count pool);
+  let self = Domain.self () in
+  let seen = ref [] in
+  let res =
+    Pool.map pool
+      (fun x ->
+        seen := Domain.self () :: !seen;
+        x * 2)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "map result" [ 2; 4; 6 ] res;
+  Alcotest.(check bool) "all work on the calling domain" true
+    (List.for_all (fun d -> d = self) !seen);
+  Alcotest.(check int) "map_reduce result" 10
+    (Pool.map_reduce pool ~map:Fun.id ~combine:( + ) ~init:0 [ 1; 2; 3; 4 ]);
+  (* sequential exception semantics: evaluation stops at the raising
+     element, like List.map *)
+  let evals = ref 0 in
+  (try
+     ignore
+       (Pool.map pool
+          (fun x ->
+            incr evals;
+            if x = 1 then failwith "stop" else x)
+          [ 0; 1; 2; 3 ])
+   with Failure _ -> ());
+  Alcotest.(check int) "stops at the raising element" 2 !evals;
+  (* contrast: a width-4 pool does own 3 workers *)
+  with_width 4 (fun p -> Alcotest.(check int) "width 4 spawns 3 workers" 3 (Pool.worker_count p))
+
 let test_create_rejects_nonpositive () =
   Alcotest.(check bool) "raises" true
     (try
@@ -213,6 +248,7 @@ let suites =
         Alcotest.test_case "exception propagation" `Quick test_map_exception_propagation;
         Alcotest.test_case "map_reduce = fold" `Quick test_map_reduce_matches_fold;
         Alcotest.test_case "nested maps" `Quick test_nested_map;
+        Alcotest.test_case "width-1 sequential fast path" `Quick test_width1_sequential_fast_path;
         Alcotest.test_case "rejects domains < 1" `Quick test_create_rejects_nonpositive;
         QCheck_alcotest.to_alcotest qcheck_map_equals_list_map;
       ] );

@@ -109,6 +109,45 @@ let test_negative_binomial_dominates_empirical () =
         (emp <= bound +. 0.02))
     [ (10, 0.5, 2.0); (20, 0.3, 1.5); (8, 0.9, 3.0) ]
 
+let test_empirical_rejects_empty_sample () =
+  (* an empty sample has no empirical frequency; hits/trials would
+     silently return nan *)
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  List.iter
+    (fun trials ->
+      Alcotest.(check bool)
+        (Printf.sprintf "binomial upper, trials=%d" trials)
+        true
+        (raises (fun () ->
+             TB.empirical_binomial_upper_tail ~trials ~m:10 ~p:0.5 ~delta:0.2 ~seed:1L));
+      Alcotest.(check bool)
+        (Printf.sprintf "binomial lower, trials=%d" trials)
+        true
+        (raises (fun () ->
+             TB.empirical_binomial_lower_tail ~trials ~m:10 ~p:0.5 ~delta:0.2 ~seed:1L));
+      Alcotest.(check bool)
+        (Printf.sprintf "negative binomial, trials=%d" trials)
+        true
+        (raises (fun () ->
+             TB.empirical_negative_binomial_tail ~trials ~k:3 ~p:0.5 ~c:2.0 ~seed:1L)))
+    [ 0; -5 ]
+
+let test_empirical_single_trial () =
+  (* a single run is a 0/1 indicator, never anything in between *)
+  let in01 x = x = 0.0 || x = 1.0 in
+  for seed = 1 to 10 do
+    let seed = Int64.of_int seed in
+    Alcotest.(check bool) "binomial single trial" true
+      (in01 (TB.empirical_binomial_upper_tail ~trials:1 ~m:20 ~p:0.5 ~delta:0.1 ~seed));
+    Alcotest.(check bool) "negative binomial single trial" true
+      (in01 (TB.empirical_negative_binomial_tail ~trials:1 ~k:5 ~p:0.4 ~c:1.2 ~seed))
+  done
+
 let test_rwtoleaf_walk_length_tail () =
   (* The Prop 3.10 claim instantiated: P(walk length >= 16 log n) is
      tiny.  We measure walk lengths through the volume of RWtoLeaf runs
@@ -170,6 +209,8 @@ let suites =
         Alcotest.test_case "chernoff formulas" `Quick test_chernoff_formulas;
         Alcotest.test_case "chernoff dominates empirical" `Slow test_chernoff_dominates_empirical;
         Alcotest.test_case "neg-binomial dominates empirical" `Slow test_negative_binomial_dominates_empirical;
+        Alcotest.test_case "empirical rejects empty sample" `Quick test_empirical_rejects_empty_sample;
+        Alcotest.test_case "empirical single trial is 0/1" `Quick test_empirical_single_trial;
         Alcotest.test_case "RWtoLeaf walk-length tail" `Slow test_rwtoleaf_walk_length_tail;
         Alcotest.test_case "waypoint density (Lemma 5.16)" `Quick test_waypoint_density_chernoff;
       ] );

@@ -22,4 +22,5 @@ let () =
          Test_sinkless.suites;
          Test_robustness.suites;
          Test_cross_model.suites;
+         Test_check.suites;
        ])

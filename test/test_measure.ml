@@ -45,6 +45,59 @@ let test_fit_noise_tolerant () =
   let best, _ = Fit.best_fit noisy in
   Alcotest.check model_t "still sqrt" (Fit.Root 2) best
 
+let test_fit_log_star () =
+  (* log* n = 4 for every n from 17 up to 2^65536, so on the standard
+     ladder a log*-curve is literally constant: separating the classes
+     needs points straddling the tower boundaries at 4, 16, 2^16 *)
+  let towers = [ 4; 16; 256; 1 lsl 62 ] in
+  let pts = List.map (fun n -> (n, 4.0 *. Fit.log_star (float_of_int n))) towers in
+  let best, ranking = Fit.best_fit pts in
+  Alcotest.check model_t "log star" Fit.Log_star best;
+  Alcotest.(check bool) "winning score is ~0" true (snd (List.hd ranking) < 1e-12);
+  (* on the flat ladder the documented epsilon tie-break kicks in and
+     resolves to the simpler class *)
+  let flat, _ = Fit.best_fit (series (fun n -> 4.0 *. Fit.log_star n)) in
+  Alcotest.check model_t "flat ladder resolves to Constant" Fit.Constant flat
+
+let test_fit_root4 () =
+  let best, _ = Fit.best_fit (series (fun n -> 3.0 *. Float.pow n 0.25)) in
+  Alcotest.check model_t "fourth root" (Fit.Root 4) best
+
+let test_fit_near_tie_ranking_stable () =
+  (* n^0.4 sits between Root 3 and Root 2; the closer exponent must win,
+     and +/-10% noise must neither change the winner nor break the
+     ascending order of the reported ranking *)
+  let clean = series (fun n -> Float.pow n 0.4) in
+  let noisy =
+    List.mapi (fun i (n, y) -> (n, y *. (if i mod 2 = 0 then 1.1 else 0.9))) clean
+  in
+  (* best_fit deliberately collapses scores within 1e-9 into ties, so
+     "ascending" must allow that epsilon *)
+  let rec ascending = function
+    | (_, a) :: ((_, b) :: _ as tl) -> a <= b +. 1e-9 && ascending tl
+    | _ -> true
+  in
+  List.iter
+    (fun (msg, pts) ->
+      let best, ranking = Fit.best_fit pts in
+      Alcotest.check model_t (msg ^ ": winner") (Fit.Root 3) best;
+      Alcotest.(check int) (msg ^ ": all candidates ranked")
+        (List.length Fit.candidates) (List.length ranking);
+      Alcotest.(check bool) (msg ^ ": scores ascending") true (ascending ranking);
+      Alcotest.check model_t (msg ^ ": runner-up is the other root")
+        (Fit.Root 2)
+        (fst (List.nth ranking 1)))
+    [ ("clean", clean); ("noisy", noisy) ]
+
+let test_fit_permutation_invariant () =
+  (* scores are variances over the point set; the order in which points
+     are listed must not affect the ranking *)
+  let pts = series (fun n -> 2.0 *. sqrt n) in
+  let models (best, ranking) = best :: List.map fst ranking in
+  Alcotest.(check (list model_t)) "reversed points, same ranking"
+    (models (Fit.best_fit pts))
+    (models (Fit.best_fit (List.rev pts)))
+
 let test_fit_rejects_short_series () =
   Alcotest.(check bool) "raises" true
     (try
@@ -55,6 +108,39 @@ let test_fit_rejects_short_series () =
 let test_log_star () =
   Alcotest.(check bool) "log*(2^16) small" true (Fit.log_star 65536.0 <= 5.0);
   Alcotest.(check bool) "monotone" true (Fit.log_star 1e9 >= Fit.log_star 100.0)
+
+(* qcheck: Runner.merge is an exact integer monoid — associative and
+   commutative with identity Runner.empty — so fold order (and hence the
+   pool's chunk partition) can never leak into merged stats. *)
+let arb_stats =
+  let gen =
+    QCheck.Gen.(
+      map
+        (function
+          | [ runs; mv; sv; md; sd; mq; mr; ab ] ->
+              {
+                Runner.runs;
+                max_volume = mv;
+                sum_volume = sv;
+                max_distance = md;
+                sum_distance = sd;
+                max_queries = mq;
+                max_rand_bits = mr;
+                aborted = ab;
+              }
+          | _ -> assert false)
+        (list_repeat 8 small_nat))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Runner.pp_stats) gen
+
+let qcheck_merge_monoid =
+  QCheck.Test.make ~count:200 ~name:"Runner.merge is a commutative monoid"
+    QCheck.(triple arb_stats arb_stats arb_stats)
+    (fun (a, b, c) ->
+      Runner.merge a (Runner.merge b c) = Runner.merge (Runner.merge a b) c
+      && Runner.merge a b = Runner.merge b a
+      && Runner.merge Runner.empty a = a
+      && Runner.merge a Runner.empty = a)
 
 let test_runner_stats () =
   let g = Builder.path 9 in
@@ -123,12 +209,17 @@ let suites =
         Alcotest.test_case "cbrt" `Quick test_fit_cbrt;
         Alcotest.test_case "linear" `Quick test_fit_linear;
         Alcotest.test_case "noise tolerant" `Quick test_fit_noise_tolerant;
+        Alcotest.test_case "log-star curve" `Quick test_fit_log_star;
+        Alcotest.test_case "fourth root" `Quick test_fit_root4;
+        Alcotest.test_case "near-tie ranking stable" `Quick test_fit_near_tie_ranking_stable;
+        Alcotest.test_case "permutation invariant" `Quick test_fit_permutation_invariant;
         Alcotest.test_case "rejects short series" `Quick test_fit_rejects_short_series;
         Alcotest.test_case "log star" `Quick test_log_star;
       ] );
     ( "measure:runner",
       [
         Alcotest.test_case "stats" `Quick test_runner_stats;
+        QCheck_alcotest.to_alcotest qcheck_merge_monoid;
         Alcotest.test_case "abort counted" `Quick test_runner_abort_counted;
         Alcotest.test_case "sample origins" `Quick test_sample_origins_distinct;
         Alcotest.test_case "solve and check" `Quick test_solve_and_check_valid;

@@ -8,25 +8,18 @@
    Question 7.8 randomness-consumption accounting. *)
 
 module Graph = Vc_graph.Graph
-module Builder = Vc_graph.Builder
-module TL = Vc_graph.Tree_labels
 module Probe = Vc_model.Probe
 module Lcl = Vc_lcl.Lcl
 module Randomness = Vc_rng.Randomness
 module Splitmix = Vc_rng.Splitmix
 module LC = Volcomp.Leaf_coloring
-module BT = Volcomp.Balanced_tree
 module H = Volcomp.Hierarchical_thc
 module Hy = Volcomp.Hybrid_thc
-module SO = Volcomp.Sinkless
+module BT = Volcomp.Balanced_tree
 
-(* random garbage: pointers uniform over {bot} ∪ ports (possibly
-   invalid), arbitrary colors and levels *)
-let garbage_ptr rng deg = Splitmix.int rng ~bound:(deg + 3) (* may exceed the degree *)
-
-let garbage_graph rng =
-  if Splitmix.bool rng then SO.random_cubic ~n:(20 + Splitmix.int rng ~bound:30) ~seed:(Splitmix.next rng)
-  else Builder.random_binary_tree ~n:(21 + (2 * Splitmix.int rng ~bound:15)) ~rng
+(* garbage labelings come from the shared kit, so the oracle's fuzzer
+   and this suite exercise the same input distribution *)
+module Gen = Vc_check.Gen
 
 let run_safely ~world ?randomness origins solve =
   List.for_all
@@ -41,17 +34,9 @@ let prop_leafcoloring_total =
     QCheck.int64
     (fun seed ->
       let rng = Splitmix.create seed in
-      let g = garbage_graph rng in
+      let g = Gen.garbage_graph rng in
       let n = Graph.n g in
-      let input _v =
-        {
-          LC.parent = garbage_ptr rng 4;
-          left = garbage_ptr rng 4;
-          right = garbage_ptr rng 4;
-          color = (if Splitmix.bool rng then TL.Red else TL.Blue);
-        }
-      in
-      let inputs = Array.init n input in
+      let inputs = Array.init n (fun _ -> Gen.garbage_leaf_input rng) in
       let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
       let rand = Randomness.create ~seed:(Splitmix.next rng) ~n () in
       let origins = [ 0; n / 2; n - 1 ] in
@@ -63,18 +48,9 @@ let prop_balancedtree_total =
     QCheck.int64
     (fun seed ->
       let rng = Splitmix.create seed in
-      let g = garbage_graph rng in
+      let g = Gen.garbage_graph rng in
       let n = Graph.n g in
-      let inputs =
-        Array.init n (fun _ ->
-            {
-              BT.parent = garbage_ptr rng 4;
-              left = garbage_ptr rng 4;
-              right = garbage_ptr rng 4;
-              left_nbr = garbage_ptr rng 4;
-              right_nbr = garbage_ptr rng 4;
-            })
-      in
+      let inputs = Array.init n (fun _ -> Gen.garbage_balanced_input rng) in
       let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
       run_safely ~world [ 0; n / 2; n - 1 ] BT.solve_distance.Lcl.solve)
 
@@ -83,17 +59,9 @@ let prop_hthc_total =
     ~count:20 QCheck.int64
     (fun seed ->
       let rng = Splitmix.create seed in
-      let g = garbage_graph rng in
+      let g = Gen.garbage_graph rng in
       let n = Graph.n g in
-      let inputs =
-        Array.init n (fun _ ->
-            {
-              LC.parent = garbage_ptr rng 4;
-              left = garbage_ptr rng 4;
-              right = garbage_ptr rng 4;
-              color = (if Splitmix.bool rng then TL.Red else TL.Blue);
-            })
-      in
+      let inputs = Array.init n (fun _ -> Gen.garbage_leaf_input rng) in
       let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
       let rand = Randomness.create ~seed:(Splitmix.next rng) ~n () in
       let origins = [ 0; n - 1 ] in
@@ -105,20 +73,9 @@ let prop_hybrid_total =
     QCheck.int64
     (fun seed ->
       let rng = Splitmix.create seed in
-      let g = garbage_graph rng in
+      let g = Gen.garbage_graph rng in
       let n = Graph.n g in
-      let inputs =
-        Array.init n (fun _ ->
-            {
-              Hy.parent = garbage_ptr rng 4;
-              left = garbage_ptr rng 4;
-              right = garbage_ptr rng 4;
-              left_nbr = garbage_ptr rng 4;
-              right_nbr = garbage_ptr rng 4;
-              color = (if Splitmix.bool rng then TL.Red else TL.Blue);
-              level = Splitmix.int rng ~bound:5;
-            })
-      in
+      let inputs = Array.init n (fun _ -> Gen.garbage_hybrid_input rng) in
       let world = Vc_model.World.of_graph g ~input:(fun v -> inputs.(v)) in
       let origins = [ 0; n - 1 ] in
       run_safely ~world origins (Hy.solve_distance ~k:2).Lcl.solve
@@ -129,18 +86,10 @@ let prop_checkers_total =
     QCheck.int64
     (fun seed ->
       let rng = Splitmix.create seed in
-      let g = garbage_graph rng in
+      let g = Gen.garbage_graph rng in
       let n = Graph.n g in
-      let inputs =
-        Array.init n (fun _ ->
-            {
-              LC.parent = garbage_ptr rng 4;
-              left = garbage_ptr rng 4;
-              right = garbage_ptr rng 4;
-              color = TL.Red;
-            })
-      in
-      let out = Array.init n (fun _ -> if Splitmix.bool rng then TL.Red else TL.Blue) in
+      let inputs = Array.init n (fun _ -> Gen.garbage_leaf_input rng) in
+      let out = Array.init n (fun _ -> Gen.garbage_color rng) in
       let _ =
         Lcl.check LC.problem g ~input:(fun v -> inputs.(v)) ~output:(fun v -> out.(v))
       in
