@@ -1,0 +1,164 @@
+(* Strict JSON syntax checker (RFC 8259 grammar, stdlib only — the
+   toolchain has no JSON library, and the bench harness hand-rolls its
+   output, so CI needs an independent parser to catch malformed
+   emissions).  Usage: json_check FILE.  Exits 0 iff the file is exactly
+   one well-formed JSON value plus optional trailing whitespace;
+   otherwise prints the byte offset of the first error and exits 1. *)
+
+exception Bad of int * string
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let fail st msg = raise (Bad (st.pos, msg))
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue := false
+  done
+
+let expect_keyword st kw =
+  String.iter (fun c -> expect st c) kw
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let parse_digits st =
+  if not (match peek st with Some c -> is_digit c | None -> false) then
+    fail st "expected a digit";
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done
+
+(* JSON numbers: optional minus; "0" or a nonzero-led digit run; then an
+   optional fraction part and an optional signed exponent part. *)
+let parse_number st =
+  if peek st = Some '-' then advance st;
+  (match peek st with
+  | Some '0' -> advance st
+  | Some c when is_digit c -> parse_digits st
+  | _ -> fail st "expected a digit");
+  if peek st = Some '.' then begin
+    advance st;
+    parse_digits st
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      parse_digits st
+  | _ -> ())
+
+let parse_string st =
+  expect st '"';
+  let closed = ref false in
+  while not !closed do
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+        advance st;
+        closed := true
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance st
+        | Some 'u' ->
+            advance st;
+            for _ = 1 to 4 do
+              match peek st with
+              | Some c when is_hex c -> advance st
+              | _ -> fail st "expected four hex digits after \\u"
+            done
+        | _ -> fail st "invalid escape sequence")
+    | Some c when Char.code c < 0x20 -> fail st "unescaped control character in string"
+    | Some _ -> advance st
+  done
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some '"' -> parse_string st
+  | Some 't' -> expect_keyword st "true"
+  | Some 'f' -> expect_keyword st "false"
+  | Some 'n' -> expect_keyword st "null"
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+  | None -> fail st "expected a JSON value, found end of input"
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then advance st
+  else begin
+    let continue = ref true in
+    while !continue do
+      skip_ws st;
+      parse_string st;
+      skip_ws st;
+      expect st ':';
+      parse_value st;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st
+      | Some '}' ->
+          advance st;
+          continue := false
+      | _ -> fail st "expected ',' or '}' in object"
+    done
+  end
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then advance st
+  else begin
+    let continue = ref true in
+    while !continue do
+      parse_value st;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st
+      | Some ']' ->
+          advance st;
+          continue := false
+      | _ -> fail st "expected ',' or ']' in array"
+    done
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  if Array.length Sys.argv <> 2 then begin
+    prerr_endline "usage: json_check FILE";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let src = try read_file path with Sys_error msg -> prerr_endline msg; exit 2 in
+  let st = { src; pos = 0 } in
+  match
+    parse_value st;
+    skip_ws st;
+    if st.pos <> String.length src then fail st "trailing garbage after JSON value"
+  with
+  | () -> Printf.printf "%s: well-formed JSON (%d bytes)\n" path (String.length src)
+  | exception Bad (pos, msg) ->
+      Printf.eprintf "%s: malformed JSON at byte %d: %s\n" path pos msg;
+      exit 1

@@ -7,15 +7,22 @@
       fitted growth classes against the paper's Θ claims;
 
    2. Bechamel wall-clock microbenchmarks: one Test.make per paper
-      artifact, timing a representative solver execution.
+      artifact, timing a representative solver execution;
 
-   `dune exec bench/main.exe` runs both; pass `--quick` (or set
-   VOLCOMP_QUICK=1) for the shortened ladders, `--no-wallclock` to skip
-   the Bechamel pass, `-j N` (or VOLCOMP_JOBS) to size the domain pool,
-   and `--json PATH` to also record everything machine-readably
-   (including a sequential-vs-parallel speedup entry).  Exits non-zero
-   when any report has a [MISMATCH] fitted class, so CI can gate on the
-   reproduction. *)
+   3. lazy-vs-eager world microbenchmarks (`world-session/*`,
+      `probe-hot-path/*`): the before/after evidence that a probe run on
+      a lazy world costs Θ(ball), not Θ(n).
+
+   `dune exec bench/main.exe` runs all three; pass `--quick` (or set
+   VOLCOMP_QUICK=1) for the shortened ladders, `--deep` to extend each
+   ladder past the standard profile, `--no-wallclock` to skip the
+   Bechamel pass, `--micro` to run only layer 3 (the bench-smoke mode),
+   `-j N` (or VOLCOMP_JOBS) to size the domain pool, and `--json PATH`
+   to also record everything machine-readably (including a
+   sequential-vs-parallel speedup entry).  Exits non-zero when any
+   report has a [MISMATCH] fitted class or a world-session
+   microbenchmark falls below a 10x lazy-vs-eager speedup, so CI can
+   gate on both the reproduction and the cost model. *)
 
 open Bechamel
 
@@ -23,6 +30,7 @@ module Graph = Vc_graph.Graph
 module Builder = Vc_graph.Builder
 module TL = Vc_graph.Tree_labels
 module Probe = Vc_model.Probe
+module World = Vc_model.World
 module Lcl = Vc_lcl.Lcl
 module Randomness = Vc_rng.Randomness
 module LC = Volcomp.Leaf_coloring
@@ -33,6 +41,7 @@ module HH = Volcomp.Hh_thc
 module Adv = Volcomp.Adversary_leaf
 module CC = Volcomp.Cycle_coloring
 module Gap = Volcomp.Gap_example
+module Trivial = Volcomp.Trivial_lcl
 module Disjointness = Vc_commcc.Disjointness
 module Experiments = Vc_measure.Experiments
 module Runner = Vc_measure.Runner
@@ -194,6 +203,136 @@ let measure_speedup ~pool ~quick =
     speedup = seq_seconds /. par_seconds;
   }
 
+(* --- lazy vs eager world microbenchmarks ----------------------------------- *)
+
+type micro_row = {
+  m_name : string;
+  m_lazy_ns : float;
+  m_eager_ns : float option;  (* None for rows without an eager twin *)
+  m_gate : bool;
+      (* enforce the >= 10x lazy-vs-eager bar; off for control rows whose
+         solver explores nearly the whole graph, where the two worlds
+         must merely tie *)
+}
+
+let micro_speedup r = Option.map (fun eager -> eager /. r.m_lazy_ns) r.m_eager_ns
+
+(* Adaptive wall-clock timing: after one warm-up call, grow the
+   repetition count geometrically until a batch takes >= 50ms, then
+   report ns per repetition.  Bechamel would be overkill here — these
+   rows only need enough resolution to witness an order-of-magnitude
+   gap. *)
+let time_ns f =
+  f ();
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 0.05 then dt *. 1e9 /. float_of_int reps else go (reps * 4)
+  in
+  go 1
+
+(* The before/after evidence for the lazy-world rewrite.  Each probe run
+   opens a fresh session; on an eager world that costs a full-graph BFS,
+   on a lazy world only the ball the solver actually explores.  Sizes
+   are pinned at the largest quick-ladder rungs so the quick and full
+   profiles measure the same workloads. *)
+let run_micro () =
+  let probe ~world ?randomness ~origin (solver : (_, _) Lcl.solver) () =
+    let r = Probe.run ~world ?randomness ~origin solver.Lcl.solve in
+    assert (not r.Probe.aborted)
+  in
+  let cycle =
+    (* The acceptance row: Cole–Vishkin touches a log*-sized ball of the
+       largest quick-ladder cycle, so per-session cost is the session
+       setup itself. *)
+    let n = 65536 in
+    let g = Builder.cycle n in
+    let lazy_world = CC.world g in
+    let eager_world = World.of_graph_eager g ~input:(fun _ -> ()) in
+    {
+      m_name = Printf.sprintf "world-session/cycle-coloring-%d" n;
+      m_lazy_ns = time_ns (probe ~world:lazy_world ~origin:0 CC.solve);
+      m_eager_ns = Some (time_ns (probe ~world:eager_world ~origin:0 CC.solve));
+      m_gate = true;
+    }
+  in
+  let parity =
+    (* Class A's DegreeParity (Figures 1–2): volume and distance are
+       Θ(1), so the whole probe run is session setup — the purest
+       measurement of per-session cost on a 2^16-node tree. *)
+    let depth = 15 in
+    let g = Builder.complete_binary_tree ~depth in
+    let lazy_world = Trivial.world g in
+    let eager_world = World.of_graph_eager g ~input:(fun _ -> ()) in
+    {
+      m_name = Printf.sprintf "world-session/degree-parity-%d" (Graph.n g);
+      m_lazy_ns = time_ns (probe ~world:lazy_world ~origin:0 Trivial.solve);
+      m_eager_ns = Some (time_ns (probe ~world:eager_world ~origin:0 Trivial.solve));
+      m_gate = true;
+    }
+  in
+  let leaf_control =
+    (* Control: RWtoLeaf's distance solver explores nearly the whole
+       hard instance, so laziness cannot win — it must only not lose. *)
+    let inst = LC.hard_distance_instance ~depth:10 ~leaf_color:TL.Blue in
+    let lazy_world = LC.world inst in
+    let eager_world = World.of_graph_eager inst.LC.graph ~input:(LC.input inst) in
+    {
+      m_name = "world-session/leafcoloring-depth-10";
+      m_lazy_ns = time_ns (probe ~world:lazy_world ~origin:0 LC.solve_distance);
+      m_eager_ns = Some (time_ns (probe ~world:eager_world ~origin:0 LC.solve_distance));
+      m_gate = false;
+    }
+  in
+  let hot_path =
+    let steps = 256 in
+    let g = Builder.cycle 65536 in
+    let world = CC.world g in
+    (* March [steps] hops around the cycle, never backtracking, so every
+       query lands on a fresh node: a pure exercise of the query ->
+       admit -> incremental-BFS path with no solver logic on top. *)
+    let walk ctx =
+      let prev = ref (-1) in
+      let at = ref (Probe.origin ctx) in
+      for _ = 1 to steps do
+        let a = Probe.query ctx ~at:!at ~port:1 in
+        let next = if a <> !prev then a else Probe.query ctx ~at:!at ~port:2 in
+        prev := !at;
+        at := next
+      done;
+      !at
+    in
+    {
+      m_name = Printf.sprintf "probe-hot-path/cycle-walk-%d" steps;
+      m_lazy_ns = time_ns (fun () -> ignore (Probe.run ~world ~origin:0 walk : Graph.node Probe.result));
+      m_eager_ns = None;
+      m_gate = false;
+    }
+  in
+  [ cycle; parity; leaf_control; hot_path ]
+
+let pp_micro rows =
+  Fmt.pr "@.== Lazy vs eager world microbenchmarks ==@.";
+  List.iter
+    (fun r ->
+      match (r.m_eager_ns, micro_speedup r) with
+      | Some eager, Some s ->
+          Fmt.pr "  %-38s lazy %10.0f ns/run   eager %12.0f ns/run   speedup %8.1fx%s@." r.m_name
+            r.m_lazy_ns eager s
+            (if r.m_gate then "" else "   (solver-bound control)")
+      | _ -> Fmt.pr "  %-38s lazy %10.0f ns/run@." r.m_name r.m_lazy_ns)
+    rows
+
+let micro_ok rows =
+  List.for_all
+    (fun r ->
+      if not r.m_gate then true
+      else match micro_speedup r with Some s -> s >= 10.0 | None -> true)
+    rows
+
 (* --- machine-readable output ----------------------------------------------- *)
 
 let json_escape s =
@@ -228,7 +367,21 @@ let report_json r =
     (json_escape r.Experiments.title) (Experiments.all_agree r)
     (String.concat "," (List.map measurement_json r.Experiments.measurements))
 
-let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup =
+let micro_json rows =
+  Printf.sprintf "[%s]"
+    (String.concat ","
+       (List.map
+          (fun r ->
+            let eager, speedup =
+              match (r.m_eager_ns, micro_speedup r) with
+              | Some e, Some s -> (json_float e, json_float s)
+              | _ -> ("null", "null")
+            in
+            Printf.sprintf {|{"name":"%s","lazy_ns":%s,"eager_ns":%s,"speedup":%s}|}
+              (json_escape r.m_name) (json_float r.m_lazy_ns) eager speedup)
+          rows))
+
+let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro =
   let wallclock_json =
     match wallclock with
     | None -> "null"
@@ -242,17 +395,20 @@ let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup =
                 rows))
   in
   let speedup_json =
-    Printf.sprintf
-      {|{"workload":"%s","domains":%d,"seq_seconds":%s,"par_seconds":%s,"speedup":%s}|}
-      (json_escape speedup.workload) speedup.sp_domains
-      (json_float speedup.seq_seconds) (json_float speedup.par_seconds)
-      (json_float speedup.speedup)
+    match speedup with
+    | None -> "null"
+    | Some s ->
+        Printf.sprintf
+          {|{"workload":"%s","domains":%d,"seq_seconds":%s,"par_seconds":%s,"speedup":%s}|}
+          (json_escape s.workload) s.sp_domains (json_float s.seq_seconds)
+          (json_float s.par_seconds) (json_float s.speedup)
   in
   let oc = open_out path in
   Printf.fprintf oc
-    {|{"quick":%b,"domains":%d,"reports":[%s],"wallclock":%s,"speedup":%s}|} quick domains
+    {|{"quick":%b,"domains":%d,"reports":[%s],"wallclock":%s,"speedup":%s,"micro":%s}|} quick
+    domains
     (String.concat "," (List.map report_json reports))
-    wallclock_json speedup_json;
+    wallclock_json speedup_json (micro_json micro);
   output_char oc '\n';
   close_out oc
 
@@ -261,6 +417,8 @@ let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup =
 let parse_args () =
   let argv = Sys.argv in
   let quick = ref (Sys.getenv_opt "VOLCOMP_QUICK" = Some "1") in
+  let deep = ref false in
+  let micro = ref false in
   let wallclock = ref true in
   let json = ref None in
   let jobs = ref None in
@@ -268,6 +426,8 @@ let parse_args () =
   while !i < Array.length argv do
     (match argv.(!i) with
     | "--quick" -> quick := true
+    | "--deep" -> deep := true
+    | "--micro" -> micro := true
     | "--no-wallclock" -> wallclock := false
     | "--json" ->
         incr i;
@@ -283,32 +443,49 @@ let parse_args () =
     | arg -> failwith (Printf.sprintf "unknown argument %S" arg));
     incr i
   done;
-  (!quick, !wallclock, !json, !jobs)
+  (!quick, !deep, !micro, !wallclock, !json, !jobs)
 
 let () =
-  let quick, wallclock, json, jobs = parse_args () in
+  let quick, deep, micro_only, wallclock, json, jobs = parse_args () in
   let domains = match jobs with Some j -> j | None -> Pool.default_domains () in
   let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
   Fmt.pr "volcomp benchmark harness — reproducing every table and figure of@.";
   Fmt.pr "\"Seeing Far vs. Seeing Wide\" (Rosenbaum & Suomela, PODC 2020)%s [%d domain%s]@.@."
-    (if quick then " [quick ladders]" else "")
+    (if micro_only then " [microbenchmarks only]"
+     else if deep then " [deep ladders]"
+     else if quick then " [quick ladders]"
+     else "")
     domains
     (if domains = 1 then "" else "s");
-  let reports = Experiments.all ?pool ~quick () in
-  List.iter (fun r -> Fmt.pr "%a@." Experiments.pp_report r) reports;
-  let agreements = List.filter Experiments.all_agree reports in
-  Fmt.pr "== Summary: %d/%d reports have every fitted class within the paper's claim ==@."
-    (List.length agreements) (List.length reports);
-  let wallclock_rows = if wallclock then Some (run_wallclock ()) else None in
+  let reports =
+    if micro_only then []
+    else begin
+      let reports = Experiments.all ?pool ~deep ~quick () in
+      List.iter (fun r -> Fmt.pr "%a@." Experiments.pp_report r) reports;
+      let agreements = List.filter Experiments.all_agree reports in
+      Fmt.pr "== Summary: %d/%d reports have every fitted class within the paper's claim ==@."
+        (List.length agreements) (List.length reports);
+      reports
+    end
+  in
+  let wallclock_rows = if wallclock && not micro_only then Some (run_wallclock ()) else None in
+  let micro = run_micro () in
+  pp_micro micro;
   (match json with
   | None -> ()
   | Some path ->
-      let speedup = measure_speedup ~pool ~quick in
-      Fmt.pr "@.== Speedup: %s — %.2fs sequential, %.2fs on %d domain%s (%.2fx) ==@."
-        speedup.workload speedup.seq_seconds speedup.par_seconds speedup.sp_domains
-        (if speedup.sp_domains = 1 then "" else "s")
-        speedup.speedup;
-      write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup;
+      let speedup = if micro_only then None else Some (measure_speedup ~pool ~quick) in
+      Option.iter
+        (fun s ->
+          Fmt.pr "@.== Speedup: %s — %.2fs sequential, %.2fs on %d domain%s (%.2fx) ==@."
+            s.workload s.seq_seconds s.par_seconds s.sp_domains
+            (if s.sp_domains = 1 then "" else "s")
+            s.speedup)
+        speedup;
+      write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro;
       Fmt.pr "wrote %s@." path);
   Option.iter Pool.shutdown pool;
-  if List.length agreements <> List.length reports then exit 1
+  let mismatch = List.exists (fun r -> not (Experiments.all_agree r)) reports in
+  if not (micro_ok micro) then
+    Fmt.pr "== FAIL: a world-session microbenchmark fell below the 10x lazy-vs-eager bar ==@.";
+  if mismatch || not (micro_ok micro) then exit 1

@@ -45,13 +45,21 @@ let experiments_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Use the shortened size ladders.")
   in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Extend every ladder beyond the standard profile (multi-million-node instances; \
+             ignored with $(b,--quick)).")
+  in
   let filter =
     Arg.(
       value & pos 0 (some string) None
       & info [] ~docv:"FILTER" ~doc:"Only run reports whose title contains \\$(docv).")
   in
-  let run quick filter jobs =
-    let reports = with_jobs jobs (fun pool -> Experiments.all ?pool ~quick ()) in
+  let run quick deep filter jobs =
+    let reports = with_jobs jobs (fun pool -> Experiments.all ?pool ~deep ~quick ()) in
     let selected =
       match filter with
       | None -> reports
@@ -72,7 +80,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's tables and figures.")
-    Term.(const run $ quick $ filter $ jobs_term)
+    Term.(const run $ quick $ deep $ filter $ jobs_term)
 
 (* --- solve ----------------------------------------------------------------- *)
 

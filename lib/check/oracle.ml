@@ -126,6 +126,24 @@ let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
         (name, passed))
       names
   in
+  (* probe 5: lazy vs. eager world identity, on every trial *)
+  let lazy_eager =
+    List.fold_left
+      (fun acc (size, t) ->
+        let ok =
+          guarded
+            (Fmt.str "lazy/eager at size %d" size)
+            (fun () ->
+              match t.Registry.lazy_vs_eager () with
+              | Ok () -> true
+              | Error msg ->
+                  fail "lazy/eager at size %d: %s" size msg;
+                  false)
+            false
+        in
+        acc && ok)
+      true trials
+  in
   (* probe 4: mutation fuzzing, [count] rounds round-robin over trials *)
   let kind_order = ref [] in
   let kinds : (string, Report.kind_agg) Hashtbl.t = Hashtbl.create 8 in
@@ -172,6 +190,7 @@ let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
     p_solvers = solver_aggs;
     p_merge_consistent = merge_consistent;
     p_cross_model = cross_model;
+    p_lazy_eager = lazy_eager;
     p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
     p_failures = List.rev !failures;
   }

@@ -3,6 +3,8 @@ module Builder = Vc_graph.Builder
 module TL = Vc_graph.Tree_labels
 module Splitmix = Vc_rng.Splitmix
 module Randomness = Vc_rng.Randomness
+module World = Vc_model.World
+module Probe = Vc_model.Probe
 module Lcl = Vc_lcl.Lcl
 module Runner = Vc_measure.Runner
 module Pool = Vc_exec.Pool
@@ -31,6 +33,7 @@ type trial = {
   run_solvers : ?pool:Pool.t -> unit -> solver_outcome list;
   merge_consistency : widths:int list -> (unit, string) result;
   cross_model : (string * (unit -> (unit, string) result)) list;
+  lazy_vs_eager : unit -> (unit, string) result;
   mutate : Splitmix.t -> Mutate.outcome list;
 }
 
@@ -150,7 +153,32 @@ let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node 
             | Some m -> Some (Mutate.check ~problem ~graph ~input ~kind m))
           mutants
   in
-  { t_n = n; run_solvers; merge_consistency; cross_model; mutate }
+  (* Differential probe: the lazy incremental-BFS world must be
+     observationally identical to an eager full-BFS world — same output,
+     volume, distance, queries, rand bits, abort flag — for every solver
+     from every origin.  The eager twin claims the same [n] as the
+     trial's world so budgets and [Probe.n] agree. *)
+  let lazy_vs_eager () =
+    let eager = World.of_graph_eager_claiming ~n:world.World.n graph ~input in
+    let result = ref (Ok ()) in
+    List.iteri
+      (fun idx (s : _ Lcl.solver) ->
+        if !result = Ok () then
+          Graph.iter_nodes graph (fun origin ->
+              if !result = Ok () then begin
+                let probe w =
+                  Probe.run ~world:w ?randomness:(randomness_for idx s) ~origin s.Lcl.solve
+                in
+                if probe world <> probe eager then
+                  result :=
+                    Error
+                      (Fmt.str "%s: lazy and eager results diverge at origin %d"
+                         s.Lcl.solver_name origin)
+              end))
+      solvers;
+    !result
+  in
+  { t_n = n; run_solvers; merge_consistency; cross_model; lazy_vs_eager; mutate }
 
 (* --- entries, in paper order --------------------------------------------- *)
 

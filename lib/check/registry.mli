@@ -2,7 +2,7 @@
     uniformly for differential checking.
 
     Each {!entry} knows how to build {e trials} — concrete instances at a
-    given size and seed — and each trial exposes the four conformance
+    given size and seed — and each trial exposes the five conformance
     probes the oracle runs:
 
     - {b differential solving}: run every registered solver over the same
@@ -17,6 +17,10 @@
     - {b cross-model checks}: where a second model implementation exists
       (the CONGEST protocols of Observation 7.4, the Example 7.6
       router), run it and verify its output against the same checker.
+    - {b lazy vs. eager worlds}: every solver's {!Vc_model.Probe.result}
+      must be bit-identical whether distances are answered by the lazy
+      incremental BFS of {!Vc_model.World.of_graph} or by the eager
+      full-graph BFS of {!Vc_model.World.of_graph_eager}.
     - {b mutation fuzzing}: perturb a valid output (or its input
       labeling) and classify the checker's reaction — see {!Mutate}.
 
@@ -43,6 +47,10 @@ type trial = {
           compare the stats against the sequential run. *)
   cross_model : (string * (unit -> (unit, string) result)) list;
       (** Named alternative-model executions (e.g. ["congest"]). *)
+  lazy_vs_eager : unit -> (unit, string) result;
+      (** Run every solver from every origin against both the trial's
+          lazy world and an eager twin and compare the full
+          {!Vc_model.Probe.result}s. *)
   mutate : Splitmix.t -> Mutate.outcome list;
       (** One fuzzing round: apply each of the entry's mutation kinds
           once, at sites drawn from the given rng. *)

@@ -22,6 +22,7 @@ type problem_report = {
   p_solvers : solver_agg list;
   p_merge_consistent : bool;
   p_cross_model : (string * bool) list;
+  p_lazy_eager : bool;
   p_mutations : kind_agg list;
   p_failures : string list;
 }
@@ -57,6 +58,7 @@ let pp_problem ppf p =
     p.p_solvers;
   Fmt.pf ppf "merge-consistent: %b@," p.p_merge_consistent;
   List.iter (fun (name, passed) -> Fmt.pf ppf "cross-model %s: %b@," name passed) p.p_cross_model;
+  Fmt.pf ppf "lazy/eager identical: %b@," p.p_lazy_eager;
   List.iter
     (fun k ->
       Fmt.pf ppf "mutants %-18s rejected %d/%d%s@," k.k_kind k.k_rejected k.k_total
@@ -102,12 +104,12 @@ let kind_json k =
 
 let problem_json p =
   Printf.sprintf
-    {|{"problem":"%s","ok":%b,"radius":%s,"instances":%d,"solvers":[%s],"merge_consistent":%b,"cross_model":{%s},"mutations":{"total":%d,"rejected":%d,"out_of_radius":%d,"by_kind":[%s]},"failures":[%s]}|}
+    {|{"problem":"%s","ok":%b,"radius":%s,"instances":%d,"solvers":[%s],"merge_consistent":%b,"lazy_eager":%b,"cross_model":{%s},"mutations":{"total":%d,"rejected":%d,"out_of_radius":%d,"by_kind":[%s]},"failures":[%s]}|}
     (json_escape p.p_name) (problem_ok p)
     (if p.p_radius = max_int then {|"unbounded"|} else string_of_int p.p_radius)
     p.p_instances
     (String.concat "," (List.map solver_json p.p_solvers))
-    p.p_merge_consistent
+    p.p_merge_consistent p.p_lazy_eager
     (String.concat ","
        (List.map (fun (n, b) -> Printf.sprintf {|"%s":%b|} (json_escape n) b) p.p_cross_model))
     (mutations_total p) (mutations_rejected p)

@@ -32,6 +32,8 @@ type problem_report = {
   p_solvers : solver_agg list;
   p_merge_consistent : bool;
   p_cross_model : (string * bool) list;
+  p_lazy_eager : bool;
+      (** lazy and eager worlds produced bit-identical probe results *)
   p_mutations : kind_agg list;
   p_failures : string list;
       (** human-readable conformance failures; empty means conformant *)

@@ -71,7 +71,10 @@ let world_internal ~claimed_n =
     { World.view; resolve; dist }
   in
   let materialized () = st.count in
-  (({ World.n = claimed_n; start } : Leaf_coloring.node_input World.t), materialized, st)
+  (* Every node the adversary ever materializes is a tree node of degree
+     at most 3, so 3 is a sound packing bound for the executor. *)
+  (({ World.n = claimed_n; max_degree = 3; start } : Leaf_coloring.node_input World.t),
+   materialized, st)
 
 let world ~claimed_n =
   let w, materialized, _ = world_internal ~claimed_n in
@@ -86,7 +89,7 @@ let complete ~claimed_n ~explored_adj ~inputs ~origin_output =
   List.iter (fun (v, i) -> Hashtbl.add input_tbl v i) inputs;
   (* Hang a leaf on every unassigned port. *)
   let next = ref m in
-  let leaves = ref [] in
+  let leaf_parent = Hashtbl.create m in
   for v = 0 to m - 1 do
     let ports = Hashtbl.find adj_tbl v in
     Array.iteri
@@ -95,7 +98,7 @@ let complete ~claimed_n ~explored_adj ~inputs ~origin_output =
           let leaf = !next in
           incr next;
           ports.(slot) <- leaf;
-          leaves := (leaf, v) :: !leaves
+          Hashtbl.add leaf_parent leaf v
         end)
       ports
   done;
@@ -104,9 +107,7 @@ let complete ~claimed_n ~explored_adj ~inputs ~origin_output =
     Array.init total (fun v ->
         match Hashtbl.find_opt adj_tbl v with
         | Some ports -> ports
-        | None ->
-            let parent = List.assoc v !leaves in
-            [| parent |])
+        | None -> [| Hashtbl.find leaf_parent v |])
   in
   let ids = Array.init total (fun v -> v + 1) in
   let graph = Graph.create ~ids ~adj in

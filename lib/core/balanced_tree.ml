@@ -264,7 +264,7 @@ let comm_world inst ~counter =
     in
     { session with World.resolve }
   in
-  { World.n = base.World.n; start }
+  { World.n = base.World.n; max_degree = base.World.max_degree; start }
 
 let root _inst = 0
 

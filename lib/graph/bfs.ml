@@ -1,39 +1,46 @@
-let distances g v =
-  let dist = Array.make (Graph.n g) max_int in
-  let queue = Queue.create () in
+(* Full BFS from [v] into caller-provided scratch: [dist] must be filled
+   with [max_int] except [dist.(v) = 0], and [queue] must hold [v] at
+   index 0.  Uses the allocation-free neighbor iterator and a flat array
+   queue — every node enters the queue at most once. *)
+let bfs_into g v dist queue =
   dist.(v) <- 0;
-  Queue.add v queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let d = dist.(u) in
-    Array.iter
-      (fun w ->
+  queue.(0) <- v;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let d = dist.(u) + 1 in
+    Graph.iter_neighbors g u (fun w ->
         if dist.(w) = max_int then begin
-          dist.(w) <- d + 1;
-          Queue.add w queue
+          dist.(w) <- d;
+          queue.(!tail) <- w;
+          incr tail
         end)
-      (Graph.neighbors g u)
-  done;
+  done
+
+let distances g v =
+  let count = Graph.n g in
+  let dist = Array.make count max_int in
+  let queue = Array.make (max count 1) 0 in
+  bfs_into g v dist queue;
   dist
 
 let distances_upto g v ~radius =
   let dist = Hashtbl.create 64 in
-  let queue = Queue.create () in
   Hashtbl.add dist v 0;
+  let queue = Queue.create () in
   Queue.add v queue;
   let out = ref [ (v, 0) ] in
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     let d = Hashtbl.find dist u in
     if d < radius then
-      Array.iter
-        (fun w ->
+      Graph.iter_neighbors g u (fun w ->
           if not (Hashtbl.mem dist w) then begin
             Hashtbl.add dist w (d + 1);
             out := (w, d + 1) :: !out;
             Queue.add w queue
           end)
-        (Graph.neighbors g u)
   done;
   List.rev !out
 
@@ -47,4 +54,17 @@ let eccentricity g v =
   Array.fold_left (fun acc d -> if d = max_int then acc else max acc d) 0 (distances g v)
 
 let diameter g =
-  Graph.fold_nodes g ~init:0 ~f:(fun acc v -> max acc (eccentricity g v))
+  let count = Graph.n g in
+  if count = 0 then 0
+  else begin
+    (* One dist array and one queue, reset and reused across all sources. *)
+    let dist = Array.make count max_int in
+    let queue = Array.make count 0 in
+    let best = ref 0 in
+    for v = 0 to count - 1 do
+      Array.fill dist 0 count max_int;
+      bfs_into g v dist queue;
+      Array.iter (fun d -> if d <> max_int && d > !best then best := d) dist
+    done;
+    !best
+  end

@@ -25,4 +25,5 @@ val eccentricity : Graph.t -> Graph.node -> int
 
 val diameter : Graph.t -> int
 (** Largest eccentricity over all nodes (0 for the empty graph).
-    Quadratic; intended for test-sized graphs. *)
+    Quadratic time but allocation-free: one distance array and one queue
+    are reused across all sources. *)

@@ -1,16 +1,22 @@
 type node = int
 type port = int
 
+(* Compressed sparse row: node [v]'s neighbors, in port order, are
+   [tgt.(off.(v)) .. tgt.(off.(v+1) - 1)].  [port_tbl] maps the packed
+   directed edge [v * n + w] to the port of [v] leading to [w]; it doubles
+   as the symmetry/parallel-edge witness during construction. *)
 type t = {
   ids : int array;
-  adj : node array array;
+  off : int array;
+  tgt : node array;
   id_index : (int, node) Hashtbl.t;
+  port_tbl : (int, port) Hashtbl.t;
   max_degree : int;
 }
 
 let n g = Array.length g.ids
 
-let degree g v = Array.length g.adj.(v)
+let degree g v = g.off.(v + 1) - g.off.(v)
 
 let max_degree g = g.max_degree
 
@@ -22,45 +28,63 @@ let neighbor g v p =
   if p < 1 || p > degree g v then
     invalid_arg
       (Printf.sprintf "Graph.neighbor: port %d invalid at node %d (degree %d)" p v (degree g v));
-  g.adj.(v).(p - 1)
+  g.tgt.(g.off.(v) + p - 1)
 
 let port_to g v w =
-  let d = degree g v in
-  let rec loop p = if p > d then None else if g.adj.(v).(p - 1) = w then Some p else loop (p + 1) in
-  loop 1
+  if v < 0 || w < 0 then None else Hashtbl.find_opt g.port_tbl ((v * n g) + w)
 
-let neighbors g v = Array.copy g.adj.(v)
+let neighbors g v = Array.sub g.tgt g.off.(v) (degree g v)
 
-let validate ids adj =
-  let count = Array.length ids in
-  if Array.length adj <> count then invalid_arg "Graph.create: ids/adj length mismatch";
-  let seen = Hashtbl.create count in
-  Array.iter
-    (fun i ->
-      if Hashtbl.mem seen i then invalid_arg "Graph.create: duplicate identifier";
-      Hashtbl.add seen i ())
-    ids;
-  Array.iteri
-    (fun v nbrs ->
-      let local = Hashtbl.create (Array.length nbrs) in
-      Array.iter
-        (fun w ->
-          if w < 0 || w >= count then invalid_arg "Graph.create: neighbor out of range";
-          if w = v then invalid_arg "Graph.create: self-loop";
-          if Hashtbl.mem local w then invalid_arg "Graph.create: parallel edge";
-          Hashtbl.add local w ();
-          if not (Array.exists (fun u -> u = v) adj.(w)) then
-            invalid_arg "Graph.create: asymmetric adjacency")
-        nbrs)
-    adj
+let iter_neighbors g v f =
+  let stop = g.off.(v + 1) - 1 in
+  for e = g.off.(v) to stop do
+    f (Array.unsafe_get g.tgt e)
+  done
+
+let fold_neighbors g v ~init ~f =
+  let acc = ref init in
+  iter_neighbors g v (fun w -> acc := f !acc w);
+  !acc
 
 let create ~ids ~adj =
-  validate ids adj;
-  let id_index = Hashtbl.create (Array.length ids) in
-  Array.iteri (fun v i -> Hashtbl.add id_index i v) ids;
-  let adj = Array.map Array.copy adj in
-  let max_degree = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 adj in
-  { ids = Array.copy ids; adj; id_index; max_degree }
+  let count = Array.length ids in
+  if Array.length adj <> count then invalid_arg "Graph.create: ids/adj length mismatch";
+  let id_index = Hashtbl.create count in
+  Array.iteri
+    (fun v i ->
+      if Hashtbl.mem id_index i then invalid_arg "Graph.create: duplicate identifier";
+      Hashtbl.add id_index i v)
+    ids;
+  let off = Array.make (count + 1) 0 in
+  for v = 0 to count - 1 do
+    off.(v + 1) <- off.(v) + Array.length adj.(v)
+  done;
+  let m = off.(count) in
+  let tgt = Array.make m 0 in
+  let port_tbl = Hashtbl.create (max 16 m) in
+  let max_degree = ref 0 in
+  for v = 0 to count - 1 do
+    let row = adj.(v) in
+    let d = Array.length row in
+    if d > !max_degree then max_degree := d;
+    for p = 1 to d do
+      let w = row.(p - 1) in
+      if w < 0 || w >= count then invalid_arg "Graph.create: neighbor out of range";
+      if w = v then invalid_arg "Graph.create: self-loop";
+      let key = (v * count) + w in
+      if Hashtbl.mem port_tbl key then invalid_arg "Graph.create: parallel edge";
+      Hashtbl.add port_tbl key p;
+      tgt.(off.(v) + p - 1) <- w
+    done
+  done;
+  (* Symmetry: every directed edge must have its reverse. *)
+  for v = 0 to count - 1 do
+    for e = off.(v) to off.(v + 1) - 1 do
+      if not (Hashtbl.mem port_tbl ((tgt.(e) * count) + v)) then
+        invalid_arg "Graph.create: asymmetric adjacency"
+    done
+  done;
+  { ids = Array.copy ids; off; tgt; id_index; port_tbl; max_degree = !max_degree }
 
 let of_edges ?ids ~n:count edges =
   let buckets = Array.make count [] in
@@ -75,20 +99,17 @@ let of_edges ?ids ~n:count edges =
   let ids = match ids with Some a -> a | None -> Array.init count (fun v -> v + 1) in
   create ~ids ~adj
 
-let edges g =
-  fst
-    (Array.fold_left
-       (fun (acc, v) nbrs ->
-         let acc = Array.fold_left (fun acc w -> if v < w then (v, w) :: acc else acc) acc nbrs in
-         (acc, v + 1))
-       ([], 0) g.adj)
-
 let nodes g = List.init (n g) Fun.id
 
 let iter_nodes g f =
   for v = 0 to n g - 1 do
     f v
   done
+
+let edges g =
+  let acc = ref [] in
+  iter_nodes g (fun v -> iter_neighbors g v (fun w -> if v < w then acc := (v, w) :: !acc));
+  !acc
 
 let fold_nodes g ~init ~f =
   let acc = ref init in
@@ -100,25 +121,24 @@ let is_connected g =
   if count = 0 then true
   else begin
     let seen = Array.make count false in
-    let queue = Queue.create () in
-    Queue.add 0 queue;
+    let queue = Array.make count 0 in
     seen.(0) <- true;
-    let visited = ref 1 in
-    while not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
-      Array.iter
-        (fun w ->
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = queue.(!head) in
+      incr head;
+      iter_neighbors g v (fun w ->
           if not seen.(w) then begin
             seen.(w) <- true;
-            incr visited;
-            Queue.add w queue
+            queue.(!tail) <- w;
+            incr tail
           end)
-        g.adj.(v)
     done;
-    !visited = count
+    !tail = count
   end
 
-let relabel_ids g ~ids = create ~ids ~adj:g.adj
+let relabel_ids g ~ids =
+  create ~ids ~adj:(Array.init (n g) (fun v -> neighbors g v))
 
 let shuffle_ids g ~rng =
   let count = n g in
@@ -134,5 +154,7 @@ let shuffle_ids g ~rng =
 let pp ppf g =
   iter_nodes g (fun v ->
       Fmt.pf ppf "@[node %d (id %d):" v g.ids.(v);
-      Array.iteri (fun i w -> Fmt.pf ppf " %d->%d" (i + 1) w) g.adj.(v);
+      for p = 1 to degree g v do
+        Fmt.pf ppf " %d->%d" p g.tgt.(g.off.(v) + p - 1)
+      done;
       Fmt.pf ppf "@]@.")

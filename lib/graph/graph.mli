@@ -50,10 +50,19 @@ val neighbor : t -> node -> port -> node
 
 val port_to : t -> node -> node -> port option
 (** [port_to g v w] is the port of [v] leading to [w], if [v] and [w] are
-    adjacent. *)
+    adjacent.  O(1): served from a reverse-lookup table built at
+    construction time. *)
 
 val neighbors : t -> node -> node array
 (** All neighbors of [v], in port order.  The array is fresh. *)
+
+val iter_neighbors : t -> node -> (node -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbor of [v] in port
+    order, without allocating.  This is the hot-path alternative to
+    {!neighbors}. *)
+
+val fold_neighbors : t -> node -> init:'a -> f:('a -> node -> 'a) -> 'a
+(** Allocation-free fold over [v]'s neighbors in port order. *)
 
 val edges : t -> (node * node) list
 (** Undirected edge list with [fst <= snd], each edge once. *)

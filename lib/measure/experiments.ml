@@ -49,6 +49,14 @@ let all_agree r = List.for_all agrees r.measurements
 
 (* --- measurement helpers ------------------------------------------------- *)
 
+(* Ladder selection.  [quick] is the CI profile.  The standard profile
+   gained two rungs per ladder when world sessions went lazy (a probe
+   run now costs Θ(ball·Δ) instead of Θ(n), so instance construction —
+   not probing — is the dominant cost); [deep] extends each ladder
+   further still for long calibration runs. *)
+let ladder ~quick ~deep ~quick_rungs ~std ~deep_rungs =
+  if quick then quick_rungs else if deep then std @ deep_rungs else std
+
 let origins_for g ~extra =
   extra @ Runner.sample_origins g ~count:24 ~seed:99L
 
@@ -68,8 +76,12 @@ let pmap pool f xs =
 
 (* --- Table 1 row 1: LeafColoring ------------------------------------------ *)
 
-let table1_leafcoloring ?pool ~quick () =
-  let depths = if quick then [ 6; 8; 10 ] else [ 7; 9; 11; 13 ] in
+let table1_leafcoloring ?pool ?(deep = false) ~quick () =
+  let depths =
+    ladder ~quick ~deep ~quick_rungs:[ 6; 8; 10 ]
+      ~std:[ 7; 9; 11; 13; 15; 17 ]
+      ~deep_rungs:[ 19; 21 ]
+  in
   let per_depth d =
     let inst = LC.hard_distance_instance ~depth:d ~leaf_color:TL.Blue in
     let g = inst.LC.graph in
@@ -125,8 +137,12 @@ let table1_leafcoloring ?pool ~quick () =
 
 (* --- Table 1 row 2: BalancedTree ------------------------------------------- *)
 
-let table1_balancedtree ?pool ~quick () =
-  let sizes = if quick then [ 16; 64; 256 ] else [ 16; 64; 256; 1024 ] in
+let table1_balancedtree ?pool ?(deep = false) ~quick () =
+  let sizes =
+    ladder ~quick ~deep ~quick_rungs:[ 16; 64; 256 ]
+      ~std:[ 16; 64; 256; 1024; 4096; 16384 ]
+      ~deep_rungs:[ 65536 ]
+  in
   let per_size sz =
     let disj = Disjointness.random_promise ~n:sz ~intersecting:false ~seed:(Int64.of_int sz) in
     let inst = BT.embed_disjointness disj in
@@ -185,8 +201,13 @@ let table1_balancedtree ?pool ~quick () =
 
 (* --- Table 1 row 3: Hierarchical-THC(k) ------------------------------------- *)
 
-let table1_hierarchical_thc ?pool ~quick ~k () =
-  let targets = if quick then [ 2_000; 8_000; 32_000 ] else [ 4_000; 16_000; 64_000; 256_000 ] in
+let table1_hierarchical_thc ?pool ?(deep = false) ~quick ~k () =
+  let targets =
+    ladder ~quick ~deep
+      ~quick_rungs:[ 2_000; 8_000; 32_000 ]
+      ~std:[ 4_000; 16_000; 64_000; 256_000; 1_024_000; 4_096_000 ]
+      ~deep_rungs:[ 16_384_000 ]
+  in
   let per_target t =
     let inst, hot = H.hard_instance ~k ~target_n:t ~seed:(Int64.of_int t) in
     let g = H.graph inst in
@@ -266,9 +287,14 @@ let table1_hierarchical_thc ?pool ~quick ~k () =
 
 (* --- Table 1 row 4: Hybrid-THC(k) -------------------------------------------- *)
 
-let table1_hybrid_thc ?pool ~quick () =
+let table1_hybrid_thc ?pool ?(deep = false) ~quick () =
   let k = 2 in
-  let targets = if quick then [ 2_000; 8_000; 32_000 ] else [ 4_000; 16_000; 64_000; 256_000 ] in
+  let targets =
+    ladder ~quick ~deep
+      ~quick_rungs:[ 2_000; 8_000; 32_000 ]
+      ~std:[ 4_000; 16_000; 64_000; 256_000; 1_024_000; 4_096_000 ]
+      ~deep_rungs:[ 16_384_000 ]
+  in
   let per_target t =
     let inst, hot = Hy.hard_instance ~k ~target_n:t ~seed:(Int64.of_int t) in
     let n = Graph.n inst.Hy.graph in
@@ -286,8 +312,37 @@ let table1_hybrid_thc ?pool ~quick () =
       List.filter (fun v -> (Hy.input inst v).Hy.level = 1)
         (Runner.sample_origins inst.Hy.graph ~count:16 ~seed:3L)
     in
+    (* DIST is a sup over start nodes, witnessed at the root of the
+       deepest BalancedTree component: the root's output must name a
+       leaf pair, so the distance solver descends the whole depth
+       (~ log of the component size — the Theta(log n) term of
+       Thm 6.3).  A small random sample misses that one component at
+       large n, so locate it by climbing every level-1 node's parent
+       chain. *)
+    let deepest_bt_root =
+      let g = inst.Hy.graph in
+      let rec climb u d =
+        let inp = Hy.input inst u in
+        if inp.Hy.level <> 1 || inp.Hy.parent = TL.bot then (u, d)
+        else
+          let p = Graph.neighbor g u inp.Hy.parent in
+          if (Hy.input inst p).Hy.level <> 1 then (u, d) else climb p (d + 1)
+      in
+      let best = ref hot in
+      let best_d = ref (-1) in
+      Graph.iter_nodes g (fun v ->
+          if (Hy.input inst v).Hy.level = 1 then begin
+            let root, d = climb v 0 in
+            if d > !best_d then begin
+              best_d := d;
+              best := root
+            end
+          end);
+      !best
+    in
     let dist_stats =
-      measure_max ~world ~solver:(Hy.solve_distance ~k) ?pool ~origins:(hot :: bt_starts) ()
+      measure_max ~world ~solver:(Hy.solve_distance ~k) ?pool
+        ~origins:(hot :: deepest_bt_root :: bt_starts) ()
     in
     ignore dist_run;
     (n, dist_stats, det, way)
@@ -331,9 +386,14 @@ let table1_hybrid_thc ?pool ~quick () =
 
 (* --- Table 1 row 5: HH-THC(k, l) ---------------------------------------------- *)
 
-let table1_hh_thc ?pool ~quick () =
+let table1_hh_thc ?pool ?(deep = false) ~quick () =
   let k = 2 and l = 3 in
-  let targets = if quick then [ 2_000; 8_000; 32_000 ] else [ 4_000; 16_000; 64_000; 256_000 ] in
+  let targets =
+    ladder ~quick ~deep
+      ~quick_rungs:[ 2_000; 8_000; 32_000 ]
+      ~std:[ 4_000; 16_000; 64_000; 256_000; 1_024_000; 4_096_000 ]
+      ~deep_rungs:[ 16_384_000 ]
+  in
   let per_target t =
     (* Complexity is a supremum over instances, and no single instance
        can carry both a full-strength deep hierarchical side and a
@@ -405,8 +465,13 @@ let table1_hh_thc ?pool ~quick () =
 
 (* --- Figures 1-2: classes A and B ---------------------------------------------- *)
 
-let figure12_classes ?pool ~quick () =
-  let sizes = if quick then [ 255; 1023; 4095 ] else [ 255; 2047; 16383; 65535 ] in
+let figure12_classes ?pool ?(deep = false) ~quick () =
+  let sizes =
+    ladder ~quick ~deep
+      ~quick_rungs:[ 255; 1023; 4095 ]
+      ~std:[ 255; 2047; 16383; 65535; 262143; 1048575 ]
+      ~deep_rungs:[ 4194303 ]
+  in
   let parity_points =
     pmap pool
       (fun n ->
@@ -420,7 +485,12 @@ let figure12_classes ?pool ~quick () =
         (Graph.n g, max_stat stats (fun s -> s.Runner.max_volume)))
       sizes
   in
-  let cycle_sizes = if quick then [ 256; 4096; 65536 ] else [ 256; 4096; 65536; 1048576 ] in
+  let cycle_sizes =
+    ladder ~quick ~deep
+      ~quick_rungs:[ 256; 4096; 65536 ]
+      ~std:[ 256; 4096; 65536; 1048576; 4194304; 16777216 ]
+      ~deep_rungs:[ 67108864 ]
+  in
   let cycle_points pick =
     pmap pool
       (fun n ->
@@ -485,8 +555,13 @@ let figure3_lines ~quick reports =
 
 (* --- Figure 8 / Prop 3.13: the adversary ------------------------------------------ *)
 
-let figure8_adversary ?pool ~quick () =
-  let sizes = if quick then [ 300; 1_200; 4_800 ] else [ 300; 1_200; 4_800; 19_200 ] in
+let figure8_adversary ?pool ?(deep = false) ~quick () =
+  let sizes =
+    ladder ~quick ~deep
+      ~quick_rungs:[ 300; 1_200; 4_800 ]
+      ~std:[ 300; 1_200; 4_800; 19_200; 76_800; 307_200 ]
+      ~deep_rungs:[ 1_228_800 ]
+  in
   (* each duel drives a stateful adversarial world — rows parallelize,
      the duel itself must stay on one domain *)
   let survived =
@@ -534,7 +609,7 @@ let figure8_adversary ?pool ~quick () =
 
 (* --- Example 7.6: volume vs CONGEST ------------------------------------------------ *)
 
-let congest_gap ?pool ~quick () =
+let congest_gap ?pool ?(deep = false) ~quick () =
   let depth = if quick then 7 else 9 in
   let inst = Gap.make ~depth ~seed:1L in
   let n = Graph.n inst.Gap.graph in
@@ -551,7 +626,9 @@ let congest_gap ?pool ~quick () =
         let leaf = Graph.n inst.Gap.graph / 2 - 1 in
         let r = Probe.run ~world:(Gap.world inst) ~origin:leaf Gap.solve.Lcl.solve in
         (Graph.n inst.Gap.graph, float_of_int r.Probe.volume))
-      (if quick then [ 5; 7; 9 ] else [ 5; 7; 9; 11; 13 ])
+      (ladder ~quick ~deep ~quick_rungs:[ 5; 7; 9 ]
+         ~std:[ 5; 7; 9; 11; 13; 15; 17 ]
+         ~deep_rungs:[ 19 ])
   in
   {
     title = Printf.sprintf "Example 7.6: volume vs CONGEST (n = %d)" n;
@@ -575,8 +652,11 @@ let congest_gap ?pool ~quick () =
 
 (* --- Observation 7.4: BalancedTree in CONGEST ---------------------------------------- *)
 
-let congest_balancedtree ?pool ~quick () =
-  let depths = if quick then [ 4; 6; 8 ] else [ 4; 6; 8; 10 ] in
+let congest_balancedtree ?pool ?(deep = false) ~quick () =
+  let depths =
+    ladder ~quick ~deep ~quick_rungs:[ 4; 6; 8 ] ~std:[ 4; 6; 8; 10; 12; 14 ]
+      ~deep_rungs:[ 16 ]
+  in
   let rows =
     pmap pool
       (fun depth ->
@@ -693,23 +773,23 @@ let ablation_walk_flip ~quick () =
       ];
   }
 
-let all ?pool ~quick () =
+let all ?pool ?deep ~quick () =
   let t1 =
     [
-      table1_leafcoloring ?pool ~quick ();
-      table1_balancedtree ?pool ~quick ();
-      table1_hierarchical_thc ?pool ~quick ~k:2 ();
-      table1_hierarchical_thc ?pool ~quick ~k:3 ();
-      table1_hybrid_thc ?pool ~quick ();
-      table1_hh_thc ?pool ~quick ();
+      table1_leafcoloring ?pool ?deep ~quick ();
+      table1_balancedtree ?pool ?deep ~quick ();
+      table1_hierarchical_thc ?pool ?deep ~quick ~k:2 ();
+      table1_hierarchical_thc ?pool ?deep ~quick ~k:3 ();
+      table1_hybrid_thc ?pool ?deep ~quick ();
+      table1_hh_thc ?pool ?deep ~quick ();
     ]
   in
   t1
   @ [
-      figure12_classes ?pool ~quick ();
-      figure8_adversary ?pool ~quick ();
-      congest_gap ?pool ~quick ();
-      congest_balancedtree ?pool ~quick ();
+      figure12_classes ?pool ?deep ~quick ();
+      figure8_adversary ?pool ?deep ~quick ();
+      congest_gap ?pool ?deep ~quick ();
+      congest_balancedtree ?pool ?deep ~quick ();
       ablation_waypoint_rate ?pool ~quick ();
       ablation_walk_flip ~quick ();
       figure3_lines ~quick t1;

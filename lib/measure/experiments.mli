@@ -5,7 +5,11 @@
     claim is about {e shape}: the fitted growth class must be the class
     the paper states (Table 1, Theorems 3.6, 4.5, 5.9, 6.3, 6.5), not
     that absolute constants match.  [quick] shrinks the ladders for CI
-    use; the bench executable runs the full ladders.
+    use; the bench executable runs the full ladders, and [deep] extends
+    each ladder one or two rungs beyond the standard profile (multi-
+    million-node instances) for long calibration runs — affordable since
+    lazy world sessions made probe cost Θ(ball·Δ), leaving instance
+    construction as the dominant expense.
 
     [?pool] distributes each ladder's independent rows — and, within a
     row, the origin fan-out of {!Runner.measure} — over worker domains.
@@ -38,15 +42,18 @@ val all_agree : report -> bool
 
 (** {1 Table 1 (one report per row)} *)
 
-val table1_leafcoloring : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
-val table1_balancedtree : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
-val table1_hierarchical_thc : ?pool:Vc_exec.Pool.t -> quick:bool -> k:int -> unit -> report
-val table1_hybrid_thc : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
-val table1_hh_thc : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
+val table1_leafcoloring : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
+val table1_balancedtree : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
+
+val table1_hierarchical_thc :
+  ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> k:int -> unit -> report
+
+val table1_hybrid_thc : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
+val table1_hh_thc : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
 
 (** {1 Figures} *)
 
-val figure12_classes : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
+val figure12_classes : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
 (** Figures 1–2: the class-A and class-B reference problems measured in
     both distance and volume (classes C/D are covered by Table 1). *)
 
@@ -54,16 +61,16 @@ val figure3_lines : quick:bool -> report list -> report
 (** Figure 3: renders the volume↔distance line of each Table 1 row from
     the already-computed reports. *)
 
-val figure8_adversary : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
+val figure8_adversary : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
 (** Proposition 3.13 / Figure 8 flavor: interactive adversary duels —
     the honest solver pays ≥ n/3 volume (linear series); a hasty solver
     is fooled outright. *)
 
-val congest_gap : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
+val congest_gap : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
 (** Observations 7.4–7.5 and Example 7.6: query volume O(log n) vs
     CONGEST rounds Θ(n/B). *)
 
-val congest_balancedtree : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report
+val congest_balancedtree : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
 (** Observation 7.4's other direction: BalancedTree (volume Θ(n)) solved
     in O(log n) CONGEST rounds by the flooding protocol of
     {!Volcomp.Balanced_tree_congest} — Lemma 2.5's Δ^Θ(T) is tight. *)
@@ -78,6 +85,6 @@ val ablation_walk_flip : quick:bool -> unit -> report
 (** RWtoLeaf with and without the revisit-flip rule on cycle-bearing
     instances: failure rates over seeds (Algorithm 1 lines 4–5). *)
 
-val all : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report list
+val all : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report list
 (** Every experiment, in presentation order (Figure 3 last, derived
     from the Table 1 reports). *)

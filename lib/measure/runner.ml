@@ -80,7 +80,11 @@ let measure_seq ~world ~solver ?randomness ?budget ~origins () =
    integer monoid, so fanning the origins out across domains and folding
    the per-chunk partials in chunk order is bit-identical to the
    sequential left fold.  Each domain works on its own [Randomness.fork]
-   because streams memoize mutably (see Vc_rng.Randomness). *)
+   because streams memoize mutably (see Vc_rng.Randomness).  Graph-backed
+   worlds keep their incremental-BFS scratch in Domain.DLS keyed by node
+   count, so across this fan-out each domain reuses one set of scratch
+   arrays for every origin instead of allocating per session (see
+   Vc_model.World). *)
 let measure_par ~pool ~world ~solver ?randomness ?budget ~origins () =
   let fork_key = Domain.DLS.new_key (fun () -> Option.map Randomness.fork randomness) in
   Pool.map_reduce pool

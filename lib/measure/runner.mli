@@ -8,7 +8,10 @@
     works on a domain-local {!Vc_rng.Randomness.fork}, and {!merge} is an
     exact integer monoid, the parallel path returns stats and outputs
     {e bit-identical} to the sequential path — the world merely has to
-    honour the shareability contract documented in {!Vc_model.World}. *)
+    honour the shareability contract documented in {!Vc_model.World}.
+    Graph-backed worlds additionally reuse one set of domain-local BFS
+    scratch arrays across the whole origin fan-out (an O(1) epoch bump
+    per session, no per-origin allocation). *)
 
 module Graph = Vc_graph.Graph
 module Lcl = Vc_lcl.Lcl

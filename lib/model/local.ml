@@ -120,4 +120,5 @@ let world_of_knowledge ~n ~origin know =
       dist = (fun v -> match Hashtbl.find_opt dist v with Some d -> d | None -> max_int);
     }
   in
-  { World.n; start }
+  let max_degree = Hashtbl.fold (fun _ r acc -> max acc r.degree) know 0 in
+  { World.n; max_degree; start }

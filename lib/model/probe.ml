@@ -25,7 +25,9 @@ type 'i ctx = {
   budget : budget;
   views : (Graph.node, 'i View.t) Hashtbl.t;
   mutable visit_order : Graph.node list; (* reversed *)
-  resolved_tbl : (Graph.node * int, Graph.node) Hashtbl.t;
+  resolved_tbl : (int, Graph.node) Hashtbl.t;
+      (* keyed by [at * port_stride + port]; allocation-free lookups *)
+  port_stride : int;
   cursors : (Graph.node, int) Hashtbl.t;
   mutable n_queries : int;
   mutable n_rand_bits : int;
@@ -69,19 +71,25 @@ let query ctx ~at ~port =
   if not (visited ctx at) then illegal "query from unvisited node %d" at;
   let d = degree ctx at in
   if port < 1 || port > d then illegal "query(%d, %d): invalid port (degree %d)" at port d;
+  if port >= ctx.port_stride then
+    illegal "query(%d, %d): port exceeds the world's claimed max degree %d" at port
+      (ctx.port_stride - 1);
   ctx.n_queries <- ctx.n_queries + 1;
+  let key = (at * ctx.port_stride) + port in
   let u =
-    match Hashtbl.find_opt ctx.resolved_tbl (at, port) with
+    match Hashtbl.find_opt ctx.resolved_tbl key with
     | Some u -> u
     | None ->
         let u = ctx.session.World.resolve at ~port in
-        Hashtbl.add ctx.resolved_tbl (at, port) u;
+        Hashtbl.add ctx.resolved_tbl key u;
         u
   in
   admit ctx u;
   u
 
-let resolved ctx ~at ~port = Hashtbl.find_opt ctx.resolved_tbl (at, port)
+let resolved ctx ~at ~port =
+  if port < 1 || port >= ctx.port_stride then None
+  else Hashtbl.find_opt ctx.resolved_tbl ((at * ctx.port_stride) + port)
 
 let check_rand_access ctx v =
   if not (visited ctx v) then illegal "random bits of unvisited node %d" v;
@@ -121,6 +129,13 @@ type 'o result = {
 
 let run ~world ?randomness ?(budget = unlimited) ~origin:start algo =
   let session = world.World.start start in
+  (* Pre-size the per-run tables from the volume budget: a run visiting
+     at most [v] nodes touches at most [v] views and ~[v·Δ] resolved
+     edges, so sizing up front avoids rehashing in the hot path (capped
+     so huge budgets don't allocate huge empty tables). *)
+  let table_size =
+    match budget.max_volume with Some v -> max 16 (min (v + 1) 4096) | None -> 64
+  in
   let ctx =
     {
       session;
@@ -128,9 +143,10 @@ let run ~world ?randomness ?(budget = unlimited) ~origin:start algo =
       origin = start;
       randomness;
       budget;
-      views = Hashtbl.create 64;
+      views = Hashtbl.create table_size;
       visit_order = [];
-      resolved_tbl = Hashtbl.create 64;
+      resolved_tbl = Hashtbl.create (2 * table_size);
+      port_stride = world.World.max_degree + 1;
       cursors = Hashtbl.create 8;
       n_queries = 0;
       n_rand_bits = 0;

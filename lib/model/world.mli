@@ -11,17 +11,30 @@
     and returns a session; all queries of that execution go through the
     session.  Sessions of adversarial worlds are typically stateful.
 
+    {b Laziness.}  {!of_graph} sessions answer [dist] with an
+    {e incremental} BFS: the frontier expands only as far as the largest
+    distance actually demanded, so a probe run costs Θ(ball · Δ) rather
+    than the Θ(n) of a full-graph BFS.  The BFS state lives in
+    epoch-stamped scratch arrays pooled per domain and reused across
+    sessions; distances returned are bit-identical to an eager full BFS
+    (unreachable nodes report [max_int]).  {!of_graph_eager} keeps the
+    eager behavior for differential testing.
+
     {b Thread-safety contract.}  A [t] destined for the parallel runner
     ({!Vc_measure.Runner.measure} with [?pool]) must be shareable across
     domains: [start] may be called concurrently, and the sessions it
     returns must not communicate through shared mutable state.  The
     {!of_graph} worlds satisfy this — {!Vc_graph.Graph.t} is immutable
-    after construction and each session owns its private BFS distance
-    array.  A {e session} is never shareable: it belongs to the single
-    execution (and domain) that started it.  Stateful adversarial worlds
-    (e.g. {!Volcomp.Adversary_leaf.world_internal}, or the
-    communication-counting worlds of {!Vc_commcc}) violate the [t]
-    contract by design and must be driven sequentially. *)
+    after construction and BFS scratch is domain-local
+    ([Domain.DLS]-pooled, never shared between domains).  A {e session}
+    is never shareable: it belongs to the single execution (and domain)
+    that started it.  On one domain, sessions may be interleaved: a
+    session whose pooled scratch has been claimed by a younger session
+    transparently falls back to a private scratch and replays its BFS,
+    so correctness never depends on session discipline.  Stateful
+    adversarial worlds (e.g. {!Volcomp.Adversary_leaf.world_internal},
+    or the communication-counting worlds of {!Vc_commcc}) violate the
+    [t] contract by design and must be driven sequentially. *)
 
 type 'i session = {
   view : Vc_graph.Graph.node -> 'i View.t;
@@ -42,15 +55,29 @@ type 'i session = {
 
 type 'i t = {
   n : int;  (** the number of nodes, given to every algorithm as input *)
+  max_degree : int;
+      (** an upper bound on node degrees, used by the executor to pack
+          [(node, port)] pairs into integer keys; graph-backed worlds
+          report the true Δ, adversarial worlds any sound bound *)
   start : Vc_graph.Graph.node -> 'i session;
 }
 
 val of_graph : Vc_graph.Graph.t -> input:(Vc_graph.Graph.node -> 'i) -> 'i t
 (** The standard world: a fixed graph with a fixed input labeling.
-    Distances are computed by BFS from the origin once per session. *)
+    Distances are answered by an incremental per-session BFS that stops
+    at the largest distance demanded. *)
 
 val of_graph_claiming :
   n:int -> Vc_graph.Graph.t -> input:(Vc_graph.Graph.node -> 'i) -> 'i t
 (** Like {!of_graph} but reports [n] instead of the true node count —
     used by experiments that embed a small gadget in a nominally larger
     instance. *)
+
+val of_graph_eager : Vc_graph.Graph.t -> input:(Vc_graph.Graph.node -> 'i) -> 'i t
+(** Like {!of_graph} but each session runs one full-graph BFS up front,
+    exactly as the pre-lazy implementation did.  Kept for differential
+    testing: any observable divergence from {!of_graph} is a bug. *)
+
+val of_graph_eager_claiming :
+  n:int -> Vc_graph.Graph.t -> input:(Vc_graph.Graph.node -> 'i) -> 'i t
+(** Eager variant of {!of_graph_claiming}. *)

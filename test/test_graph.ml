@@ -5,6 +5,7 @@ module Builder = Vc_graph.Builder
 module Bfs = Vc_graph.Bfs
 module TL = Vc_graph.Tree_labels
 module Splitmix = Vc_rng.Splitmix
+module Gen = Vc_check.Gen
 
 let status_t = Alcotest.testable TL.pp_status TL.equal_status
 
@@ -84,6 +85,37 @@ let test_attach () =
   let g = Builder.attach g ~extra_edges:[ (1, 2) ] in
   Alcotest.(check bool) "connected after attach" true (Graph.is_connected g);
   Alcotest.(check int) "degree grew" 2 (Graph.degree g 1)
+
+let test_port_to_non_neighbor () =
+  let g = Builder.path 4 in
+  Alcotest.(check (option int)) "self" None (Graph.port_to g 1 1);
+  Alcotest.(check (option int)) "non-adjacent" None (Graph.port_to g 0 2);
+  Alcotest.(check (option int)) "out of range" None (Graph.port_to g 0 (-1))
+
+let prop_port_to_inverts_neighbor =
+  QCheck.Test.make ~name:"port_to inverts neighbor on every generated graph" ~count:100
+    (Gen.spec ())
+    (fun spec ->
+      let g = Gen.build spec in
+      Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+          acc
+          &&
+          let ok = ref true in
+          for p = 1 to Graph.degree g v do
+            if Graph.port_to g v (Graph.neighbor g v p) <> Some p then ok := false
+          done;
+          !ok))
+
+let prop_iter_fold_neighbors_agree =
+  QCheck.Test.make ~name:"iter/fold_neighbors agree with neighbors" ~count:100 (Gen.spec ())
+    (fun spec ->
+      let g = Gen.build spec in
+      Graph.fold_nodes g ~init:true ~f:(fun acc v ->
+          let expected = Array.to_list (Graph.neighbors g v) in
+          let via_iter = ref [] in
+          Graph.iter_neighbors g v (fun w -> via_iter := w :: !via_iter);
+          let via_fold = Graph.fold_neighbors g v ~init:[] ~f:(fun l w -> w :: l) in
+          acc && List.rev !via_iter = expected && List.rev via_fold = expected))
 
 (* --- Builders -------------------------------------------------------- *)
 
@@ -247,6 +279,9 @@ let suites =
         Alcotest.test_case "edges count" `Quick test_edges_count;
         Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
         Alcotest.test_case "attach" `Quick test_attach;
+        Alcotest.test_case "port_to non-neighbor" `Quick test_port_to_non_neighbor;
+        QCheck_alcotest.to_alcotest prop_port_to_inverts_neighbor;
+        QCheck_alcotest.to_alcotest prop_iter_fold_neighbors_agree;
       ] );
     ( "graph:builders",
       [

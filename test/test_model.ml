@@ -175,6 +175,52 @@ let test_lemma_2_5_volume_of_distance_sim () =
       Alcotest.(check bool) "dist <= vol" true (r.Probe.distance <= r.Probe.volume))
     [ 0; 1; 2; 3 ]
 
+(* --- Worlds: lazy sessions vs eager sessions -------------------------- *)
+
+let test_lazy_dist_matches_bfs () =
+  let g = Builder.complete_binary_tree ~depth:4 in
+  let w = unit_world g in
+  Graph.iter_nodes g (fun origin ->
+      let s = w.World.start origin in
+      let expected = Vc_graph.Bfs.distances g origin in
+      (* Demand distances in node order, not BFS order, so the session
+         repeatedly has to expand its frontier mid-stream. *)
+      Graph.iter_nodes g (fun v ->
+          Alcotest.(check int) "dist matches full BFS" expected.(v) (s.World.dist v)))
+
+let test_lazy_dist_unreachable_max_int () =
+  let g, _ = Builder.disjoint_union [ Builder.path 3; Builder.cycle 4 ] in
+  let lazy_w = unit_world g in
+  let eager_w = World.of_graph_eager g ~input:(fun _ -> ()) in
+  let sl = lazy_w.World.start 0 in
+  let se = eager_w.World.start 0 in
+  Graph.iter_nodes g (fun v ->
+      Alcotest.(check int) "lazy = eager" (se.World.dist v) (sl.World.dist v));
+  Alcotest.(check bool) "unreachable is max_int" true (sl.World.dist 5 = max_int)
+
+let test_interleaved_sessions_independent () =
+  (* A younger session claims the pooled scratch; the older session must
+     transparently fall back to private scratch and keep answering. *)
+  let g = Builder.cycle 12 in
+  let w = unit_world g in
+  let s0 = w.World.start 0 in
+  Alcotest.(check int) "s0 before interleave" 1 (s0.World.dist 1);
+  let s6 = w.World.start 6 in
+  Alcotest.(check int) "s6 own origin" 0 (s6.World.dist 6);
+  Alcotest.(check int) "s0 after interleave" 6 (s0.World.dist 6);
+  Alcotest.(check int) "s0 far node" 4 (s0.World.dist 8);
+  Alcotest.(check int) "s6 still answers" 6 (s6.World.dist 0)
+
+let test_lazy_eager_probe_results_identical () =
+  let g = Builder.complete_binary_tree ~depth:4 in
+  let lazy_w = unit_world g in
+  let eager_w = World.of_graph_eager g ~input:(fun _ -> ()) in
+  let algo ctx = List.length (Ball.gather ctx ~radius:2) in
+  Graph.iter_nodes g (fun origin ->
+      let a = Probe.run ~world:lazy_w ~origin algo in
+      let b = Probe.run ~world:eager_w ~origin algo in
+      Alcotest.(check bool) "full probe results identical" true (a = b))
+
 (* --- CONGEST ---------------------------------------------------------- *)
 
 (* Flood the maximum identifier: a classic O(diameter) CONGEST task with
@@ -236,6 +282,13 @@ let suites =
         Alcotest.test_case "rand bits consistent" `Quick test_rand_bits_consistent_across_runs;
         Alcotest.test_case "secret randomness enforced" `Quick test_secret_randomness_enforced;
         Alcotest.test_case "rand accounting" `Quick test_rand_accounting;
+      ] );
+    ( "model:world",
+      [
+        Alcotest.test_case "lazy dist matches full BFS" `Quick test_lazy_dist_matches_bfs;
+        Alcotest.test_case "unreachable nodes agree" `Quick test_lazy_dist_unreachable_max_int;
+        Alcotest.test_case "interleaved sessions" `Quick test_interleaved_sessions_independent;
+        Alcotest.test_case "lazy/eager probe results" `Quick test_lazy_eager_probe_results_identical;
       ] );
     ( "model:ball",
       [
