@@ -1,9 +1,10 @@
 (* Strict JSON syntax checker (RFC 8259 grammar, stdlib only — the
-   toolchain has no JSON library, and the bench harness hand-rolls its
-   output, so CI needs an independent parser to catch malformed
-   emissions).  Usage: json_check FILE.  Exits 0 iff the file is exactly
-   one well-formed JSON value plus optional trailing whitespace;
-   otherwise prints the byte offset of the first error and exits 1. *)
+   emitters live in lib/obs, so CI needs an independent parser to catch
+   malformed emissions).  Usage: json_check [--jsonl] FILE.  Exits 0 iff
+   the file is exactly one well-formed JSON value plus optional trailing
+   whitespace — or, with --jsonl (the probe-transcript format of
+   Vc_obs.Trace), one well-formed value per non-empty line; otherwise
+   prints the position of the first error and exits 1. *)
 
 exception Bad of int * string
 
@@ -145,20 +146,45 @@ let read_file path =
   close_in ic;
   s
 
-let () =
-  if Array.length Sys.argv <> 2 then begin
-    prerr_endline "usage: json_check FILE";
-    exit 2
-  end;
-  let path = Sys.argv.(1) in
-  let src = try read_file path with Sys_error msg -> prerr_endline msg; exit 2 in
+let check_value src =
   let st = { src; pos = 0 } in
-  match
-    parse_value st;
-    skip_ws st;
-    if st.pos <> String.length src then fail st "trailing garbage after JSON value"
-  with
-  | () -> Printf.printf "%s: well-formed JSON (%d bytes)\n" path (String.length src)
-  | exception Bad (pos, msg) ->
-      Printf.eprintf "%s: malformed JSON at byte %d: %s\n" path pos msg;
+  parse_value st;
+  skip_ws st;
+  if st.pos <> String.length src then fail st "trailing garbage after JSON value"
+
+let () =
+  let jsonl, path =
+    match Sys.argv with
+    | [| _; "--jsonl"; path |] -> (true, path)
+    | [| _; path |] -> (false, path)
+    | _ ->
+        prerr_endline "usage: json_check [--jsonl] FILE";
+        exit 2
+  in
+  let src = try read_file path with Sys_error msg -> prerr_endline msg; exit 2 in
+  if jsonl then begin
+    let lines = String.split_on_char '\n' src in
+    let n = ref 0 in
+    List.iteri
+      (fun i line ->
+        if String.trim line <> "" then begin
+          incr n;
+          match check_value line with
+          | () -> ()
+          | exception Bad (pos, msg) ->
+              Printf.eprintf "%s: line %d: malformed JSON at byte %d: %s\n" path (i + 1) pos msg;
+              exit 1
+        end)
+      lines;
+    if !n = 0 then begin
+      Printf.eprintf "%s: no JSON values (empty JSONL file)\n" path;
       exit 1
+    end;
+    Printf.printf "%s: well-formed JSONL (%d values)\n" path !n
+  end
+  else
+    match check_value src with
+    | () -> Printf.printf "%s: well-formed JSON (%d bytes)\n" path (String.length src)
+    | exception Bad (pos, msg) ->
+        Printf.eprintf "%s: malformed JSON at byte %d: %s\n" path pos msg;
+        exit 1

@@ -17,12 +17,15 @@
    VOLCOMP_QUICK=1) for the shortened ladders, `--deep` to extend each
    ladder past the standard profile, `--no-wallclock` to skip the
    Bechamel pass, `--micro` to run only layer 3 (the bench-smoke mode),
-   `-j N` (or VOLCOMP_JOBS) to size the domain pool, and `--json PATH`
-   to also record everything machine-readably (including a
-   sequential-vs-parallel speedup entry).  Exits non-zero when any
-   report has a [MISMATCH] fitted class or a world-session
-   microbenchmark falls below a 10x lazy-vs-eager speedup, so CI can
-   gate on both the reproduction and the cost model. *)
+   `--metrics` to collect and print the Vc_obs counters for the whole
+   run, `-j N` (or VOLCOMP_JOBS) to size the domain pool, and
+   `--json PATH` to also record everything machine-readably (including
+   a sequential-vs-parallel speedup entry, the instrumentation-overhead
+   row and a metrics snapshot).  Exits non-zero when any report has a
+   [MISMATCH] fitted class, a world-session microbenchmark falls below
+   a 10x lazy-vs-eager speedup, or the metrics-disabled hot path
+   exceeds its 5% overhead gate, so CI can gate on the reproduction,
+   the cost model and the observability layer at once. *)
 
 open Bechamel
 
@@ -47,6 +50,8 @@ module Experiments = Vc_measure.Experiments
 module Runner = Vc_measure.Runner
 module Fit = Vc_measure.Fit
 module Pool = Vc_exec.Pool
+module Json = Vc_obs.Json
+module Metrics = Vc_obs.Metrics
 
 let run_solver ~world ?randomness ~origin (solver : (_, _) Lcl.solver) () =
   let r = Probe.run ~world ?randomness ~origin solver.Lcl.solve in
@@ -333,82 +338,147 @@ let micro_ok rows =
       else match micro_speedup r with Some s -> s >= 10.0 | None -> true)
     rows
 
-(* --- machine-readable output ----------------------------------------------- *)
+(* --- instrumentation-overhead gate ------------------------------------------ *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+type obs_overhead = {
+  oo_workload : string;
+  oo_baseline_ns : float;
+  oo_disabled_ns : float;
+  oo_enabled_ns : float;
+}
 
-let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+let obs_gate = 1.05
+
+let obs_ok o = o.oo_disabled_ns <= (obs_gate *. o.oo_baseline_ns)
+
+(* The metrics counters compile into every hot path, so a literally
+   uninstrumented binary no longer exists to time against.  What the 5%
+   gate asserts instead is that the *disabled* path is free: baseline and
+   disabled interleave min-of-3 timings of the identical machine code
+   (collection off), so a gap above noise would mean the enabled-flag
+   branch is not the whole disabled-path cost.  The enabled timing rides
+   along for the report and also populates the counters behind the JSON
+   [metrics] section. *)
+let measure_obs_overhead () =
+  let n = 65536 in
+  let g = Builder.cycle n in
+  let world = CC.world g in
+  let workload () =
+    let r = Probe.run ~world ~origin:0 CC.solve.Lcl.solve in
+    assert (not r.Probe.aborted)
+  in
+  let prev = Metrics.enabled () in
+  Metrics.set_enabled false;
+  let baseline = ref infinity and disabled = ref infinity and enabled = ref infinity in
+  for _ = 1 to 3 do
+    baseline := Float.min !baseline (time_ns workload);
+    disabled := Float.min !disabled (time_ns workload);
+    Metrics.set_enabled true;
+    enabled := Float.min !enabled (time_ns workload);
+    Metrics.set_enabled false
+  done;
+  Metrics.set_enabled prev;
+  {
+    oo_workload = Printf.sprintf "world-session/cycle-coloring-%d" n;
+    oo_baseline_ns = !baseline;
+    oo_disabled_ns = !disabled;
+    oo_enabled_ns = !enabled;
+  }
+
+let pp_obs o =
+  Fmt.pr "@.== Instrumentation overhead (metrics disabled must be within %.0f%%) ==@."
+    ((obs_gate -. 1.0) *. 100.0);
+  Fmt.pr "  %-38s baseline %8.0f ns/run   disabled %8.0f ns/run   enabled %8.0f ns/run   [%s]@."
+    o.oo_workload o.oo_baseline_ns o.oo_disabled_ns o.oo_enabled_ns
+    (if obs_ok o then "ok" else "FAIL")
+
+(* --- machine-readable output (via the shared Vc_obs.Json encoder) ----------- *)
 
 let measurement_json m =
-  let points =
-    String.concat ","
-      (List.map (fun (n, y) -> Printf.sprintf "[%d,%s]" n (json_float y)) m.Experiments.points)
-  in
-  Printf.sprintf
-    {|{"quantity":"%s","paper_claim":"%s","fitted":"%s","agrees":%b,"points":[%s]}|}
-    (json_escape m.Experiments.quantity)
-    (json_escape m.Experiments.paper_claim)
-    (json_escape (Fmt.str "%a" Fit.pp_model (Experiments.fitted m)))
-    (Experiments.agrees m) points
+  Json.Obj
+    [
+      ("quantity", Json.String m.Experiments.quantity);
+      ("paper_claim", Json.String m.Experiments.paper_claim);
+      ("fitted", Json.String (Fmt.str "%a" Fit.pp_model (Experiments.fitted m)));
+      ("agrees", Json.Bool (Experiments.agrees m));
+      ( "points",
+        Json.List
+          (List.map (fun (n, y) -> Json.List [ Json.Int n; Json.Float y ]) m.Experiments.points)
+      );
+    ]
 
 let report_json r =
-  Printf.sprintf {|{"title":"%s","all_agree":%b,"measurements":[%s]}|}
-    (json_escape r.Experiments.title) (Experiments.all_agree r)
-    (String.concat "," (List.map measurement_json r.Experiments.measurements))
+  Json.Obj
+    [
+      ("title", Json.String r.Experiments.title);
+      ("all_agree", Json.Bool (Experiments.all_agree r));
+      ("measurements", Json.List (List.map measurement_json r.Experiments.measurements));
+    ]
 
 let micro_json rows =
-  Printf.sprintf "[%s]"
-    (String.concat ","
-       (List.map
-          (fun r ->
-            let eager, speedup =
-              match (r.m_eager_ns, micro_speedup r) with
-              | Some e, Some s -> (json_float e, json_float s)
-              | _ -> ("null", "null")
-            in
-            Printf.sprintf {|{"name":"%s","lazy_ns":%s,"eager_ns":%s,"speedup":%s}|}
-              (json_escape r.m_name) (json_float r.m_lazy_ns) eager speedup)
-          rows))
+  Json.List
+    (List.map
+       (fun r ->
+         let opt = function Some v -> Json.Float v | None -> Json.Null in
+         Json.Obj
+           [
+             ("name", Json.String r.m_name);
+             ("lazy_ns", Json.Float r.m_lazy_ns);
+             ("eager_ns", opt r.m_eager_ns);
+             ("speedup", opt (micro_speedup r));
+           ])
+       rows)
 
-let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro =
+let obs_json o =
+  Json.Obj
+    [
+      ("workload", Json.String o.oo_workload);
+      ("baseline_ns", Json.Float o.oo_baseline_ns);
+      ("disabled_ns", Json.Float o.oo_disabled_ns);
+      ("enabled_ns", Json.Float o.oo_enabled_ns);
+      ("gate", Json.Float obs_gate);
+      ("ok", Json.Bool (obs_ok o));
+    ]
+
+let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~obs =
   let wallclock_json =
     match wallclock with
-    | None -> "null"
+    | None -> Json.Null
     | Some rows ->
-        Printf.sprintf "[%s]"
-          (String.concat ","
-             (List.map
-                (fun (name, ns) ->
-                  Printf.sprintf {|{"name":"%s","ns_per_run":%s}|} (json_escape name)
-                    (json_float ns))
-                rows))
+        Json.List
+          (List.map
+             (fun (name, ns) ->
+               Json.Obj [ ("name", Json.String name); ("ns_per_run", Json.Float ns) ])
+             rows)
   in
   let speedup_json =
     match speedup with
-    | None -> "null"
+    | None -> Json.Null
     | Some s ->
-        Printf.sprintf
-          {|{"workload":"%s","domains":%d,"seq_seconds":%s,"par_seconds":%s,"speedup":%s}|}
-          (json_escape s.workload) s.sp_domains (json_float s.seq_seconds)
-          (json_float s.par_seconds) (json_float s.speedup)
+        Json.Obj
+          [
+            ("workload", Json.String s.workload);
+            ("domains", Json.Int s.sp_domains);
+            ("seq_seconds", Json.Float s.seq_seconds);
+            ("par_seconds", Json.Float s.par_seconds);
+            ("speedup", Json.Float s.speedup);
+          ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ("domains", Json.Int domains);
+        ("reports", Json.List (List.map report_json reports));
+        ("wallclock", wallclock_json);
+        ("speedup", speedup_json);
+        ("micro", micro_json micro);
+        ("obs_overhead", obs_json obs);
+        ("metrics", Metrics.to_json ());
+      ]
   in
   let oc = open_out path in
-  Printf.fprintf oc
-    {|{"quick":%b,"domains":%d,"reports":[%s],"wallclock":%s,"speedup":%s,"micro":%s}|} quick
-    domains
-    (String.concat "," (List.map report_json reports))
-    wallclock_json speedup_json (micro_json micro);
+  output_string oc (Json.to_string doc);
   output_char oc '\n';
   close_out oc
 
@@ -420,6 +490,7 @@ let parse_args () =
   let deep = ref false in
   let micro = ref false in
   let wallclock = ref true in
+  let metrics = ref false in
   let json = ref None in
   let jobs = ref None in
   let i = ref 1 in
@@ -429,6 +500,7 @@ let parse_args () =
     | "--deep" -> deep := true
     | "--micro" -> micro := true
     | "--no-wallclock" -> wallclock := false
+    | "--metrics" -> metrics := true
     | "--json" ->
         incr i;
         if !i >= Array.length argv then failwith "--json requires a path";
@@ -443,10 +515,11 @@ let parse_args () =
     | arg -> failwith (Printf.sprintf "unknown argument %S" arg));
     incr i
   done;
-  (!quick, !deep, !micro, !wallclock, !json, !jobs)
+  (!quick, !deep, !micro, !wallclock, !metrics, !json, !jobs)
 
 let () =
-  let quick, deep, micro_only, wallclock, json, jobs = parse_args () in
+  let quick, deep, micro_only, wallclock, metrics, json, jobs = parse_args () in
+  if metrics then Metrics.set_enabled true;
   let domains = match jobs with Some j -> j | None -> Pool.default_domains () in
   let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
   Fmt.pr "volcomp benchmark harness — reproducing every table and figure of@.";
@@ -471,6 +544,9 @@ let () =
   let wallclock_rows = if wallclock && not micro_only then Some (run_wallclock ()) else None in
   let micro = run_micro () in
   pp_micro micro;
+  let obs = measure_obs_overhead () in
+  pp_obs obs;
+  if metrics then Fmt.pr "@.%a@." Metrics.pp ();
   (match json with
   | None -> ()
   | Some path ->
@@ -482,10 +558,13 @@ let () =
             (if s.sp_domains = 1 then "" else "s")
             s.speedup)
         speedup;
-      write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro;
+      write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro ~obs;
       Fmt.pr "wrote %s@." path);
   Option.iter Pool.shutdown pool;
   let mismatch = List.exists (fun r -> not (Experiments.all_agree r)) reports in
   if not (micro_ok micro) then
     Fmt.pr "== FAIL: a world-session microbenchmark fell below the 10x lazy-vs-eager bar ==@.";
-  if mismatch || not (micro_ok micro) then exit 1
+  if not (obs_ok obs) then
+    Fmt.pr "== FAIL: the metrics-disabled hot path exceeded the %.0f%% overhead gate ==@."
+      ((obs_gate -. 1.0) *. 100.0);
+  if mismatch || not (micro_ok micro) || not (obs_ok obs) then exit 1

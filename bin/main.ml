@@ -5,7 +5,10 @@
      solve        build an instance of a problem, run a solver from every
                   node, validate the assembled output, print cost stats
      adversary    run the Proposition 3.13 interactive adversary
-     congest      run the Example 7.6 CONGEST routing experiment *)
+     congest      run the Example 7.6 CONGEST routing experiment
+     check        differential conformance + fuzzing oracle
+     trace        record a probe transcript, or replay one bit-for-bit
+     export       render an instance (optionally with a traced ball) as DOT *)
 
 open Cmdliner
 
@@ -24,6 +27,9 @@ module Runner = Vc_measure.Runner
 module Experiments = Vc_measure.Experiments
 module Disjointness = Vc_commcc.Disjointness
 module Pool = Vc_exec.Pool
+module Json = Vc_obs.Json
+module Trace = Vc_obs.Trace
+module Metrics = Vc_obs.Metrics
 
 (* --- worker domains (-j / VOLCOMP_JOBS) ------------------------------------ *)
 
@@ -38,6 +44,22 @@ let with_jobs jobs f =
   let domains = match jobs with Some j -> j | None -> Pool.default_domains () in
   if domains < 1 then invalid_arg "-j must be a positive integer";
   if domains > 1 then Pool.with_pool ~domains (fun pool -> f (Some pool)) else f None
+
+(* --- metrics (--metrics) --------------------------------------------------- *)
+
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Collect the $(b,lib/obs) counters during the run and print them afterwards.")
+
+let with_metrics enabled f =
+  if not enabled then f ()
+  else
+    Metrics.with_enabled (fun () ->
+        let r = f () in
+        Fmt.pr "@.%a@." Metrics.pp ();
+        r)
 
 (* --- experiments ---------------------------------------------------------- *)
 
@@ -89,6 +111,30 @@ let report_solution name stats valid =
   Fmt.pr "assembled output %s@." (if valid then "VALID" else "INVALID");
   if valid then 0 else 1
 
+(* [--trace PATH] on solve: record the solver's run from node 0 as a
+   JSONL transcript.  Solve instances are built ad hoc (not through the
+   conformance registry), so these transcripts are for inspection and
+   DOT ball rendering; `volcomp trace` records registry-backed
+   transcripts that `volcomp trace --replay` can re-drive. *)
+let write_solve_trace ~path ~problem ~n ~seed ~world ?randomness (solver : (_, _) Lcl.solver) =
+  let header =
+    Json.Obj
+      [
+        ("volcomp_trace", Json.Int 1);
+        ("problem", Json.String ("solve:" ^ problem));
+        ("solver", Json.String solver.Lcl.solver_name);
+        ("size", Json.Int n);
+        ("trial_seed", Json.String (Int64.to_string seed));
+        ("origin", Json.Int 0);
+      ]
+  in
+  let sink = Trace.to_file ~path ~header in
+  Fun.protect
+    ~finally:(fun () -> Trace.close sink)
+    (fun () ->
+      ignore (Probe.run ~world ?randomness ~trace:sink ~origin:0 solver.Lcl.solve : _ Probe.result));
+  Fmt.pr "wrote transcript %s@." path
+
 let solve_cmd =
   let problem =
     Arg.(
@@ -105,8 +151,15 @@ let solve_cmd =
   let randomized =
     Arg.(value & flag & info [ "randomized"; "r" ] ~doc:"Use the randomized solver.")
   in
-  let run problem n seed k randomized jobs =
+  let trace =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:"Also record the solver's run from node 0 as a JSONL transcript at $(docv).")
+  in
+  let run problem n seed k randomized trace metrics jobs =
     let seed64 = Int64.of_int seed in
+    with_metrics metrics @@ fun () ->
     with_jobs jobs @@ fun pool ->
     match problem with
     | `Leaf ->
@@ -122,18 +175,29 @@ let solve_cmd =
           Runner.solve_and_check ~world ~problem:LC.problem ~graph:inst.LC.graph
             ~input:(LC.input inst) ~solver ?randomness ?pool ()
         in
+        Option.iter
+          (fun path ->
+            write_solve_trace ~path ~problem:"leafcoloring" ~n:(Graph.n inst.LC.graph)
+              ~seed:seed64 ~world ?randomness solver)
+          trace;
         report_solution solver.Lcl.solver_name stats valid
     | `Bt ->
         let bits = max 4 (n / 4) in
         let pow2 = 1 lsl Volcomp.Probe_tree.log2_ceil bits in
         let disj = Disjointness.random_promise ~n:pow2 ~intersecting:(seed mod 2 = 1) ~seed:seed64 in
         let inst = BT.embed_disjointness disj in
+        let world = BT.world inst in
         let stats, valid =
-          Runner.solve_and_check ~world:(BT.world inst) ~problem:BT.problem
+          Runner.solve_and_check ~world ~problem:BT.problem
             ~graph:inst.BT.graph ~input:(BT.input inst) ~solver:BT.solve_distance ?pool ()
         in
         Fmt.pr "disjointness instance (disj = %b): %a@." (Disjointness.eval disj)
           Disjointness.pp disj;
+        Option.iter
+          (fun path ->
+            write_solve_trace ~path ~problem:"balancedtree" ~n:(Graph.n inst.BT.graph)
+              ~seed:seed64 ~world BT.solve_distance)
+          trace;
         report_solution BT.solve_distance.Lcl.solver_name stats valid
     | `Hthc ->
         let inst, _ = H.hard_instance ~k ~target_n:n ~seed:seed64 in
@@ -148,14 +212,25 @@ let solve_cmd =
           Runner.solve_and_check ~world ~problem:(H.problem ~k) ~graph:(H.graph inst)
             ~input:(H.input inst) ~solver ?randomness ?pool ()
         in
+        Option.iter
+          (fun path ->
+            write_solve_trace ~path ~problem:"hthc" ~n:(Graph.n (H.graph inst)) ~seed:seed64
+              ~world ?randomness solver)
+          trace;
         report_solution solver.Lcl.solver_name stats valid
     | `Sinkless ->
         let g = Volcomp.Sinkless.random_cubic ~n ~seed:seed64 in
+        let world = Volcomp.Sinkless.world g in
         let stats, valid =
-          Runner.solve_and_check ~world:(Volcomp.Sinkless.world g)
+          Runner.solve_and_check ~world
             ~problem:Volcomp.Sinkless.problem ~graph:g ~input:(fun _ -> ())
             ~solver:Volcomp.Sinkless.solve_global ?pool ()
         in
+        Option.iter
+          (fun path ->
+            write_solve_trace ~path ~problem:"sinkless" ~n:(Graph.n g) ~seed:seed64 ~world
+              Volcomp.Sinkless.solve_global)
+          trace;
         report_solution Volcomp.Sinkless.solve_global.Lcl.solver_name stats valid
     | `Hybrid ->
         let inst, _ = Hy.hard_instance ~k ~target_n:n ~seed:seed64 in
@@ -172,12 +247,17 @@ let solve_cmd =
           Runner.solve_and_check ~world ~problem:(Hy.problem ~k) ~graph:inst.Hy.graph
             ~input:(Hy.input inst) ~solver ?randomness ?pool ()
         in
+        Option.iter
+          (fun path ->
+            write_solve_trace ~path ~problem:"hybrid" ~n:(Graph.n inst.Hy.graph) ~seed:seed64
+              ~world ?randomness solver)
+          trace;
         report_solution solver.Lcl.solver_name stats valid
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve a random instance from every node and validate the assembled output.")
-    Term.(const run $ problem $ n $ seed $ k $ randomized $ jobs_term)
+    Term.(const run $ problem $ n $ seed $ k $ randomized $ trace $ metrics_term $ jobs_term)
 
 (* --- adversary -------------------------------------------------------------- *)
 
@@ -253,7 +333,7 @@ let check_cmd =
       & info [ "only" ] ~docv:"SUBSTR"
           ~doc:"Only check problems whose name contains $(docv) (case-insensitive).")
   in
-  let run seed count quick json only jobs =
+  let run seed count quick json only metrics jobs =
     let entries =
       match only with
       | None -> Vc_check.Registry.all ()
@@ -275,6 +355,7 @@ let check_cmd =
     end
     else begin
       let seed64 = Int64.of_int seed in
+      with_metrics metrics @@ fun () ->
       let report =
         with_jobs jobs (fun pool ->
             Vc_check.Oracle.run ?pool ~entries ~seed:seed64 ~count ~quick ())
@@ -283,9 +364,28 @@ let check_cmd =
       Option.iter (fun path -> Vc_check.Report.write_json report ~path) json;
       if Vc_check.Report.ok report then 0
       else begin
-        (* the seed is everything needed to reproduce the failure *)
+        (* the seed is everything needed to reproduce the failure; the
+           reference transcript makes the failing trial replayable offline *)
         Fmt.epr "reproduce with: volcomp check --seed %d --count %d%s@." seed count
           (if quick then " --quick" else "");
+        List.iter
+          (fun (p : Vc_check.Report.problem_report) ->
+            if p.p_failures <> [] then begin
+              let slug =
+                String.map
+                  (fun c ->
+                    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '-')
+                  (String.lowercase_ascii p.p_name)
+              in
+              let path = Fmt.str "check-failure-%s.trace.jsonl" slug in
+              match
+                Vc_check.Oracle.record_trace ~entries ~seed:seed64 ~quick ~problem:p.p_name
+                  ~origin:0 ~path ()
+              with
+              | Ok () -> Fmt.epr "wrote reference transcript %s (volcomp trace --replay)@." path
+              | Error msg -> Fmt.epr "could not record transcript for %s: %s@." p.p_name msg
+            end)
+          report.Vc_check.Report.problems;
         1
       end
     end
@@ -293,7 +393,69 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Differential conformance and fuzzing oracle over all registered problems.")
-    Term.(const run $ seed $ count $ quick $ json $ only $ jobs_term)
+    Term.(const run $ seed $ count $ quick $ json $ only $ metrics_term $ jobs_term)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let problem =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROBLEM" ~doc:"Registry problem to record (e.g. leafcoloring).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Master seed (as in check).")
+  in
+  let origin =
+    Arg.(value & opt int 0 & info [ "origin" ] ~docv:"V" ~doc:"Node whose run is recorded.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the problem's smallest quick size.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o" ] ~docv:"PATH" ~doc:"Transcript path (default PROBLEM.trace.jsonl).")
+  in
+  let replay =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:"Replay a recorded transcript instead of recording one.")
+  in
+  let run problem seed origin quick out replay =
+    match (replay, problem) with
+    | Some path, _ -> (
+        match Vc_check.Oracle.replay_trace ~path () with
+        | Ok () ->
+            Fmt.pr "%s: replay identical@." path;
+            0
+        | Error msg ->
+            Fmt.epr "%s: replay diverged: %s@." path msg;
+            1)
+    | None, None ->
+        Fmt.epr "trace: expected a PROBLEM to record or --replay PATH@.";
+        2
+    | None, Some problem -> (
+        let path = match out with Some p -> p | None -> problem ^ ".trace.jsonl" in
+        match
+          Vc_check.Oracle.record_trace ~seed:(Int64.of_int seed) ~quick ~problem ~origin ~path
+            ()
+        with
+        | Ok () ->
+            Fmt.pr "wrote transcript %s@." path;
+            0
+        | Error msg ->
+            Fmt.epr "trace: %s@." msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a reference solver's probe transcript as JSONL, or replay one and assert \
+          bit-identical behaviour.")
+    Term.(const run $ problem $ seed $ origin $ quick $ out $ replay)
 
 (* --- export ----------------------------------------------------------------- *)
 
@@ -342,4 +504,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ experiments_cmd; solve_cmd; adversary_cmd; congest_cmd; check_cmd; export_cmd ]))
+          [
+            experiments_cmd;
+            solve_cmd;
+            adversary_cmd;
+            congest_cmd;
+            check_cmd;
+            trace_cmd;
+            export_cmd;
+          ]))

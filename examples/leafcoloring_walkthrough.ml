@@ -41,6 +41,24 @@ let () =
   | Ok () -> Fmt.pr "checker: VALID@."
   | Error vs -> Fmt.pr "checker: INVALID (%d violations)@." (List.length vs));
 
+  (* Record one node's probe transcript and render the ball it saw:
+     filled nodes were admitted into the view cache, thick edges were
+     traversed by probes. *)
+  let origin = 0 in
+  let sink = Vc_obs.Trace.ring () in
+  ignore
+    (Probe.run ~world ~trace:sink ~origin LC.solve_distance.Lcl.solve
+      : _ Probe.result);
+  let ball = Vc_graph.Dot.trace_ball (Vc_obs.Trace.events sink) in
+  Fmt.pr "@.probed ball of node %d (%d events recorded):@." origin
+    (List.length (Vc_obs.Trace.events sink));
+  Graph.iter_nodes g (fun v -> if ball.Vc_graph.Dot.in_ball v then Fmt.pr "  visited %d@." v);
+  let path = "leafcoloring_ball.dot" in
+  Vc_graph.Dot.to_file ~path ~name:"leafcoloring-ball"
+    ~node_label:(fun v -> Fmt.str "%a" TL.pp_color out.(v))
+    ~highlight:ball.Vc_graph.Dot.in_ball ~highlight_edge:ball.Vc_graph.Dot.probed_edge g;
+  Fmt.pr "wrote %s (render with: dot -Tpng %s)@." path path;
+
   (* Proposition 3.12: a distance-limited algorithm at the root of a
      complete tree cannot know the leaf color. *)
   Fmt.pr "@.Prop 3.12 on a depth-8 complete tree:@.";

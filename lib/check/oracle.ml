@@ -144,6 +144,24 @@ let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
         acc && ok)
       true trials
   in
+  (* probe 6: record -> JSON round-trip -> replay, on every trial *)
+  let replay =
+    List.fold_left
+      (fun acc (size, t) ->
+        let ok =
+          guarded
+            (Fmt.str "record/replay at size %d" size)
+            (fun () ->
+              match t.Registry.trace_roundtrip () with
+              | Ok () -> true
+              | Error msg ->
+                  fail "replay at size %d: %s" size msg;
+                  false)
+            false
+        in
+        acc && ok)
+      true trials
+  in
   (* probe 4: mutation fuzzing, [count] rounds round-robin over trials *)
   let kind_order = ref [] in
   let kinds : (string, Report.kind_agg) Hashtbl.t = Hashtbl.create 8 in
@@ -191,6 +209,7 @@ let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
     p_merge_consistent = merge_consistent;
     p_cross_model = cross_model;
     p_lazy_eager = lazy_eager;
+    p_replay = replay;
     p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
     p_failures = List.rev !failures;
   }
@@ -200,3 +219,60 @@ let run ?pool ?entries ~seed ~count ~quick () =
   let domains = match pool with None -> 1 | Some p -> Pool.domains p in
   let problems = List.map (run_entry ?pool ~seed ~count ~quick) entries in
   { Report.seed; count; domains; quick; problems }
+
+(* --- standalone trace files ------------------------------------------------ *)
+
+module Json = Vc_obs.Json
+module Trace = Vc_obs.Trace
+
+let find_entry ?entries name =
+  let entries = match entries with Some es -> es | None -> Registry.all () in
+  match
+    List.find_opt (fun (e : Registry.entry) -> String.lowercase_ascii e.name = String.lowercase_ascii name) entries
+  with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Fmt.str "unknown problem %S (known: %s)" name
+           (String.concat ", " (List.map (fun (e : Registry.entry) -> e.name) entries)))
+
+(* The header pins down everything a later process needs to rebuild the
+   instance: the trial seed is the already-mixed per-trial seed, stored
+   as a string because [Splitmix.mix] spans the full int64 range. *)
+let header ~problem ~size ~trial_seed ~origin =
+  Json.Obj
+    [
+      ("volcomp_trace", Json.Int 1);
+      ("problem", Json.String problem);
+      ("size", Json.Int size);
+      ("trial_seed", Json.String (Int64.to_string trial_seed));
+      ("origin", Json.Int origin);
+    ]
+
+let record_trace ?entries ~seed ~quick ~problem ~origin ~path () =
+  match find_entry ?entries problem with
+  | Error _ as e -> e
+  | Ok e -> (
+      let sizes = if quick then e.quick_sizes else e.sizes in
+      match sizes with
+      | [] -> Error (Fmt.str "%s has no %s sizes" e.name (if quick then "quick" else "full"))
+      | size :: _ ->
+          let ts = trial_seed ~seed ~name:e.name 0 in
+          let t = e.make ~size ~seed:ts in
+          let header = header ~problem:e.name ~size ~trial_seed:ts ~origin in
+          t.Registry.trace_record ~path ~header ~origin)
+
+let replay_trace ?entries ~path () =
+  match Trace.load ~path with
+  | Error _ as e -> e
+  | Ok (header, events) -> (
+      let str key = Option.bind (Json.member header key) Json.to_str in
+      let int key = Option.bind (Json.member header key) Json.to_int in
+      match (str "problem", int "size", Option.bind (str "trial_seed") Int64.of_string_opt, int "origin") with
+      | Some problem, Some size, Some ts, Some origin -> (
+          match find_entry ?entries problem with
+          | Error _ as e -> e
+          | Ok e ->
+              let t = e.make ~size ~seed:ts in
+              t.Registry.trace_replay ~events ~origin)
+      | _ -> Error (Fmt.str "%s: header is missing problem/size/trial_seed/origin" path))

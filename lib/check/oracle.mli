@@ -1,7 +1,7 @@
 (** The differential conformance oracle.
 
     For every registry entry (or a chosen subset) the oracle builds the
-    entry's trials and runs the four conformance probes:
+    entry's trials and runs the conformance probes:
 
     + every registered solver solves every instance; the assembled
       output must pass the problem's own checker, and the cost envelope
@@ -14,10 +14,14 @@
     + [count] mutation-fuzzing rounds, round-robin over the entry's
       trials: every rejection must be anchored within the checkability
       radius of the mutation site, and at least one mutant per problem
-      must be rejected overall.
+      must be rejected overall;
+    + record/replay determinism: every solver's probe transcript
+      ({!Vc_obs.Trace}) must survive a JSONL round-trip and re-drive the
+      run bit-identically.
 
     Everything is a deterministic function of [seed]; a failing run is
-    reproducible with [volcomp check --seed N]. *)
+    reproducible with [volcomp check --seed N], and the CLI writes the
+    failing problem's reference transcript for offline {!replay_trace}. *)
 
 val run :
   ?pool:Vc_exec.Pool.t ->
@@ -31,3 +35,29 @@ val run :
     {!Registry.all}).  [quick] selects each entry's small sizes — the
     [dune runtest] profile.  [?pool] parallelizes the per-solver runs;
     the report's verdicts do not depend on it. *)
+
+val find_entry :
+  ?entries:Registry.entry list -> string -> (Registry.entry, string) result
+(** Case-insensitive lookup of a registry entry by problem name. *)
+
+val record_trace :
+  ?entries:Registry.entry list ->
+  seed:int64 ->
+  quick:bool ->
+  problem:string ->
+  origin:int ->
+  path:string ->
+  unit ->
+  (unit, string) result
+(** Build the named problem's first trial (at its first quick or full
+    size, with the same per-trial seed derivation as {!run}) and record
+    the reference solver's run from [origin] as a JSONL transcript at
+    [path].  The header pins down (problem, size, trial seed, origin), so
+    the file alone suffices to replay. *)
+
+val replay_trace :
+  ?entries:Registry.entry list -> path:string -> unit -> (unit, string) result
+(** Load a transcript written by {!record_trace}, deterministically
+    rebuild its instance from the header, and re-drive the reference
+    solver against the recorded events.  [Error] pinpoints the first
+    divergence. *)

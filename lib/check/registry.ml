@@ -8,6 +8,7 @@ module Probe = Vc_model.Probe
 module Lcl = Vc_lcl.Lcl
 module Runner = Vc_measure.Runner
 module Pool = Vc_exec.Pool
+module Trace = Vc_obs.Trace
 module TR = Volcomp.Trivial_lcl
 module CC = Volcomp.Cycle_coloring
 module SO = Volcomp.Sinkless
@@ -35,6 +36,9 @@ type trial = {
   cross_model : (string * (unit -> (unit, string) result)) list;
   lazy_vs_eager : unit -> (unit, string) result;
   mutate : Splitmix.t -> Mutate.outcome list;
+  trace_record : path:string -> header:Vc_obs.Json.t -> origin:int -> (unit, string) result;
+  trace_replay : events:Trace.event list -> origin:int -> (unit, string) result;
+  trace_roundtrip : unit -> (unit, string) result;
 }
 
 type entry = {
@@ -178,7 +182,105 @@ let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node 
       solvers;
     !result
   in
-  { t_n = n; run_solvers; merge_consistency; cross_model; lazy_vs_eager; mutate }
+  (* Record/replay probes.  A fresh [Randomness] is built per run from
+     the trial seed, so a recording run and its replay read identical
+     random bits — the transcript must therefore match event for
+     event. *)
+  let reference_run ?trace origin =
+    Probe.run ~world ?randomness:(randomness_for 0 ref_solver) ?trace ~origin
+      ref_solver.Lcl.solve
+  in
+  let trace_record ~path ~header ~origin =
+    if origin < 0 || origin >= n then
+      Error (Fmt.str "origin %d out of range (instance has %d nodes)" origin n)
+    else begin
+      let sink = Trace.to_file ~path ~header in
+      Fun.protect
+        ~finally:(fun () -> Trace.close sink)
+        (fun () -> ignore (reference_run ~trace:sink origin : _ Probe.result));
+      Ok ()
+    end
+  in
+  let trace_replay ~events ~origin =
+    if origin < 0 || origin >= n then
+      Error (Fmt.str "origin %d out of range (instance has %d nodes)" origin n)
+    else
+      let sink = Trace.checking ~expect:events in
+      match reference_run ~trace:sink origin with
+      | (_ : _ Probe.result) -> Trace.checking_result sink
+      | exception Trace.Replay_mismatch msg -> Error msg
+  in
+  (* Probe 6: for every solver from every origin, record a transcript,
+     push every event through its JSONL encoding and back, then re-drive
+     the run against the decoded transcript.  Both the event sequence and
+     the final [Probe.result] must be bit-identical. *)
+  let trace_roundtrip () =
+    let result = ref (Ok ()) in
+    List.iteri
+      (fun idx (s : _ Lcl.solver) ->
+        if !result = Ok () then
+          Graph.iter_nodes graph (fun origin ->
+              if !result = Ok () then begin
+                let run ?trace () =
+                  Probe.run ~world ?randomness:(randomness_for idx s) ?trace ~origin
+                    s.Lcl.solve
+                in
+                let ring = Trace.ring () in
+                let recorded = run ~trace:ring () in
+                let decoded =
+                  List.fold_left
+                    (fun acc ev ->
+                      match acc with
+                      | Error _ -> acc
+                      | Ok evs -> (
+                          match Trace.event_of_json (Trace.event_to_json ev) with
+                          | Ok ev' when Trace.equal_event ev ev' -> Ok (ev' :: evs)
+                          | Ok _ ->
+                              Error
+                                (Fmt.str "%s: JSON round-trip altered {%a} at origin %d"
+                                   s.Lcl.solver_name Trace.pp_event ev origin)
+                          | Error msg ->
+                              Error
+                                (Fmt.str "%s: JSON round-trip failed at origin %d: %s"
+                                   s.Lcl.solver_name origin msg)))
+                    (Ok []) (Trace.events ring)
+                in
+                match decoded with
+                | Error _ as e -> result := e
+                | Ok rev_events -> (
+                    let sink = Trace.checking ~expect:(List.rev rev_events) in
+                    match run ~trace:sink () with
+                    | exception Trace.Replay_mismatch msg ->
+                        result :=
+                          Error (Fmt.str "%s at origin %d: %s" s.Lcl.solver_name origin msg)
+                    | replayed ->
+                        if replayed <> recorded then
+                          result :=
+                            Error
+                              (Fmt.str "%s: replayed result differs at origin %d"
+                                 s.Lcl.solver_name origin)
+                        else (
+                          match Trace.checking_result sink with
+                          | Ok () -> ()
+                          | Error msg ->
+                              result :=
+                                Error
+                                  (Fmt.str "%s at origin %d: %s" s.Lcl.solver_name origin msg)))
+              end))
+      solvers;
+    !result
+  in
+  {
+    t_n = n;
+    run_solvers;
+    merge_consistency;
+    cross_model;
+    lazy_vs_eager;
+    mutate;
+    trace_record;
+    trace_replay;
+    trace_roundtrip;
+  }
 
 (* --- entries, in paper order --------------------------------------------- *)
 

@@ -2,7 +2,7 @@
     uniformly for differential checking.
 
     Each {!entry} knows how to build {e trials} — concrete instances at a
-    given size and seed — and each trial exposes the five conformance
+    given size and seed — and each trial exposes the six conformance
     probes the oracle runs:
 
     - {b differential solving}: run every registered solver over the same
@@ -23,6 +23,10 @@
       full-graph BFS of {!Vc_model.World.of_graph_eager}.
     - {b mutation fuzzing}: perturb a valid output (or its input
       labeling) and classify the checker's reaction — see {!Mutate}.
+    - {b record/replay}: record every solver's probe transcript
+      ({!Vc_obs.Trace}), round-trip it through its JSONL encoding, and
+      re-drive the run against the decoded transcript; the replay must be
+      event-for-event and result bit-identical.
 
     Heterogeneous problem types are hidden behind monomorphic closures,
     so the oracle iterates over [entry list] without knowing any
@@ -54,6 +58,15 @@ type trial = {
   mutate : Splitmix.t -> Mutate.outcome list;
       (** One fuzzing round: apply each of the entry's mutation kinds
           once, at sites drawn from the given rng. *)
+  trace_record : path:string -> header:Vc_obs.Json.t -> origin:int -> (unit, string) result;
+      (** Record the reference solver's run from [origin] as a JSONL
+          transcript at [path], with [header] on the first line. *)
+  trace_replay : events:Vc_obs.Trace.event list -> origin:int -> (unit, string) result;
+      (** Re-drive the reference solver from [origin] against a recorded
+          transcript; [Error] describes the first divergence. *)
+  trace_roundtrip : unit -> (unit, string) result;
+      (** Record, JSON-round-trip and replay every solver from every
+          origin; results must be bit-identical. *)
 }
 
 type entry = {

@@ -23,6 +23,7 @@ type problem_report = {
   p_merge_consistent : bool;
   p_cross_model : (string * bool) list;
   p_lazy_eager : bool;
+  p_replay : bool;
   p_mutations : kind_agg list;
   p_failures : string list;
 }
@@ -59,6 +60,7 @@ let pp_problem ppf p =
   Fmt.pf ppf "merge-consistent: %b@," p.p_merge_consistent;
   List.iter (fun (name, passed) -> Fmt.pf ppf "cross-model %s: %b@," name passed) p.p_cross_model;
   Fmt.pf ppf "lazy/eager identical: %b@," p.p_lazy_eager;
+  Fmt.pf ppf "record/replay identical: %b@," p.p_replay;
   List.iter
     (fun k ->
       Fmt.pf ppf "mutants %-18s rejected %d/%d%s@," k.k_kind k.k_rejected k.k_total
@@ -77,51 +79,66 @@ let pp ppf t =
     Fmt.pf ppf "%d/%d problems FAILED: %s@." (List.length failed) (List.length t.problems)
       (String.concat ", " (List.map (fun p -> p.p_name) failed))
 
-(* --- JSON rendering (hand-rolled, same idiom as bench --json) ------------- *)
+(* --- JSON rendering (via the shared Vc_obs.Json encoder) ------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+module Json = Vc_obs.Json
 
 let solver_json s =
-  Printf.sprintf
-    {|{"name":"%s","randomized":%b,"trials":%d,"valid":%d,"max_volume":%d,"max_distance":%d,"max_rand_bits":%d}|}
-    (json_escape s.s_name) s.s_randomized s.s_trials s.s_valid s.s_max_volume s.s_max_distance
-    s.s_max_rand_bits
+  Json.Obj
+    [
+      ("name", Json.String s.s_name);
+      ("randomized", Json.Bool s.s_randomized);
+      ("trials", Json.Int s.s_trials);
+      ("valid", Json.Int s.s_valid);
+      ("max_volume", Json.Int s.s_max_volume);
+      ("max_distance", Json.Int s.s_max_distance);
+      ("max_rand_bits", Json.Int s.s_max_rand_bits);
+    ]
 
 let kind_json k =
-  Printf.sprintf {|{"kind":"%s","total":%d,"rejected":%d,"out_of_radius":%d}|}
-    (json_escape k.k_kind) k.k_total k.k_rejected k.k_out_of_radius
+  Json.Obj
+    [
+      ("kind", Json.String k.k_kind);
+      ("total", Json.Int k.k_total);
+      ("rejected", Json.Int k.k_rejected);
+      ("out_of_radius", Json.Int k.k_out_of_radius);
+    ]
 
 let problem_json p =
-  Printf.sprintf
-    {|{"problem":"%s","ok":%b,"radius":%s,"instances":%d,"solvers":[%s],"merge_consistent":%b,"lazy_eager":%b,"cross_model":{%s},"mutations":{"total":%d,"rejected":%d,"out_of_radius":%d,"by_kind":[%s]},"failures":[%s]}|}
-    (json_escape p.p_name) (problem_ok p)
-    (if p.p_radius = max_int then {|"unbounded"|} else string_of_int p.p_radius)
-    p.p_instances
-    (String.concat "," (List.map solver_json p.p_solvers))
-    p.p_merge_consistent p.p_lazy_eager
-    (String.concat ","
-       (List.map (fun (n, b) -> Printf.sprintf {|"%s":%b|} (json_escape n) b) p.p_cross_model))
-    (mutations_total p) (mutations_rejected p)
-    (List.fold_left (fun acc k -> acc + k.k_out_of_radius) 0 p.p_mutations)
-    (String.concat "," (List.map kind_json p.p_mutations))
-    (String.concat "," (List.map (fun f -> "\"" ^ json_escape f ^ "\"") p.p_failures))
+  Json.Obj
+    [
+      ("problem", Json.String p.p_name);
+      ("ok", Json.Bool (problem_ok p));
+      ("radius", if p.p_radius = max_int then Json.String "unbounded" else Json.Int p.p_radius);
+      ("instances", Json.Int p.p_instances);
+      ("solvers", Json.List (List.map solver_json p.p_solvers));
+      ("merge_consistent", Json.Bool p.p_merge_consistent);
+      ("lazy_eager", Json.Bool p.p_lazy_eager);
+      ("replay", Json.Bool p.p_replay);
+      ("cross_model", Json.Obj (List.map (fun (n, b) -> (n, Json.Bool b)) p.p_cross_model));
+      ( "mutations",
+        Json.Obj
+          [
+            ("total", Json.Int (mutations_total p));
+            ("rejected", Json.Int (mutations_rejected p));
+            ( "out_of_radius",
+              Json.Int (List.fold_left (fun acc k -> acc + k.k_out_of_radius) 0 p.p_mutations) );
+            ("by_kind", Json.List (List.map kind_json p.p_mutations));
+          ] );
+      ("failures", Json.List (List.map (fun f -> Json.String f) p.p_failures));
+    ]
 
 let to_json t =
-  Printf.sprintf
-    {|{"seed":%Ld,"count":%d,"domains":%d,"quick":%b,"ok":%b,"problems":[%s]}|}
-    t.seed t.count t.domains t.quick (ok t)
-    (String.concat "," (List.map problem_json t.problems))
+  Json.to_string
+    (Json.Obj
+       [
+         ("seed", Json.I64 t.seed);
+         ("count", Json.Int t.count);
+         ("domains", Json.Int t.domains);
+         ("quick", Json.Bool t.quick);
+         ("ok", Json.Bool (ok t));
+         ("problems", Json.List (List.map problem_json t.problems));
+       ])
 
 let write_json t ~path =
   let oc = open_out path in

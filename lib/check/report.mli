@@ -34,6 +34,8 @@ type problem_report = {
   p_cross_model : (string * bool) list;
   p_lazy_eager : bool;
       (** lazy and eager worlds produced bit-identical probe results *)
+  p_replay : bool;
+      (** recorded transcripts replayed bit-identically ({!Vc_obs.Trace}) *)
   p_mutations : kind_agg list;
   p_failures : string list;
       (** human-readable conformance failures; empty means conformant *)

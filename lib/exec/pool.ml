@@ -1,3 +1,7 @@
+let m_fanouts = Vc_obs.Metrics.counter "pool.fanouts"
+let m_chunks = Vc_obs.Metrics.counter "pool.chunks"
+let m_chunk_items = Vc_obs.Metrics.histogram "pool.chunk_items"
+
 type t = {
   domains : int;
   queue : (unit -> unit) Queue.t;
@@ -81,6 +85,7 @@ let chunk_size t n = max 1 ((n + (t.domains * 8) - 1) / (t.domains * 8))
    must not raise. *)
 let run_chunks t ~n ~chunk body =
   if n > 0 then begin
+    Vc_obs.Metrics.incr m_fanouts;
     let nchunks = (n + chunk - 1) / chunk in
     let next = Atomic.make 0 in
     let remaining = Atomic.make nchunks in
@@ -90,7 +95,10 @@ let run_chunks t ~n ~chunk body =
     let rec participate () =
       let c = Atomic.fetch_and_add next 1 in
       if c < nchunks then begin
-        body c (c * chunk) (min n ((c + 1) * chunk));
+        let start = c * chunk and stop = min n ((c + 1) * chunk) in
+        Vc_obs.Metrics.incr m_chunks;
+        Vc_obs.Metrics.observe m_chunk_items (stop - start);
+        body c start stop;
         if Atomic.fetch_and_add remaining (-1) = 1 then begin
           Mutex.lock fin_lock;
           finished := true;

@@ -2,6 +2,8 @@
    with [max_int] except [dist.(v) = 0], and [queue] must hold [v] at
    index 0.  Uses the allocation-free neighbor iterator and a flat array
    queue — every node enters the queue at most once. *)
+let m_nodes_expanded = Vc_obs.Metrics.counter "bfs.nodes_expanded"
+
 let bfs_into g v dist queue =
   dist.(v) <- 0;
   queue.(0) <- v;
@@ -16,7 +18,8 @@ let bfs_into g v dist queue =
           queue.(!tail) <- w;
           incr tail
         end)
-  done
+  done;
+  Vc_obs.Metrics.add m_nodes_expanded !head
 
 let distances g v =
   let count = Graph.n g in

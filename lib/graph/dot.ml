@@ -1,6 +1,7 @@
 let escape s = String.concat "\\\"" (String.split_on_char '"' s)
 
-let to_string ?(name = "volcomp") ?(node_label = fun _ -> "") ?(highlight = fun _ -> false) g =
+let to_string ?(name = "volcomp") ?(node_label = fun _ -> "") ?(highlight = fun _ -> false)
+    ?(highlight_edge = fun _ _ -> false) g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
   Buffer.add_string buf "  node [shape=circle fontsize=10];\n";
@@ -16,15 +17,42 @@ let to_string ?(name = "volcomp") ?(node_label = fun _ -> "") ?(highlight = fun 
     (fun (u, v) ->
       let pu = match Graph.port_to g u v with Some p -> p | None -> 0 in
       let pv = match Graph.port_to g v u with Some p -> p | None -> 0 in
+      let style = if highlight_edge u v || highlight_edge v u then " penwidth=2.5" else "" in
       Buffer.add_string buf
-        (Printf.sprintf "  n%d -- n%d [taillabel=\"%d\" headlabel=\"%d\" fontsize=8];\n" u v pu
-           pv))
+        (Printf.sprintf "  n%d -- n%d [taillabel=\"%d\" headlabel=\"%d\" fontsize=8%s];\n" u v pu
+           pv style))
     (Graph.edges g);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let to_file ~path ?name ?node_label ?highlight g =
+let to_file ~path ?name ?node_label ?highlight ?highlight_edge g =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?name ?node_label ?highlight g))
+    (fun () -> output_string oc (to_string ?name ?node_label ?highlight ?highlight_edge g))
+
+(* --- probed balls from transcripts ---------------------------------------- *)
+
+type ball = {
+  ball_origin : Graph.node option;
+  in_ball : Graph.node -> bool;
+  probed_edge : Graph.node -> Graph.node -> bool;
+}
+
+let trace_ball events =
+  let visited : (Graph.node, unit) Hashtbl.t = Hashtbl.create 64 in
+  let probed : (Graph.node * Graph.node, unit) Hashtbl.t = Hashtbl.create 64 in
+  let origin = ref None in
+  List.iter
+    (fun (ev : Vc_obs.Trace.event) ->
+      match ev with
+      | Session_open { origin = o; _ } -> if !origin = None then origin := Some o
+      | View { node; _ } -> Hashtbl.replace visited node ()
+      | Probe { at; node; _ } -> Hashtbl.replace probed ((min at node, max at node)) ()
+      | Dist _ | Rand _ | Session_close _ -> ())
+    events;
+  {
+    ball_origin = !origin;
+    in_ball = (fun v -> Hashtbl.mem visited v);
+    probed_edge = (fun u v -> Hashtbl.mem probed ((min u v, max u v)));
+  }

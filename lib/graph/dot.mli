@@ -3,21 +3,41 @@
     Nodes are labeled with their identifiers (and an optional per-node
     annotation, e.g. an input color or a solver output); edges carry
     their port numbers on both ends so that labelings can be read off
-    the picture. *)
+    the picture.  A recorded probe transcript ({!Vc_obs.Trace}) can be
+    turned into a {!ball} and overlaid: the visited ball is filled and
+    the traversed edges are drawn thick, which makes "seeing far vs.
+    seeing wide" literally visible. *)
 
 val to_string :
   ?name:string ->
   ?node_label:(Graph.node -> string) ->
   ?highlight:(Graph.node -> bool) ->
+  ?highlight_edge:(Graph.node -> Graph.node -> bool) ->
   Graph.t ->
   string
 (** Render as an undirected [graph]; [node_label]'s text is appended to
-    the identifier; highlighted nodes are drawn filled. *)
+    the identifier; highlighted nodes are drawn filled, highlighted
+    edges thick ([highlight_edge] is consulted in both orientations). *)
 
 val to_file :
   path:string ->
   ?name:string ->
   ?node_label:(Graph.node -> string) ->
   ?highlight:(Graph.node -> bool) ->
+  ?highlight_edge:(Graph.node -> Graph.node -> bool) ->
   Graph.t ->
   unit
+
+type ball = {
+  ball_origin : Graph.node option;  (** origin of the first recorded session, if any *)
+  in_ball : Graph.node -> bool;  (** the node's view was admitted during the run *)
+  probed_edge : Graph.node -> Graph.node -> bool;
+      (** some probe traversed this edge (orientation-insensitive) *)
+}
+(** The footprint of a recorded probe session. *)
+
+val trace_ball : Vc_obs.Trace.event list -> ball
+(** Fold a transcript (e.g. from {!Vc_obs.Trace.load} or a ring sink)
+    into its probed ball.  Pairs with [to_string]'s [highlight] /
+    [highlight_edge] to render the part of the instance the solver
+    actually saw. *)

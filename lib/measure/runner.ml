@@ -5,6 +5,8 @@ module Splitmix = Vc_rng.Splitmix
 module Randomness = Vc_rng.Randomness
 module Pool = Vc_exec.Pool
 
+let m_probe_runs = Vc_obs.Metrics.counter "runner.probe_runs"
+
 type stats = {
   runs : int;
   max_volume : int;
@@ -67,6 +69,7 @@ let measure_seq ~world ~solver ?randomness ?budget ~origins () =
   let outputs = ref [] in
   List.iter
     (fun v ->
+      Vc_obs.Metrics.incr m_probe_runs;
       let r = Probe.run ~world ?randomness ?budget ~origin:v solver.Lcl.solve in
       stats := add !stats r;
       match r.Probe.output with
@@ -90,6 +93,7 @@ let measure_par ~pool ~world ~solver ?randomness ?budget ~origins () =
   Pool.map_reduce pool
     ~map:(fun v ->
       let randomness = Domain.DLS.get fork_key in
+      Vc_obs.Metrics.incr m_probe_runs;
       let r = Probe.run ~world ?randomness ?budget ~origin:v solver.Lcl.solve in
       let out = match r.Probe.output with Some o -> [ (v, o) ] | None -> [] in
       (add empty r, out))

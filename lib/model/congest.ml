@@ -1,4 +1,9 @@
 module Graph = Vc_graph.Graph
+module Metrics = Vc_obs.Metrics
+
+let m_messages = Metrics.counter "congest.messages"
+let m_bits = Metrics.counter "congest.bits"
+let m_round_bits = Metrics.histogram "congest.round_bits"
 
 type 'msg outgoing = (int * 'msg) list
 
@@ -25,6 +30,7 @@ let run ~graph ~input ?bandwidth ~max_rounds algo =
   let in_flight = Array.make count [] in
   let max_bits = ref 0 in
   let total_bits = ref 0 in
+  let round_bits = ref 0 in
   let pending = ref false in
   let deliver ~round_no sender out =
     List.iter
@@ -36,6 +42,9 @@ let run ~graph ~input ?bandwidth ~max_rounds algo =
         | Some _ | None -> ());
         if bits > !max_bits then max_bits := bits;
         total_bits := !total_bits + bits;
+        round_bits := !round_bits + bits;
+        Metrics.incr m_messages;
+        Metrics.add m_bits bits;
         let receiver = Graph.neighbor graph sender port in
         let back_port =
           match Graph.port_to graph receiver sender with
@@ -54,10 +63,12 @@ let run ~graph ~input ?bandwidth ~max_rounds algo =
       in
       states.(v) <- Some state;
       deliver ~round_no:0 v out);
+  Metrics.observe m_round_bits !round_bits;
   let all_decided () = Array.for_all Option.is_some outputs in
   let rounds = ref 0 in
   while (!pending || not (all_decided ())) && !rounds < max_rounds do
     incr rounds;
+    round_bits := 0;
     let inboxes = Array.map (fun msgs -> List.rev msgs) in_flight in
     Array.fill in_flight 0 count [];
     pending := false;
@@ -68,6 +79,7 @@ let run ~graph ~input ?bandwidth ~max_rounds algo =
         (match (decision, outputs.(v)) with
         | Some o, None -> outputs.(v) <- Some o
         | Some _, Some _ | None, _ -> ());
-        deliver ~round_no:!rounds v out)
+        deliver ~round_no:!rounds v out);
+    Metrics.observe m_round_bits !round_bits
   done;
   { outputs; rounds = !rounds; max_message_bits = !max_bits; total_bits = !total_bits }

@@ -1,6 +1,15 @@
 module Graph = Vc_graph.Graph
 module Randomness = Vc_rng.Randomness
 module Stream = Vc_rng.Stream
+module Metrics = Vc_obs.Metrics
+module Trace = Vc_obs.Trace
+
+let m_runs = Metrics.counter "probe.runs"
+let m_queries = Metrics.counter "probe.queries"
+let m_resolved_hits = Metrics.counter "probe.resolved_hits"
+let m_dist_queries = Metrics.counter "probe.dist_queries"
+let m_rand_bits = Metrics.counter "probe.rand_bits"
+let m_volume = Metrics.histogram "probe.run_volume"
 
 exception Illegal of string
 
@@ -32,6 +41,9 @@ type 'i ctx = {
   mutable n_queries : int;
   mutable n_rand_bits : int;
   mutable max_dist : int;
+  trace : Trace.sink option;
+      (* [None] when not recording: event construction is skipped
+         entirely, keeping the untraced hot path allocation-free *)
 }
 
 let origin ctx = ctx.origin
@@ -58,12 +70,28 @@ let admit ctx v =
     (match ctx.budget.max_volume with
     | Some cap when Hashtbl.length ctx.views >= cap -> raise Budget_exhausted
     | Some _ | None -> ());
+    Metrics.incr m_dist_queries;
     let d = ctx.session.World.dist v in
+    (match ctx.trace with
+    | None -> ()
+    | Some sink -> Trace.emit sink (Trace.Dist { node = v; d }));
     (match ctx.budget.max_distance with
     | Some cap when d > cap -> raise Budget_exhausted
     | Some _ | None -> ());
-    Hashtbl.add ctx.views v (ctx.session.World.view v);
+    let w = ctx.session.World.view v in
+    Hashtbl.add ctx.views v w;
     ctx.visit_order <- v :: ctx.visit_order;
+    (match ctx.trace with
+    | None -> ()
+    | Some sink ->
+        Trace.emit sink
+          (Trace.View
+             {
+               node = v;
+               id = w.View.id;
+               degree = w.View.degree;
+               input = Hashtbl.hash w.View.input;
+             }));
     if d > ctx.max_dist then ctx.max_dist <- d
   end
 
@@ -75,15 +103,21 @@ let query ctx ~at ~port =
     illegal "query(%d, %d): port exceeds the world's claimed max degree %d" at port
       (ctx.port_stride - 1);
   ctx.n_queries <- ctx.n_queries + 1;
+  Metrics.incr m_queries;
   let key = (at * ctx.port_stride) + port in
   let u =
     match Hashtbl.find_opt ctx.resolved_tbl key with
-    | Some u -> u
+    | Some u ->
+        Metrics.incr m_resolved_hits;
+        u
     | None ->
         let u = ctx.session.World.resolve at ~port in
         Hashtbl.add ctx.resolved_tbl key u;
         u
   in
+  (match ctx.trace with
+  | None -> ()
+  | Some sink -> Trace.emit sink (Trace.Probe { at; port; node = u }));
   admit ctx u;
   u
 
@@ -103,14 +137,24 @@ let check_rand_access ctx v =
 let rand_bit_at ctx v i =
   let r = check_rand_access ctx v in
   ctx.n_rand_bits <- ctx.n_rand_bits + 1;
-  Stream.bit (Randomness.stream r v) i
+  Metrics.incr m_rand_bits;
+  let bit = Stream.bit (Randomness.stream r v) i in
+  (match ctx.trace with
+  | None -> ()
+  | Some sink -> Trace.emit sink (Trace.Rand { node = v; index = i; bit }));
+  bit
 
 let rand_bit ctx v =
   let r = check_rand_access ctx v in
   let cursor = match Hashtbl.find_opt ctx.cursors v with Some c -> c | None -> 0 in
   Hashtbl.replace ctx.cursors v (cursor + 1);
   ctx.n_rand_bits <- ctx.n_rand_bits + 1;
-  Stream.bit (Randomness.stream r v) cursor
+  Metrics.incr m_rand_bits;
+  let bit = Stream.bit (Randomness.stream r v) cursor in
+  (match ctx.trace with
+  | None -> ()
+  | Some sink -> Trace.emit sink (Trace.Rand { node = v; index = cursor; bit }));
+  bit
 
 let volume ctx = Hashtbl.length ctx.views
 
@@ -127,7 +171,8 @@ type 'o result = {
   aborted : bool;
 }
 
-let run ~world ?randomness ?(budget = unlimited) ~origin:start algo =
+let run ~world ?randomness ?(budget = unlimited) ?trace ~origin:start algo =
+  Metrics.incr m_runs;
   let session = world.World.start start in
   (* Pre-size the per-run tables from the volume budget: a run visiting
      at most [v] nodes touches at most [v] views and ~[v·Δ] resolved
@@ -151,25 +196,56 @@ let run ~world ?randomness ?(budget = unlimited) ~origin:start algo =
       n_queries = 0;
       n_rand_bits = 0;
       max_dist = 0;
+      trace;
     }
   in
   (* The origin is always visitable, irrespective of budgets. *)
-  Hashtbl.add ctx.views start (session.World.view start);
+  let origin_view = session.World.view start in
+  Hashtbl.add ctx.views start origin_view;
   ctx.visit_order <- [ start ];
+  (match trace with
+  | None -> ()
+  | Some sink ->
+      Trace.emit sink (Trace.Session_open { origin = start; n = world.World.n });
+      Trace.emit sink
+        (Trace.View
+           {
+             node = start;
+             id = origin_view.View.id;
+             degree = origin_view.View.degree;
+             input = Hashtbl.hash origin_view.View.input;
+           }));
   let output, aborted =
     match algo ctx with
     | out -> (Some out, false)
     | exception Budget_exhausted -> (None, true)
   in
-  {
-    output;
-    volume = volume ctx;
-    distance = ctx.max_dist;
-    queries = ctx.n_queries;
-    rand_bits = ctx.n_rand_bits;
-    aborted;
-  }
+  let result =
+    {
+      output;
+      volume = volume ctx;
+      distance = ctx.max_dist;
+      queries = ctx.n_queries;
+      rand_bits = ctx.n_rand_bits;
+      aborted;
+    }
+  in
+  Metrics.observe m_volume result.volume;
+  (match trace with
+  | None -> ()
+  | Some sink ->
+      Trace.emit sink
+        (Trace.Session_close
+           {
+             volume = result.volume;
+             distance = result.distance;
+             queries = result.queries;
+             rand_bits = result.rand_bits;
+             aborted;
+             output = Hashtbl.hash output;
+           }));
+  result
 
-let run_exn ~world ?randomness ?budget ~origin algo =
-  let r = run ~world ?randomness ?budget ~origin algo in
+let run_exn ~world ?randomness ?budget ?trace ~origin algo =
+  let r = run ~world ?randomness ?budget ?trace ~origin algo in
   if r.aborted then failwith "Probe.run_exn: execution exceeded its budget" else r

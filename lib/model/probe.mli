@@ -89,16 +89,29 @@ val run :
   world:'i World.t ->
   ?randomness:Vc_rng.Randomness.t ->
   ?budget:budget ->
+  ?trace:Vc_obs.Trace.sink ->
   origin:Vc_graph.Graph.node ->
   ('i ctx -> 'o) ->
   'o result
 (** Execute the algorithm from [origin].  When [randomness] is absent the
-    execution is deterministic and {!rand_bit} raises. *)
+    execution is deterministic and {!rand_bit} raises.
+
+    When [trace] is given, every world interaction is emitted to the sink
+    in execution order as one {!Vc_obs.Trace.event} session: a
+    [Session_open] and the origin's [View] first, then a [Probe] per
+    query (including repeats), a [Dist] and [View] when a node is
+    admitted (the [Dist] precedes a distance-budget abort; the [View]
+    only follows a successful admit), a [Rand] per random bit, and
+    finally a [Session_close] carrying the cost vector — also emitted,
+    with [aborted = true], when a budget aborts the run.  Passing a
+    {!Vc_obs.Trace.checking} sink makes the run a replay that asserts
+    bit-identical behavior against a recorded transcript. *)
 
 val run_exn :
   world:'i World.t ->
   ?randomness:Vc_rng.Randomness.t ->
   ?budget:budget ->
+  ?trace:Vc_obs.Trace.sink ->
   origin:Vc_graph.Graph.node ->
   ('i ctx -> 'o) ->
   'o result

@@ -30,6 +30,9 @@ type 'i t = {
    re-seeds the BFS from its origin: distances are pure, so the fallback
    is invisible except in speed. *)
 
+let m_sessions = Vc_obs.Metrics.counter "world.sessions"
+let m_bfs_expanded = Vc_obs.Metrics.counter "world.bfs_expanded"
+
 type scratch = {
   s_dist : int array;
   s_stamp : int array;
@@ -97,6 +100,7 @@ let lazy_dist g origin =
       while s.s_head < s.s_tail && s.s_stamp.(v) <> s.s_epoch do
         let u = s.s_queue.(s.s_head) in
         s.s_head <- s.s_head + 1;
+        Vc_obs.Metrics.incr m_bfs_expanded;
         let du = s.s_dist.(u) + 1 in
         Graph.iter_neighbors g u (fun w ->
             if s.s_stamp.(w) <> s.s_epoch then begin
@@ -110,6 +114,7 @@ let lazy_dist g origin =
     end
 
 let session_of_graph g ~input ~dist origin =
+  Vc_obs.Metrics.incr m_sessions;
   {
     view =
       (fun v -> { View.node = v; id = Graph.id g v; degree = Graph.degree g v; input = input v });

@@ -1,0 +1,272 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | I64 of int64
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int v -> Buffer.add_string b (string_of_int v)
+  | I64 v -> Buffer.add_string b (Int64.to_string v)
+  | Float v ->
+      (* the %.6g-with-null-NaN convention of the pre-existing emitters *)
+      Buffer.add_string b (if Float.is_nan v then "null" else Printf.sprintf "%.6g" v)
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        vs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+(* --- parsing ---------------------------------------------------------------- *)
+
+exception Bad of int * string
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let bad st msg = raise (Bad (st.pos, msg))
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> bad st (Printf.sprintf "expected %C, found %C" c d)
+  | None -> bad st (Printf.sprintf "expected %C, found end of input" c)
+
+let skip_ws st =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | _ -> continue := false
+  done
+
+let expect_keyword st kw = String.iter (fun c -> expect st c) kw
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+let is_hex = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let parse_digits st =
+  if not (match peek st with Some c -> is_digit c | None -> false) then bad st "expected a digit";
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done
+
+let parse_number st =
+  let start = st.pos in
+  let integral = ref true in
+  if peek st = Some '-' then advance st;
+  (match peek st with
+  | Some '0' -> advance st
+  | Some c when is_digit c -> parse_digits st
+  | _ -> bad st "expected a digit");
+  if peek st = Some '.' then begin
+    integral := false;
+    advance st;
+    parse_digits st
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      integral := false;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      parse_digits st
+  | _ -> ());
+  let lit = String.sub st.src start (st.pos - start) in
+  if !integral then
+    match int_of_string_opt lit with
+    | Some v -> Int v
+    | None -> (
+        match Int64.of_string_opt lit with
+        | Some v -> I64 v
+        | None -> Float (float_of_string lit))
+  else Float (float_of_string lit)
+
+let parse_string_body st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let closed = ref false in
+  while not !closed do
+    match peek st with
+    | None -> bad st "unterminated string"
+    | Some '"' ->
+        advance st;
+        closed := true
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char b '"'
+        | Some '\\' -> advance st; Buffer.add_char b '\\'
+        | Some '/' -> advance st; Buffer.add_char b '/'
+        | Some 'b' -> advance st; Buffer.add_char b '\b'
+        | Some 'f' -> advance st; Buffer.add_char b '\012'
+        | Some 'n' -> advance st; Buffer.add_char b '\n'
+        | Some 'r' -> advance st; Buffer.add_char b '\r'
+        | Some 't' -> advance st; Buffer.add_char b '\t'
+        | Some 'u' ->
+            advance st;
+            let code = ref 0 in
+            for _ = 1 to 4 do
+              match peek st with
+              | Some c when is_hex c ->
+                  advance st;
+                  let d =
+                    match c with
+                    | '0' .. '9' -> Char.code c - Char.code '0'
+                    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                    | _ -> Char.code c - Char.code 'A' + 10
+                  in
+                  code := (!code * 16) + d
+              | _ -> bad st "expected four hex digits after \\u"
+            done;
+            (* traces only escape control characters, so plain bytes are
+               enough; other BMP code points round-trip as UTF-8 *)
+            if !code < 0x80 then Buffer.add_char b (Char.chr !code)
+            else if !code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xc0 lor (!code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (!code land 0x3f)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xe0 lor (!code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((!code lsr 6) land 0x3f)));
+              Buffer.add_char b (Char.chr (0x80 lor (!code land 0x3f)))
+            end
+        | _ -> bad st "invalid escape sequence")
+    | Some c when Char.code c < 0x20 -> bad st "unescaped control character in string"
+    | Some c ->
+        advance st;
+        Buffer.add_char b c
+  done;
+  Buffer.contents b
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> parse_object st
+  | Some '[' -> parse_array st
+  | Some '"' -> String (parse_string_body st)
+  | Some 't' -> expect_keyword st "true"; Bool true
+  | Some 'f' -> expect_keyword st "false"; Bool false
+  | Some 'n' -> expect_keyword st "null"; Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> bad st (Printf.sprintf "unexpected character %C" c)
+  | None -> bad st "expected a JSON value, found end of input"
+
+and parse_object st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let continue = ref true in
+    while !continue do
+      skip_ws st;
+      let key = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st
+      | Some '}' ->
+          advance st;
+          continue := false
+      | _ -> bad st "expected ',' or '}' in object"
+    done;
+    Obj (List.rev !fields)
+  end
+
+and parse_array st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let items = ref [] in
+    let continue = ref true in
+    while !continue do
+      items := parse_value st :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st
+      | Some ']' ->
+          advance st;
+          continue := false
+      | _ -> bad st "expected ',' or ']' in array"
+    done;
+    List (List.rev !items)
+  end
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then bad st "trailing garbage after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (pos, msg) -> Error (Printf.sprintf "byte %d: %s" pos msg)
+
+(* --- accessors -------------------------------------------------------------- *)
+
+let member v key =
+  match v with Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function
+  | Int v -> Some v
+  | I64 v ->
+      if v >= Int64.of_int min_int && v <= Int64.of_int max_int then Some (Int64.to_int v)
+      else None
+  | _ -> None
+
+let to_i64 = function Int v -> Some (Int64.of_int v) | I64 v -> Some v | _ -> None
+let to_bool = function Bool v -> Some v | _ -> None
+let to_str = function String s -> Some s | _ -> None

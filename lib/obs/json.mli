@@ -1,0 +1,47 @@
+(** Minimal JSON: one value type, one compact encoder, one strict parser.
+
+    The toolchain ships no JSON library, and before [lib/obs] existed
+    every producer ([volcomp bench --json], [volcomp check --json]) kept
+    its own hand-rolled escaping and float formatting.  This module is
+    the single shared encoder: the float format is the ["%.6g"] (with
+    [nan] rendered as [null]) that those emitters standardized on, so
+    refactoring them onto {!to_string} is output-compatible.
+
+    The parser is the strict RFC 8259 recursive descent of
+    [bench/json_check.ml], extended to build values — it exists so that
+    recorded probe traces ({!Trace}) can be loaded back for replay. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | I64 of int64  (** integers outside the native [int] range, e.g. trial seeds *)
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control characters). *)
+
+val to_string : t -> string
+(** Compact rendering: no whitespace, object fields in given order,
+    floats as ["%.6g"], [nan] as [null]. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of exactly one JSON value (plus surrounding
+    whitespace).  Numbers become [Int] when they are integral and fit in
+    a native [int], then [I64], then [Float].  Errors carry the byte
+    offset of the first offending character. *)
+
+(** {1 Accessors (for loading recorded traces)} *)
+
+val member : t -> string -> t option
+(** First binding of a field in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+(** [Int] directly, [I64] when it fits. *)
+
+val to_i64 : t -> int64 option
+val to_bool : t -> bool option
+val to_str : t -> string option

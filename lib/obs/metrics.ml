@@ -1,0 +1,127 @@
+type counter = { c_name : string; c_cell : int Atomic.t }
+
+let bucket_count = 63
+
+type histogram = { h_name : string; h_buckets : int Atomic.t array }
+
+(* A plain ref, not an Atomic: the flag is toggled only at quiescent
+   points and a racy read of a bool is well-defined in the OCaml memory
+   model.  Keeping the disabled path to a single load-and-branch is the
+   whole point. *)
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let with_enabled f =
+  let prev = !enabled_flag in
+  enabled_flag := true;
+  Fun.protect ~finally:(fun () -> enabled_flag := prev) f
+
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_cell = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let histogram name =
+  Mutex.lock registry_lock;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          { h_name = name; h_buckets = Array.init bucket_count (fun _ -> Atomic.make 0) }
+        in
+        Hashtbl.add histograms name h;
+        h
+  in
+  Mutex.unlock registry_lock;
+  h
+
+let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_cell 1 : int)
+let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_cell n : int)
+
+(* bucket 0: v <= 0; bucket k >= 1: 2^(k-1) <= v < 2^k *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      b := !b + 1;
+      v := !v lsr 1
+    done;
+    min !b (bucket_count - 1)
+  end
+
+let observe h v =
+  if !enabled_flag then ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1 : int)
+
+let value c = Atomic.get c.c_cell
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) counters;
+  Hashtbl.iter (fun _ h -> Array.iter (fun cell -> Atomic.set cell 0) h.h_buckets) histograms;
+  Mutex.unlock registry_lock
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let rows = Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_cell) :: acc) counters [] in
+  Mutex.unlock registry_lock;
+  List.sort compare rows
+
+let histogram_rows h =
+  let rows = ref [] in
+  for b = bucket_count - 1 downto 0 do
+    let count = Atomic.get h.h_buckets.(b) in
+    if count > 0 then rows := ((if b = 0 then 0 else 1 lsl (b - 1)), count) :: !rows
+  done;
+  !rows
+
+let snapshot_histograms () =
+  Mutex.lock registry_lock;
+  let rows = Hashtbl.fold (fun name h acc -> (name, histogram_rows h) :: acc) histograms [] in
+  Mutex.unlock registry_lock;
+  List.sort compare rows
+
+let to_json () =
+  let counters = List.map (fun (name, v) -> (name, Json.Int v)) (snapshot ()) in
+  let histograms =
+    List.map
+      (fun (name, rows) ->
+        let total = List.fold_left (fun acc (_, c) -> acc + c) 0 rows in
+        ( name,
+          Json.Obj
+            [
+              ("total", Json.Int total);
+              ( "buckets",
+                Json.List (List.map (fun (lo, c) -> Json.List [ Json.Int lo; Json.Int c ]) rows)
+              );
+            ] ))
+      (snapshot_histograms ())
+  in
+  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ]
+
+let pp ppf () =
+  Fmt.pf ppf "@[<v>metrics (%s):@," (if !enabled_flag then "enabled" else "disabled");
+  List.iter (fun (name, v) -> Fmt.pf ppf "  %-26s %d@," name v) (snapshot ());
+  List.iter
+    (fun (name, rows) ->
+      if rows <> [] then
+        Fmt.pf ppf "  %-26s %a@," name
+          Fmt.(list ~sep:(any " ") (pair ~sep:(any ":") int int))
+          rows)
+    (snapshot_histograms ());
+  Fmt.pf ppf "@]"

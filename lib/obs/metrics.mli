@@ -1,0 +1,58 @@
+(** Monotonic counters and power-of-two histograms for the paper's cost
+    quantities (probes issued, BFS nodes expanded, randomness bits,
+    CONGEST bits per round, pool chunks, …).
+
+    {b Cost model.}  Collection is globally off by default.  Every
+    {!incr}/{!add}/{!observe} first reads one mutable [bool]; when
+    collection is disabled that read-and-branch is the {e entire} cost,
+    so instrumented hot paths stay within noise of their uninstrumented
+    form ([volcomp bench --micro] gates this at 5%).  When enabled,
+    updates are [Atomic] fetch-and-adds, so counts from a parallel
+    {!Vc_exec.Pool} fan-out are exact: atomic adds commute, hence totals
+    are deterministic even though interleavings are not.
+
+    {b Registration} is idempotent by name and happens at module
+    initialization time of the instrumented libraries; a counter handle
+    is just a name plus one atomic cell.  Toggle collection only at
+    quiescent points (no pool jobs in flight): the enable flag is a
+    plain racy-read [bool] by design. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Register (or look up) the counter with this name. *)
+
+val histogram : string -> histogram
+(** Register (or look up) the histogram with this name.  Buckets are
+    powers of two: bucket 0 holds observations [<= 0], bucket [k >= 1]
+    holds observations in [[2^(k-1), 2^k)]. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run with collection on, restoring the previous state afterwards. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val observe : histogram -> int -> unit
+
+val value : counter -> int
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram (registrations stay). *)
+
+val snapshot : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val snapshot_histograms : unit -> (string * (int * int) list) list
+(** All histograms, sorted by name; each as [(bucket lower bound,
+    count)] for the non-empty buckets, in increasing bound order. *)
+
+val to_json : unit -> Json.t
+(** [{"counters":{name:value,…},"histograms":{name:{"total":n,
+    "buckets":[[lo,count],…]},…}}], names sorted. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable table of the current snapshot. *)

@@ -1,0 +1,201 @@
+type event =
+  | Session_open of { origin : int; n : int }
+  | View of { node : int; id : int; degree : int; input : int }
+  | Dist of { node : int; d : int }
+  | Probe of { at : int; port : int; node : int }
+  | Rand of { node : int; index : int; bit : bool }
+  | Session_close of {
+      volume : int;
+      distance : int;
+      queries : int;
+      rand_bits : int;
+      aborted : bool;
+      output : int;
+    }
+
+let equal_event (a : event) (b : event) = a = b
+
+let pp_event ppf = function
+  | Session_open { origin; n } -> Fmt.pf ppf "open origin=%d n=%d" origin n
+  | View { node; id; degree; input } ->
+      Fmt.pf ppf "view node=%d id=%d degree=%d input=%#x" node id degree input
+  | Dist { node; d } ->
+      if d = max_int then Fmt.pf ppf "dist node=%d d=inf" node
+      else Fmt.pf ppf "dist node=%d d=%d" node d
+  | Probe { at; port; node } -> Fmt.pf ppf "probe at=%d port=%d -> %d" at port node
+  | Rand { node; index; bit } -> Fmt.pf ppf "rand node=%d index=%d bit=%d" node index (Bool.to_int bit)
+  | Session_close { volume; distance; queries; rand_bits; aborted; output } ->
+      Fmt.pf ppf "close volume=%d distance=%d queries=%d rand_bits=%d aborted=%b output=%#x"
+        volume distance queries rand_bits aborted output
+
+(* Distances of unreachable nodes are [max_int], which depends on the word
+   size; encode them as -1 so transcripts are portable. *)
+let dist_to_json d = if d = max_int then Json.Int (-1) else Json.Int d
+let dist_of_json d = if d = -1 then max_int else d
+
+let event_to_json = function
+  | Session_open { origin; n } ->
+      Json.Obj [ ("ev", Json.String "open"); ("origin", Json.Int origin); ("n", Json.Int n) ]
+  | View { node; id; degree; input } ->
+      Json.Obj
+        [
+          ("ev", Json.String "view");
+          ("node", Json.Int node);
+          ("id", Json.Int id);
+          ("degree", Json.Int degree);
+          ("input", Json.Int input);
+        ]
+  | Dist { node; d } ->
+      Json.Obj [ ("ev", Json.String "dist"); ("node", Json.Int node); ("d", dist_to_json d) ]
+  | Probe { at; port; node } ->
+      Json.Obj
+        [
+          ("ev", Json.String "probe");
+          ("at", Json.Int at);
+          ("port", Json.Int port);
+          ("node", Json.Int node);
+        ]
+  | Rand { node; index; bit } ->
+      Json.Obj
+        [
+          ("ev", Json.String "rand");
+          ("node", Json.Int node);
+          ("index", Json.Int index);
+          ("bit", Json.Bool bit);
+        ]
+  | Session_close { volume; distance; queries; rand_bits; aborted; output } ->
+      Json.Obj
+        [
+          ("ev", Json.String "close");
+          ("volume", Json.Int volume);
+          ("distance", dist_to_json distance);
+          ("queries", Json.Int queries);
+          ("rand_bits", Json.Int rand_bits);
+          ("aborted", Json.Bool aborted);
+          ("output", Json.Int output);
+        ]
+
+let event_of_json j =
+  let ( let* ) o f = match o with Some v -> f v | None -> Error "malformed trace event" in
+  let int key = Option.bind (Json.member j key) Json.to_int in
+  let bool key = Option.bind (Json.member j key) Json.to_bool in
+  let* ev = Option.bind (Json.member j "ev") Json.to_str in
+  match ev with
+  | "open" ->
+      let* origin = int "origin" in
+      let* n = int "n" in
+      Ok (Session_open { origin; n })
+  | "view" ->
+      let* node = int "node" in
+      let* id = int "id" in
+      let* degree = int "degree" in
+      let* input = int "input" in
+      Ok (View { node; id; degree; input })
+  | "dist" ->
+      let* node = int "node" in
+      let* d = int "d" in
+      Ok (Dist { node; d = dist_of_json d })
+  | "probe" ->
+      let* at = int "at" in
+      let* port = int "port" in
+      let* node = int "node" in
+      Ok (Probe { at; port; node })
+  | "rand" ->
+      let* node = int "node" in
+      let* index = int "index" in
+      let* bit = bool "bit" in
+      Ok (Rand { node; index; bit })
+  | "close" ->
+      let* volume = int "volume" in
+      let* distance = int "distance" in
+      let* queries = int "queries" in
+      let* rand_bits = int "rand_bits" in
+      let* aborted = bool "aborted" in
+      let* output = int "output" in
+      Ok (Session_close { volume; distance = dist_of_json distance; queries; rand_bits; aborted; output })
+  | ev -> Error (Printf.sprintf "unknown trace event kind %S" ev)
+
+exception Replay_mismatch of string
+
+type sink =
+  | Null
+  | Ring of { q : event Queue.t; capacity : int }
+  | File of { oc : out_channel }
+  | Check of { expect : event array; mutable cursor : int }
+
+let null = Null
+let ring ?(capacity = 1 lsl 18) () = Ring { q = Queue.create (); capacity }
+
+let events = function
+  | Ring { q; _ } -> List.of_seq (Queue.to_seq q)
+  | _ -> invalid_arg "Trace.events: not a ring sink"
+
+let to_file ~path ~header =
+  let oc = open_out path in
+  output_string oc (Json.to_string header);
+  output_char oc '\n';
+  File { oc }
+
+let checking ~expect = Check { expect = Array.of_list expect; cursor = 0 }
+
+let checking_result = function
+  | Check { expect; cursor } ->
+      if cursor = Array.length expect then Ok ()
+      else
+        Error
+          (Printf.sprintf "replay stopped early: consumed %d of %d recorded events" cursor
+             (Array.length expect))
+  | _ -> invalid_arg "Trace.checking_result: not a checking sink"
+
+let emit sink ev =
+  match sink with
+  | Null -> ()
+  | Ring { q; capacity } ->
+      if Queue.length q >= capacity then ignore (Queue.pop q : event);
+      Queue.push ev q
+  | File { oc } ->
+      output_string oc (Json.to_string (event_to_json ev));
+      output_char oc '\n'
+  | Check c ->
+      if c.cursor >= Array.length c.expect then
+        raise
+          (Replay_mismatch
+             (Fmt.str "replay produced extra event #%d: %a" c.cursor pp_event ev));
+      let want = c.expect.(c.cursor) in
+      if not (equal_event want ev) then
+        raise
+          (Replay_mismatch
+             (Fmt.str "replay diverged at event #%d: recorded {%a}, replayed {%a}" c.cursor
+                pp_event want pp_event ev));
+      c.cursor <- c.cursor + 1
+
+let close = function
+  | Null | Ring _ | Check _ -> ()
+  | File { oc } -> close_out oc
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      let lines =
+        String.split_on_char '\n' contents |> List.filter (fun l -> String.trim l <> "")
+      in
+      match lines with
+      | [] -> Error (Printf.sprintf "%s: empty trace file" path)
+      | header_line :: event_lines -> (
+          match Json.parse header_line with
+          | Error msg -> Error (Printf.sprintf "%s: bad header: %s" path msg)
+          | Ok header when Json.member header "volcomp_trace" = None ->
+              Error (Printf.sprintf "%s: not a volcomp trace (missing volcomp_trace field)" path)
+          | Ok header ->
+              let rec decode acc i = function
+                | [] -> Ok (header, List.rev acc)
+                | line :: rest -> (
+                    match Json.parse line with
+                    | Error msg -> Error (Printf.sprintf "%s: line %d: %s" path (i + 2) msg)
+                    | Ok j -> (
+                        match event_of_json j with
+                        | Error msg -> Error (Printf.sprintf "%s: line %d: %s" path (i + 2) msg)
+                        | Ok ev -> decode (ev :: acc) (i + 1) rest))
+              in
+              decode [] 0 event_lines))

@@ -1,0 +1,89 @@
+(** Structured probe transcripts: record every interaction an execution
+    has with its world, and replay a recorded transcript against a fresh
+    run, asserting bit-identical behavior.
+
+    One {!Vc_model.Probe.run} with a sink attached produces one
+    {e session}: [Session_open], then one event per world interaction in
+    execution order ([Probe] for each [query], [View]/[Dist] when a node
+    is admitted to the visited set, [Rand] for each random bit read),
+    closed by a [Session_close] carrying the run's full cost vector and
+    an output digest.  Because every solver in this repository is a
+    deterministic function of (world, origin, randomness seed), the
+    event sequence is itself deterministic — which is what makes the
+    {!checking} sink a complete replay oracle: re-run the same solver
+    with the recorded transcript as the sink and any divergence (event
+    order, arguments, results, costs) raises {!Replay_mismatch} at the
+    exact first divergent event.
+
+    Inputs and outputs are recorded as structural digests
+    ([Hashtbl.hash]), not serialized values: a transcript pins down the
+    interaction sequence of a run, and offline replay rebuilds the
+    instance deterministically from the (problem, size, seed) header —
+    see {!Vc_check.Oracle.record_trace}.
+
+    A sink belongs to a single domain; metrics, not traces, are the
+    multi-domain-safe layer. *)
+
+type event =
+  | Session_open of { origin : int; n : int }
+      (** [n] is the node count the world claims. *)
+  | View of { node : int; id : int; degree : int; input : int }
+      (** A node joined the visited set; [input] is a structural digest
+          of its input label. *)
+  | Dist of { node : int; d : int }
+      (** The incremental BFS answered a distance demand ([max_int] for
+          unreachable). *)
+  | Probe of { at : int; port : int; node : int }
+      (** One [query at port] and its answer (repeat queries
+          included). *)
+  | Rand of { node : int; index : int; bit : bool }
+  | Session_close of {
+      volume : int;
+      distance : int;
+      queries : int;
+      rand_bits : int;
+      aborted : bool;
+      output : int;  (** structural digest of [Probe.result.output] *)
+    }
+
+val equal_event : event -> event -> bool
+val pp_event : Format.formatter -> event -> unit
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+
+exception Replay_mismatch of string
+(** Raised by a {!checking} sink at the first divergent event. *)
+
+type sink
+
+val null : sink
+(** Swallows everything (useful as a default). *)
+
+val ring : ?capacity:int -> unit -> sink
+(** In-memory recorder keeping the most recent [capacity] (default
+    [2^18]) events. *)
+
+val events : sink -> event list
+(** Contents of a {!ring} sink, oldest first.
+    @raise Invalid_argument on other sinks. *)
+
+val to_file : path:string -> header:Json.t -> sink
+(** JSONL recorder: the header object on the first line, then one event
+    per line.  {!close} flushes and closes the file. *)
+
+val checking : expect:event list -> sink
+(** The replay oracle: the [k]-th emitted event must equal the [k]-th
+    recorded one, else {!Replay_mismatch}. *)
+
+val checking_result : sink -> (unit, string) result
+(** For a {!checking} sink after the run: [Ok ()] iff the whole
+    transcript was consumed.
+    @raise Invalid_argument on other sinks. *)
+
+val emit : sink -> event -> unit
+val close : sink -> unit
+
+val load : path:string -> (Json.t * event list, string) result
+(** Read a {!to_file} transcript back: the header object and the
+    events.  The header must carry a ["volcomp_trace"] field. *)

@@ -5,6 +5,8 @@ type t = {
   mutable cursor : int;
 }
 
+let m_bits_materialized = Vc_obs.Metrics.counter "rng.bits_materialized"
+
 let create gen = { gen; bits = Bytes.create 16; materialized = 0; cursor = 0 }
 
 let of_seed s = create (Splitmix.create s)
@@ -16,11 +18,14 @@ let ensure s i =
     Bytes.blit s.bits 0 fresh 0 s.materialized;
     s.bits <- fresh
   end;
-  while s.materialized <= i do
-    let b = if Splitmix.bool s.gen then '\001' else '\000' in
-    Bytes.set s.bits s.materialized b;
-    s.materialized <- s.materialized + 1
-  done
+  if s.materialized <= i then begin
+    Vc_obs.Metrics.add m_bits_materialized (i + 1 - s.materialized);
+    while s.materialized <= i do
+      let b = if Splitmix.bool s.gen then '\001' else '\000' in
+      Bytes.set s.bits s.materialized b;
+      s.materialized <- s.materialized + 1
+    done
+  end
 
 let bit s i =
   if i < 0 then invalid_arg "Stream.bit: negative index";

@@ -23,4 +23,5 @@ let () =
          Test_robustness.suites;
          Test_cross_model.suites;
          Test_check.suites;
+         Test_obs.suites;
        ])

@@ -1,0 +1,337 @@
+(* Tests for the observability subsystem: the JSON codec, the metrics
+   counters/histograms, the trace sinks, and the end-to-end guarantees
+   the rest of the repo relies on — instrumentation never perturbs
+   behavior, and every registry problem's transcript survives a JSONL
+   round-trip and replays bit-identically. *)
+
+module Json = Vc_obs.Json
+module Metrics = Vc_obs.Metrics
+module Trace = Vc_obs.Trace
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Registry = Vc_check.Registry
+module Oracle = Vc_check.Oracle
+module LC = Volcomp.Leaf_coloring
+
+(* --- JSON codec ------------------------------------------------------------ *)
+
+let nested =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("n", Json.Int (-42));
+      ("big", Json.I64 Int64.min_int);
+      ("s", Json.String "quote \" backslash \\ newline \n tab \t");
+      ("xs", Json.List [ Json.Int 1; Json.Float 0.5; Json.String "" ]);
+      ("empty_obj", Json.Obj []);
+      ("empty_list", Json.List []);
+    ]
+
+let test_json_roundtrip () =
+  let s = Json.to_string nested in
+  match Json.parse s with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok v ->
+      (* I64 smaller than the native-int range reparses as Int; compare
+         through a second encode instead of structurally *)
+      Alcotest.(check string) "encode . parse . encode is stable" s (Json.to_string v)
+
+let test_json_rejects () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" src
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":1,}"; "\"\\x\""; "1 2"; ""; "nul"; "{\"a\" 1}"; "[01]" ]
+
+let test_json_i64 () =
+  List.iter
+    (fun x ->
+      let s = Json.to_string (Json.I64 x) in
+      match Json.parse s with
+      | Ok v -> (
+          match Json.to_i64 v with
+          | Some y -> Alcotest.(check int64) s x y
+          | None -> Alcotest.failf "%s did not reparse as an integer" s)
+      | Error msg -> Alcotest.failf "%s: %s" s msg)
+    [ Int64.min_int; Int64.max_int; 0L; -1L; 4611686018427387904L ]
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun n -> Json.Int n) small_signed_int;
+        map (fun f -> Json.Float (float_of_int f /. 8.)) small_signed_int;
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 12));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun xs -> Json.List xs) (list_size (int_bound 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs ->
+                (* duplicate keys would make the round-trip ambiguous *)
+                Json.Obj
+                  (List.mapi (fun i (k, v) -> (Fmt.str "%d_%s" i k, v)) kvs))
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:printable (int_bound 6)) (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let qcheck_json_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Json: encode/parse round-trip is encoding-stable"
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      let s = Json.to_string v in
+      match Json.parse s with Ok w -> Json.to_string w = s | Error _ -> false)
+
+(* --- metrics --------------------------------------------------------------- *)
+
+let test_metrics_disabled_noop () =
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let c = Metrics.counter "test.noop" in
+  Metrics.incr c;
+  Metrics.add c 100;
+  Alcotest.(check int) "disabled updates are dropped" 0 (Metrics.value c)
+
+let test_metrics_counting_and_reset () =
+  Metrics.with_enabled (fun () ->
+      Metrics.reset ();
+      let c = Metrics.counter "test.count" in
+      Metrics.incr c;
+      Metrics.add c 41;
+      Alcotest.(check int) "42 recorded" 42 (Metrics.value c);
+      Alcotest.(check bool) "in snapshot" true (List.mem ("test.count", 42) (Metrics.snapshot ()));
+      Metrics.reset ();
+      Alcotest.(check int) "reset zeroes" 0 (Metrics.value c))
+
+let test_histogram_buckets () =
+  Metrics.with_enabled (fun () ->
+      Metrics.reset ();
+      let h = Metrics.histogram "test.hist" in
+      List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 7; 8; 1000 ];
+      let buckets = List.assoc "test.hist" (Metrics.snapshot_histograms ()) in
+      (* 0 -> bucket <=0; 1 -> [1,2); 2,3 -> [2,4); 4,7 -> [4,8); 8 -> [8,16);
+         1000 -> [512,1024) *)
+      Alcotest.(check (list (pair int int)))
+        "power-of-two buckets"
+        [ (0, 1); (1, 1); (2, 2); (4, 2); (8, 1); (512, 1) ]
+        buckets)
+
+let test_metrics_json_parses () =
+  Metrics.with_enabled (fun () ->
+      Metrics.reset ();
+      Metrics.incr (Metrics.counter "test.json");
+      Metrics.observe (Metrics.histogram "test.hist") 5;
+      match Json.parse (Json.to_string (Metrics.to_json ())) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "metrics JSON does not reparse: %s" msg)
+
+let test_with_enabled_restores () =
+  Metrics.set_enabled false;
+  Metrics.with_enabled (fun () ->
+      Alcotest.(check bool) "enabled inside" true (Metrics.enabled ()));
+  Alcotest.(check bool) "restored after" false (Metrics.enabled ())
+
+(* --- trace events and sinks ------------------------------------------------ *)
+
+let sample_events =
+  [
+    Trace.Session_open { origin = 3; n = 15 };
+    Trace.View { node = 3; id = 7; degree = 2; input = 123456789 };
+    Trace.Dist { node = 3; d = 0 };
+    Trace.Dist { node = 9; d = max_int };
+    Trace.Probe { at = 3; port = 1; node = 4 };
+    Trace.Rand { node = 3; index = 0; bit = true };
+    Trace.Session_close
+      { volume = 2; distance = 1; queries = 1; rand_bits = 1; aborted = false; output = 42 };
+  ]
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Trace.event_of_json (Trace.event_to_json ev) with
+      | Ok ev' ->
+          Alcotest.(check bool)
+            (Fmt.str "%a round-trips" Trace.pp_event ev)
+            true (Trace.equal_event ev ev')
+      | Error msg -> Alcotest.failf "%a: %s" Trace.pp_event ev msg)
+    sample_events
+
+let test_ring_sink_order () =
+  let sink = Trace.ring () in
+  List.iter (Trace.emit sink) sample_events;
+  Alcotest.(check bool)
+    "ring preserves order" true
+    (List.for_all2 Trace.equal_event sample_events (Trace.events sink))
+
+let test_checking_sink () =
+  let ok = Trace.checking ~expect:sample_events in
+  List.iter (Trace.emit ok) sample_events;
+  (match Trace.checking_result ok with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "identical replay rejected: %s" msg);
+  let short = Trace.checking ~expect:sample_events in
+  Trace.emit short (List.hd sample_events);
+  (match Trace.checking_result short with
+  | Ok () -> Alcotest.fail "truncated replay accepted"
+  | Error _ -> ());
+  let diverging = Trace.checking ~expect:sample_events in
+  match Trace.emit diverging (Trace.Session_open { origin = 0; n = 15 }) with
+  | () -> Alcotest.fail "divergent event accepted"
+  | exception Trace.Replay_mismatch msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mismatch message names the event" true (contains msg "event #0")
+
+let test_file_sink_load () =
+  let path = Filename.temp_file "volcomp_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let header = Json.Obj [ ("volcomp_trace", Json.Int 1); ("problem", Json.String "t") ] in
+      let sink = Trace.to_file ~path ~header in
+      List.iter (Trace.emit sink) sample_events;
+      Trace.close sink;
+      match Trace.load ~path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok (h, events) ->
+          Alcotest.(check (option string))
+            "header survives" (Some "t")
+            (Option.bind (Json.member h "problem") Json.to_str);
+          Alcotest.(check bool)
+            "events survive" true
+            (List.length events = List.length sample_events
+            && List.for_all2 Trace.equal_event sample_events events))
+
+(* --- end-to-end guarantees ------------------------------------------------- *)
+
+(* Instrumentation must never perturb behavior: the same run with
+   metrics off, metrics on, and metrics on + a recording sink attached
+   yields bit-identical results. *)
+let qcheck_instrumentation_inert =
+  QCheck.Test.make ~count:25 ~name:"Probe: metrics/trace instrumentation is inert"
+    QCheck.(pair (int_range 3 40) (map Int64.of_int small_signed_int))
+    (fun (n, seed) ->
+      let run ~metrics ~trace =
+        let inst = LC.random_instance ~n ~seed in
+        let world = LC.world inst in
+        Metrics.set_enabled metrics;
+        Fun.protect
+          ~finally:(fun () -> Metrics.set_enabled false)
+          (fun () ->
+            Probe.run ~world ?trace ~origin:0 LC.solve_distance.Lcl.solve)
+      in
+      let plain = run ~metrics:false ~trace:None in
+      let counted = run ~metrics:true ~trace:None in
+      let traced = run ~metrics:true ~trace:(Some (Trace.ring ())) in
+      plain = counted && plain = traced)
+
+let test_registry_roundtrip_replays () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      match e.quick_sizes with
+      | [] -> ()
+      | size :: _ -> (
+          let t = e.make ~size ~seed:77L in
+          match t.Registry.trace_roundtrip () with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "%s: %s" e.name msg))
+    (Registry.all ())
+
+let test_oracle_record_replay_file () =
+  let path = Filename.temp_file "volcomp_oracle" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Oracle.record_trace ~seed:42L ~quick:true ~problem:"leafcoloring" ~origin:0 ~path () with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "record: %s" msg);
+      match Oracle.replay_trace ~path () with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "replay: %s" msg)
+
+let test_oracle_replay_detects_tampering () =
+  let path = Filename.temp_file "volcomp_oracle" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Oracle.record_trace ~seed:42L ~quick:true ~problem:"leafcoloring" ~origin:0 ~path () with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "record: %s" msg);
+      (* flip one probe's answer in the transcript *)
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let tampered = ref false in
+      let lines =
+        List.rev_map
+          (fun line ->
+            match Json.parse line with
+            | Ok v when (not !tampered) && Option.is_some (Json.member v "ev") -> (
+                match Trace.event_of_json v with
+                | Ok (Trace.Probe { at; port; node }) ->
+                    tampered := true;
+                    Json.to_string (Trace.event_to_json (Trace.Probe { at; port; node = node + 1 }))
+                | _ -> line)
+            | _ -> line)
+          !lines
+      in
+      Alcotest.(check bool) "found a probe event to tamper with" true !tampered;
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      match Oracle.replay_trace ~path () with
+      | Ok () -> Alcotest.fail "tampered transcript replayed cleanly"
+      | Error _ -> ())
+
+let suites =
+  [
+    ( "obs:json",
+      [
+        Alcotest.test_case "nested round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+        Alcotest.test_case "int64 extremes" `Quick test_json_i64;
+        QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+      ] );
+    ( "obs:metrics",
+      [
+        Alcotest.test_case "disabled is a no-op" `Quick test_metrics_disabled_noop;
+        Alcotest.test_case "count and reset" `Quick test_metrics_counting_and_reset;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        Alcotest.test_case "json reparses" `Quick test_metrics_json_parses;
+        Alcotest.test_case "with_enabled restores" `Quick test_with_enabled_restores;
+      ] );
+    ( "obs:trace",
+      [
+        Alcotest.test_case "event json round-trip" `Quick test_event_json_roundtrip;
+        Alcotest.test_case "ring order" `Quick test_ring_sink_order;
+        Alcotest.test_case "checking sink" `Quick test_checking_sink;
+        Alcotest.test_case "file sink load" `Quick test_file_sink_load;
+      ] );
+    ( "obs:replay",
+      [
+        QCheck_alcotest.to_alcotest qcheck_instrumentation_inert;
+        Alcotest.test_case "registry round-trips" `Slow test_registry_roundtrip_replays;
+        Alcotest.test_case "record/replay via file" `Quick test_oracle_record_replay_file;
+        Alcotest.test_case "replay detects tampering" `Quick test_oracle_replay_detects_tampering;
+      ] );
+  ]
