@@ -8,7 +8,10 @@
      congest      run the Example 7.6 CONGEST routing experiment
      check        differential conformance + fuzzing oracle
      trace        record a probe transcript, or replay one bit-for-bit
-     export       render an instance (optionally with a traced ball) as DOT *)
+     export       render an instance (optionally with a traced ball) as DOT
+     list         print the conformance registry (problems, radii, sizes)
+     serve        query-serving daemon over a Unix-domain (or TCP) socket
+     loadgen      closed-loop load generator + verifier for the daemon *)
 
 open Cmdliner
 
@@ -358,7 +361,8 @@ let check_cmd =
       with_metrics metrics @@ fun () ->
       let report =
         with_jobs jobs (fun pool ->
-            Vc_check.Oracle.run ?pool ~entries ~seed:seed64 ~count ~quick ())
+            Vc_check.Oracle.run ?pool ~entries ~serve:Vc_serve.Conform.probe ~seed:seed64
+              ~count ~quick ())
       in
       Fmt.pr "%a@." Vc_check.Report.pp report;
       Option.iter (fun path -> Vc_check.Report.write_json report ~path) json;
@@ -498,6 +502,230 @@ let export_cmd =
   Cmd.v (Cmd.info "export" ~doc:"Export an instance as Graphviz DOT.")
     Term.(const run $ problem $ n $ seed $ path)
 
+(* --- list ------------------------------------------------------------------- *)
+
+let list_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the registry as JSON (the serve protocol's $(b,list) payload).")
+  in
+  let run json =
+    let entries = Vc_check.Registry.all () in
+    if json then
+      print_string (Json.to_string (Vc_serve.Protocol.list_payload entries) ^ "\n")
+    else begin
+      Fmt.pr "%-28s %-10s %-24s %s@." "problem" "radius" "sizes" "quick sizes";
+      List.iter
+        (fun (e : Vc_check.Registry.entry) ->
+          let ints l = String.concat "," (List.map string_of_int l) in
+          Fmt.pr "%-28s %-10s %-24s %s@." e.name
+            (if e.radius = max_int then "unbounded" else string_of_int e.radius)
+            (ints e.sizes) (ints e.quick_sizes))
+        entries
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"Print the conformance registry: problems, radii, instance sizes.")
+    Term.(const run $ json)
+
+(* --- serve ------------------------------------------------------------------- *)
+
+let socket_term =
+  Arg.(
+    value & opt string "volcomp.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_term =
+  Arg.(
+    value & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Use TCP on 127.0.0.1:$(docv) instead of the Unix-domain socket.")
+
+let serve_cmd =
+  let cache =
+    Arg.(
+      value & opt int 8
+      & info [ "cache" ] ~docv:"N" ~doc:"Capacity of the warm (problem, size, seed) session cache.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Bound on accepted-but-undispatched requests; beyond it the daemon sheds load \
+                with structured $(b,overloaded) errors.")
+  in
+  let run socket tcp cache queue_depth jobs =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* the daemon always accounts: request counters and latency
+       histograms feed the stats request and the loadgen report *)
+    Metrics.set_enabled true;
+    let handler = Vc_serve.Handler.create ~cache_capacity:cache () in
+    let listen =
+      match tcp with
+      | Some port -> Vc_serve.Server.listen_tcp ~port
+      | None -> Vc_serve.Server.listen_unix ~path:socket
+    in
+    (match tcp with
+    | Some port -> Fmt.pr "volcomp serve: listening on 127.0.0.1:%d@." port
+    | None -> Fmt.pr "volcomp serve: listening on %s@." socket);
+    let answered =
+      with_jobs jobs (fun pool -> Vc_serve.Server.run ~handler ?pool ~queue_depth ~listen ())
+    in
+    if tcp = None then (try Unix.unlink socket with Unix.Unix_error _ -> ());
+    Fmt.pr "volcomp serve: answered %d request(s)@." answered;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve solve/probe/trace/list/stats queries over a socket, with a warm session \
+          cache, request batching across worker domains, per-request deadlines and \
+          explicit load shedding.")
+    Term.(const run $ socket_term $ tcp_term $ cache $ queue_depth $ jobs_term)
+
+(* --- loadgen ----------------------------------------------------------------- *)
+
+let loadgen_cmd =
+  let spawn =
+    Arg.(
+      value & flag
+      & info [ "spawn" ]
+          ~doc:"Start a private $(b,volcomp serve) on the socket, drive it, shut it down.")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let requests =
+    Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "solve:1,probe:4,trace:1,list:1,stats:1"
+      & info [ "mix" ] ~docv:"SPEC"
+          ~doc:"Weighted request mix, e.g. $(b,probe:4,solve:1) (kinds: solve, probe, trace, \
+                list, stats).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the request plan.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Attach this deadline to every request (0 expires deterministically).")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip the byte-identity check against in-process computation.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Also write the summary as JSON to $(docv).")
+  in
+  let run socket tcp spawn clients requests mix_s seed deadline no_verify json =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match Vc_serve.Loadgen.parse_mix mix_s with
+    | Error msg ->
+        Fmt.epr "loadgen: bad --mix: %s@." msg;
+        2
+    | Ok mix -> (
+        let addr =
+          match tcp with
+          | Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+          | None -> Unix.ADDR_UNIX socket
+        in
+        let connect () =
+          let dom = match tcp with Some _ -> Unix.PF_INET | None -> Unix.PF_UNIX in
+          let fd = Unix.socket dom Unix.SOCK_STREAM 0 in
+          Unix.connect fd addr;
+          fd
+        in
+        let server_pid =
+          if not spawn then None
+          else begin
+            let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+            let args =
+              match tcp with
+              | Some port -> [| Sys.executable_name; "serve"; "--tcp"; string_of_int port |]
+              | None -> [| Sys.executable_name; "serve"; "--socket"; socket |]
+            in
+            let pid =
+              Unix.create_process Sys.executable_name args Unix.stdin devnull devnull
+            in
+            Unix.close devnull;
+            (* wait until the daemon accepts connections *)
+            let rec wait tries =
+              if tries = 0 then begin
+                (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+                ignore (Unix.waitpid [] pid);
+                failwith "spawned server did not come up within 10 s"
+              end
+              else
+                match connect () with
+                | fd -> Unix.close fd
+                | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+                    Unix.sleepf 0.01;
+                    wait (tries - 1)
+            in
+            wait 1000;
+            Some pid
+          end
+        in
+        let cfg =
+          {
+            Vc_serve.Loadgen.clients;
+            requests;
+            mix;
+            seed = Int64.of_int seed;
+            deadline_ms = deadline;
+            verify = not no_verify;
+            shutdown = spawn;
+          }
+        in
+        let result = Vc_serve.Loadgen.run ~connect cfg in
+        (match (result, server_pid) with
+        | Ok _, Some pid ->
+            (* loadgen already sent shutdown; reap the daemon *)
+            ignore (Unix.waitpid [] pid)
+        | Error _, Some pid ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid)
+        | _, None -> ());
+        if spawn && tcp = None then (try Unix.unlink socket with Unix.Unix_error _ -> ());
+        match result with
+        | Error msg ->
+            Fmt.epr "loadgen: %s@." msg;
+            1
+        | Ok s ->
+            Fmt.pr "%a" Vc_serve.Loadgen.pp_summary s;
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc (Json.to_string (Vc_serve.Loadgen.summary_to_json s));
+                    output_char oc '\n');
+                Fmt.pr "wrote %s@." path)
+              json;
+            if s.Vc_serve.Loadgen.s_mismatches = 0 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a serving daemon with a deterministic closed-loop request mix, verify every \
+          reply byte-for-byte against in-process computation, and report p50/p95/p99 \
+          latency per request kind.")
+    Term.(
+      const run $ socket_term $ tcp_term $ spawn $ clients $ requests $ mix $ seed $ deadline
+      $ no_verify $ json)
+
 let () =
   let doc = "Volume complexity of local graph problems (Rosenbaum & Suomela, PODC 2020)" in
   let info = Cmd.info "volcomp" ~version:"1.0.0" ~doc in
@@ -512,4 +740,7 @@ let () =
             check_cmd;
             trace_cmd;
             export_cmd;
+            list_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

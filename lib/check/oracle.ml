@@ -7,7 +7,7 @@ module Pool = Vc_exec.Pool
 let trial_seed ~seed ~name i =
   Splitmix.mix (Int64.add seed (Int64.of_int ((Hashtbl.hash name * 1000003) + i)))
 
-let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
+let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
   let failures = ref [] in
   let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
   let guarded what f default =
@@ -162,6 +162,30 @@ let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
         acc && ok)
       true trials
   in
+  (* probe 7: serving-layer round-trip identity, on every trial (the
+     closure comes from above — lib/serve depends on this library) *)
+  let serve_ok =
+    match serve with
+    | None -> None
+    | Some f ->
+        Some
+          (List.fold_left
+             (fun acc (i, size) ->
+               let ok =
+                 guarded
+                   (Fmt.str "serve at size %d" size)
+                   (fun () ->
+                     match f e ~size ~seed:(trial_seed ~seed ~name:e.name i) with
+                     | Ok () -> true
+                     | Error msg ->
+                         fail "serve at size %d: %s" size msg;
+                         false)
+                   false
+               in
+               acc && ok)
+             true
+             (List.mapi (fun i s -> (i, s)) sizes))
+  in
   (* probe 4: mutation fuzzing, [count] rounds round-robin over trials *)
   let kind_order = ref [] in
   let kinds : (string, Report.kind_agg) Hashtbl.t = Hashtbl.create 8 in
@@ -210,14 +234,15 @@ let run_entry ?pool ~seed ~count ~quick (e : Registry.entry) =
     p_cross_model = cross_model;
     p_lazy_eager = lazy_eager;
     p_replay = replay;
+    p_serve = serve_ok;
     p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
     p_failures = List.rev !failures;
   }
 
-let run ?pool ?entries ~seed ~count ~quick () =
+let run ?pool ?entries ?serve ~seed ~count ~quick () =
   let entries = match entries with Some es -> es | None -> Registry.all () in
   let domains = match pool with None -> 1 | Some p -> Pool.domains p in
-  let problems = List.map (run_entry ?pool ~seed ~count ~quick) entries in
+  let problems = List.map (run_entry ?pool ?serve ~seed ~count ~quick) entries in
   { Report.seed; count; domains; quick; problems }
 
 (* --- standalone trace files ------------------------------------------------ *)

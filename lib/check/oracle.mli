@@ -26,6 +26,7 @@
 val run :
   ?pool:Vc_exec.Pool.t ->
   ?entries:Registry.entry list ->
+  ?serve:(Registry.entry -> size:int -> seed:int64 -> (unit, string) result) ->
   seed:int64 ->
   count:int ->
   quick:bool ->
@@ -34,7 +35,15 @@ val run :
 (** [run ~seed ~count ~quick ()] checks [entries] (default:
     {!Registry.all}).  [quick] selects each entry's small sizes — the
     [dune runtest] profile.  [?pool] parallelizes the per-solver runs;
-    the report's verdicts do not depend on it. *)
+    the report's verdicts do not depend on it.
+
+    [?serve] is the seventh probe, injected from above because the
+    serving layer depends on this library: given an entry and one
+    trial's (size, seed), it must round-trip the trial's queries through
+    the [lib/serve] wire codec and in-process handler and verify the
+    payloads are byte-identical to direct computation ([Error] describes
+    the first divergence).  When absent, reports carry
+    [p_serve = None]. *)
 
 val find_entry :
   ?entries:Registry.entry list -> string -> (Registry.entry, string) result

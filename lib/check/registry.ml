@@ -29,9 +29,21 @@ type solver_outcome = {
   valid : bool;
 }
 
+type probe_summary = {
+  pr_solver : string;
+  pr_volume : int;
+  pr_distance : int;
+  pr_queries : int;
+  pr_rand_bits : int;
+  pr_aborted : bool;
+  pr_output : int;
+}
+
 type trial = {
   t_n : int;
   run_solvers : ?pool:Pool.t -> unit -> solver_outcome list;
+  probe_origin :
+    ?trace:Vc_obs.Trace.sink -> origin:int -> unit -> (probe_summary, string) result;
   merge_consistency : widths:int list -> (unit, string) result;
   cross_model : (string * (unit -> (unit, string) result)) list;
   lazy_vs_eager : unit -> (unit, string) result;
@@ -190,6 +202,25 @@ let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node 
     Probe.run ~world ?randomness:(randomness_for 0 ref_solver) ?trace ~origin
       ref_solver.Lcl.solve
   in
+  (* One reference run from one origin, summarized — what the serving
+     layer answers [probe] (and, with a ring sink, [trace]) requests
+     with.  Deterministic: randomness derivation matches [run_solvers]. *)
+  let probe_origin ?trace ~origin () =
+    if origin < 0 || origin >= n then
+      Error (Fmt.str "origin %d out of range (instance has %d nodes)" origin n)
+    else
+      let r = reference_run ?trace origin in
+      Ok
+        {
+          pr_solver = ref_solver.Lcl.solver_name;
+          pr_volume = r.Probe.volume;
+          pr_distance = r.Probe.distance;
+          pr_queries = r.Probe.queries;
+          pr_rand_bits = r.Probe.rand_bits;
+          pr_aborted = r.Probe.aborted;
+          pr_output = Hashtbl.hash r.Probe.output;
+        }
+  in
   let trace_record ~path ~header ~origin =
     if origin < 0 || origin >= n then
       Error (Fmt.str "origin %d out of range (instance has %d nodes)" origin n)
@@ -273,6 +304,7 @@ let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node 
   {
     t_n = n;
     run_solvers;
+    probe_origin;
     merge_consistency;
     cross_model;
     lazy_vs_eager;

@@ -42,10 +42,30 @@ type solver_outcome = {
   valid : bool;  (** the assembled output passes the problem's checker *)
 }
 
+type probe_summary = {
+  pr_solver : string;  (** the reference solver that ran *)
+  pr_volume : int;
+  pr_distance : int;
+  pr_queries : int;
+  pr_rand_bits : int;
+  pr_aborted : bool;
+  pr_output : int;
+      (** structural digest of the output, as in
+          {!Vc_obs.Trace.Session_close} *)
+}
+(** Cost vector of one reference-solver run from one origin — the unit
+    the serving layer answers [probe] requests with. *)
+
 type trial = {
   t_n : int;  (** node count of the instance *)
   run_solvers : ?pool:Vc_exec.Pool.t -> unit -> solver_outcome list;
       (** Run every registered solver from every node of the instance. *)
+  probe_origin :
+    ?trace:Vc_obs.Trace.sink -> origin:int -> unit -> (probe_summary, string) result;
+      (** Run the reference solver from a single origin (the serving
+          layer's [probe]/[trace] requests).  Randomness derivation is
+          identical to {!run_solvers}, so the summary is a deterministic
+          function of the trial's (size, seed, origin). *)
   merge_consistency : widths:int list -> (unit, string) result;
       (** Re-run the reference solver under pools of the given widths and
           compare the stats against the sequential run. *)

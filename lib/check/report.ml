@@ -24,6 +24,7 @@ type problem_report = {
   p_cross_model : (string * bool) list;
   p_lazy_eager : bool;
   p_replay : bool;
+  p_serve : bool option;
   p_mutations : kind_agg list;
   p_failures : string list;
 }
@@ -61,6 +62,9 @@ let pp_problem ppf p =
   List.iter (fun (name, passed) -> Fmt.pf ppf "cross-model %s: %b@," name passed) p.p_cross_model;
   Fmt.pf ppf "lazy/eager identical: %b@," p.p_lazy_eager;
   Fmt.pf ppf "record/replay identical: %b@," p.p_replay;
+  (match p.p_serve with
+  | None -> ()
+  | Some b -> Fmt.pf ppf "serve round-trip identical: %b@," b);
   List.iter
     (fun k ->
       Fmt.pf ppf "mutants %-18s rejected %d/%d%s@," k.k_kind k.k_rejected k.k_total
@@ -115,6 +119,7 @@ let problem_json p =
       ("merge_consistent", Json.Bool p.p_merge_consistent);
       ("lazy_eager", Json.Bool p.p_lazy_eager);
       ("replay", Json.Bool p.p_replay);
+      ("serve", match p.p_serve with None -> Json.Null | Some b -> Json.Bool b);
       ("cross_model", Json.Obj (List.map (fun (n, b) -> (n, Json.Bool b)) p.p_cross_model));
       ( "mutations",
         Json.Obj

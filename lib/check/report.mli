@@ -36,6 +36,12 @@ type problem_report = {
       (** lazy and eager worlds produced bit-identical probe results *)
   p_replay : bool;
       (** recorded transcripts replayed bit-identically ({!Vc_obs.Trace}) *)
+  p_serve : bool option;
+      (** in-process serving round-trip ([lib/serve] protocol encode →
+          decode → handle → encode) produced byte-identical payloads to
+          direct computation; [None] when the probe was not supplied
+          (the serving layer sits above this library, so the CLI injects
+          it via {!Oracle.run}'s [?serve]) *)
   p_mutations : kind_agg list;
   p_failures : string list;
       (** human-readable conformance failures; empty means conformant *)

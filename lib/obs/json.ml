@@ -180,11 +180,18 @@ let parse_string_body st =
   done;
   Buffer.contents b
 
-let rec parse_value st =
+(* The parser now also reads untrusted bytes (the serving layer's
+   request sockets), so recursion depth is bounded: without the guard a
+   ["[[[[…"] of ~10^5 brackets kills the process with [Stack_overflow]
+   instead of returning [Error]. *)
+let max_depth = 512
+
+let rec parse_value st depth =
   skip_ws st;
+  if depth > max_depth then bad st (Printf.sprintf "nesting deeper than %d" max_depth);
   match peek st with
-  | Some '{' -> parse_object st
-  | Some '[' -> parse_array st
+  | Some '{' -> parse_object st depth
+  | Some '[' -> parse_array st depth
   | Some '"' -> String (parse_string_body st)
   | Some 't' -> expect_keyword st "true"; Bool true
   | Some 'f' -> expect_keyword st "false"; Bool false
@@ -193,7 +200,7 @@ let rec parse_value st =
   | Some c -> bad st (Printf.sprintf "unexpected character %C" c)
   | None -> bad st "expected a JSON value, found end of input"
 
-and parse_object st =
+and parse_object st depth =
   expect st '{';
   skip_ws st;
   if peek st = Some '}' then begin
@@ -208,7 +215,7 @@ and parse_object st =
       let key = parse_string_body st in
       skip_ws st;
       expect st ':';
-      let v = parse_value st in
+      let v = parse_value st (depth + 1) in
       fields := (key, v) :: !fields;
       skip_ws st;
       match peek st with
@@ -221,7 +228,7 @@ and parse_object st =
     Obj (List.rev !fields)
   end
 
-and parse_array st =
+and parse_array st depth =
   expect st '[';
   skip_ws st;
   if peek st = Some ']' then begin
@@ -232,7 +239,7 @@ and parse_array st =
     let items = ref [] in
     let continue = ref true in
     while !continue do
-      items := parse_value st :: !items;
+      items := parse_value st (depth + 1) :: !items;
       skip_ws st;
       match peek st with
       | Some ',' -> advance st
@@ -247,7 +254,7 @@ and parse_array st =
 let parse src =
   let st = { src; pos = 0 } in
   match
-    let v = parse_value st in
+    let v = parse_value st 0 in
     skip_ws st;
     if st.pos <> String.length src then bad st "trailing garbage after JSON value";
     v

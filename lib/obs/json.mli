@@ -28,11 +28,17 @@ val to_string : t -> string
 (** Compact rendering: no whitespace, object fields in given order,
     floats as ["%.6g"], [nan] as [null]. *)
 
+val max_depth : int
+(** Maximum container nesting {!parse} accepts (512).  Deeper input is a
+    parse error, not a [Stack_overflow] — the serving layer feeds this
+    parser untrusted socket bytes. *)
+
 val parse : string -> (t, string) result
 (** Strict parse of exactly one JSON value (plus surrounding
     whitespace).  Numbers become [Int] when they are integral and fit in
-    a native [int], then [I64], then [Float].  Errors carry the byte
-    offset of the first offending character. *)
+    a native [int], then [I64], then [Float].  Containers nested deeper
+    than {!max_depth} are rejected.  Errors carry the byte offset of the
+    first offending character. *)
 
 (** {1 Accessors (for loading recorded traces)} *)
 

@@ -1,0 +1,116 @@
+module Json = Vc_obs.Json
+module Trace = Vc_obs.Trace
+module Registry = Vc_check.Registry
+
+let ( let* ) = Result.bind
+
+(* Push one request through the same codec path the daemon uses:
+   encode, frame, incremental decode, parse, handle, encode the reply,
+   parse it back.  Returns the reply body. *)
+let round_trip handler req =
+  let wire = Protocol.frame (Json.to_string (Protocol.request_to_json req)) in
+  let dec = Protocol.decoder () in
+  Protocol.feed dec (Bytes.of_string wire) (String.length wire);
+  let* body =
+    match Protocol.next_frame dec with
+    | Ok (Some body) -> Ok body
+    | Ok None -> Error "request frame did not decode in one piece"
+    | Error msg -> Error ("request framing: " ^ msg)
+  in
+  let* v = Json.parse body in
+  let* parsed = Protocol.request_of_json v in
+  if parsed <> req then Error "request changed across encode/decode"
+  else
+    let reply_json =
+      match Handler.handle handler parsed.Protocol.query with
+      | Ok payload -> Protocol.ok_reply ~id:parsed.Protocol.id payload
+      | Error (code, message) -> Protocol.error_reply ~id:parsed.Protocol.id ~code ~message
+    in
+    let reply_wire = Protocol.frame (Json.to_string reply_json) in
+    let rdec = Protocol.decoder () in
+    Protocol.feed rdec (Bytes.of_string reply_wire) (String.length reply_wire);
+    let* rbody =
+      match Protocol.next_frame rdec with
+      | Ok (Some b) -> Ok b
+      | Ok None -> Error "reply frame did not decode in one piece"
+      | Error msg -> Error ("reply framing: " ^ msg)
+    in
+    let* rv = Json.parse rbody in
+    let* reply = Protocol.reply_of_json rv in
+    if reply.Protocol.r_id <> req.Protocol.id then
+      Error
+        (Printf.sprintf "reply id %d for request id %d" reply.Protocol.r_id req.Protocol.id)
+    else Ok reply.Protocol.body
+
+let expect_payload handler ~what query ~direct =
+  let req = { Protocol.id = 1; deadline_ms = None; query } in
+  let* body = round_trip handler req in
+  match body with
+  | Error (code, msg) ->
+      Error (Printf.sprintf "%s: error %s (%s)" what (Protocol.code_to_string code) msg)
+  | Ok payload ->
+      let served = Json.to_string payload in
+      let wanted = Json.to_string direct in
+      if served <> wanted then
+        Error
+          (Printf.sprintf "%s: served payload differs from direct computation\n  served: %s\n  direct: %s"
+             what served wanted)
+      else Ok ()
+
+let expect_error handler ~what query ~code =
+  let req = { Protocol.id = 2; deadline_ms = None; query } in
+  let* body = round_trip handler req in
+  match body with
+  | Error (c, _) when c = code -> Ok ()
+  | Error (c, _) ->
+      Error
+        (Printf.sprintf "%s: expected error %s, got %s" what (Protocol.code_to_string code)
+           (Protocol.code_to_string c))
+  | Ok _ ->
+      Error (Printf.sprintf "%s: expected error %s, got a payload" what
+           (Protocol.code_to_string code))
+
+let probe (e : Registry.entry) ~size ~seed =
+  let handler = Handler.create ~entries:[ e ] () in
+  let direct = e.Registry.make ~size ~seed in
+  let n = direct.Registry.t_n in
+  let problem = e.Registry.name in
+  let* () =
+    expect_payload handler ~what:"solve"
+      (Protocol.Solve { problem; size; seed })
+      ~direct:(Protocol.solve_payload ~problem ~n (direct.Registry.run_solvers ()))
+  in
+  let origins = List.sort_uniq compare [ 0; n / 2; n - 1 ] in
+  let* () =
+    List.fold_left
+      (fun acc origin ->
+        let* () = acc in
+        let* summary =
+          Result.map_error (fun m -> "direct probe: " ^ m)
+            (direct.Registry.probe_origin ~origin ())
+        in
+        let* () =
+          expect_payload handler
+            ~what:(Printf.sprintf "probe origin %d" origin)
+            (Protocol.Probe { problem; size; seed; origin })
+            ~direct:(Protocol.probe_payload ~problem ~origin summary)
+        in
+        let ring = Trace.ring () in
+        let* tsummary =
+          Result.map_error (fun m -> "direct trace: " ^ m)
+            (direct.Registry.probe_origin ~trace:ring ~origin ())
+        in
+        expect_payload handler
+          ~what:(Printf.sprintf "trace origin %d" origin)
+          (Protocol.Trace { problem; size; seed; origin })
+          ~direct:(Protocol.trace_payload ~problem ~origin tsummary (Trace.events ring)))
+      (Ok ()) origins
+  in
+  let* () =
+    expect_error handler ~what:"unknown problem"
+      (Protocol.Solve { problem = "no-such-problem"; size; seed })
+      ~code:Protocol.Unknown_problem
+  in
+  expect_error handler ~what:"out-of-range origin"
+    (Protocol.Probe { problem; size; seed; origin = n })
+    ~code:Protocol.Bad_origin

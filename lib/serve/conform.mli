@@ -1,0 +1,16 @@
+(** The oracle's seventh probe: serving-layer round-trip identity.
+
+    [lib/check] cannot depend on this library (the handler serves
+    registry trials), so the probe lives here and the CLI injects it via
+    {!Vc_check.Oracle.run}'s [?serve] argument. *)
+
+val probe : Vc_check.Registry.entry -> size:int -> seed:int64 -> (unit, string) result
+(** Round-trip one trial's queries through the {e full} wire path —
+    {!Protocol.request_to_json}, framing, the incremental decoder,
+    request parsing, {!Handler.handle}, reply encoding, reply parsing —
+    and compare every payload byte-for-byte against direct in-process
+    computation on an identically-built trial: [solve] once, [probe] and
+    [trace] from three origins (first, middle, last node).  Also checks
+    that an unknown problem and an out-of-range origin come back as the
+    structured [unknown_problem] / [bad_origin] errors.  [Error]
+    describes the first divergence. *)

@@ -1,0 +1,153 @@
+module Json = Vc_obs.Json
+module Metrics = Vc_obs.Metrics
+module Trace = Vc_obs.Trace
+module Registry = Vc_check.Registry
+module Oracle = Vc_check.Oracle
+
+type t = {
+  entries : Registry.entry list;
+  cache : (string * int * int64, Registry.entry * Registry.trial) Lru.t;
+}
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let request_counter =
+  let kinds = [ "solve"; "probe"; "trace"; "list"; "stats"; "shutdown" ] in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace tbl k (Metrics.counter ("serve.requests." ^ k))) kinds;
+  fun kind -> Hashtbl.find tbl kind
+
+let error_counter =
+  let codes =
+    [
+      Protocol.Bad_request;
+      Protocol.Unknown_problem;
+      Protocol.Bad_origin;
+      Protocol.Deadline_exceeded;
+      Protocol.Overloaded;
+      Protocol.Server_error;
+    ]
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace tbl c (Metrics.counter ("serve.errors." ^ Protocol.code_to_string c)))
+    codes;
+  fun code -> Hashtbl.find tbl code
+
+let latency_histogram =
+  let kinds = [ "solve"; "probe"; "trace"; "list"; "stats"; "shutdown" ] in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace tbl k (Metrics.histogram ("serve.latency_us." ^ k))) kinds;
+  fun kind -> Hashtbl.find_opt tbl kind
+
+let cache_hits = Metrics.counter "serve.cache.hits"
+let cache_misses = Metrics.counter "serve.cache.misses"
+let cache_evictions = Metrics.counter "serve.cache.evictions"
+
+let note_request q = Metrics.incr (request_counter (Protocol.kind q))
+let note_error code = Metrics.incr (error_counter code)
+
+let observe_latency ~kind us =
+  match latency_histogram kind with Some h -> Metrics.observe h us | None -> ()
+
+(* --- cache ------------------------------------------------------------------- *)
+
+let create ?entries ?(cache_capacity = 8) () =
+  let entries = match entries with Some es -> es | None -> Registry.all () in
+  { entries; cache = Lru.create ~capacity:cache_capacity }
+
+let cache_length t = Lru.length t.cache
+
+(* Build-or-fetch the resident instance.  Building is the expensive step
+   (graph construction + world warm-up) and happens here, on the
+   dispatch domain, exactly once per (problem, size, seed) while the key
+   stays resident. *)
+let resident t ~problem ~size ~seed =
+  match Oracle.find_entry ~entries:t.entries problem with
+  | Error msg -> Error (Protocol.Unknown_problem, msg)
+  | Ok e -> (
+      let key = (e.Registry.name, size, seed) in
+      match Lru.find t.cache key with
+      | Some et ->
+          Metrics.incr cache_hits;
+          Ok et
+      | None ->
+          Metrics.incr cache_misses;
+          let trial = e.Registry.make ~size ~seed in
+          let et = (e, trial) in
+          (match Lru.add t.cache key et with
+          | Some _ -> Metrics.incr cache_evictions
+          | None -> ());
+          Ok et)
+
+let instance_n t ~problem ~size ~seed =
+  Result.map (fun (_, trial) -> trial.Registry.t_n) (resident t ~problem ~size ~seed)
+
+(* --- queries ----------------------------------------------------------------- *)
+
+let bad_origin (t : Registry.trial) origin =
+  if origin < 0 || origin >= t.Registry.t_n then
+    Some
+      ( Protocol.Bad_origin,
+        Printf.sprintf "origin %d out of range (instance has %d nodes)" origin t.Registry.t_n )
+  else None
+
+let prepare t query =
+  match query with
+  | Protocol.List ->
+      let entries = t.entries in
+      fun () -> Ok (Protocol.list_payload entries)
+  | Protocol.Stats ->
+      fun () ->
+        Ok
+          (Json.Obj
+             [
+               ( "cache",
+                 Json.Obj
+                   [
+                     ("size", Json.Int (Lru.length t.cache));
+                     ("capacity", Json.Int (Lru.capacity t.cache));
+                   ] );
+               ("metrics", Metrics.to_json ());
+             ])
+  | Protocol.Shutdown -> fun () -> Ok (Json.Obj [ ("bye", Json.Bool true) ])
+  | Protocol.Solve { problem; size; seed } -> (
+      match resident t ~problem ~size ~seed with
+      | Error _ as e -> fun () -> e
+      | Ok (e, trial) ->
+          fun () ->
+            Ok
+              (Protocol.solve_payload ~problem:e.Registry.name ~n:trial.Registry.t_n
+                 (trial.Registry.run_solvers ())))
+  | Protocol.Probe { problem; size; seed; origin } -> (
+      match resident t ~problem ~size ~seed with
+      | Error _ as e -> fun () -> e
+      | Ok (e, trial) -> (
+          match bad_origin trial origin with
+          | Some err -> fun () -> Error err
+          | None -> (
+              fun () ->
+                match trial.Registry.probe_origin ~origin () with
+                | Ok summary ->
+                    Ok (Protocol.probe_payload ~problem:e.Registry.name ~origin summary)
+                | Error msg -> Error (Protocol.Bad_origin, msg))))
+  | Protocol.Trace { problem; size; seed; origin } -> (
+      match resident t ~problem ~size ~seed with
+      | Error _ as e -> fun () -> e
+      | Ok (e, trial) -> (
+          match bad_origin trial origin with
+          | Some err -> fun () -> Error err
+          | None -> (
+              fun () ->
+                let ring = Trace.ring () in
+                match trial.Registry.probe_origin ~trace:ring ~origin () with
+                | Ok summary ->
+                    Ok
+                      (Protocol.trace_payload ~problem:e.Registry.name ~origin summary
+                         (Trace.events ring))
+                | Error msg -> Error (Protocol.Bad_origin, msg))))
+
+let handle t query = (prepare t query) ()
+
+let stats_payload t = handle t Protocol.Stats |> Result.get_ok

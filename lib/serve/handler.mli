@@ -1,0 +1,60 @@
+(** The daemon's brain: query → result payload, over a warm session
+    cache.
+
+    A handler owns an {!Lru} cache of {e resident instances} — built
+    registry trials keyed by [(problem, size, seed)] — so repeated
+    queries against one instance skip graph construction and reuse the
+    lazy incremental-BFS worlds of [lib/model].  Cache bookkeeping and
+    instance building happen in {!prepare}, which must run on the
+    dispatch loop's domain; the thunk it returns does only per-request
+    work (probe runs, solver sweeps) and is safe to execute on any
+    {!Vc_exec.Pool} worker, concurrently with thunks for the same
+    instance — worlds are domain-shareable by the {!Vc_model.World}
+    contract, and every run derives fresh randomness.
+
+    All accounting goes through {!Vc_obs.Metrics} ([serve.*] counters
+    and [serve.latency_us.*] histograms), so it is free when collection
+    is disabled (the in-process conformance probe) and exact when the
+    daemon enables it. *)
+
+module Json = Vc_obs.Json
+
+type t
+
+val create :
+  ?entries:Vc_check.Registry.entry list -> ?cache_capacity:int -> unit -> t
+(** [entries] defaults to {!Vc_check.Registry.all}; [cache_capacity]
+    (default 8) bounds the resident-instance cache. *)
+
+val prepare : t -> Protocol.query -> (unit -> (Json.t, Protocol.error_code * string) result)
+(** Resolve the query against the registry and cache {e now} (single
+    threaded), returning the compute thunk.  Resolution failures
+    (unknown problem, bad origin) are captured in the thunk's result so
+    the dispatch path is uniform. *)
+
+val handle : t -> Protocol.query -> (Json.t, Protocol.error_code * string) result
+(** [handle t q] is [prepare t q ()] — the in-process round-trip used by
+    the conformance probe and unit tests. *)
+
+val cache_length : t -> int
+
+val instance_n :
+  t -> problem:string -> size:int -> seed:int64 -> (int, Protocol.error_code * string) result
+(** Node count of the [(problem, size, seed)] instance, building (and
+    caching) it if needed — the load generator uses this to draw valid
+    probe origins. *)
+
+(** {1 Accounting (called by the server loop)} *)
+
+val note_request : Protocol.query -> unit
+(** Bump [serve.requests.<kind>]. *)
+
+val note_error : Protocol.error_code -> unit
+(** Bump [serve.errors.<code>]. *)
+
+val observe_latency : kind:string -> int -> unit
+(** Record one request's latency (µs) in [serve.latency_us.<kind>]. *)
+
+val stats_payload : t -> Json.t
+(** The [stats] reply: cache occupancy/capacity plus the full
+    {!Vc_obs.Metrics} snapshot (counters and histograms). *)

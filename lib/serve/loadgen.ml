@@ -1,0 +1,319 @@
+module Json = Vc_obs.Json
+module Splitmix = Vc_rng.Splitmix
+module Registry = Vc_check.Registry
+
+type config = {
+  clients : int;
+  requests : int;
+  mix : (string * int) list;
+  seed : int64;
+  deadline_ms : int option;
+  verify : bool;
+  shutdown : bool;
+}
+
+let kinds = [ "solve"; "probe"; "trace"; "list"; "stats" ]
+let default_mix = [ ("solve", 1); ("probe", 4); ("trace", 1); ("list", 1); ("stats", 1) ]
+
+let parse_mix s =
+  let parse_item item =
+    match String.split_on_char ':' (String.trim item) with
+    | [ k ] when List.mem k kinds -> Ok (k, 1)
+    | [ k; w ] when List.mem k kinds -> (
+        match int_of_string_opt w with
+        | Some w when w > 0 -> Ok (k, w)
+        | _ -> Error (Printf.sprintf "bad weight %S for kind %s" w k))
+    | k :: _ -> Error (Printf.sprintf "unknown request kind %S" k)
+    | [] -> Error "empty mix item"
+  in
+  let items = List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' s) in
+  if items = [] then Error "empty mix"
+  else
+    List.fold_left
+      (fun acc item ->
+        match (acc, parse_item item) with
+        | Ok items, Ok it -> Ok (items @ [ it ])
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      (Ok []) items
+
+type percentiles = {
+  l_count : int;
+  l_p50_us : int;
+  l_p95_us : int;
+  l_p99_us : int;
+  l_max_us : int;
+}
+
+type summary = {
+  s_clients : int;
+  s_requests : int;
+  s_ok : int;
+  s_errors : (string * int) list;
+  s_mismatches : int;
+  s_wall_s : float;
+  s_latency : (string * percentiles) list;
+  s_server_stats : Json.t option;
+}
+
+(* --- deterministic request plan ---------------------------------------------- *)
+
+(* Two derived instance seeds: more than one so the session cache sees
+   distinct keys (hits *and* evictions under a small capacity), few
+   enough that instances stay warm across the run. *)
+let instance_seed seed variant = Splitmix.mix (Int64.add seed (Int64.of_int (variant + 1)))
+
+let smallest sizes = List.fold_left min (List.hd sizes) sizes
+
+let gen_plan twin entries cfg =
+  let rng = Splitmix.create cfg.seed in
+  let total_weight = List.fold_left (fun a (_, w) -> a + w) 0 cfg.mix in
+  let pick_kind () =
+    let r = Splitmix.int rng ~bound:total_weight in
+    let rec go acc = function
+      | [] -> assert false
+      | (k, w) :: rest -> if r < acc + w then k else go (acc + w) rest
+    in
+    go 0 cfg.mix
+  in
+  let n_entries = List.length entries in
+  let pick_instance () =
+    let e = List.nth entries (Splitmix.int rng ~bound:n_entries) in
+    let size = smallest e.Registry.quick_sizes in
+    let seed = instance_seed cfg.seed (Splitmix.int rng ~bound:2) in
+    (e.Registry.name, size, seed)
+  in
+  List.init cfg.requests (fun _ ->
+      match pick_kind () with
+      | "solve" ->
+          let problem, size, seed = pick_instance () in
+          Protocol.Solve { problem; size; seed }
+      | ("probe" | "trace") as k ->
+          let problem, size, seed = pick_instance () in
+          let n =
+            match Handler.instance_n twin ~problem ~size ~seed with
+            | Ok n -> n
+            | Error (_, msg) -> failwith ("loadgen plan: " ^ msg)
+          in
+          let origin = Splitmix.int rng ~bound:n in
+          if k = "probe" then Protocol.Probe { problem; size; seed; origin }
+          else Protocol.Trace { problem; size; seed; origin }
+      | "list" -> Protocol.List
+      | "stats" -> Protocol.Stats
+      | _ -> assert false)
+
+(* --- wire helpers ------------------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+exception Fail of string
+
+let rec read_frame fd dec buf =
+  match Protocol.next_frame dec with
+  | Ok (Some body) -> body
+  | Error msg -> raise (Fail ("reply framing: " ^ msg))
+  | Ok None -> (
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> raise (Fail "server closed the connection mid-reply")
+      | n ->
+          Protocol.feed dec buf n;
+          read_frame fd dec buf)
+
+let read_reply fd dec buf =
+  let body = read_frame fd dec buf in
+  match Json.parse body with
+  | Error msg -> raise (Fail ("reply is not JSON: " ^ msg))
+  | Ok v -> (
+      match Protocol.reply_of_json v with
+      | Error msg -> raise (Fail ("bad reply: " ^ msg))
+      | Ok r -> r)
+
+let send fd req = write_all fd (Protocol.frame (Json.to_string (Protocol.request_to_json req)))
+
+(* --- the closed loop ---------------------------------------------------------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  dec : Protocol.decoder;
+  mutable todo : (int * Protocol.query) list;  (** (request id, query), in order *)
+  mutable inflight : (int * Protocol.query * float) option;
+}
+
+let percentiles_of samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank q = a.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n /. 100.)) - 1))) in
+  {
+    l_count = n;
+    l_p50_us = rank 50.;
+    l_p95_us = rank 95.;
+    l_p99_us = rank 99.;
+    l_max_us = a.(n - 1);
+  }
+
+let run ~connect cfg =
+  if cfg.clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
+  if cfg.requests < 0 then invalid_arg "Loadgen.run: requests must be >= 0";
+  if cfg.mix = [] || List.exists (fun (_, w) -> w <= 0) cfg.mix then
+    invalid_arg "Loadgen.run: mix must be non-empty with positive weights";
+  let twin = Handler.create () in
+  let entries = Registry.all () in
+  match
+    let plan = gen_plan twin entries cfg in
+    let clients =
+      List.init cfg.clients (fun _ -> { fd = connect (); dec = Protocol.decoder (); todo = []; inflight = None })
+    in
+    let carr = Array.of_list clients in
+    List.iteri
+      (fun i q ->
+        let c = carr.(i mod cfg.clients) in
+        c.todo <- c.todo @ [ (i + 1, q) ])
+      plan;
+    let buf = Bytes.create 65536 in
+    let ok = ref 0 in
+    let mismatches = ref 0 in
+    let errors = Hashtbl.create 8 in
+    let latencies : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+    let note_latency kind us =
+      let cell =
+        match Hashtbl.find_opt latencies kind with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.replace latencies kind c;
+            c
+      in
+      cell := us :: !cell
+    in
+    let verify_payload q payload =
+      match Protocol.kind q with
+      | "stats" ->
+          if Json.member payload "cache" = None || Json.member payload "metrics" = None then
+            incr mismatches
+      | _ -> (
+          match Handler.handle twin q with
+          | Ok expected ->
+              if Json.to_string payload <> Json.to_string expected then incr mismatches
+          | Error _ -> incr mismatches)
+    in
+    let settle c =
+      match c.inflight with
+      | None -> ()
+      | Some (id, q, t0) ->
+          let r = read_reply c.fd c.dec buf in
+          note_latency (Protocol.kind q)
+            (int_of_float (Float.max 0. ((Unix.gettimeofday () -. t0) *. 1e6)));
+          c.inflight <- None;
+          if r.Protocol.r_id <> id then
+            raise (Fail (Printf.sprintf "reply id %d for request %d" r.Protocol.r_id id));
+          (match r.Protocol.body with
+          | Ok payload ->
+              incr ok;
+              if cfg.verify then verify_payload q payload
+          | Error (code, _) ->
+              let key = Protocol.code_to_string code in
+              Hashtbl.replace errors key (1 + Option.value (Hashtbl.find_opt errors key) ~default:0))
+    in
+    let t_start = Unix.gettimeofday () in
+    while Array.exists (fun c -> c.todo <> []) carr do
+      (* write phase: every client with work sends before anyone reads,
+         so concurrent requests reach the server as one batch *)
+      Array.iter
+        (fun c ->
+          match c.todo with
+          | [] -> ()
+          | (id, q) :: rest ->
+              c.todo <- rest;
+              let t0 = Unix.gettimeofday () in
+              send c.fd { Protocol.id; deadline_ms = cfg.deadline_ms; query = q };
+              c.inflight <- Some (id, q, t0))
+        carr;
+      Array.iter settle carr
+    done;
+    let wall = Unix.gettimeofday () -. t_start in
+    (* control requests on client 0: a stats snapshot for the report,
+       then (optionally) shutdown; neither counts toward the summary *)
+    let c0 = carr.(0) in
+    let control id query =
+      send c0.fd { Protocol.id; deadline_ms = None; query };
+      read_reply c0.fd c0.dec buf
+    in
+    let server_stats =
+      match (control (cfg.requests + 1) Protocol.Stats).Protocol.body with
+      | Ok payload -> Some payload
+      | Error _ -> None
+    in
+    if cfg.shutdown then
+      ignore (control (cfg.requests + 2) Protocol.Shutdown : Protocol.reply);
+    Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) carr;
+    let sorted_assoc tbl f =
+      Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    {
+      s_clients = cfg.clients;
+      s_requests = cfg.requests;
+      s_ok = !ok;
+      s_errors = sorted_assoc errors Fun.id;
+      s_mismatches = !mismatches;
+      s_wall_s = wall;
+      s_latency = sorted_assoc latencies (fun l -> percentiles_of !l);
+      s_server_stats = server_stats;
+    }
+  with
+  | summary -> Ok summary
+  | exception Fail msg -> Error msg
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+(* --- reporting ---------------------------------------------------------------- *)
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ( "loadgen",
+        Json.Obj
+          [
+            ("clients", Json.Int s.s_clients);
+            ("requests", Json.Int s.s_requests);
+            ("ok", Json.Int s.s_ok);
+            ("mismatches", Json.Int s.s_mismatches);
+            ("wall_s", Json.Float s.s_wall_s);
+            ("errors", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.s_errors));
+            ( "latency_us",
+              Json.Obj
+                (List.map
+                   (fun (kind, p) ->
+                     ( kind,
+                       Json.Obj
+                         [
+                           ("count", Json.Int p.l_count);
+                           ("p50", Json.Int p.l_p50_us);
+                           ("p95", Json.Int p.l_p95_us);
+                           ("p99", Json.Int p.l_p99_us);
+                           ("max", Json.Int p.l_max_us);
+                         ] ))
+                   s.s_latency) );
+            ( "server_stats",
+              match s.s_server_stats with Some j -> j | None -> Json.Null );
+          ] );
+    ]
+
+let pp_summary ppf s =
+  Format.fprintf ppf "loadgen: %d requests over %d client(s) in %.3f s@." s.s_requests
+    s.s_clients s.s_wall_s;
+  Format.fprintf ppf "  ok %d, errors %d, mismatches %d@." s.s_ok
+    (List.fold_left (fun a (_, c) -> a + c) 0 s.s_errors)
+    s.s_mismatches;
+  List.iter (fun (code, c) -> Format.fprintf ppf "  error %-18s %d@." code c) s.s_errors;
+  List.iter
+    (fun (kind, p) ->
+      Format.fprintf ppf "  %-8s count %-5d p50 %6d us   p95 %6d us   p99 %6d us   max %6d us@."
+        kind p.l_count p.l_p50_us p.l_p95_us p.l_p99_us p.l_max_us)
+    s.s_latency

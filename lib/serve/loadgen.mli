@@ -1,0 +1,66 @@
+(** Closed-loop load generator for the serving daemon.
+
+    [clients] connections each keep exactly one request in flight; every
+    round, all clients write their next request before any reply is read,
+    so the server's select loop sees them together and dispatches them as
+    one batch.  The request plan — kinds drawn from a weighted [mix],
+    instances drawn from the registry's quick sizes over a small set of
+    derived seeds (to exercise both cache hits and evictions), origins
+    uniform over the instance's nodes — is a deterministic function of
+    [seed].
+
+    With [verify] on, every successful reply's payload is re-encoded and
+    compared {e byte-for-byte} against the answer computed in-process by
+    a twin {!Handler} over the same registry: the wire adds latency, not
+    meaning.  ([stats] replies are structurally checked instead — the
+    daemon's metrics legitimately differ from the twin's.)
+
+    Latency is measured per request from frame write to reply decode and
+    reported as nearest-rank p50/p95/p99 per request kind. *)
+
+module Json = Vc_obs.Json
+
+type config = {
+  clients : int;
+  requests : int;  (** total, spread round-robin over the clients *)
+  mix : (string * int) list;  (** request kind → weight, weights > 0 *)
+  seed : int64;
+  deadline_ms : int option;  (** attached to every generated request *)
+  verify : bool;
+  shutdown : bool;  (** finish with a [shutdown] request on client 0 *)
+}
+
+val default_mix : (string * int) list
+(** [solve:1, probe:4, trace:1, list:1, stats:1]. *)
+
+val parse_mix : string -> ((string * int) list, string) result
+(** Parse ["kind:weight,kind:weight,…"] (weight defaults to 1); kinds
+    are [solve]/[probe]/[trace]/[list]/[stats]. *)
+
+type percentiles = {
+  l_count : int;
+  l_p50_us : int;
+  l_p95_us : int;
+  l_p99_us : int;
+  l_max_us : int;
+}
+
+type summary = {
+  s_clients : int;
+  s_requests : int;  (** requests sent (excluding the final shutdown) *)
+  s_ok : int;
+  s_errors : (string * int) list;  (** error code → count, sorted *)
+  s_mismatches : int;  (** verified replies that differed from the twin *)
+  s_wall_s : float;
+  s_latency : (string * percentiles) list;  (** per kind, sorted *)
+  s_server_stats : Json.t option;  (** the daemon's final [stats] payload *)
+}
+
+val run : connect:(unit -> Unix.file_descr) -> config -> (summary, string) result
+(** Drive the daemon reachable via [connect] (called once per client).
+    [Error] means the run could not complete (connection refused, stream
+    closed mid-reply) — protocol-level error replies are counted in the
+    summary, not fatal. *)
+
+val summary_to_json : summary -> Json.t
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,89 @@
+(* Hash table over an intrusive doubly-linked recency list; the list's
+   head is the most recently used binding, the tail the eviction
+   victim.  A sentinel node closes the ring so link surgery never
+   branches on emptiness. *)
+
+type ('k, 'v) node = {
+  mutable key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node;
+  mutable next : ('k, 'v) node;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable sentinel : ('k, 'v) node option;
+      (* allocated lazily on first [add]: a sentinel needs a key/value to
+         inhabit its fields, and we have none until then *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { cap = capacity; tbl = Hashtbl.create (2 * capacity); sentinel = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let link_after s n =
+  n.prev <- s;
+  n.next <- s.next;
+  s.next.prev <- n;
+  s.next <- n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+      (match t.sentinel with
+      | Some s when s.next != n ->
+          unlink n;
+          link_after s n
+      | _ -> ());
+      Some n.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.value <- v;
+      (match t.sentinel with
+      | Some s when s.next != n ->
+          unlink n;
+          link_after s n
+      | _ -> ());
+      None
+  | None ->
+      let s =
+        match t.sentinel with
+        | Some s -> s
+        | None ->
+            let rec s = { key = k; value = v; prev = s; next = s } in
+            t.sentinel <- Some s;
+            s
+      in
+      let evicted =
+        if Hashtbl.length t.tbl >= t.cap then begin
+          let victim = s.prev in
+          unlink victim;
+          Hashtbl.remove t.tbl victim.key;
+          Some (victim.key, victim.value)
+        end
+        else None
+      in
+      let n = { key = k; value = v; prev = s; next = s } in
+      link_after s n;
+      Hashtbl.replace t.tbl k n;
+      evicted
+
+let to_list t =
+  match t.sentinel with
+  | None -> []
+  | Some s ->
+      let rec go n acc = if n == s then List.rev acc else go n.next ((n.key, n.value) :: acc) in
+      go s.next []

@@ -1,0 +1,37 @@
+(** A small bounded LRU map — the serving layer's session cache.
+
+    Keys are compared with structural equality and hashed with
+    [Hashtbl.hash]; capacity is fixed at {!create} and adding beyond it
+    evicts the least-recently-used binding.  {!find} counts as a use.
+
+    The implementation is a hash table over an intrusive doubly-linked
+    recency list, so every operation is O(1).  The eviction order is a
+    pure function of the operation sequence (no clocks, no randomness) —
+    which is what the model-based qcheck property in [test/test_serve.ml]
+    pins down.
+
+    Not thread-safe: the server mutates its cache only on the dispatch
+    loop's domain. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Look the key up and, when bound, make it the most recently used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership {e without} touching recency. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Bind (or rebind) the key as most recently used and return the
+    binding this pushed out, if the cache was full.  Rebinding an
+    existing key never evicts. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Bindings, most recently used first. *)

@@ -1,0 +1,168 @@
+module Pool = Vc_exec.Pool
+module Json = Vc_obs.Json
+
+(* --- listening sockets ------------------------------------------------------- *)
+
+let listen_unix ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+(* --- connections ------------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Protocol.decoder;
+  mutable alive : bool;
+}
+
+let close_conn c =
+  if c.alive then begin
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Blocking write of a whole reply; replies are small, and a peer that
+   stops reading only stalls its own connection's replies. *)
+let write_conn c s =
+  if c.alive then
+    try
+      let len = String.length s in
+      let off = ref 0 in
+      while !off < len do
+        off := !off + Unix.write_substring c.fd s !off (len - !off)
+      done
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn c
+
+type pending = {
+  p_conn : conn;
+  p_req : Protocol.request;
+  p_arrival : float;  (** [Unix.gettimeofday] at frame completion *)
+}
+
+let expired p ~now =
+  match p.p_req.Protocol.deadline_ms with
+  | None -> false
+  | Some d -> (now -. p.p_arrival) *. 1000. >= float_of_int d
+
+(* --- the loop ---------------------------------------------------------------- *)
+
+let run ~handler ?pool ?(queue_depth = 64) ~listen () =
+  if queue_depth < 1 then invalid_arg "Server.run: queue_depth must be >= 1";
+  let conns = ref [] in
+  let queue = Queue.create () in
+  let answered = ref 0 in
+  let stopping = ref false in
+  let reply c json =
+    write_conn c (Protocol.frame (Json.to_string json));
+    incr answered
+  in
+  let reply_error c ~id ~code ~message =
+    Handler.note_error code;
+    reply c (Protocol.error_reply ~id ~code ~message)
+  in
+  let buf = Bytes.create 65536 in
+  (* Drain every complete frame the connection has buffered; a stream
+     that is malformed at the framing layer gets one terminal error. *)
+  let rec drain_frames c =
+    match Protocol.next_frame c.dec with
+    | Ok None -> ()
+    | Error msg ->
+        reply_error c ~id:0 ~code:Protocol.Bad_request ~message:("bad frame: " ^ msg);
+        close_conn c
+    | Ok (Some body) ->
+        let arrival = Unix.gettimeofday () in
+        (match Json.parse body with
+        | Error msg -> reply_error c ~id:0 ~code:Protocol.Bad_request ~message:msg
+        | Ok v -> (
+            match Protocol.request_of_json v with
+            | Error msg ->
+                let id =
+                  match Option.bind (Json.member v "id") Json.to_int with
+                  | Some id when id >= 0 -> id
+                  | _ -> 0
+                in
+                reply_error c ~id ~code:Protocol.Bad_request ~message:msg
+            | Ok req ->
+                Handler.note_request req.Protocol.query;
+                if Queue.length queue >= queue_depth then
+                  reply_error c ~id:req.Protocol.id ~code:Protocol.Overloaded
+                    ~message:
+                      (Printf.sprintf "queue full (%d requests pending)" (Queue.length queue))
+                else Queue.add { p_conn = c; p_req = req; p_arrival = arrival } queue));
+        if c.alive then drain_frames c
+  in
+  let read_conn c =
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 -> close_conn c
+    | n ->
+        Protocol.feed c.dec buf n;
+        drain_frames c
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn c
+  in
+  (* Dispatch the whole queue as one batch: deadline triage and
+     [Handler.prepare] on this domain, compute thunks on the pool,
+     replies in arrival order. *)
+  let dispatch () =
+    if not (Queue.is_empty queue) then begin
+      let now = Unix.gettimeofday () in
+      let batch = List.of_seq (Queue.to_seq queue) in
+      Queue.clear queue;
+      let thunks =
+        List.map
+          (fun p ->
+            if expired p ~now then fun () ->
+              Error
+                ( Protocol.Deadline_exceeded,
+                  Printf.sprintf "deadline of %d ms expired before dispatch"
+                    (Option.value p.p_req.Protocol.deadline_ms ~default:0) )
+            else
+              match Handler.prepare handler p.p_req.Protocol.query with
+              | thunk -> fun () -> ( try thunk () with exn -> Error (Protocol.Server_error, Printexc.to_string exn))
+              | exception exn ->
+                  let msg = Printexc.to_string exn in
+                  fun () -> Error (Protocol.Server_error, msg))
+          batch
+      in
+      let results =
+        match pool with
+        | Some p when List.length thunks > 1 -> Pool.map p (fun f -> f ()) thunks
+        | _ -> List.map (fun f -> f ()) thunks
+      in
+      List.iter2
+        (fun p result ->
+          let id = p.p_req.Protocol.id in
+          (match result with
+          | Ok payload -> reply p.p_conn (Protocol.ok_reply ~id payload)
+          | Error (code, message) -> reply_error p.p_conn ~id ~code ~message);
+          let us =
+            int_of_float (Float.max 0. ((Unix.gettimeofday () -. p.p_arrival) *. 1e6))
+          in
+          Handler.observe_latency ~kind:(Protocol.kind p.p_req.Protocol.query) us;
+          if p.p_req.Protocol.query = Protocol.Shutdown then stopping := true)
+        batch results
+    end
+  in
+  while not !stopping do
+    conns := List.filter (fun c -> c.alive) !conns;
+    let fds = listen :: List.map (fun c -> c.fd) !conns in
+    let readable, _, _ = Unix.select fds [] [] (-1.0) in
+    if List.mem listen readable then begin
+      let fd, _ = Unix.accept listen in
+      conns := { fd; dec = Protocol.decoder (); alive = true } :: !conns
+    end;
+    List.iter (fun c -> if c.alive && List.mem c.fd readable then read_conn c) !conns;
+    dispatch ()
+  done;
+  List.iter close_conn !conns;
+  (try Unix.close listen with Unix.Unix_error _ -> ());
+  !answered

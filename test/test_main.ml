@@ -24,4 +24,5 @@ let () =
          Test_cross_model.suites;
          Test_check.suites;
          Test_obs.suites;
+         Test_serve.suites;
        ])

@@ -57,6 +57,83 @@ let test_json_i64 () =
       | Error msg -> Alcotest.failf "%s: %s" s msg)
     [ Int64.min_int; Int64.max_int; 0L; -1L; 4611686018427387904L ]
 
+(* The parser feeds on untrusted socket bytes since lib/serve: nesting
+   past Json.max_depth must be a parse error, never a Stack_overflow. *)
+let test_json_depth_limit () =
+  let deep n =
+    String.concat "" [ String.make n '['; "1"; String.make n ']' ]
+  in
+  (match Json.parse (deep Json.max_depth) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth %d rejected: %s" Json.max_depth msg);
+  (match Json.parse (deep 100_000) with
+  | Ok _ -> Alcotest.fail "100k-deep array accepted"
+  | Error _ -> ()
+  | exception Stack_overflow -> Alcotest.fail "100k-deep array overflowed the stack");
+  let b = Buffer.create (100_000 * 6) in
+  for _ = 1 to 100_000 do
+    Buffer.add_string b "{\"a\":"
+  done;
+  Buffer.add_string b "1";
+  for _ = 1 to 100_000 do
+    Buffer.add_char b '}'
+  done;
+  match Json.parse (Buffer.contents b) with
+  | Ok _ -> Alcotest.fail "100k-deep object accepted"
+  | Error _ -> ()
+  | exception Stack_overflow -> Alcotest.fail "100k-deep object overflowed the stack"
+
+(* Structural round-trip: a generator restricted to values the codec
+   represents canonically (no I64/NaN, no integral floats — those
+   reparse as Int), so [parse (to_string v) = Ok v] holds *structurally*,
+   not just up to re-encoding.  Strings include control characters,
+   which encode as \u00XX escapes, plus raw UTF-8 bytes. *)
+let json_structural_gen =
+  let open QCheck.Gen in
+  let octant =
+    (* (2k+1)/8 is never integral, exactly representable, and within
+       %.6g's six significant digits for |k| <= 399 *)
+    map (fun k -> float_of_int ((2 * k) + 1) /. 8.) (int_range (-399) 399)
+  in
+  let str_char =
+    frequency
+      [
+        (6, printable);
+        (1, oneofl [ '\n'; '\t'; '\r'; '\x01'; '\x1f' ]);
+        (1, oneofl [ '\xc3'; '\xa9'; '\xe2'; '\x82'; '\xac' ]);
+      ]
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun n -> Json.Int n) (oneof [ small_signed_int; oneofl [ 0; -1; min_int; max_int ] ]);
+        map (fun f -> Json.Float f) octant;
+        map (fun s -> Json.String s) (string_size ~gen:str_char (int_bound 12));
+      ]
+  in
+  let rec value depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          (1, map (fun xs -> Json.List xs) (list_size (int_bound 4) (value (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj (List.mapi (fun i (k, v) -> (Fmt.str "%d_%s" i k, v)) kvs))
+              (list_size (int_bound 4)
+                 (pair (string_size ~gen:str_char (int_bound 6)) (value (depth - 1)))) );
+        ]
+  in
+  value 3
+
+let qcheck_json_structural_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Json: print/parse round-trip is structurally exact"
+    (QCheck.make ~print:Json.to_string json_structural_gen)
+    (fun v -> match Json.parse (Json.to_string v) with Ok w -> w = v | Error _ -> false)
+
 let json_gen =
   let open QCheck.Gen in
   let scalar =
@@ -310,7 +387,9 @@ let suites =
         Alcotest.test_case "nested round-trip" `Quick test_json_roundtrip;
         Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
         Alcotest.test_case "int64 extremes" `Quick test_json_i64;
+        Alcotest.test_case "depth limit" `Quick test_json_depth_limit;
         QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_json_structural_roundtrip;
       ] );
     ( "obs:metrics",
       [
