@@ -11,7 +11,11 @@
 
    3. lazy-vs-eager world microbenchmarks (`world-session/*`,
       `probe-hot-path/*`): the before/after evidence that a probe run on
-      a lazy world costs Θ(ball), not Θ(n).
+      a lazy world costs Θ(ball), not Θ(n);
+
+   4. batched-IR microbenchmarks (`batched-ir/*`): per-origin throughput
+      of Vc_ir.Exec.run_batch against the per-origin closure path, gated
+      at >= 10x on the probe-bound rows.
 
    `dune exec bench/main.exe` runs all three; pass `--quick` (or set
    VOLCOMP_QUICK=1) for the shortened ladders, `--deep` to extend each
@@ -53,6 +57,8 @@ module Experiments = Vc_measure.Experiments
 module Runner = Vc_measure.Runner
 module Fit = Vc_measure.Fit
 module Pool = Vc_exec.Pool
+module Ir_exec = Vc_ir.Exec
+module Ir_lib = Vc_ir.Library
 module Json = Vc_obs.Json
 module Metrics = Vc_obs.Metrics
 
@@ -349,6 +355,106 @@ let micro_ok rows =
       else match micro_speedup r with Some s -> s >= 10.0 | None -> true)
     rows
 
+(* --- batched-IR vs closure microbenchmarks ---------------------------------- *)
+
+type ir_row = {
+  i_name : string;
+  i_batched_ns : float;  (* Vc_ir.Exec.run_batch, ns per origin *)
+  i_closure_ns : float;  (* one Probe.run per origin, ns per origin *)
+  i_gate : bool;
+      (* enforce the >= 10x batched-vs-closure bar; off for control rows
+         whose solver is ball-bound (the executor pays the same BFS the
+         closure does, so batching can only shave dispatch) *)
+}
+
+let ir_speedup r = r.i_closure_ns /. r.i_batched_ns
+
+(* The perf evidence for the IR port: on probe-bound problems — O(1) or
+   O(log* n) queries per origin, so the closure path is dominated by
+   per-origin session setup, closure dispatch and allocation — the
+   allocation-free executor must clear 10x.  Both sides run the
+   registry-checked oracle pairs (probe 8 proves them result-identical),
+   so this is a pure same-answer throughput comparison: one
+   [run_batch_into] over a sink versus one [Probe.run] per origin. *)
+let run_ir_micro () =
+  let row ~name ~gate ~none spec ~graph ~input ~world ~(solver : (_, _) Lcl.solver) ~count =
+    let origins = Array.of_list (Runner.sample_origins graph ~count ~seed:7L) in
+    let snk = Ir_exec.sink ~none (Array.length origins) in
+    let batched () = Ir_exec.run_batch_into spec ~graph ~input ~origins ~sink:snk in
+    let closure () =
+      Array.iter
+        (fun v -> ignore (Probe.run ~world ~origin:v solver.Lcl.solve : _ Probe.result))
+        origins
+    in
+    let k = float_of_int (Array.length origins) in
+    (* Min-of-3 per side (the [measure_obs_overhead] pattern): the min of
+       repeated >= 50ms windows discards GC pauses and scheduler
+       interference, which otherwise wobble the gated ratio by +-15% on a
+       busy host. *)
+    let min3 f = Float.min (time_ns f) (Float.min (time_ns f) (time_ns f)) in
+    {
+      i_name = name;
+      i_batched_ns = min3 batched /. k;
+      i_closure_ns = min3 closure /. k;
+      i_gate = gate;
+    }
+  in
+  let parity =
+    let g = Builder.complete_binary_tree ~depth:15 in
+    row
+      ~name:(Printf.sprintf "batched-ir/degree-parity-%d" (Graph.n g))
+      ~gate:true ~none:Trivial.Even Ir_lib.degree_parity ~graph:g
+      ~input:(fun _ -> ())
+      ~world:(Trivial.world g) ~solver:Trivial.solve ~count:65535
+  in
+  let cycle =
+    let n = 65536 in
+    let g = Builder.cycle n in
+    row
+      ~name:(Printf.sprintf "batched-ir/cycle-coloring-%d" n)
+      ~gate:true ~none:0 (Ir_lib.cycle_coloring ~n) ~graph:g
+      ~input:(fun _ -> ())
+      ~world:(CC.world g) ~solver:CC.solve ~count:n
+  in
+  let status =
+    let inst = LC.random_instance ~n:65535 ~seed:1L in
+    row ~name:"batched-ir/probe-tree-status-65535" ~gate:false ~none:TL.Internal
+      Ir_lib.probe_tree_status ~graph:inst.LC.graph ~input:(LC.input inst)
+      ~world:(LC.world inst) ~solver:Ir_lib.status_solver ~count:16384
+  in
+  let leaf_control =
+    let inst = LC.random_instance ~n:2047 ~seed:1L in
+    row ~name:"batched-ir/leaf-coloring-2047" ~gate:false ~none:TL.Red Ir_lib.leaf_coloring
+      ~graph:inst.LC.graph ~input:(LC.input inst) ~world:(LC.world inst)
+      ~solver:LC.solve_distance ~count:256
+  in
+  [ parity; cycle; status; leaf_control ]
+
+let pp_ir_micro rows =
+  Fmt.pr "@.== Batched-IR vs closure microbenchmarks ==@.";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-38s batched %8.0f ns/origin   closure %10.0f ns/origin   speedup %8.1fx%s@."
+        r.i_name r.i_batched_ns r.i_closure_ns (ir_speedup r)
+        (if r.i_gate then "" else "   (ball-bound control)"))
+    rows
+
+let ir_micro_ok rows = List.for_all (fun r -> (not r.i_gate) || ir_speedup r >= 10.0) rows
+
+let ir_micro_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.i_name);
+             ("batched_ns", Json.Float r.i_batched_ns);
+             ("closure_ns", Json.Float r.i_closure_ns);
+             ("speedup", Json.Float (ir_speedup r));
+             ("gated", Json.Bool r.i_gate);
+           ])
+       rows)
+
 (* --- serving-layer microbenchmarks ------------------------------------------- *)
 
 type serve_row = { sv_name : string; sv_ns : float }
@@ -511,7 +617,7 @@ let obs_json o =
       ("ok", Json.Bool (obs_ok o));
     ]
 
-let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~serve ~obs =
+let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_micro ~serve ~obs =
   let wallclock_json =
     match wallclock with
     | None -> Json.Null
@@ -547,6 +653,7 @@ let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~serve 
         ("wallclock", wallclock_json);
         ("speedup", speedup_json);
         ("micro", micro_json micro);
+        ("ir_micro", ir_micro_json ir_micro);
         ("serve", serve_json serve);
         ("obs_overhead", obs_json obs);
         ("metrics", Metrics.to_json ());
@@ -619,6 +726,8 @@ let () =
   let wallclock_rows = if wallclock && not micro_only then Some (run_wallclock ()) else None in
   let micro = run_micro () in
   pp_micro micro;
+  let ir_micro = run_ir_micro () in
+  pp_ir_micro ir_micro;
   let serve = run_serve_micro () in
   pp_serve serve;
   let obs = measure_obs_overhead () in
@@ -643,16 +752,20 @@ let () =
   | None -> ()
   | Some path ->
       write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro
-        ~serve ~obs;
+        ~ir_micro ~serve ~obs;
       Fmt.pr "wrote %s@." path);
   Option.iter Pool.shutdown pool;
   let mismatch = List.exists (fun r -> not (Experiments.all_agree r)) reports in
   let speedup_failed = match speedup with Some s -> not (speedup_ok s) | None -> false in
   if not (micro_ok micro) then
     Fmt.pr "== FAIL: a world-session microbenchmark fell below the 10x lazy-vs-eager bar ==@.";
+  if not (ir_micro_ok ir_micro) then
+    Fmt.pr "== FAIL: a batched-IR microbenchmark fell below the 10x batched-vs-closure bar ==@.";
   if speedup_failed then
     Fmt.pr "== FAIL: the parallel run lost to the sequential run on a multi-core box ==@.";
   if not (obs_ok obs) then
     Fmt.pr "== FAIL: the metrics-disabled hot path exceeded the %.0f%% overhead gate ==@."
       ((obs_gate -. 1.0) *. 100.0);
-  if mismatch || not (micro_ok micro) || speedup_failed || not (obs_ok obs) then exit 1
+  if mismatch || not (micro_ok micro) || not (ir_micro_ok ir_micro) || speedup_failed
+     || not (obs_ok obs)
+  then exit 1

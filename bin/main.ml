@@ -10,6 +10,7 @@
      trace        record a probe transcript, or replay one bit-for-bit
      export       render an instance (optionally with a traced ball) as DOT
      list         print the conformance registry (problems, radii, sizes)
+     ir           list/dump/validate/run the shipped probe-program IR
      serve        query-serving daemon over a Unix-domain (or TCP) socket
      loadgen      closed-loop load generator + verifier for the daemon *)
 
@@ -33,6 +34,9 @@ module Pool = Vc_exec.Pool
 module Json = Vc_obs.Json
 module Trace = Vc_obs.Trace
 module Metrics = Vc_obs.Metrics
+module Ir = Vc_ir.Ir
+module Ir_exec = Vc_ir.Exec
+module Ir_lib = Vc_ir.Library
 
 (* --- worker domains (-j / VOLCOMP_JOBS) ------------------------------------ *)
 
@@ -336,7 +340,16 @@ let check_cmd =
       & info [ "only" ] ~docv:"SUBSTR"
           ~doc:"Only check problems whose name contains $(docv) (case-insensitive).")
   in
-  let run seed count quick json only metrics jobs =
+  let probes =
+    Arg.(
+      value & opt (some string) None
+      & info [ "probes" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated oracle probes to run (of: solvers, merge, cross, lazy, ir, \
+             mutate, replay, serve); default all.  Skipped probes are listed in the report \
+             and keep vacuous verdicts.")
+  in
+  let run seed count quick json only probes metrics jobs =
     let entries =
       match only with
       | None -> Vc_check.Registry.all ()
@@ -352,16 +365,42 @@ let check_cmd =
               contains 0)
             (Vc_check.Registry.all ())
     in
+    let probe_list =
+      Option.map
+        (fun s ->
+          List.filter
+            (fun p -> p <> "")
+            (List.map (fun p -> String.lowercase_ascii (String.trim p))
+               (String.split_on_char ',' s)))
+        probes
+    in
+    let bad_probe =
+      Option.bind probe_list
+        (List.find_opt (fun p -> not (List.mem p Vc_check.Oracle.probe_names)))
+    in
     if entries = [] then begin
       Fmt.epr "check: no problem matches the filter@.";
       2
     end
+    else if bad_probe <> None then begin
+      Fmt.epr "check: unknown probe %S (known: %s)@." (Option.get bad_probe)
+        (String.concat ", " Vc_check.Oracle.probe_names);
+      2
+    end
     else begin
       let seed64 = Int64.of_int seed in
+      (* when the serve probe is filtered out, don't even build the
+         serving-layer closure — `--probes` is how CI skips the daemon
+         round-trip on problem-focused runs *)
+      let serve =
+        match probe_list with
+        | Some ps when not (List.mem "serve" ps) -> None
+        | _ -> Some Vc_serve.Conform.probe
+      in
       with_metrics metrics @@ fun () ->
       let report =
         with_jobs jobs (fun pool ->
-            Vc_check.Oracle.run ?pool ~entries ~serve:Vc_serve.Conform.probe ~seed:seed64
+            Vc_check.Oracle.run ?pool ~entries ?probes:probe_list ?serve ~seed:seed64
               ~count ~quick ())
       in
       Fmt.pr "%a@." Vc_check.Report.pp report;
@@ -397,7 +436,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Differential conformance and fuzzing oracle over all registered problems.")
-    Term.(const run $ seed $ count $ quick $ json $ only $ metrics_term $ jobs_term)
+    Term.(const run $ seed $ count $ quick $ json $ only $ probes $ metrics_term $ jobs_term)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -516,13 +555,13 @@ let list_cmd =
     if json then
       print_string (Json.to_string (Vc_serve.Protocol.list_payload entries) ^ "\n")
     else begin
-      Fmt.pr "%-28s %-10s %-24s %s@." "problem" "radius" "sizes" "quick sizes";
+      Fmt.pr "%-28s %-10s %-24s %-14s %s@." "problem" "radius" "sizes" "quick sizes" "ir";
       List.iter
         (fun (e : Vc_check.Registry.entry) ->
           let ints l = String.concat "," (List.map string_of_int l) in
-          Fmt.pr "%-28s %-10s %-24s %s@." e.name
+          Fmt.pr "%-28s %-10s %-24s %-14s %b@." e.name
             (if e.radius = max_int then "unbounded" else string_of_int e.radius)
-            (ints e.sizes) (ints e.quick_sizes))
+            (ints e.sizes) (ints e.quick_sizes) e.ir)
         entries
     end;
     0
@@ -530,6 +569,269 @@ let list_cmd =
   Cmd.v
     (Cmd.info "list" ~doc:"Print the conformance registry: problems, radii, instance sizes.")
     Term.(const run $ json)
+
+(* --- ir --------------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let ir_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("list", `List); ("dump", `Dump); ("validate", `Validate); ("run", `Run) ]))
+          None
+      & info [] ~docv:"ACTION" ~doc:"One of list, dump, validate, run.")
+  in
+  let name_arg =
+    Arg.(
+      value & pos 1 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Shipped program name (see $(b,ir list)).")
+  in
+  let n =
+    Arg.(
+      value & opt int 1024
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Claimed instance size used to instantiate size-dependent programs \
+             (cycle-coloring's walk length is $(b,rounds_needed n + 3)).")
+  in
+  let size =
+    Arg.(value & opt int 63 & info [ "size" ] ~docv:"N" ~doc:"Instance size for $(b,run).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Instance seed for $(b,run).")
+  in
+  let origin =
+    Arg.(
+      value & opt (some int) None
+      & info [ "origin" ] ~docv:"V"
+          ~doc:"Run from this node only (default: batch over every node).")
+  in
+  let file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "file" ] ~docv:"PATH"
+          ~doc:"Validate a JSON-encoded program from $(docv) instead of a shipped one.")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Validate every shipped program.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON.") in
+  let run_ir action name n size seed origin file all json jobs =
+    let fail fmt =
+      Fmt.kstr
+        (fun s ->
+          Fmt.epr "ir: %s@." s;
+          2)
+        fmt
+    in
+    let unknown nm =
+      fail "unknown program %S (known: %s)" nm (String.concat ", " (Ir_lib.names ()))
+    in
+    match action with
+    | `List ->
+        let progs =
+          List.filter_map
+            (fun nm -> Option.map (fun p -> (nm, p)) (Ir_lib.program ~name:nm ~n))
+            (Ir_lib.names ())
+        in
+        if json then
+          print_string
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ( "programs",
+                      Json.List
+                        (List.map
+                           (fun (nm, (p : Ir.program)) ->
+                             Json.Obj
+                               [
+                                 ("name", Json.String nm);
+                                 ("instructions", Json.Int (Array.length p.Ir.code));
+                                 ("regs", Json.Int p.Ir.n_regs);
+                                 ("queues", Json.Int p.Ir.n_queues);
+                                 ("obs_arity", Json.Int p.Ir.obs_arity);
+                               ])
+                           progs) );
+                  ])
+            ^ "\n")
+        else begin
+          Fmt.pr "%-20s %6s %5s %6s %9s@." "program" "instrs" "regs" "queues" "obs arity";
+          List.iter
+            (fun (nm, (p : Ir.program)) ->
+              Fmt.pr "%-20s %6d %5d %6d %9d@." nm (Array.length p.Ir.code) p.Ir.n_regs
+                p.Ir.n_queues p.Ir.obs_arity)
+            progs
+        end;
+        0
+    | `Dump -> (
+        match name with
+        | None -> fail "dump: expected a PROGRAM name"
+        | Some nm -> (
+            match Ir_lib.program ~name:nm ~n with
+            | None -> unknown nm
+            | Some p ->
+                if json then print_string (Json.to_string (Ir.program_to_json p) ^ "\n")
+                else Fmt.pr "%a@." Ir.pp_program p;
+                0))
+    | `Validate ->
+        let of_name nm =
+          match Ir_lib.program ~name:nm ~n with
+          | None -> (nm, Error "unknown program")
+          | Some p -> (nm, Ir.validate p)
+        in
+        let of_file path =
+          ( path,
+            match (try Ok (read_file path) with Sys_error e -> Error e) with
+            | Error e -> Error e
+            | Ok s -> (
+                match Json.parse s with
+                | Error e -> Error ("parse: " ^ e)
+                | Ok j -> Result.map (fun (_ : Ir.program) -> ()) (Ir.program_of_json j)) )
+        in
+        let results =
+          match (file, all, name) with
+          | Some path, _, _ -> [ of_file path ]
+          | None, true, _ -> List.map of_name (Ir_lib.names ())
+          | None, false, Some nm -> [ of_name nm ]
+          | None, false, None -> []
+        in
+        if results = [] then fail "validate: expected a PROGRAM, --all or --file PATH"
+        else begin
+          let ok = List.for_all (fun (_, r) -> r = Ok ()) results in
+          if json then
+            print_string
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("ok", Json.Bool ok);
+                      ( "programs",
+                        Json.List
+                          (List.map
+                             (fun (nm, r) ->
+                               Json.Obj
+                                 [
+                                   ("name", Json.String nm);
+                                   ("ok", Json.Bool (r = Ok ()));
+                                   ( "error",
+                                     match r with
+                                     | Ok () -> Json.Null
+                                     | Error e -> Json.String e );
+                                 ])
+                             results) );
+                    ])
+              ^ "\n")
+          else
+            List.iter
+              (fun (nm, r) ->
+                match r with
+                | Ok () -> Fmt.pr "%s: ok@." nm
+                | Error e -> Fmt.pr "%s: INVALID: %s@." nm e)
+              results;
+          if ok then 0 else 1
+        end
+    | `Run -> (
+        match name with
+        | None -> fail "run: expected a PROGRAM name"
+        | Some nm -> (
+            match Ir_lib.instance ~name:nm ~size ~seed:(Int64.of_int seed) with
+            | None -> unknown nm
+            | Some (Ir_lib.Packed { spec; graph; input; world; solver; pp_output }) -> (
+                let nn = Graph.n graph in
+                match origin with
+                | Some v when v < 0 || v >= nn ->
+                    fail "origin %d out of range (instance has %d nodes)" v nn
+                | _ ->
+                    let origins =
+                      match origin with
+                      | Some v -> [| v |]
+                      | None -> Array.init nn (fun v -> v)
+                    in
+                    let results =
+                      with_jobs jobs (fun pool ->
+                          Ir_exec.run_batch ?pool spec ~graph ~input ~origins)
+                    in
+                    (* every run is also an oracle check: the closure
+                       solver must agree bit for bit under the program's
+                       declared budget *)
+                    let budget = spec.Ir.program.Ir.declared in
+                    let identical = ref true in
+                    Array.iteri
+                      (fun i v ->
+                        if Probe.run ~world ~budget ~origin:v solver.Lcl.solve <> results.(i)
+                        then identical := false)
+                      origins;
+                    let agg f init = Array.fold_left f init results in
+                    let max_of get = agg (fun m r -> max m (get r)) 0 in
+                    let aborted =
+                      agg (fun c (r : _ Probe.result) -> if r.Probe.aborted then c + 1 else c) 0
+                    in
+                    let total_queries = agg (fun s r -> s + r.Probe.queries) 0 in
+                    if json then begin
+                      let base =
+                        [
+                          ("program", Json.String nm);
+                          ("n", Json.Int nn);
+                          ("size", Json.Int size);
+                          ("seed", Json.Int seed);
+                          ("runs", Json.Int (Array.length origins));
+                          ("aborted", Json.Int aborted);
+                          ("max_volume", Json.Int (max_of (fun r -> r.Probe.volume)));
+                          ("max_distance", Json.Int (max_of (fun r -> r.Probe.distance)));
+                          ("max_queries", Json.Int (max_of (fun r -> r.Probe.queries)));
+                          ("total_queries", Json.Int total_queries);
+                          ("oracle_identical", Json.Bool !identical);
+                        ]
+                      in
+                      let fields =
+                        match origin with
+                        | Some v ->
+                            base
+                            @ [
+                                ("origin", Json.Int v);
+                                ( "output",
+                                  match results.(0).Probe.output with
+                                  | None -> Json.Null
+                                  | Some o -> Json.String (Fmt.str "%a" pp_output o) );
+                              ]
+                        | None -> base
+                      in
+                      print_string (Json.to_string (Json.Obj fields) ^ "\n")
+                    end
+                    else begin
+                      Fmt.pr "%s: n=%d size=%d seed=%d@." nm nn size seed;
+                      (match origin with
+                      | Some v ->
+                          Fmt.pr "origin %d: output %a@." v
+                            (Fmt.option ~none:(Fmt.any "aborted") pp_output)
+                            results.(0).Probe.output
+                      | None -> ());
+                      Fmt.pr
+                        "runs %d  aborted %d  max volume %d  max distance %d  max queries %d  \
+                         total queries %d@."
+                        (Array.length origins) aborted
+                        (max_of (fun r -> r.Probe.volume))
+                        (max_of (fun r -> r.Probe.distance))
+                        (max_of (fun r -> r.Probe.queries))
+                        total_queries;
+                      Fmt.pr "oracle identical: %b@." !identical
+                    end;
+                    if !identical then 0 else 1)))
+  in
+  Cmd.v
+    (Cmd.info "ir"
+       ~doc:
+         "Inspect and execute the shipped probe-program IR: list the catalogue, dump a \
+          program (text or JSON), validate programs (shipped or from a JSON file), or run \
+          one through the batched executor with the closure solver as oracle.")
+    Term.(
+      const run_ir $ action $ name_arg $ n $ size $ seed $ origin $ file $ all $ json
+      $ jobs_term)
 
 (* --- serve ------------------------------------------------------------------- *)
 
@@ -741,6 +1043,7 @@ let () =
             trace_cmd;
             export_cmd;
             list_cmd;
+            ir_cmd;
             serve_cmd;
             loadgen_cmd;
           ]))

@@ -6,6 +6,7 @@ module LC = Volcomp.Leaf_coloring
 module BT = Volcomp.Balanced_tree
 module Hy = Volcomp.Hybrid_thc
 module SO = Volcomp.Sinkless
+module Ir = Vc_ir.Ir
 
 (* --- graph specs --------------------------------------------------------- *)
 
@@ -110,3 +111,184 @@ let garbage_hybrid_input rng =
     color = garbage_color rng;
     level = Splitmix.int rng ~bound:5;
   }
+
+(* --- random probe programs -------------------------------------------------- *)
+
+type program_spec = { p_blocks : int; p_seed : int64 }
+
+let pp_program_spec ppf s = Fmt.pf ppf "ir-program(blocks=%d, seed=%Ld)" s.p_blocks s.p_seed
+
+let ir_n_regs = 4
+let ir_n_queues = 2
+let ir_obs_arity = 3
+let ir_consts = [| 0; 1 |]
+
+(* Observation fields are small pseudo-random port-sized ints (0..3), so
+   a [P_field] hop is valid often enough to walk and invalid often
+   enough to exercise the truncation path. *)
+let ir_obs i f = (((i * 0x2545f491) lsr (3 * f)) lxor (i lsr 7)) land 3
+
+let ir_input g v = Graph.id g v
+
+(* The one output combinator: a fold over everything the env exposes —
+   origin, n, the full query log, ids, degrees, inputs, registers — so a
+   batched-vs-reference divergence in any of them flips the output. *)
+let ir_checksum env =
+  let acc = ref ((env.Ir.e_origin * 31) + env.Ir.e_n) in
+  let touch v =
+    acc := (!acc * 131) + env.Ir.e_id v + (7 * env.Ir.e_degree v) + env.Ir.e_input v
+  in
+  for i = 0 to env.Ir.e_queries - 1 do
+    touch (env.Ir.e_query i)
+  done;
+  for r = 0 to ir_n_regs - 1 do
+    touch (env.Ir.e_reg r)
+  done;
+  !acc land 0xffffff
+
+(* Programs are built from guarded blocks laid out consecutively, with
+   control flowing only forward: a branch or jump targets the start of a
+   strictly later block (or the exit block), and otherwise execution
+   falls through — so every generated program terminates structurally,
+   not just via the step cap.  Block [b]'s body is drawn from its own
+   split of the seed, and forward targets are drawn against a fixed
+   horizon and clamped to the exit at layout time, so the [p_blocks - 1]
+   shrink of a failing program is literally its prefix. *)
+
+type ptgt = Next_instr | Block of int
+
+type pinstr = P of Ir.instr | PJump of ptgt | PBranch of Ir.cond * ptgt * ptgt
+
+let block_rng seed b = Splitmix.split (Splitmix.create seed) ~key:(Int64.of_int b)
+
+let gen_block rng b =
+  let reg () = Splitmix.int rng ~bound:ir_n_regs in
+  let queue () = Splitmix.int rng ~bound:ir_n_queues in
+  let field () = Splitmix.int rng ~bound:ir_obs_arity in
+  let sel () =
+    if Splitmix.bool rng then Ir.P_const (1 + Splitmix.int rng ~bound:3)
+    else Ir.P_field (field ())
+  in
+  let later () = Block (b + 1 + Splitmix.int rng ~bound:8) in
+  let cond () =
+    match Splitmix.int rng ~bound:9 with
+    | 0 -> Ir.C_deg_le (reg (), Splitmix.int rng ~bound:4)
+    | 1 -> Ir.C_deg_eq (reg (), Splitmix.int rng ~bound:4)
+    | 2 -> Ir.C_deg_mod (reg (), 1 + Splitmix.int rng ~bound:3, Splitmix.int rng ~bound:3)
+    | 3 -> Ir.C_port_ok (reg (), sel ())
+    | 4 -> Ir.C_label_eq (reg (), field (), Splitmix.int rng ~bound:4)
+    | 5 -> Ir.C_field_eq (reg (), field (), field ())
+    | 6 -> Ir.C_node_eq (reg (), reg ())
+    | 7 -> Ir.C_marked (reg ())
+    | _ -> Ir.C_queue_empty (queue ())
+  in
+  let body = ref [] in
+  let emit i = body := i :: !body in
+  let len = 1 + Splitmix.int rng ~bound:3 in
+  let stop = ref false in
+  for _ = 1 to len do
+    if not !stop then
+      match Splitmix.int rng ~bound:10 with
+      | 0 | 1 ->
+          (* unguarded probe: free to walk an invalid port and truncate *)
+          let path = Array.init (1 + Splitmix.int rng ~bound:2) (fun _ -> sel ()) in
+          emit (P (Ir.Probe { at = reg (); path; dst = reg () }))
+      | 2 | 3 ->
+          (* guarded probe: first hop checked by [C_port_ok], else skip forward *)
+          let at = reg () in
+          let s = sel () in
+          emit (PBranch (Ir.C_port_ok (at, s), Next_instr, later ()));
+          emit (P (Ir.Probe { at; path = [| s |]; dst = reg () }))
+      | 4 -> emit (P (Ir.Move { src = reg (); dst = reg () }))
+      | 5 -> emit (P (Ir.Mark (reg ())))
+      | 6 -> emit (P (Ir.Push { queue = queue (); src = reg () }))
+      | 7 ->
+          (* guarded pop: an empty queue skips forward instead of truncating *)
+          let q = queue () in
+          emit (PBranch (Ir.C_queue_empty q, later (), Next_instr));
+          emit (P (Ir.Pop { queue = q; dst = reg () }))
+      | 8 -> (
+          match Splitmix.int rng ~bound:4 with
+          | 0 -> emit (PJump (later ()))
+          | _ -> emit (PBranch (cond (), later (), later ())))
+      | _ ->
+          (match Splitmix.int rng ~bound:4 with
+          | 0 -> emit (P (Ir.Out_const (Splitmix.int rng ~bound:(Array.length ir_consts))))
+          | 1 -> emit (P Ir.Halt)
+          | _ -> emit (P (Ir.Out_fn 0)));
+          stop := true
+  done;
+  List.rev !body
+
+let build_ir_program { p_blocks; p_seed = seed } =
+  let nblocks = max 1 p_blocks in
+  let blocks = Array.init nblocks (fun b -> gen_block (block_rng seed b) b) in
+  (* Exit terminal and declared envelope come from seed-only streams, so
+     they survive block-count shrinking unchanged. *)
+  let xr = block_rng seed (-1) in
+  let exit_instr =
+    match Splitmix.int xr ~bound:4 with
+    | 0 -> Ir.Out_const (Splitmix.int xr ~bound:(Array.length ir_consts))
+    | _ -> Ir.Out_fn 0
+  in
+  let br = block_rng seed (-2) in
+  let declared =
+    {
+      Vc_model.Probe.max_volume =
+        (if Splitmix.bool br then Some (1 + Splitmix.int br ~bound:12) else None);
+      max_distance = (if Splitmix.bool br then Some (Splitmix.int br ~bound:6) else None);
+    }
+  in
+  let max_steps = if Splitmix.bool br then Some (32 + Splitmix.int br ~bound:96) else None in
+  let offs = Array.make (nblocks + 1) 0 in
+  for b = 0 to nblocks - 1 do
+    offs.(b + 1) <- offs.(b) + List.length blocks.(b)
+  done;
+  let exit_off = offs.(nblocks) in
+  let resolve at = function
+    | Next_instr -> at + 1
+    | Block i -> if i >= nblocks then exit_off else offs.(i)
+  in
+  let code = Array.make (exit_off + 1) exit_instr in
+  Array.iteri
+    (fun b body ->
+      List.iteri
+        (fun j pre ->
+          let at = offs.(b) + j in
+          code.(at) <-
+            (match pre with
+            | P i -> i
+            | PJump t -> Ir.Jump (resolve at t)
+            | PBranch (c, tt, tf) ->
+                Ir.Branch { cond = c; if_true = resolve at tt; if_false = resolve at tf }))
+        body)
+    blocks;
+  {
+    Ir.name = Fmt.str "gen-b%d-%Ld" nblocks seed;
+    n_regs = ir_n_regs;
+    n_queues = ir_n_queues;
+    obs_arity = ir_obs_arity;
+    n_consts = Array.length ir_consts;
+    n_fns = 1;
+    declared;
+    max_steps;
+    code;
+  }
+
+let ir_spec ps =
+  { Ir.program = build_ir_program ps; obs = ir_obs; consts = ir_consts; fns = [| ir_checksum |] }
+
+let ir_program ?(min_blocks = 1) ?(max_blocks = 8) () =
+  if min_blocks < 1 || max_blocks < min_blocks then invalid_arg "Gen.ir_program: bad bounds";
+  let gen =
+    QCheck.Gen.map2
+      (fun b s -> { p_blocks = b; p_seed = s })
+      (QCheck.Gen.int_range min_blocks max_blocks)
+      QCheck.Gen.int64
+  in
+  let shrink spec yield =
+    for b = spec.p_blocks - 1 downto min_blocks do
+      yield { spec with p_blocks = b }
+    done
+  in
+  QCheck.make gen ~print:(Fmt.str "%a" pp_program_spec) ~shrink

@@ -76,3 +76,40 @@ val garbage_leaf_input : Splitmix.t -> Volcomp.Leaf_coloring.node_input
 val garbage_balanced_input : Splitmix.t -> Volcomp.Balanced_tree.node_input
 
 val garbage_hybrid_input : Splitmix.t -> Volcomp.Hybrid_thc.node_input
+
+(** {1 Random probe programs (qcheck)}
+
+    Well-formed-by-construction {!Vc_ir.Ir.program}s for fuzzing the two
+    executors against each other.  Programs are laid out as guarded
+    blocks with forward-only control flow (a branch or jump targets a
+    strictly later block or the terminal exit block), so they terminate
+    structurally; probes and pops appear both guarded ([C_port_ok] /
+    [C_queue_empty]) and unguarded, and about half the programs declare
+    a finite volume or distance envelope, so the truncation paths are
+    exercised as thoroughly as the happy paths. *)
+
+type program_spec = { p_blocks : int; p_seed : int64 }
+
+val pp_program_spec : Format.formatter -> program_spec -> unit
+
+val build_ir_program : program_spec -> Vc_ir.Ir.program
+(** Deterministic: the same spec always builds the identical program.
+    Always passes {!Vc_ir.Ir.validate} (the qcheck property re-asserts
+    this).  Block bodies are drawn from per-block splits of the seed and
+    the exit/envelope from seed-only streams, so [p_blocks - 1] yields
+    the program's literal prefix — the shrinker drops whole blocks. *)
+
+val ir_spec : program_spec -> (int, int) Vc_ir.Ir.spec
+(** {!build_ir_program} bound to the generated-program observation
+    encoding: inputs are node identifiers ({!ir_input}), observation
+    fields are port-sized hashes of them, outputs are ints — constants
+    plus one checksum combinator folding over everything the env
+    exposes, so any executor divergence flips the output. *)
+
+val ir_input : Graph.t -> Graph.node -> int
+(** The instance input generated programs run against: [Graph.id]. *)
+
+val ir_program :
+  ?min_blocks:int -> ?max_blocks:int -> unit -> program_spec QCheck.arbitrary
+(** Arbitrary program spec with [min_blocks] (default 1) to [max_blocks]
+    (default 8) body blocks; shrinks by dropping trailing blocks. *)

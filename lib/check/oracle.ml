@@ -7,7 +7,10 @@ module Pool = Vc_exec.Pool
 let trial_seed ~seed ~name i =
   Splitmix.mix (Int64.add seed (Int64.of_int ((Hashtbl.hash name * 1000003) + i)))
 
-let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
+(* The probes a run can be restricted to, in execution-report order. *)
+let probe_names = [ "solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay"; "serve" ]
+
+let run_entry ?pool ?serve ~want ~seed ~count ~quick (e : Registry.entry) =
   let failures = ref [] in
   let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
   let guarded what f default =
@@ -26,10 +29,12 @@ let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
       (fun (size, t) ->
         ( size,
           t,
-          guarded
-            (Fmt.str "solvers at size %d" size)
-            (fun () -> t.Registry.run_solvers ?pool ())
-            [] ))
+          if not (want "solvers") then []
+          else
+            guarded
+              (Fmt.str "solvers at size %d" size)
+              (fun () -> t.Registry.run_solvers ?pool ())
+              [] ))
       trials
   in
   List.iter
@@ -88,6 +93,7 @@ let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
   (* probe 2: merge consistency, on the first (smallest) trial only *)
   let merge_consistent =
     match trials with
+    | _ when not (want "merge") -> true
     | [] -> true
     | (_, t) :: _ ->
         guarded "merge consistency"
@@ -102,7 +108,10 @@ let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
   (* probe 3: cross-model executions, on every trial *)
   let cross_model =
     let names =
-      match trials with [] -> [] | (_, t) :: _ -> List.map fst t.Registry.cross_model
+      match trials with
+      | _ when not (want "cross") -> []
+      | [] -> []
+      | (_, t) :: _ -> List.map fst t.Registry.cross_model
     in
     List.map
       (fun name ->
@@ -128,44 +137,71 @@ let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
   in
   (* probe 5: lazy vs. eager world identity, on every trial *)
   let lazy_eager =
-    List.fold_left
-      (fun acc (size, t) ->
-        let ok =
-          guarded
-            (Fmt.str "lazy/eager at size %d" size)
-            (fun () ->
-              match t.Registry.lazy_vs_eager () with
-              | Ok () -> true
-              | Error msg ->
-                  fail "lazy/eager at size %d: %s" size msg;
-                  false)
-            false
-        in
-        acc && ok)
-      true trials
+    (not (want "lazy"))
+    || List.fold_left
+         (fun acc (size, t) ->
+           let ok =
+             guarded
+               (Fmt.str "lazy/eager at size %d" size)
+               (fun () ->
+                 match t.Registry.lazy_vs_eager () with
+                 | Ok () -> true
+                 | Error msg ->
+                     fail "lazy/eager at size %d: %s" size msg;
+                     false)
+               false
+           in
+           acc && ok)
+         true trials
+  in
+  (* probe 8: IR vs. closure differential, on every trial of entries
+     that carry an IR port *)
+  let ir_ok =
+    if not (want "ir") then None
+    else
+      List.fold_left
+        (fun acc (size, t) ->
+          match t.Registry.ir_vs_closure with
+          | None -> acc
+          | Some probe ->
+              let ok =
+                guarded
+                  (Fmt.str "ir at size %d" size)
+                  (fun () ->
+                    match probe () with
+                    | Ok () -> true
+                    | Error msg ->
+                        fail "ir at size %d: %s" size msg;
+                        false)
+                  false
+              in
+              Some (Option.value acc ~default:true && ok))
+        None trials
   in
   (* probe 6: record -> JSON round-trip -> replay, on every trial *)
   let replay =
-    List.fold_left
-      (fun acc (size, t) ->
-        let ok =
-          guarded
-            (Fmt.str "record/replay at size %d" size)
-            (fun () ->
-              match t.Registry.trace_roundtrip () with
-              | Ok () -> true
-              | Error msg ->
-                  fail "replay at size %d: %s" size msg;
-                  false)
-            false
-        in
-        acc && ok)
-      true trials
+    (not (want "replay"))
+    || List.fold_left
+         (fun acc (size, t) ->
+           let ok =
+             guarded
+               (Fmt.str "record/replay at size %d" size)
+               (fun () ->
+                 match t.Registry.trace_roundtrip () with
+                 | Ok () -> true
+                 | Error msg ->
+                     fail "replay at size %d: %s" size msg;
+                     false)
+               false
+           in
+           acc && ok)
+         true trials
   in
   (* probe 7: serving-layer round-trip identity, on every trial (the
      closure comes from above — lib/serve depends on this library) *)
   let serve_ok =
     match serve with
+    | Some _ when not (want "serve") -> None
     | None -> None
     | Some f ->
         Some
@@ -207,7 +243,7 @@ let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
       }
   in
   let ntrials = List.length trials in
-  if ntrials > 0 then
+  if ntrials > 0 && want "mutate" then
     for i = 0 to count - 1 do
       let _, t = List.nth trials (i mod ntrials) in
       let rng =
@@ -233,16 +269,31 @@ let run_entry ?pool ?serve ~seed ~count ~quick (e : Registry.entry) =
     p_merge_consistent = merge_consistent;
     p_cross_model = cross_model;
     p_lazy_eager = lazy_eager;
+    p_ir = ir_ok;
     p_replay = replay;
     p_serve = serve_ok;
     p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
+    p_probes_skipped = List.filter (fun p -> not (want p)) probe_names;
     p_failures = List.rev !failures;
   }
 
-let run ?pool ?entries ?serve ~seed ~count ~quick () =
+let run ?pool ?entries ?probes ?serve ~seed ~count ~quick () =
   let entries = match entries with Some es -> es | None -> Registry.all () in
+  let want =
+    match probes with
+    | None -> fun _ -> true
+    | Some ps ->
+        let ps = List.map String.lowercase_ascii ps in
+        List.iter
+          (fun p ->
+            if not (List.mem p probe_names) then
+              invalid_arg
+                (Fmt.str "unknown probe %S (known: %s)" p (String.concat ", " probe_names)))
+          ps;
+        fun p -> List.mem p ps
+  in
   let domains = match pool with None -> 1 | Some p -> Pool.domains p in
-  let problems = List.map (run_entry ?pool ?serve ~seed ~count ~quick) entries in
+  let problems = List.map (run_entry ?pool ?serve ~want ~seed ~count ~quick) entries in
   { Report.seed; count; domains; quick; problems }
 
 (* --- standalone trace files ------------------------------------------------ *)

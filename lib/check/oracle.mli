@@ -17,15 +17,24 @@
       must be rejected overall;
     + record/replay determinism: every solver's probe transcript
       ({!Vc_obs.Trace}) must survive a JSONL round-trip and re-drive the
-      run bit-identically.
+      run bit-identically;
+    + IR vs. closure: entries with an IR port must reproduce the
+      reference closure solver bit for bit — outputs and cost envelopes
+      — under both {!Vc_ir.Exec} executors, budgeted and not.
 
     Everything is a deterministic function of [seed]; a failing run is
     reproducible with [volcomp check --seed N], and the CLI writes the
     failing problem's reference transcript for offline {!replay_trace}. *)
 
+val probe_names : string list
+(** The probe identifiers accepted by {!run}'s [?probes]:
+    ["solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay";
+    "serve"]. *)
+
 val run :
   ?pool:Vc_exec.Pool.t ->
   ?entries:Registry.entry list ->
+  ?probes:string list ->
   ?serve:(Registry.entry -> size:int -> seed:int64 -> (unit, string) result) ->
   seed:int64 ->
   count:int ->
@@ -36,6 +45,13 @@ val run :
     {!Registry.all}).  [quick] selects each entry's small sizes — the
     [dune runtest] profile.  [?pool] parallelizes the per-solver runs;
     the report's verdicts do not depend on it.
+
+    [?probes] restricts the run to the named probes (default: all of
+    {!probe_names}; case-insensitive).  Skipped probes keep their
+    vacuous defaults and are listed in
+    {!Report.problem_report.p_probes_skipped}; skipping ["mutate"]
+    waives the at-least-one-rejection requirement.  Raises
+    [Invalid_argument] on an unknown probe name.
 
     [?serve] is the seventh probe, injected from above because the
     serving layer depends on this library: given an entry and one

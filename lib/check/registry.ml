@@ -9,6 +9,9 @@ module Lcl = Vc_lcl.Lcl
 module Runner = Vc_measure.Runner
 module Pool = Vc_exec.Pool
 module Trace = Vc_obs.Trace
+module Ir = Vc_ir.Ir
+module Ir_exec = Vc_ir.Exec
+module Ir_lib = Vc_ir.Library
 module TR = Volcomp.Trivial_lcl
 module CC = Volcomp.Cycle_coloring
 module SO = Volcomp.Sinkless
@@ -47,6 +50,7 @@ type trial = {
   merge_consistency : widths:int list -> (unit, string) result;
   cross_model : (string * (unit -> (unit, string) result)) list;
   lazy_vs_eager : unit -> (unit, string) result;
+  ir_vs_closure : (unit -> (unit, string) result) option;
   mutate : Splitmix.t -> Mutate.outcome list;
   trace_record : path:string -> header:Vc_obs.Json.t -> origin:int -> (unit, string) result;
   trace_replay : events:Trace.event list -> origin:int -> (unit, string) result;
@@ -58,6 +62,7 @@ type entry = {
   radius : int;
   sizes : int list;
   quick_sizes : int list;
+  ir : bool;
   make : size:int -> seed:int64 -> trial;
 }
 
@@ -97,7 +102,7 @@ let any_node rng out = Splitmix.int rng ~bound:(Array.length out)
    the trial seed and the solver's position, so every probe is
    reproducible from the trial's (size, seed) alone. *)
 let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node -> i) ~world
-    ~(solvers : (i, o) Lcl.solver list) ?(regime = Randomness.Private) ?(cross_model = [])
+    ~(solvers : (i, o) Lcl.solver list) ?(regime = Randomness.Private) ?(cross_model = []) ?ir
     ~(mutants : (string * (Splitmix.t -> o array -> (i, o) Mutate.t option)) list) ~seed () :
     trial =
   let n = Graph.n graph in
@@ -193,6 +198,52 @@ let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node 
               end))
       solvers;
     !result
+  in
+  (* Probe 8: the IR port must reproduce the reference closure solver bit
+     for bit — output and full cost envelope — from every origin, under
+     the reference interpreter and the batched executor alike.  Budgeted
+     passes pin down the abort envelope too: a truncated IR run must
+     abort at exactly the same (volume, distance, queries) as the
+     truncated closure. *)
+  let ir_vs_closure =
+    Option.map
+      (fun (spec : (i, o) Ir.spec) () ->
+        match Ir.validate_spec spec with
+        | Error e -> Error ("program does not validate: " ^ e)
+        | Ok () ->
+            let origins = Array.init n (fun v -> v) in
+            let check_budget acc budget =
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  let eff = Ir.effective_budget spec.Ir.program budget in
+                  let batch =
+                    Ir_exec.run_batch ~claimed_n:world.World.n ~budget spec ~graph ~input
+                      ~origins
+                  in
+                  let result = ref (Ok ()) in
+                  Array.iteri
+                    (fun i origin ->
+                      if !result = Ok () then begin
+                        let closure =
+                          Probe.run ~world ~budget:eff ~origin ref_solver.Lcl.solve
+                        in
+                        let interp = Ir_exec.run ~budget spec ~world ~origin in
+                        if closure <> interp then
+                          result :=
+                            Error
+                              (Fmt.str "interpreter diverges from %s at origin %d"
+                                 ref_solver.Lcl.solver_name origin)
+                        else if interp <> batch.(i) then
+                          result :=
+                            Error (Fmt.str "batched executor diverges at origin %d" origin)
+                      end)
+                    origins;
+                  !result
+            in
+            List.fold_left check_budget (Ok ())
+              [ Probe.unlimited; Probe.volume_budget 5; Probe.distance_budget 2 ])
+      ir
   in
   (* Record/replay probes.  A fresh [Randomness] is built per run from
      the trial seed, so a recording run and its replay read identical
@@ -308,6 +359,7 @@ let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node 
     merge_consistency;
     cross_model;
     lazy_vs_eager;
+    ir_vs_closure;
     mutate;
     trace_record;
     trace_replay;
@@ -323,11 +375,13 @@ let degree_parity =
     radius = problem.Lcl.radius;
     sizes = [ 24; 40 ];
     quick_sizes = [ 16 ];
+    ir = true;
     make =
       (fun ~size ~seed ->
         let graph = Gen.build { Gen.shape = Gen.Cubic; size; g_seed = seed } in
         let input _ = () in
         make_trial ~problem ~graph ~input ~world:(TR.world graph) ~solvers:TR.solvers
+          ~ir:Ir_lib.degree_parity
           ~mutants:
             [
               ( "flip-parity",
@@ -346,6 +400,7 @@ let cycle_coloring =
     radius = problem.Lcl.radius;
     sizes = [ 16; 33 ];
     quick_sizes = [ 9 ];
+    ir = true;
     make =
       (fun ~size ~seed ->
         (* shuffled identifiers vary the Cole–Vishkin trajectory per seed *)
@@ -354,6 +409,7 @@ let cycle_coloring =
         in
         let input _ = () in
         make_trial ~problem ~graph ~input ~world:(CC.world graph) ~solvers:CC.solvers
+          ~ir:(Ir_lib.cycle_coloring ~n:(Graph.n graph))
           ~mutants:
             [
               ( "copy-neighbor",
@@ -377,6 +433,7 @@ let sinkless =
     radius = problem.Lcl.radius;
     sizes = [ 20; 32 ];
     quick_sizes = [ 12 ];
+    ir = false;
     make =
       (fun ~size ~seed ->
         let graph = SO.random_cubic ~n:(max 8 size) ~seed in
@@ -443,6 +500,7 @@ let leaf_coloring =
     radius = problem.Lcl.radius;
     sizes = [ 31; 63 ];
     quick_sizes = [ 15 ];
+    ir = true;
     make =
       (fun ~size ~seed ->
         let inst = LC.random_instance ~n:size ~seed in
@@ -451,7 +509,7 @@ let leaf_coloring =
         make_trial ~problem ~graph ~input ~world:(LC.world inst) ~solvers:LC.solvers
           ~cross_model:
             [ ("congest", fun () -> congest_check ~problem ~graph ~input (LCC.run inst ())) ]
-          ~mutants:(lc_mutants inst) ~seed ());
+          ~ir:Ir_lib.leaf_coloring ~mutants:(lc_mutants inst) ~seed ());
   }
 
 let promise_leaf =
@@ -461,15 +519,19 @@ let promise_leaf =
     radius = problem.Lcl.radius;
     sizes = [ 31; 63 ];
     quick_sizes = [ 15 ];
+    ir = true;
     make =
       (fun ~size ~seed ->
         let leaf_color = if Int64.logand seed 1L = 0L then TL.Red else TL.Blue in
         let inst = PL.promise_instance ~n:size ~leaf_color ~seed in
         let graph = inst.LC.graph in
         let input = LC.input inst in
+        (* the promise entry's reference solver is [LC.solve_distance],
+           exactly what the leaf-coloring program ports *)
         make_trial ~problem ~graph ~input ~world:(LC.world inst)
           ~solvers:(LC.solve_distance :: PL.solvers)
-          ~regime:Randomness.Secret ~mutants:(lc_mutants inst) ~seed ());
+          ~regime:Randomness.Secret ~ir:Ir_lib.leaf_coloring ~mutants:(lc_mutants inst)
+          ~seed ());
   }
 
 let balanced_tree =
@@ -479,6 +541,7 @@ let balanced_tree =
     radius = problem.Lcl.radius;
     sizes = [ 3; 4 ];
     quick_sizes = [ 3 ];
+    ir = false;
     make =
       (fun ~size ~seed ->
         let inst =
@@ -541,6 +604,7 @@ let hierarchical =
     radius = problem.Lcl.radius;
     sizes = [ 4; 5 ];
     quick_sizes = [ 3 ];
+    ir = false;
     make =
       (fun ~size ~seed ->
         let inst = H.uniform_instance ~k ~len:size ~seed in
@@ -586,6 +650,7 @@ let hybrid =
     radius = problem.Lcl.radius;
     sizes = [ 3; 4 ];
     quick_sizes = [ 3 ];
+    ir = false;
     make =
       (fun ~size ~seed ->
         let inst = Hy.uniform_instance ~k ~len:size ~bt_depth:3 ~seed in
@@ -622,6 +687,7 @@ let hh =
     radius = problem.Lcl.radius;
     sizes = [ 60 ];
     quick_sizes = [ 40 ];
+    ir = false;
     make =
       (fun ~size ~seed ->
         let inst = HH.uniform_instance ~k ~l ~size_hint:size ~seed in
@@ -661,6 +727,7 @@ let gap =
     radius = problem.Lcl.radius;
     sizes = [ 4; 5 ];
     quick_sizes = [ 3 ];
+    ir = false;
     make =
       (fun ~size ~seed ->
         let inst = Gap.make ~depth:size ~seed in

@@ -27,6 +27,11 @@
       ({!Vc_obs.Trace}), round-trip it through its JSONL encoding, and
       re-drive the run against the decoded transcript; the replay must be
       event-for-event and result bit-identical.
+    - {b IR vs. closure} (entries with [ir = true]): the problem's
+      {!Vc_ir} program must reproduce the reference closure solver's
+      full {!Vc_model.Probe.result} — output {e and} cost envelope —
+      from every origin, under both the reference interpreter and the
+      batched executor, unbudgeted and budgeted alike.
 
     Heterogeneous problem types are hidden behind monomorphic closures,
     so the oracle iterates over [entry list] without knowing any
@@ -75,6 +80,12 @@ type trial = {
       (** Run every solver from every origin against both the trial's
           lazy world and an eager twin and compare the full
           {!Vc_model.Probe.result}s. *)
+  ir_vs_closure : (unit -> (unit, string) result) option;
+      (** [Some] iff the entry has [ir = true]: validate the IR program,
+          then from every origin compare the reference closure solver,
+          the {!Vc_ir.Exec.run} interpreter and the
+          {!Vc_ir.Exec.run_batch} executor — full result records, under
+          unlimited, volume-capped and distance-capped budgets. *)
   mutate : Splitmix.t -> Mutate.outcome list;
       (** One fuzzing round: apply each of the entry's mutation kinds
           once, at sites drawn from the given rng. *)
@@ -94,6 +105,7 @@ type entry = {
   radius : int;  (** the problem's checkability radius *)
   sizes : int list;  (** instance sizes for the full profile *)
   quick_sizes : int list;  (** smaller sizes for the [dune runtest] profile *)
+  ir : bool;  (** a {!Vc_ir} port of the reference solver exists *)
   make : size:int -> seed:int64 -> trial;
       (** Deterministic: the same (size, seed) builds the same trial. *)
 }

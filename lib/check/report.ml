@@ -23,9 +23,11 @@ type problem_report = {
   p_merge_consistent : bool;
   p_cross_model : (string * bool) list;
   p_lazy_eager : bool;
+  p_ir : bool option;
   p_replay : bool;
   p_serve : bool option;
   p_mutations : kind_agg list;
+  p_probes_skipped : string list;
   p_failures : string list;
 }
 
@@ -41,7 +43,11 @@ let mutations_total p = List.fold_left (fun acc k -> acc + k.k_total) 0 p.p_muta
 
 let mutations_rejected p = List.fold_left (fun acc k -> acc + k.k_rejected) 0 p.p_mutations
 
-let problem_ok p = p.p_failures = [] && mutations_rejected p >= 1
+(* A skipped mutation probe waives the at-least-one-rejection demand —
+   there were no fuzzing rounds to reject anything. *)
+let problem_ok p =
+  p.p_failures = []
+  && (mutations_rejected p >= 1 || List.mem "mutate" p.p_probes_skipped)
 
 let ok t = List.for_all problem_ok t.problems
 
@@ -61,10 +67,15 @@ let pp_problem ppf p =
   Fmt.pf ppf "merge-consistent: %b@," p.p_merge_consistent;
   List.iter (fun (name, passed) -> Fmt.pf ppf "cross-model %s: %b@," name passed) p.p_cross_model;
   Fmt.pf ppf "lazy/eager identical: %b@," p.p_lazy_eager;
+  (match p.p_ir with
+  | None -> ()
+  | Some b -> Fmt.pf ppf "ir/closure identical: %b@," b);
   Fmt.pf ppf "record/replay identical: %b@," p.p_replay;
   (match p.p_serve with
   | None -> ()
   | Some b -> Fmt.pf ppf "serve round-trip identical: %b@," b);
+  if p.p_probes_skipped <> [] then
+    Fmt.pf ppf "probes skipped: %s@," (String.concat ", " p.p_probes_skipped);
   List.iter
     (fun k ->
       Fmt.pf ppf "mutants %-18s rejected %d/%d%s@," k.k_kind k.k_rejected k.k_total
@@ -118,6 +129,7 @@ let problem_json p =
       ("solvers", Json.List (List.map solver_json p.p_solvers));
       ("merge_consistent", Json.Bool p.p_merge_consistent);
       ("lazy_eager", Json.Bool p.p_lazy_eager);
+      ("ir", match p.p_ir with None -> Json.Null | Some b -> Json.Bool b);
       ("replay", Json.Bool p.p_replay);
       ("serve", match p.p_serve with None -> Json.Null | Some b -> Json.Bool b);
       ("cross_model", Json.Obj (List.map (fun (n, b) -> (n, Json.Bool b)) p.p_cross_model));
@@ -130,6 +142,7 @@ let problem_json p =
               Json.Int (List.fold_left (fun acc k -> acc + k.k_out_of_radius) 0 p.p_mutations) );
             ("by_kind", Json.List (List.map kind_json p.p_mutations));
           ] );
+      ("probes_skipped", Json.List (List.map (fun s -> Json.String s) p.p_probes_skipped));
       ("failures", Json.List (List.map (fun f -> Json.String f) p.p_failures));
     ]
 

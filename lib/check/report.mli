@@ -34,6 +34,11 @@ type problem_report = {
   p_cross_model : (string * bool) list;
   p_lazy_eager : bool;
       (** lazy and eager worlds produced bit-identical probe results *)
+  p_ir : bool option;
+      (** the {!Vc_ir} port reproduced the reference closure solver bit
+          for bit (outputs and cost envelopes, interpreter and batched
+          executor); [None] when the entry has no IR port or the probe
+          was skipped *)
   p_replay : bool;
       (** recorded transcripts replayed bit-identically ({!Vc_obs.Trace}) *)
   p_serve : bool option;
@@ -43,6 +48,9 @@ type problem_report = {
           (the serving layer sits above this library, so the CLI injects
           it via {!Oracle.run}'s [?serve]) *)
   p_mutations : kind_agg list;
+  p_probes_skipped : string list;
+      (** probes excluded by {!Oracle.run}'s [?probes] filter; skipped
+          probes keep their vacuous defaults *)
   p_failures : string list;
       (** human-readable conformance failures; empty means conformant *)
 }
@@ -60,7 +68,8 @@ val mutations_rejected : problem_report -> int
 
 val problem_ok : problem_report -> bool
 (** No failures, and the fuzzer rejected at least one mutant (a problem
-    whose checker never rejects anything proves nothing). *)
+    whose checker never rejects anything proves nothing) — unless the
+    mutation probe itself was skipped. *)
 
 val ok : t -> bool
 

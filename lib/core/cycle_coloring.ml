@@ -24,9 +24,18 @@ let rounds_needed ~n =
 
 (* One reduction step: the new color encodes the lowest bit position in
    which a node's color differs from its predecessor's, and that bit. *)
+
+(* Index of the lowest set bit of each nibble 1..15 (slot 0 unused): a
+   nibble-at-a-time scan instead of bit-at-a-time, since [reduce] sits on
+   the hot path of both the closure solver and the IR combinator. *)
+let lowest_nibble = [| 0; 0; 1; 0; 2; 0; 1; 0; 3; 0; 1; 0; 2; 0; 1; 0 |]
+
 let reduce ~own ~pred =
   let diff = own lxor pred in
-  let rec lowest i v = if v land 1 = 1 then i else lowest (i + 1) (v lsr 1) in
+  let rec lowest i v =
+    let nib = v land 0xf in
+    if nib <> 0 then i + Array.unsafe_get lowest_nibble nib else lowest (i + 4) (v lsr 4)
+  in
   let i = lowest 0 diff in
   (2 * i) + ((own lsr i) land 1)
 

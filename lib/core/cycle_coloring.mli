@@ -29,3 +29,9 @@ val rounds_needed : n:int -> int
 (** The number of reduction rounds the solver will use for an [n]-node
     cycle: Θ(log* n).  Exposed so experiments can plot the predicted
     radius against the measured cost. *)
+
+val reduce : own:int -> pred:int -> int
+(** One Cole–Vishkin reduction step: encode the lowest bit position in
+    which [own] differs from [pred], plus that bit.  Exposed so the IR
+    port of the solver ({!Vc_ir.Library}) shares the exact reduction the
+    closure uses. *)

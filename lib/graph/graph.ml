@@ -30,6 +30,11 @@ let neighbor g v p =
       (Printf.sprintf "Graph.neighbor: port %d invalid at node %d (degree %d)" p v (degree g v));
   g.tgt.(g.off.(v) + p - 1)
 
+let unsafe_neighbor g v p = Array.unsafe_get g.tgt (Array.unsafe_get g.off v + p - 1)
+
+let csr_offsets g = g.off
+let csr_targets g = g.tgt
+
 let port_to g v w =
   if v < 0 || w < 0 then None else Hashtbl.find_opt g.port_tbl ((v * n g) + w)
 

@@ -48,6 +48,22 @@ val neighbor : t -> node -> port -> node
 (** [neighbor g v p] is the node reached from [v] via port [p].
     @raise Invalid_argument if [p] is not a valid port at [v]. *)
 
+val unsafe_neighbor : t -> node -> port -> node
+(** {!neighbor} without the port check: the caller must have already
+    established [1 <= p <= degree g v], or the read is out of bounds.
+    For validated hot loops (the batched IR executor) only. *)
+
+val csr_offsets : t -> int array
+(** The physical CSR offset row: node [v]'s neighbors live at indices
+    [csr_offsets g].(v) .. [csr_offsets g].(v+1) - 1 of {!csr_targets}.
+    Shared, not a copy — callers must treat it as read-only.  For tight
+    scan loops (the IR executor's BFS oracle) that would otherwise
+    re-read the offset per neighbor through {!unsafe_neighbor}. *)
+
+val csr_targets : t -> node array
+(** The physical CSR target row paired with {!csr_offsets}.  Shared, not
+    a copy — read-only. *)
+
 val port_to : t -> node -> node -> port option
 (** [port_to g v w] is the port of [v] leading to [w], if [v] and [w] are
     adjacent.  O(1): served from a reverse-lookup table built at

@@ -1,0 +1,503 @@
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Metrics = Vc_obs.Metrics
+module Pool = Vc_exec.Pool
+
+let m_runs = Metrics.counter "ir.batch.runs"
+let m_origins = Metrics.counter "ir.batch.origins"
+let m_steps = Metrics.counter "ir.batch.steps"
+let m_queries = Metrics.counter "ir.batch.queries"
+
+(* --- reference interpreter --------------------------------------------------
+
+   One origin, driven through the instrumented {!Probe.ctx}: every hop of
+   a [Probe] instruction is a [Probe.query], so volume, distance and
+   query accounting are the model executor's own.  This is the semantics
+   the batched executor must reproduce bit-for-bit. *)
+
+let solver (spec : ('i, 'o) Ir.spec) (ctx : 'i Probe.ctx) : 'o =
+  let p = spec.Ir.program in
+  let origin = Probe.origin ctx in
+  let cap = Ir.step_cap ~n:(Probe.n ctx) p in
+  let code_len = Array.length p.Ir.code in
+  let regs = Array.make p.Ir.n_regs origin in
+  let marked : (Graph.node, unit) Hashtbl.t = Hashtbl.create 16 in
+  let queues = Array.init p.Ir.n_queues (fun _ -> Queue.create ()) in
+  let qlog = ref [] in
+  let qlen = ref 0 in
+  let obs_at v f = spec.Ir.obs (Probe.input ctx v) f in
+  let port_at v = function Ir.P_const c -> c | Ir.P_field f -> obs_at v f in
+  let eval_cond = function
+    | Ir.C_deg_le (r, k) -> Probe.degree ctx regs.(r) <= k
+    | Ir.C_deg_eq (r, k) -> Probe.degree ctx regs.(r) = k
+    | Ir.C_deg_mod (r, m, k) -> Probe.degree ctx regs.(r) mod m = k
+    | Ir.C_port_ok (r, sel) ->
+        let v = regs.(r) in
+        let pt = port_at v sel in
+        pt >= 1 && pt <= Probe.degree ctx v
+    | Ir.C_label_eq (r, f, k) -> obs_at regs.(r) f = k
+    | Ir.C_field_eq (r, f1, f2) -> obs_at regs.(r) f1 = obs_at regs.(r) f2
+    | Ir.C_node_eq (r1, r2) -> regs.(r1) = regs.(r2)
+    | Ir.C_marked r -> Hashtbl.mem marked regs.(r)
+    | Ir.C_queue_empty q -> Queue.is_empty queues.(q)
+  in
+  let env () =
+    let log = Array.of_list (List.rev !qlog) in
+    {
+      Ir.e_origin = origin;
+      e_n = Probe.n ctx;
+      e_reg = (fun r -> regs.(r));
+      e_queries = !qlen;
+      e_query = (fun i -> log.(i));
+      e_id = Probe.id ctx;
+      e_degree = Probe.degree ctx;
+      e_input = Probe.input ctx;
+    }
+  in
+  let rec step pc steps =
+    if steps >= cap then Probe.truncate ctx
+    else if pc < 0 || pc >= code_len then Probe.truncate ctx
+    else
+      match p.Ir.code.(pc) with
+      | Ir.Probe { at; path; dst } ->
+          let cur = ref regs.(at) in
+          Array.iter
+            (fun sel ->
+              let v = !cur in
+              let pt = port_at v sel in
+              if pt < 1 || pt > Probe.degree ctx v then Probe.truncate ctx;
+              let u = Probe.query ctx ~at:v ~port:pt in
+              qlog := u :: !qlog;
+              incr qlen;
+              cur := u)
+            path;
+          regs.(dst) <- !cur;
+          step (pc + 1) (steps + 1)
+      | Ir.Jump t -> step t (steps + 1)
+      | Ir.Branch { cond; if_true; if_false } ->
+          step (if eval_cond cond then if_true else if_false) (steps + 1)
+      | Ir.Move { src; dst } ->
+          regs.(dst) <- regs.(src);
+          step (pc + 1) (steps + 1)
+      | Ir.Mark r ->
+          Hashtbl.replace marked regs.(r) ();
+          step (pc + 1) (steps + 1)
+      | Ir.Push { queue; src } ->
+          Queue.push regs.(src) queues.(queue);
+          step (pc + 1) (steps + 1)
+      | Ir.Pop { queue; dst } ->
+          if Queue.is_empty queues.(queue) then Probe.truncate ctx
+          else begin
+            regs.(dst) <- Queue.pop queues.(queue);
+            step (pc + 1) (steps + 1)
+          end
+      | Ir.Out_const k -> spec.Ir.consts.(k)
+      | Ir.Out_fn k -> spec.Ir.fns.(k) (env ())
+      | Ir.Halt -> Probe.truncate ctx
+  in
+  step 0 0
+
+let run ?(budget = Probe.unlimited) spec ~world ~origin =
+  Probe.run ~world
+    ~budget:(Ir.effective_budget spec.Ir.program budget)
+    ~origin (solver spec)
+
+(* --- batched executor -------------------------------------------------------
+
+   The whole point of the IR: one flat loop over the CSR arrays advances
+   many origins with zero per-origin allocation.  All per-origin maps of
+   the reference path (visited set, marks, queues, distance oracle)
+   become epoch-stamped scratch arrays reused across the batch — the
+   same validity-iff-[stamp = epoch] discipline as [World]'s BFS
+   scratch, with one shared epoch bumped per origin.  The incremental
+   BFS is inlined (private arrays, not [World]'s pool) so distances cost
+   Θ(ball) without a session handshake per origin. *)
+
+type state = {
+  count : int;  (* node-count key of the arrays below *)
+  mutable regs : int array;
+  v_stamp : int array;  (* visited iff [= epoch] *)
+  m_stamp : int array;  (* marked iff [= epoch] *)
+  d_stamp : int array;  (* BFS-discovered iff [= epoch] *)
+  d_dist : int array;
+  d_queue : int array;
+  mutable d_head : int;
+  mutable d_tail : int;
+  mutable epoch : int;
+  mutable q_buf : int array array;
+  mutable q_head : int array;
+  mutable q_tail : int array;
+  mutable qlog : int array;
+}
+
+let make_state count =
+  {
+    count;
+    regs = Array.make 8 0;
+    v_stamp = Array.make count 0;
+    m_stamp = Array.make count 0;
+    d_stamp = Array.make count 0;
+    d_dist = Array.make count 0;
+    d_queue = Array.make count 0;
+    d_head = 0;
+    d_tail = 0;
+    epoch = 0;
+    q_buf = [||];
+    q_head = [||];
+    q_tail = [||];
+    qlog = Array.make 64 0;
+  }
+
+let state_pool : (int, state) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+(* Check the state {e out} of the per-domain pool while in use: a
+   re-entrant [run_batch] on the same domain (an [obs] or output
+   combinator that itself batches — pathological but cheap to defend
+   against) then allocates fresh instead of trampling the epoch. *)
+let with_state count f =
+  let pool = Domain.DLS.get state_pool in
+  let st =
+    match Hashtbl.find_opt pool count with
+    | Some st ->
+        Hashtbl.remove pool count;
+        st
+    | None -> make_state count
+  in
+  Fun.protect ~finally:(fun () -> Hashtbl.replace pool count st) (fun () -> f st)
+
+let grow_int_array a len = Array.append a (Array.make (max len (Array.length a)) 0)
+
+let begin_origin st (p : Ir.program) ~needs_bfs origin =
+  st.epoch <- st.epoch + 1;
+  if Array.length st.regs < p.Ir.n_regs then st.regs <- Array.make p.Ir.n_regs 0;
+  (* Manual loop: [Array.fill] is a runtime call, and [n_regs] is tiny. *)
+  for r = 0 to p.Ir.n_regs - 1 do
+    st.regs.(r) <- origin
+  done;
+  if Array.length st.q_head < p.Ir.n_queues then begin
+    st.q_buf <-
+      Array.append st.q_buf
+        (Array.init (p.Ir.n_queues - Array.length st.q_buf) (fun _ -> Array.make 16 0));
+    st.q_head <- Array.make p.Ir.n_queues 0;
+    st.q_tail <- Array.make p.Ir.n_queues 0
+  end
+  else
+    for q = 0 to p.Ir.n_queues - 1 do
+      st.q_head.(q) <- 0;
+      st.q_tail.(q) <- 0
+    done;
+  if needs_bfs then begin
+    st.d_stamp.(origin) <- st.epoch;
+    st.d_dist.(origin) <- 0;
+    st.d_queue.(0) <- origin;
+    st.d_head <- 0;
+    st.d_tail <- 1
+  end;
+  st.v_stamp.(origin) <- st.epoch
+
+(* Identical to [World.lazy_dist]: BFS discovery order yields true
+   distances, an exhausted frontier certifies unreachability.  The
+   neighbor scan is a port loop, not [iter_neighbors], so advancing the
+   frontier allocates nothing. *)
+let bfs_dist st g v =
+  if st.d_stamp.(v) = st.epoch then st.d_dist.(v)
+  else begin
+    let off = Graph.csr_offsets g and tgt = Graph.csr_targets g in
+    while st.d_head < st.d_tail && st.d_stamp.(v) <> st.epoch do
+      let u = st.d_queue.(st.d_head) in
+      st.d_head <- st.d_head + 1;
+      let du = st.d_dist.(u) + 1 in
+      let stop = Array.unsafe_get off (u + 1) - 1 in
+      for e = Array.unsafe_get off u to stop do
+        let w = Array.unsafe_get tgt e in
+        if st.d_stamp.(w) <> st.epoch then begin
+          st.d_stamp.(w) <- st.epoch;
+          st.d_dist.(w) <- du;
+          st.d_queue.(st.d_tail) <- w;
+          st.d_tail <- st.d_tail + 1
+        end
+      done
+    done;
+    if st.d_stamp.(v) = st.epoch then st.d_dist.(v) else max_int
+  end
+
+exception Truncated
+
+let illegal fmt = Fmt.kstr (fun s -> raise (Probe.Illegal s)) fmt
+
+type 'o sink = {
+  k_out : 'o array;  (* valid iff [not k_aborted.(i)] *)
+  k_volume : int array;
+  k_distance : int array;
+  k_queries : int array;
+  k_aborted : bool array;
+}
+
+let sink ~none k =
+  if k < 0 then invalid_arg "Exec.sink: negative length";
+  {
+    k_out = Array.make k none;
+    k_volume = Array.make k 0;
+    k_distance = Array.make k 0;
+    k_queries = Array.make k 0;
+    k_aborted = Array.make k false;
+  }
+
+(* Run origins [lo, hi) of the batch on one scratch state, writing each
+   result into the sink's flat arrays.  Everything loop-invariant — the
+   cost-meter refs, the condition evaluator, the observation accessors,
+   the output-combinator environment's closures — is allocated once
+   here, and the sink rows are unboxed-int stores, so the steady-state
+   per-origin path allocates nothing at all (an [Out_fn] program's env
+   record and whatever its combinator builds are the only exceptions).
+   That floor is what the bench gate measures. *)
+let exec_range spec g input claimed_n vol_cap dist_cap cap st origins snk lo hi =
+  let p = spec.Ir.program in
+  let code = p.Ir.code in
+  let code_len = Array.length code in
+  (* The query log only feeds [e_query]; a program with no output
+     combinator can never read it, so skip the writes.  Likewise the BFS
+     distance oracle only answers [admit]s — a program with no [Probe]
+     instruction never admits, so skip seeding the frontier. *)
+  let log_queries = p.Ir.n_fns > 0 in
+  let needs_bfs = Array.exists (function Ir.Probe _ -> true | _ -> false) code in
+  (* Cost meter: mirrors [Probe]'s ctx field for field.  [n_queries] is
+     bumped before the admit that may abort, volume counts distinct
+     visits only, the origin is free — so the result vector below is
+     byte-identical to the reference path's. *)
+  let origin = ref 0 in
+  let n_queries = ref 0 in
+  let visit_count = ref 1 in
+  let max_dist = ref 0 in
+  let qlen = ref 0 in
+  let steps = ref 0 in
+  let total_steps = ref 0 in
+  let total_queries = ref 0 in
+  (* Budget caps as plain-int sentinels, so the admit hot path branches
+     on an immediate instead of matching an option. *)
+  let vol_cap = match vol_cap with Some c -> c | None -> max_int in
+  let dist_cap = match dist_cap with Some c -> c | None -> max_int in
+  let admit v =
+    if st.v_stamp.(v) <> st.epoch then begin
+      if !visit_count >= vol_cap then raise_notrace Truncated;
+      (* Inline the stamped-already fast path: [bfs_dist] contains a loop
+         so the compiler never inlines the call itself. *)
+      let d = if st.d_stamp.(v) = st.epoch then st.d_dist.(v) else bfs_dist st g v in
+      if d > dist_cap then raise_notrace Truncated;
+      st.v_stamp.(v) <- st.epoch;
+      incr visit_count;
+      if d > !max_dist then max_dist := d
+    end
+  in
+  (* [input] is pure by contract but may build its value afresh per call
+     (e.g. a record of label-array reads), and condition chains read
+     several fields of the same node back to back — a one-entry cache
+     turns those into a single construction. *)
+  let cache_v = ref (-1) in
+  let cache_i = ref None in
+  let input_of v =
+    if !cache_v = v then match !cache_i with Some x -> x | None -> input v
+    else begin
+      let x = input v in
+      cache_v := v;
+      cache_i := Some x;
+      x
+    end
+  in
+  let obs_at v f =
+    if st.v_stamp.(v) <> st.epoch then illegal "view of unvisited node %d" v;
+    spec.Ir.obs (input_of v) f
+  in
+  let deg v =
+    if st.v_stamp.(v) <> st.epoch then illegal "view of unvisited node %d" v;
+    Graph.degree g v
+  in
+  let port_at v = function Ir.P_const c -> c | Ir.P_field f -> obs_at v f in
+  let eval_cond = function
+    | Ir.C_deg_le (r, k) -> deg st.regs.(r) <= k
+    | Ir.C_deg_eq (r, k) -> deg st.regs.(r) = k
+    | Ir.C_deg_mod (r, m, k) -> deg st.regs.(r) mod m = k
+    | Ir.C_port_ok (r, sel) ->
+        let v = st.regs.(r) in
+        let pt = port_at v sel in
+        pt >= 1 && pt <= deg v
+    | Ir.C_label_eq (r, f, k) -> obs_at st.regs.(r) f = k
+    | Ir.C_field_eq (r, f1, f2) -> obs_at st.regs.(r) f1 = obs_at st.regs.(r) f2
+    | Ir.C_node_eq (r1, r2) -> st.regs.(r1) = st.regs.(r2)
+    | Ir.C_marked r -> st.m_stamp.(st.regs.(r)) = st.epoch
+    | Ir.C_queue_empty q -> st.q_head.(q) >= st.q_tail.(q)
+  in
+  (* The env's closures read the live scratch, so they are shared across
+     the whole range; only the record itself (whose [e_origin] and
+     [e_queries] are plain ints) is allocated per [Out_fn] run.  As on
+     the reference path, the env is only valid during the combinator
+     call — the scratch it reads is recycled for the next origin. *)
+  let e_reg r =
+    if r < 0 || r >= p.Ir.n_regs then invalid_arg "Ir env: register out of range"
+    else st.regs.(r)
+  in
+  let e_query i =
+    if i < 0 || i >= !qlen then invalid_arg "Ir env: query index out of range"
+    else st.qlog.(i)
+  in
+  let e_id v =
+    if st.v_stamp.(v) <> st.epoch then illegal "view of unvisited node %d" v;
+    Graph.id g v
+  in
+  let e_input v =
+    if st.v_stamp.(v) <> st.epoch then illegal "view of unvisited node %d" v;
+    input_of v
+  in
+  let env () =
+    {
+      Ir.e_origin = !origin;
+      e_n = claimed_n;
+      e_reg;
+      e_queries = !qlen;
+      e_query;
+      e_id;
+      e_degree = deg;
+      e_input;
+    }
+  in
+  let finished = ref false in
+  let pc = ref 0 in
+  (* Hoisted walk cursor for [Probe] paths: without flambda a [ref] bound
+     inside the dispatch loop is a fresh minor-heap block per probe. *)
+  let cur = ref 0 in
+  for i = lo to hi - 1 do
+    origin := origins.(i);
+    begin_origin st p ~needs_bfs !origin;
+    n_queries := 0;
+    visit_count := 1;
+    max_dist := 0;
+    qlen := 0;
+    steps := 0;
+    finished := false;
+    pc := 0;
+    let aborted =
+      match
+        while not !finished do
+          if !steps >= cap then raise_notrace Truncated;
+          if !pc < 0 || !pc >= code_len then raise_notrace Truncated;
+          (match code.(!pc) with
+          | Ir.Probe { at; path; dst } ->
+              cur := st.regs.(at);
+              for j = 0 to Array.length path - 1 do
+                let v = !cur in
+                let pt =
+                  match path.(j) with Ir.P_const c -> c | Ir.P_field f -> obs_at v f
+                in
+                if pt < 1 || pt > Graph.degree g v then raise_notrace Truncated;
+                incr n_queries;
+                let u = Graph.unsafe_neighbor g v pt in
+                if log_queries then begin
+                  if !qlen >= Array.length st.qlog then
+                    st.qlog <- grow_int_array st.qlog (!qlen + 1);
+                  st.qlog.(!qlen) <- u
+                end;
+                incr qlen;
+                admit u;
+                cur := u
+              done;
+              st.regs.(dst) <- !cur;
+              incr pc
+          | Ir.Jump t -> pc := t
+          | Ir.Branch { cond; if_true; if_false } ->
+              pc := if eval_cond cond then if_true else if_false
+          | Ir.Move { src; dst } ->
+              st.regs.(dst) <- st.regs.(src);
+              incr pc
+          | Ir.Mark r ->
+              st.m_stamp.(st.regs.(r)) <- st.epoch;
+              incr pc
+          | Ir.Push { queue; src } ->
+              let t = st.q_tail.(queue) in
+              if t >= Array.length st.q_buf.(queue) then
+                st.q_buf.(queue) <- grow_int_array st.q_buf.(queue) (t + 1);
+              st.q_buf.(queue).(t) <- st.regs.(src);
+              st.q_tail.(queue) <- t + 1;
+              incr pc
+          | Ir.Pop { queue; dst } ->
+              let h = st.q_head.(queue) in
+              if h >= st.q_tail.(queue) then raise_notrace Truncated;
+              st.regs.(dst) <- st.q_buf.(queue).(h);
+              st.q_head.(queue) <- h + 1;
+              incr pc
+          | Ir.Out_const k ->
+              snk.k_out.(i) <- spec.Ir.consts.(k);
+              finished := true
+          | Ir.Out_fn k ->
+              snk.k_out.(i) <- spec.Ir.fns.(k) (env ());
+              finished := true
+          | Ir.Halt -> raise_notrace Truncated);
+          incr steps
+        done
+      with
+      | () -> false
+      | exception Truncated -> true
+    in
+    total_steps := !total_steps + !steps;
+    total_queries := !total_queries + !n_queries;
+    snk.k_volume.(i) <- !visit_count;
+    snk.k_distance.(i) <- !max_dist;
+    snk.k_queries.(i) <- !n_queries;
+    snk.k_aborted.(i) <- aborted
+  done;
+  Metrics.add m_steps !total_steps;
+  Metrics.add m_queries !total_queries
+
+let run_batch_into ?claimed_n ?(budget = Probe.unlimited) ?pool spec ~graph ~input ~origins
+    ~sink:snk =
+  let claimed_n = match claimed_n with Some n -> n | None -> Graph.n graph in
+  let count = Graph.n graph in
+  let k = Array.length origins in
+  if Array.length snk.k_out < k then invalid_arg "Exec.run_batch_into: sink shorter than batch";
+  Metrics.incr m_runs;
+  Metrics.add m_origins k;
+  let eff = Ir.effective_budget spec.Ir.program budget in
+  let cap = Ir.step_cap ~n:claimed_n spec.Ir.program in
+  let run_range lo hi =
+    with_state count (fun st ->
+        exec_range spec graph input claimed_n eff.Probe.max_volume eff.Probe.max_distance cap
+          st origins snk lo hi)
+  in
+  match pool with
+  | None -> run_range 0 k
+  | Some pool when Pool.domains pool <= 1 || k <= 1 -> run_range 0 k
+  | Some pool ->
+      (* Chunk count is a function of (k, domains) only, and each slot is
+         computed independently, so the output is scheduling-invariant. *)
+      let nchunks = min k (4 * Pool.domains pool) in
+      let chunks =
+        List.init nchunks (fun c ->
+            let lo = c * k / nchunks and hi = (c + 1) * k / nchunks in
+            (lo, hi))
+      in
+      ignore (Pool.map pool (fun (lo, hi) -> run_range lo hi) chunks)
+
+let run_batch ?claimed_n ?budget ?pool spec ~graph ~input ~origins =
+  let k = Array.length origins in
+  (* [None] is a fine placeholder: [k_out] slots are only read behind a
+     false [k_aborted], by which point they hold a [Some]. *)
+  let snk = sink ~none:None k in
+  let boxed =
+    {
+      Ir.program = spec.Ir.program;
+      obs = spec.Ir.obs;
+      consts = Array.map Option.some spec.Ir.consts;
+      fns = Array.map (fun f env -> Some (f env)) spec.Ir.fns;
+    }
+  in
+  run_batch_into ?claimed_n ?budget ?pool boxed ~graph ~input ~origins ~sink:snk;
+  Array.init k (fun i ->
+      let aborted = snk.k_aborted.(i) in
+      {
+        Probe.output = (if aborted then None else snk.k_out.(i));
+        volume = snk.k_volume.(i);
+        distance = snk.k_distance.(i);
+        queries = snk.k_queries.(i);
+        rand_bits = 0;
+        aborted;
+      })

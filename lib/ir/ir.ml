@@ -1,0 +1,571 @@
+module Graph = Vc_graph.Graph
+module Probe = Vc_model.Probe
+module Json = Vc_obs.Json
+
+type reg = int
+
+type queue = int
+
+type field = int
+
+type port_sel =
+  | P_const of int
+  | P_field of field
+
+type cond =
+  | C_deg_le of reg * int
+  | C_deg_eq of reg * int
+  | C_deg_mod of reg * int * int
+  | C_port_ok of reg * port_sel
+  | C_label_eq of reg * field * int
+  | C_field_eq of reg * field * field
+  | C_node_eq of reg * reg
+  | C_marked of reg
+  | C_queue_empty of queue
+
+type instr =
+  | Probe of { at : reg; path : port_sel array; dst : reg }
+  | Jump of int
+  | Branch of { cond : cond; if_true : int; if_false : int }
+  | Move of { src : reg; dst : reg }
+  | Mark of reg
+  | Push of { queue : queue; src : reg }
+  | Pop of { queue : queue; dst : reg }
+  | Out_const of int
+  | Out_fn of int
+  | Halt
+
+type program = {
+  name : string;
+  n_regs : int;
+  n_queues : int;
+  obs_arity : int;
+  n_consts : int;
+  n_fns : int;
+  declared : Probe.budget;
+  max_steps : int option;
+  code : instr array;
+}
+
+type 'i env = {
+  e_origin : Graph.node;
+  e_n : int;
+  e_reg : reg -> Graph.node;
+  e_queries : int;
+  e_query : int -> Graph.node;
+  e_id : Graph.node -> int;
+  e_degree : Graph.node -> int;
+  e_input : Graph.node -> 'i;
+}
+
+type ('i, 'o) spec = {
+  program : program;
+  obs : 'i -> field -> int;
+  consts : 'o array;
+  fns : ('i env -> 'o) array;
+}
+
+(* --- cost model ----------------------------------------------------------- *)
+
+(* The step cap bounds instruction executions per origin, making every
+   program — including a wire-shipped hostile one — terminate.  The
+   default is a deterministic function of (claimed n, code length) only,
+   so the reference interpreter and the batched executor always truncate
+   at the identical step, keeping their results bit-identical even on
+   runaway programs. *)
+let default_step_cap ~n p = 4096 + (256 * n) + (16 * Array.length p.code)
+
+let step_cap ~n p = match p.max_steps with Some s -> s | None -> default_step_cap ~n p
+
+let intersect_budget a b =
+  let m x y =
+    match (x, y) with
+    | None, z | z, None -> z
+    | Some x, Some y -> Some (min x y)
+  in
+  {
+    Probe.max_volume = m a.Probe.max_volume b.Probe.max_volume;
+    max_distance = m a.Probe.max_distance b.Probe.max_distance;
+  }
+
+let effective_budget p budget = intersect_budget p.declared budget
+
+(* --- validator ------------------------------------------------------------ *)
+
+let validate p =
+  let len = Array.length p.code in
+  let err fmt = Fmt.kstr Result.error fmt in
+  let check_reg what r =
+    if r < 0 || r >= p.n_regs then err "%s: register r%d out of range [0, %d)" what r p.n_regs
+    else Ok ()
+  in
+  let check_queue what q =
+    if q < 0 || q >= p.n_queues then err "%s: queue q%d out of range [0, %d)" what q p.n_queues
+    else Ok ()
+  in
+  let check_field what f =
+    if f < 0 || f >= p.obs_arity then
+      err "%s: observation field %d out of range [0, %d)" what f p.obs_arity
+    else Ok ()
+  in
+  let check_port what = function
+    | P_const c -> if c < 1 then err "%s: literal port %d < 1" what c else Ok ()
+    | P_field f -> check_field what f
+  in
+  let check_target what t =
+    if t < 0 || t >= len then err "%s: branch target %d out of range [0, %d)" what t len
+    else Ok ()
+  in
+  let ( >>= ) r f = Result.bind r (fun () -> f ()) in
+  let check_cond what = function
+    | C_deg_le (r, _) | C_deg_eq (r, _) -> check_reg what r
+    | C_deg_mod (r, m, _) ->
+        check_reg what r >>= fun () ->
+        if m < 1 then err "%s: modulus %d < 1" what m else Ok ()
+    | C_port_ok (r, sel) -> check_reg what r >>= fun () -> check_port what sel
+    | C_label_eq (r, f, _) -> check_reg what r >>= fun () -> check_field what f
+    | C_field_eq (r, f1, f2) ->
+        check_reg what r >>= fun () ->
+        check_field what f1 >>= fun () -> check_field what f2
+    | C_node_eq (r1, r2) -> check_reg what r1 >>= fun () -> check_reg what r2
+    | C_marked r -> check_reg what r
+    | C_queue_empty q -> check_queue what q
+  in
+  let terminal = function
+    | Out_const _ | Out_fn _ | Halt | Jump _ | Branch _ -> true
+    | Probe _ | Move _ | Mark _ | Push _ | Pop _ -> false
+  in
+  let check_instr i instr =
+    let what = Fmt.str "instruction %d" i in
+    (match instr with
+    | Probe { at; path; dst } ->
+        check_reg what at >>= fun () ->
+        check_reg what dst >>= fun () ->
+        if Array.length path = 0 then err "%s: empty probe path" what
+        else
+          Array.fold_left
+            (fun acc sel -> acc >>= fun () -> check_port what sel)
+            (Ok ()) path
+    | Jump t -> check_target what t
+    | Branch { cond; if_true; if_false } ->
+        check_cond what cond >>= fun () ->
+        check_target what if_true >>= fun () -> check_target what if_false
+    | Move { src; dst } -> check_reg what src >>= fun () -> check_reg what dst
+    | Mark r -> check_reg what r
+    | Push { queue; src } -> check_queue what queue >>= fun () -> check_reg what src
+    | Pop { queue; dst } -> check_queue what queue >>= fun () -> check_reg what dst
+    | Out_const k ->
+        if k < 0 || k >= p.n_consts then
+          err "%s: output constant %d out of range [0, %d)" what k p.n_consts
+        else Ok ()
+    | Out_fn k ->
+        if k < 0 || k >= p.n_fns then
+          err "%s: output combinator %d out of range [0, %d)" what k p.n_fns
+        else Ok ()
+    | Halt -> Ok ())
+    >>= fun () ->
+    if i = len - 1 && not (terminal instr) then
+      err "%s: control falls off the end of the program" what
+    else Ok ()
+  in
+  if len = 0 then err "%s: empty program" p.name
+  else if p.n_regs < 1 then err "%s: programs need at least one register" p.name
+  else if p.n_queues < 0 then err "%s: negative queue count" p.name
+  else if p.obs_arity < 0 then err "%s: negative observation arity" p.name
+  else if p.n_consts < 0 || p.n_fns < 0 then err "%s: negative output-table size" p.name
+  else if
+    match p.declared.Probe.max_volume with Some v -> v < 1 | None -> false
+  then err "%s: declared volume budget < 1" p.name
+  else if
+    match p.declared.Probe.max_distance with Some d -> d < 0 | None -> false
+  then err "%s: declared distance budget < 0" p.name
+  else if match p.max_steps with Some s -> s < 1 | None -> false then
+    err "%s: step cap < 1" p.name
+  else
+    let rec go i =
+      if i >= len then Ok ()
+      else match check_instr i p.code.(i) with Ok () -> go (i + 1) | Error _ as e -> e
+    in
+    go 0
+
+let validate_spec spec =
+  let p = spec.program in
+  match validate p with
+  | Error _ as e -> e
+  | Ok () ->
+      if Array.length spec.consts <> p.n_consts then
+        Error
+          (Fmt.str "%s: binding has %d constants, program declares %d" p.name
+             (Array.length spec.consts) p.n_consts)
+      else if Array.length spec.fns <> p.n_fns then
+        Error
+          (Fmt.str "%s: binding has %d combinators, program declares %d" p.name
+             (Array.length spec.fns) p.n_fns)
+      else Ok ()
+
+(* --- printing ------------------------------------------------------------- *)
+
+let pp_port ppf = function
+  | P_const c -> Fmt.pf ppf "%d" c
+  | P_field f -> Fmt.pf ppf "obs[%d]" f
+
+let pp_cond ppf = function
+  | C_deg_le (r, k) -> Fmt.pf ppf "deg(r%d) <= %d" r k
+  | C_deg_eq (r, k) -> Fmt.pf ppf "deg(r%d) = %d" r k
+  | C_deg_mod (r, m, k) -> Fmt.pf ppf "deg(r%d) mod %d = %d" r m k
+  | C_port_ok (r, sel) -> Fmt.pf ppf "port_ok(r%d, %a)" r pp_port sel
+  | C_label_eq (r, f, k) -> Fmt.pf ppf "obs[%d](r%d) = %d" f r k
+  | C_field_eq (r, f1, f2) -> Fmt.pf ppf "obs[%d](r%d) = obs[%d](r%d)" f1 r f2 r
+  | C_node_eq (r1, r2) -> Fmt.pf ppf "r%d = r%d" r1 r2
+  | C_marked r -> Fmt.pf ppf "marked(r%d)" r
+  | C_queue_empty q -> Fmt.pf ppf "empty(q%d)" q
+
+let pp_instr ppf = function
+  | Probe { at; path; dst } ->
+      Fmt.pf ppf "probe   r%d <- r%d via [%a]" dst at
+        Fmt.(array ~sep:(any " ") pp_port)
+        path
+  | Jump t -> Fmt.pf ppf "jump    %d" t
+  | Branch { cond; if_true; if_false } ->
+      Fmt.pf ppf "branch  %a ? %d : %d" pp_cond cond if_true if_false
+  | Move { src; dst } -> Fmt.pf ppf "move    r%d <- r%d" dst src
+  | Mark r -> Fmt.pf ppf "mark    r%d" r
+  | Push { queue; src } -> Fmt.pf ppf "push    q%d <- r%d" queue src
+  | Pop { queue; dst } -> Fmt.pf ppf "pop     r%d <- q%d" dst queue
+  | Out_const k -> Fmt.pf ppf "out     const[%d]" k
+  | Out_fn k -> Fmt.pf ppf "out     fn[%d]" k
+  | Halt -> Fmt.pf ppf "halt"
+
+let pp_program ppf p =
+  let budget ppf (b : Probe.budget) =
+    let opt ppf = function None -> Fmt.string ppf "-" | Some v -> Fmt.int ppf v in
+    Fmt.pf ppf "vol=%a dist=%a" opt b.Probe.max_volume opt b.Probe.max_distance
+  in
+  Fmt.pf ppf "@[<v>program %s: %d instr, %d regs, %d queues, obs arity %d, %d consts, %d fns@,"
+    p.name (Array.length p.code) p.n_regs p.n_queues p.obs_arity p.n_consts p.n_fns;
+  Fmt.pf ppf "declared budget: %a; step cap: %s@," budget p.declared
+    (match p.max_steps with None -> "default" | Some s -> string_of_int s);
+  Array.iteri (fun i instr -> Fmt.pf ppf "%4d: %a@," i pp_instr instr) p.code;
+  Fmt.pf ppf "@]"
+
+(* --- JSON codec ------------------------------------------------------------ *)
+
+(* Programs (not bindings: the output tables are problem-typed OCaml
+   values) round-trip through JSON, which is what makes them
+   wire-shippable: a serve client can submit a probe schedule, and the
+   validator plus the step cap make running it safe. *)
+
+let port_to_json = function
+  | P_const c -> Json.Int c
+  | P_field f -> Json.Obj [ ("field", Json.Int f) ]
+
+let port_of_json = function
+  | Json.Int c -> Ok (P_const c)
+  | Json.Obj _ as j -> (
+      match Option.bind (Json.member j "field") Json.to_int with
+      | Some f -> Ok (P_field f)
+      | None -> Error "port: object without integer \"field\"")
+  | _ -> Error "port: expected integer or {\"field\": i}"
+
+let cond_to_json c =
+  let obj op fields = Json.Obj (("op", Json.String op) :: fields) in
+  match c with
+  | C_deg_le (r, k) -> obj "deg_le" [ ("reg", Json.Int r); ("k", Json.Int k) ]
+  | C_deg_eq (r, k) -> obj "deg_eq" [ ("reg", Json.Int r); ("k", Json.Int k) ]
+  | C_deg_mod (r, m, k) ->
+      obj "deg_mod" [ ("reg", Json.Int r); ("m", Json.Int m); ("k", Json.Int k) ]
+  | C_port_ok (r, sel) -> obj "port_ok" [ ("reg", Json.Int r); ("port", port_to_json sel) ]
+  | C_label_eq (r, f, k) ->
+      obj "label_eq" [ ("reg", Json.Int r); ("f", Json.Int f); ("k", Json.Int k) ]
+  | C_field_eq (r, f1, f2) ->
+      obj "field_eq" [ ("reg", Json.Int r); ("f1", Json.Int f1); ("f2", Json.Int f2) ]
+  | C_node_eq (r1, r2) -> obj "node_eq" [ ("r1", Json.Int r1); ("r2", Json.Int r2) ]
+  | C_marked r -> obj "marked" [ ("reg", Json.Int r) ]
+  | C_queue_empty q -> obj "queue_empty" [ ("queue", Json.Int q) ]
+
+let cond_of_json j =
+  let int k = Option.bind (Json.member j k) Json.to_int in
+  let req k = match int k with Some v -> Ok v | None -> Error ("cond: missing " ^ k) in
+  let ( let* ) = Result.bind in
+  match Option.bind (Json.member j "op") Json.to_str with
+  | Some "deg_le" ->
+      let* r = req "reg" in
+      let* k = req "k" in
+      Ok (C_deg_le (r, k))
+  | Some "deg_eq" ->
+      let* r = req "reg" in
+      let* k = req "k" in
+      Ok (C_deg_eq (r, k))
+  | Some "deg_mod" ->
+      let* r = req "reg" in
+      let* m = req "m" in
+      let* k = req "k" in
+      Ok (C_deg_mod (r, m, k))
+  | Some "port_ok" -> (
+      let* r = req "reg" in
+      match Json.member j "port" with
+      | Some pj ->
+          let* sel = port_of_json pj in
+          Ok (C_port_ok (r, sel))
+      | None -> Error "cond: missing port")
+  | Some "label_eq" ->
+      let* r = req "reg" in
+      let* f = req "f" in
+      let* k = req "k" in
+      Ok (C_label_eq (r, f, k))
+  | Some "field_eq" ->
+      let* r = req "reg" in
+      let* f1 = req "f1" in
+      let* f2 = req "f2" in
+      Ok (C_field_eq (r, f1, f2))
+  | Some "node_eq" ->
+      let* r1 = req "r1" in
+      let* r2 = req "r2" in
+      Ok (C_node_eq (r1, r2))
+  | Some "marked" ->
+      let* r = req "reg" in
+      Ok (C_marked r)
+  | Some "queue_empty" ->
+      let* q = req "queue" in
+      Ok (C_queue_empty q)
+  | Some op -> Error ("cond: unknown op " ^ op)
+  | None -> Error "cond: missing op"
+
+let instr_to_json i =
+  let obj op fields = Json.Obj (("op", Json.String op) :: fields) in
+  match i with
+  | Probe { at; path; dst } ->
+      obj "probe"
+        [
+          ("at", Json.Int at);
+          ("path", Json.List (Array.to_list (Array.map port_to_json path)));
+          ("dst", Json.Int dst);
+        ]
+  | Jump t -> obj "jump" [ ("to", Json.Int t) ]
+  | Branch { cond; if_true; if_false } ->
+      obj "branch"
+        [
+          ("cond", cond_to_json cond);
+          ("if_true", Json.Int if_true);
+          ("if_false", Json.Int if_false);
+        ]
+  | Move { src; dst } -> obj "move" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Mark r -> obj "mark" [ ("reg", Json.Int r) ]
+  | Push { queue; src } -> obj "push" [ ("queue", Json.Int queue); ("src", Json.Int src) ]
+  | Pop { queue; dst } -> obj "pop" [ ("queue", Json.Int queue); ("dst", Json.Int dst) ]
+  | Out_const k -> obj "out_const" [ ("k", Json.Int k) ]
+  | Out_fn k -> obj "out_fn" [ ("k", Json.Int k) ]
+  | Halt -> obj "halt" []
+
+let instr_of_json j =
+  let int k = Option.bind (Json.member j k) Json.to_int in
+  let req k = match int k with Some v -> Ok v | None -> Error ("instr: missing " ^ k) in
+  let ( let* ) = Result.bind in
+  match Option.bind (Json.member j "op") Json.to_str with
+  | Some "probe" -> (
+      let* at = req "at" in
+      let* dst = req "dst" in
+      match Json.member j "path" with
+      | Some (Json.List ps) ->
+          let* path =
+            List.fold_left
+              (fun acc pj ->
+                let* acc = acc in
+                let* sel = port_of_json pj in
+                Ok (sel :: acc))
+              (Ok []) ps
+          in
+          Ok (Probe { at; path = Array.of_list (List.rev path); dst })
+      | _ -> Error "probe: missing path list")
+  | Some "jump" ->
+      let* t = req "to" in
+      Ok (Jump t)
+  | Some "branch" -> (
+      let* if_true = req "if_true" in
+      let* if_false = req "if_false" in
+      match Json.member j "cond" with
+      | Some cj ->
+          let* cond = cond_of_json cj in
+          Ok (Branch { cond; if_true; if_false })
+      | None -> Error "branch: missing cond")
+  | Some "move" ->
+      let* src = req "src" in
+      let* dst = req "dst" in
+      Ok (Move { src; dst })
+  | Some "mark" ->
+      let* r = req "reg" in
+      Ok (Mark r)
+  | Some "push" ->
+      let* queue = req "queue" in
+      let* src = req "src" in
+      Ok (Push { queue; src })
+  | Some "pop" ->
+      let* queue = req "queue" in
+      let* dst = req "dst" in
+      Ok (Pop { queue; dst })
+  | Some "out_const" ->
+      let* k = req "k" in
+      Ok (Out_const k)
+  | Some "out_fn" ->
+      let* k = req "k" in
+      Ok (Out_fn k)
+  | Some "halt" -> Ok Halt
+  | Some op -> Error ("instr: unknown op " ^ op)
+  | None -> Error "instr: missing op"
+
+let program_to_json p =
+  let opt = function None -> Json.Null | Some v -> Json.Int v in
+  Json.Obj
+    [
+      ("volcomp_ir", Json.Int 1);
+      ("name", Json.String p.name);
+      ("n_regs", Json.Int p.n_regs);
+      ("n_queues", Json.Int p.n_queues);
+      ("obs_arity", Json.Int p.obs_arity);
+      ("n_consts", Json.Int p.n_consts);
+      ("n_fns", Json.Int p.n_fns);
+      ("max_volume", opt p.declared.Probe.max_volume);
+      ("max_distance", opt p.declared.Probe.max_distance);
+      ("max_steps", opt p.max_steps);
+      ("code", Json.List (Array.to_list (Array.map instr_to_json p.code)));
+    ]
+
+let program_of_json j =
+  let ( let* ) = Result.bind in
+  let int k = Option.bind (Json.member j k) Json.to_int in
+  let req k = match int k with Some v -> Ok v | None -> Error ("program: missing " ^ k) in
+  let opt k = match Json.member j k with Some Json.Null | None -> None | Some v -> Json.to_int v in
+  let* () =
+    match int "volcomp_ir" with
+    | Some 1 -> Ok ()
+    | Some v -> Error (Fmt.str "program: unsupported volcomp_ir version %d" v)
+    | None -> Error "program: missing volcomp_ir version tag"
+  in
+  let* name =
+    match Option.bind (Json.member j "name") Json.to_str with
+    | Some n -> Ok n
+    | None -> Error "program: missing name"
+  in
+  let* n_regs = req "n_regs" in
+  let* n_queues = req "n_queues" in
+  let* obs_arity = req "obs_arity" in
+  let* n_consts = req "n_consts" in
+  let* n_fns = req "n_fns" in
+  let* code =
+    match Json.member j "code" with
+    | Some (Json.List is) ->
+        let* rev =
+          List.fold_left
+            (fun acc ij ->
+              let* acc = acc in
+              let* i = instr_of_json ij in
+              Ok (i :: acc))
+            (Ok []) is
+        in
+        Ok (Array.of_list (List.rev rev))
+    | _ -> Error "program: missing code list"
+  in
+  let p =
+    {
+      name;
+      n_regs;
+      n_queues;
+      obs_arity;
+      n_consts;
+      n_fns;
+      declared =
+        { Probe.max_volume = opt "max_volume"; max_distance = opt "max_distance" };
+      max_steps = opt "max_steps";
+      code;
+    }
+  in
+  match validate p with Ok () -> Ok p | Error e -> Error e
+
+(* --- assembler ------------------------------------------------------------- *)
+
+(* A tiny two-pass assembler: emit instructions against symbolic labels,
+   then resolve.  The hand-compiled solver ports in {!Library} read much
+   better this way than with absolute targets. *)
+
+module Asm = struct
+  type label = int
+
+  type t = {
+    mutable items : [ `Instr of instr | `Lbl of label ] list; (* reversed *)
+    mutable next_label : int;
+  }
+
+  let create () = { items = []; next_label = 0 }
+
+  let label t =
+    let l = t.next_label in
+    t.next_label <- l + 1;
+    l
+
+  let place t l = t.items <- `Lbl l :: t.items
+
+  let emit t i = t.items <- `Instr i :: t.items
+
+  (* Emitted targets are labels; [assemble] rewrites them to indices. *)
+  let probe t ~at ~path ~dst = emit t (Probe { at; path; dst })
+
+  let jump t l = emit t (Jump l)
+
+  let branch t cond ~if_true ~if_false = emit t (Branch { cond; if_true; if_false })
+
+  let move t ~src ~dst = emit t (Move { src; dst })
+
+  let mark t r = emit t (Mark r)
+
+  let push t ~queue ~src = emit t (Push { queue; src })
+
+  let pop t ~queue ~dst = emit t (Pop { queue; dst })
+
+  let out_const t k = emit t (Out_const k)
+
+  let out_fn t k = emit t (Out_fn k)
+
+  let halt t = emit t Halt
+
+  let assemble t ~name ~n_regs ~n_queues ~obs_arity ~n_consts ~n_fns ?(declared = Probe.unlimited)
+      ?max_steps () =
+    let items = List.rev t.items in
+    let at = Array.make t.next_label (-1) in
+    let pc = ref 0 in
+    List.iter
+      (function
+        | `Lbl l -> at.(l) <- !pc
+        | `Instr _ -> incr pc)
+      items;
+    let resolve l =
+      if l < 0 || l >= Array.length at || at.(l) < 0 then
+        invalid_arg (Fmt.str "Ir.Asm.assemble: unplaced label %d" l)
+      else at.(l)
+    in
+    let code =
+      List.filter_map
+        (function
+          | `Lbl _ -> None
+          | `Instr (Jump l) -> Some (Jump (resolve l))
+          | `Instr (Branch { cond; if_true; if_false }) ->
+              Some (Branch { cond; if_true = resolve if_true; if_false = resolve if_false })
+          | `Instr i -> Some i)
+        items
+    in
+    let p =
+      {
+        name;
+        n_regs;
+        n_queues;
+        obs_arity;
+        n_consts;
+        n_fns;
+        declared;
+        max_steps;
+        code = Array.of_list code;
+      }
+    in
+    match validate p with
+    | Ok () -> p
+    | Error e -> invalid_arg ("Ir.Asm.assemble: " ^ e)
+end

@@ -1,0 +1,373 @@
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module TL = Vc_graph.Tree_labels
+module Splitmix = Vc_rng.Splitmix
+module World = Vc_model.World
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module TR = Volcomp.Trivial_lcl
+module CC = Volcomp.Cycle_coloring
+module LC = Volcomp.Leaf_coloring
+module PT = Volcomp.Probe_tree
+open Ir
+
+(* Observation encoding shared by the tree-labeling programs: fields
+   expose a node's three pointers and its input color as small ints. *)
+let f_parent = 0
+
+let f_left = 1
+
+let f_right = 2
+
+(* field 3 is the input color: Red = 0, Blue = 1 *)
+
+let tree_obs (inp : LC.node_input) f =
+  match f with
+  | 0 -> inp.LC.parent
+  | 1 -> inp.LC.left
+  | 2 -> inp.LC.right
+  | 3 -> ( match inp.LC.color with TL.Red -> 0 | TL.Blue -> 1)
+  | _ -> invalid_arg "Library.tree_obs: field out of range"
+
+let unit_obs () _ = 0
+
+(* --- degree parity --------------------------------------------------------- *)
+
+let degree_parity : (unit, TR.parity) spec =
+  let program =
+    {
+      name = "degree-parity";
+      n_regs = 1;
+      n_queues = 0;
+      obs_arity = 0;
+      n_consts = 2;
+      n_fns = 0;
+      declared = Probe.unlimited;
+      max_steps = None;
+      code =
+        [|
+          Branch { cond = C_deg_mod (0, 2, 0); if_true = 1; if_false = 2 };
+          Out_const 0;
+          Out_const 1;
+        |];
+    }
+  in
+  { program; obs = unit_obs; consts = [| TR.Even; TR.Odd |]; fns = [||] }
+
+(* --- Cole–Vishkin cycle coloring ------------------------------------------- *)
+
+(* The probe schedule is two straight-line walks (offsets +1..+3 on port
+   1, then -1..-(t+3) on port 2); all color arithmetic happens in the
+   output combinator over the identifiers of the logged query results.
+   Offsets — not node identities — index the window, so wrap-around on
+   tiny cycles behaves exactly like the closure solver, whose hashtable
+   is also offset-keyed. *)
+(* One scratch array is the only allocation.  A Cole–Vishkin round reads
+   positions [j] and [j - 1] of the previous round and writes [j], so
+   sweeping [j] {e downward} updates in place without a snapshot: the
+   [j - 1] read always sees the old value.  The conflict passes are also
+   snapshot-free: colors are proper along the window (identifiers are
+   distinct on adjacent nodes and [reduce] preserves properness), so a
+   position being recolored away from [c] never has a [c]-colored
+   neighbor, meaning the neighbor values it reads were not modified in
+   this pass.  The per-[c] window — positions of -3..3 with [c]-many
+   shrink steps applied — tightens monotonically in [c], so testing the
+   current bounds alone equals the cumulative filter of the
+   round-by-round formulation. *)
+(* The window scratch is domain-local and fully overwritten by the fill
+   phase below, so the combinator stays pure in effect while the hot
+   batch path allocates nothing per call.  No re-entrancy hazard: the
+   combinator never calls back into an executor. *)
+let cv_scratch : int array ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [||])
+
+let cv_fn ~t env =
+  let lo = -(t + 3) and hi = 3 in
+  let at j = j - lo in
+  let cell = Domain.DLS.get cv_scratch in
+  if Array.length !cell < hi - lo + 1 then cell := Array.make (hi - lo + 1) 0;
+  let color = !cell in
+  let id = env.e_id and query = env.e_query in
+  color.(at 0) <- id env.e_origin;
+  for i = 0 to 2 do
+    color.(at (i + 1)) <- id (query i)
+  done;
+  for i = 0 to t + 2 do
+    color.(at (-(i + 1))) <- id (query (3 + i))
+  done;
+  for r = 1 to t do
+    for j = hi downto lo + r do
+      color.(at j) <- CC.reduce ~own:color.(at j) ~pred:color.(at (j - 1))
+    done
+  done;
+  for c = 3 to 5 do
+    for j = -3 to 3 do
+      if j > lo + t + (c - 3) && j < hi - (c - 3) && color.(at j) = c then begin
+        let l = color.(at (j - 1)) and r = color.(at (j + 1)) in
+        color.(at j) <-
+          (if 0 <> l && 0 <> r then 0 else if 1 <> l && 1 <> r then 1 else 2)
+      end
+    done
+  done;
+  color.(at 0)
+
+let cycle_coloring ~n : (unit, int) spec =
+  let t = CC.rounds_needed ~n in
+  let a = Asm.create () in
+  Asm.probe a ~at:0 ~path:[| P_const 1; P_const 1; P_const 1 |] ~dst:1;
+  Asm.probe a ~at:0 ~path:(Array.make (t + 3) (P_const 2)) ~dst:1;
+  Asm.out_fn a 0;
+  let program =
+    Asm.assemble a ~name:"cycle-coloring" ~n_regs:2 ~n_queues:0 ~obs_arity:0 ~n_consts:0
+      ~n_fns:1 ()
+  in
+  { program; obs = unit_obs; consts = [||]; fns = [| cv_fn ~t |] }
+
+(* --- the Definition 3.3 status decision, as an IR macro -------------------- *)
+
+(* [emit_internal] replicates [Tree_labels.status_gen]'s [internal u]
+   with short-circuit fidelity: the two queries of a reciprocated-child
+   check are only issued once every cheaper (query-free) conjunct has
+   passed, so the query count agrees with the closure on every input,
+   consistent or not. *)
+let emit_internal a ~u ~c ~t ~if_true ~if_false =
+  let l1 = Asm.label a
+  and l2 = Asm.label a
+  and l3 = Asm.label a
+  and l4 = Asm.label a
+  and l5 = Asm.label a
+  and l6 = Asm.label a
+  and l7 = Asm.label a
+  and l8 = Asm.label a in
+  Asm.branch a (C_port_ok (u, P_field f_left)) ~if_true:l1 ~if_false;
+  Asm.place a l1;
+  Asm.branch a (C_port_ok (u, P_field f_right)) ~if_true:l2 ~if_false;
+  Asm.place a l2;
+  Asm.branch a (C_field_eq (u, f_left, f_right)) ~if_true:if_false ~if_false:l3;
+  Asm.place a l3;
+  Asm.branch a (C_field_eq (u, f_parent, f_left)) ~if_true:if_false ~if_false:l4;
+  Asm.place a l4;
+  Asm.branch a (C_field_eq (u, f_parent, f_right)) ~if_true:if_false ~if_false:l5;
+  Asm.place a l5;
+  Asm.probe a ~at:u ~path:[| P_field f_left |] ~dst:c;
+  Asm.branch a (C_port_ok (c, P_field f_parent)) ~if_true:l6 ~if_false;
+  Asm.place a l6;
+  Asm.probe a ~at:c ~path:[| P_field f_parent |] ~dst:t;
+  Asm.branch a (C_node_eq (t, u)) ~if_true:l7 ~if_false;
+  Asm.place a l7;
+  Asm.probe a ~at:u ~path:[| P_field f_right |] ~dst:c;
+  Asm.branch a (C_port_ok (c, P_field f_parent)) ~if_true:l8 ~if_false;
+  Asm.place a l8;
+  Asm.probe a ~at:c ~path:[| P_field f_parent |] ~dst:t;
+  Asm.branch a (C_node_eq (t, u)) ~if_true ~if_false
+
+let emit_status a ~v ~p ~c ~t ~on_internal ~on_leaf ~on_inconsistent =
+  let notint = Asm.label a and have_parent = Asm.label a in
+  emit_internal a ~u:v ~c ~t ~if_true:on_internal ~if_false:notint;
+  Asm.place a notint;
+  Asm.branch a (C_port_ok (v, P_field f_parent)) ~if_true:have_parent ~if_false:on_inconsistent;
+  Asm.place a have_parent;
+  Asm.probe a ~at:v ~path:[| P_field f_parent |] ~dst:p;
+  emit_internal a ~u:p ~c ~t ~if_true:on_leaf ~if_false:on_inconsistent
+
+let probe_tree_status : (LC.node_input, TL.status) spec =
+  let a = Asm.create () in
+  let int_l = Asm.label a and leaf_l = Asm.label a and inc_l = Asm.label a in
+  emit_status a ~v:0 ~p:1 ~c:2 ~t:3 ~on_internal:int_l ~on_leaf:leaf_l ~on_inconsistent:inc_l;
+  Asm.place a int_l;
+  Asm.out_const a 0;
+  Asm.place a leaf_l;
+  Asm.out_const a 1;
+  Asm.place a inc_l;
+  Asm.out_const a 2;
+  let program =
+    Asm.assemble a ~name:"probe-tree-status" ~n_regs:4 ~n_queues:0 ~obs_arity:4 ~n_consts:3
+      ~n_fns:0 ()
+  in
+  {
+    program;
+    obs = tree_obs;
+    consts = [| TL.Internal; TL.Leaf; TL.Inconsistent |];
+    fns = [||];
+  }
+
+(* --- LeafColoring, Proposition 3.9 ----------------------------------------- *)
+
+(* Register plan: r0 origin, r1 current node (and the node whose input
+   color the output combinator reads), r2/r3 left/right children, r4
+   parent scratch, r5/r6 status-macro scratch.  Queue 0 is the current
+   BFS frontier, queue 1 stages it for the expand pass.  The schedule —
+   scan the whole frontier for a leaf, then re-status and expand every
+   member — reproduces the closure's probe order exactly, including the
+   re-issued status queries of [children] and the seen-set asymmetry of
+   the first frontier (left child pushed even when already seen). *)
+let leaf_coloring : (LC.node_input, TL.color) spec =
+  let a = Asm.create () in
+  let int0 = Asm.label a
+  and child0 = Asm.label a
+  and found0 = Asm.label a
+  and found = Asm.label a
+  and fallback = Asm.label a
+  and trap = Asm.label a
+  and d0 = Asm.label a
+  and mark_d = Asm.label a
+  and push_d = Asm.label a
+  and round = Asm.label a
+  and scan = Asm.label a
+  and scan1 = Asm.label a
+  and scan_int = Asm.label a
+  and expand = Asm.label a
+  and exp1 = Asm.label a
+  and exp2 = Asm.label a
+  and exp3 = Asm.label a
+  and add_l = Asm.label a
+  and add_r = Asm.label a in
+  let status ~v ~on_internal ~on_leaf ~on_inconsistent =
+    emit_status a ~v ~p:4 ~c:5 ~t:6 ~on_internal ~on_leaf ~on_inconsistent
+  in
+  (* status #1 at the origin *)
+  status ~v:0 ~on_internal:int0 ~on_leaf:found0 ~on_inconsistent:found0;
+  Asm.place a int0;
+  Asm.mark a 0;
+  (* children v0 = status #2 + the two child queries *)
+  status ~v:0 ~on_internal:child0 ~on_leaf:trap ~on_inconsistent:trap;
+  Asm.place a child0;
+  Asm.probe a ~at:0 ~path:[| P_field f_left |] ~dst:2;
+  Asm.probe a ~at:0 ~path:[| P_field f_right |] ~dst:3;
+  Asm.mark a 2;
+  Asm.push a ~queue:0 ~src:2;
+  Asm.branch a (C_node_eq (2, 3)) ~if_true:round ~if_false:d0;
+  Asm.place a d0;
+  Asm.branch a (C_marked 3) ~if_true:push_d ~if_false:mark_d;
+  Asm.place a mark_d;
+  Asm.mark a 3;
+  Asm.place a push_d;
+  Asm.push a ~queue:0 ~src:3;
+  Asm.jump a round;
+  (* one BFS round: scan for a leaf, then expand *)
+  Asm.place a round;
+  Asm.branch a (C_queue_empty 0) ~if_true:fallback ~if_false:scan;
+  Asm.place a scan;
+  Asm.branch a (C_queue_empty 0) ~if_true:expand ~if_false:scan1;
+  Asm.place a scan1;
+  Asm.pop a ~queue:0 ~dst:1;
+  status ~v:1 ~on_internal:scan_int ~on_leaf:found ~on_inconsistent:found;
+  Asm.place a scan_int;
+  Asm.push a ~queue:1 ~src:1;
+  Asm.jump a scan;
+  Asm.place a expand;
+  Asm.branch a (C_queue_empty 1) ~if_true:round ~if_false:exp1;
+  Asm.place a exp1;
+  Asm.pop a ~queue:1 ~dst:1;
+  status ~v:1 ~on_internal:exp2 ~on_leaf:trap ~on_inconsistent:trap;
+  Asm.place a exp2;
+  Asm.probe a ~at:1 ~path:[| P_field f_left |] ~dst:2;
+  Asm.probe a ~at:1 ~path:[| P_field f_right |] ~dst:3;
+  Asm.branch a (C_marked 2) ~if_true:exp3 ~if_false:add_l;
+  Asm.place a add_l;
+  Asm.mark a 2;
+  Asm.push a ~queue:0 ~src:2;
+  Asm.place a exp3;
+  Asm.branch a (C_marked 3) ~if_true:expand ~if_false:add_r;
+  Asm.place a add_r;
+  Asm.mark a 3;
+  Asm.push a ~queue:0 ~src:3;
+  Asm.jump a expand;
+  (* outputs *)
+  Asm.place a found0;
+  Asm.place a fallback;
+  Asm.move a ~src:0 ~dst:1;
+  Asm.place a found;
+  Asm.out_fn a 0;
+  (* The re-issued status of [children] answers consistently with the
+     first status (repeat queries are consistent), so the non-internal
+     arms are unreachable; trap defensively via truncation. *)
+  Asm.place a trap;
+  Asm.halt a;
+  let program =
+    Asm.assemble a ~name:"leaf-coloring" ~n_regs:7 ~n_queues:2 ~obs_arity:4 ~n_consts:0
+      ~n_fns:1 ()
+  in
+  let out env = (env.e_input (env.e_reg 1)).LC.color in
+  { program; obs = tree_obs; consts = [||]; fns = [| out |] }
+
+(* --- catalogue -------------------------------------------------------------- *)
+
+type packed =
+  | Packed : {
+      spec : ('i, 'o) spec;
+      graph : Graph.t;
+      input : Graph.node -> 'i;
+      world : 'i World.t;
+      solver : ('i, 'o) Lcl.solver;
+      pp_output : Format.formatter -> 'o -> unit;
+    }
+      -> packed
+
+let status_solver =
+  Lcl.solver ~name:"status (Def 3.3)" ~randomized:false (fun ctx ->
+      PT.status ~pointers:LC.pointers ctx (Probe.origin ctx))
+
+let names () = [ "degree-parity"; "cycle-coloring"; "probe-tree-status"; "leaf-coloring" ]
+
+let program ~name ~n =
+  match name with
+  | "degree-parity" -> Some degree_parity.program
+  | "cycle-coloring" -> Some (cycle_coloring ~n).program
+  | "probe-tree-status" -> Some probe_tree_status.program
+  | "leaf-coloring" -> Some leaf_coloring.program
+  | _ -> None
+
+let instance ~name ~size ~seed =
+  match name with
+  | "degree-parity" ->
+      let g = Builder.random_binary_tree ~n:size ~rng:(Splitmix.create seed) in
+      Some
+        (Packed
+           {
+             spec = degree_parity;
+             graph = g;
+             input = (fun _ -> ());
+             world = TR.world g;
+             solver = TR.solve;
+             pp_output = TR.pp_parity;
+           })
+  | "cycle-coloring" ->
+      let g = Graph.shuffle_ids (Builder.cycle size) ~rng:(Splitmix.create seed) in
+      Some
+        (Packed
+           {
+             spec = cycle_coloring ~n:(Graph.n g);
+             graph = g;
+             input = (fun _ -> ());
+             world = CC.world g;
+             solver = CC.solve;
+             pp_output = Fmt.int;
+           })
+  | "probe-tree-status" | "leaf-coloring" ->
+      let inst = LC.random_instance ~n:size ~seed in
+      let graph = inst.LC.graph in
+      let input = LC.input inst in
+      let world = LC.world inst in
+      if name = "probe-tree-status" then
+        Some
+          (Packed
+             {
+               spec = probe_tree_status;
+               graph;
+               input;
+               world;
+               solver = status_solver;
+               pp_output = TL.pp_status;
+             })
+      else
+        Some
+          (Packed
+             {
+               spec = leaf_coloring;
+               graph;
+               input;
+               world;
+               solver = LC.solve_distance;
+               pp_output = TL.pp_color;
+             })
+  | _ -> None

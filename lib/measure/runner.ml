@@ -100,15 +100,48 @@ let measure_par ~pool ~world ~solver ?randomness ?budget ~origins () =
     ~combine:(fun (s1, o1) (s2, o2) -> (merge s1 s2, o1 @ o2))
     ~init:(empty, []) origins
 
-let measure ~world ~solver ?randomness ?budget ?pool ~origins () =
-  match pool with
-  | Some pool when Pool.domains pool > 1 ->
-      measure_par ~pool ~world ~solver ?randomness ?budget ~origins ()
-  | Some _ | None -> measure_seq ~world ~solver ?randomness ?budget ~origins ()
+type ('i, 'o) ir_target = {
+  ir_spec : ('i, 'o) Vc_ir.Ir.spec;
+  ir_graph : Graph.t;
+  ir_input : Graph.node -> 'i;
+}
 
-let solve_and_check ~world ~problem ~graph ~input ~solver ?randomness ?pool () =
+(* The IR fast path.  Oracle probe 8 guarantees the batched executor
+   produces the exact per-origin result record the closure solver would,
+   so folding the batch with [add] in origin order reproduces the
+   closure path's stats and outputs bit for bit — while thousands of
+   origins ride one flat loop over the CSR arrays instead of re-entering
+   a closure per query. *)
+let measure_ir ~world ~(ir : _ ir_target) ?budget ?pool ~origins () =
+  let origins = Array.of_list origins in
+  Vc_obs.Metrics.add m_probe_runs (Array.length origins);
+  let results =
+    Vc_ir.Exec.run_batch ~claimed_n:world.Vc_model.World.n ?budget ?pool ir.ir_spec
+      ~graph:ir.ir_graph ~input:ir.ir_input ~origins
+  in
+  let stats = ref empty in
+  let outputs = ref [] in
+  Array.iteri
+    (fun i (r : _ Probe.result) ->
+      stats := add !stats r;
+      match r.Probe.output with
+      | Some o -> outputs := (origins.(i), o) :: !outputs
+      | None -> ())
+    results;
+  (!stats, List.rev !outputs)
+
+let measure ~world ~solver ?randomness ?budget ?pool ?ir ~origins () =
+  match (ir, randomness) with
+  | Some ir, None -> measure_ir ~world ~ir ?budget ?pool ~origins ()
+  | _ -> (
+      match pool with
+      | Some pool when Pool.domains pool > 1 ->
+          measure_par ~pool ~world ~solver ?randomness ?budget ~origins ()
+      | Some _ | None -> measure_seq ~world ~solver ?randomness ?budget ~origins ())
+
+let solve_and_check ~world ~problem ~graph ~input ~solver ?randomness ?pool ?ir () =
   let origins = Graph.nodes graph in
-  let stats, outputs = measure ~world ~solver ?randomness ?pool ~origins () in
+  let stats, outputs = measure ~world ~solver ?randomness ?pool ?ir ~origins () in
   let tbl = Hashtbl.create (Graph.n graph) in
   List.iter (fun (v, o) -> Hashtbl.replace tbl v o) outputs;
   let valid =

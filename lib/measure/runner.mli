@@ -46,19 +46,38 @@ val mean_distance : stats -> float
 
 val pp_stats : Format.formatter -> stats -> unit
 
+type ('i, 'o) ir_target = {
+  ir_spec : ('i, 'o) Vc_ir.Ir.spec;
+  ir_graph : Graph.t;
+  ir_input : Graph.node -> 'i;
+}
+(** An IR port of the measured solver, enabling the batched fast path.
+    The spec must be a faithful port (oracle probe 8's guarantee): the
+    stats and outputs {!measure} returns through it are bit-identical to
+    the closure path's.  The graph and input must be the ones backing
+    [world], whose claimed [n] is announced to the program. *)
+
 val measure :
   world:'i Vc_model.World.t ->
   solver:('i, 'o) Lcl.solver ->
   ?randomness:Vc_rng.Randomness.t ->
   ?budget:Vc_model.Probe.budget ->
   ?pool:Vc_exec.Pool.t ->
+  ?ir:('i, 'o) ir_target ->
   origins:Graph.node list ->
   unit ->
   stats * (Graph.node * 'o) list
 (** Run the solver from each origin; aborted runs contribute their cost
     but no output.  Outputs are in origin order.  With [?pool] the runs
     are distributed over the pool's domains (the world must be
-    domain-shareable); a pool of width 1 takes the sequential path. *)
+    domain-shareable); a pool of width 1 takes the sequential path.
+
+    With [?ir] (and no [?randomness] — IR programs are deterministic),
+    the origins ride {!Vc_ir.Exec.run_batch} instead of per-origin
+    closure interpretation: same stats and outputs, bit for bit, minus
+    the per-origin dispatch cost.  The program's declared budget should
+    be unlimited (as all shipped programs') so the effective budget is
+    exactly [?budget], matching the closure path. *)
 
 val solve_and_check :
   world:'i Vc_model.World.t ->
@@ -68,10 +87,11 @@ val solve_and_check :
   solver:('i, 'o) Lcl.solver ->
   ?randomness:Vc_rng.Randomness.t ->
   ?pool:Vc_exec.Pool.t ->
+  ?ir:('i, 'o) ir_target ->
   unit ->
   stats * bool
 (** Run from {e every} node, assemble the full output labeling, and
-    report whether it is globally valid. *)
+    report whether it is globally valid.  [?ir] as in {!measure}. *)
 
 val sample_origins : Graph.t -> count:int -> seed:int64 -> Graph.node list
 (** Deterministic sample of [count] distinct start nodes by partial

@@ -156,6 +156,8 @@ let rand_bit ctx v =
   | Some sink -> Trace.emit sink (Trace.Rand { node = v; index = cursor; bit }));
   bit
 
+let truncate _ctx = raise Budget_exhausted
+
 let volume ctx = Hashtbl.length ctx.views
 
 let queries ctx = ctx.n_queries

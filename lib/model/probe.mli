@@ -69,6 +69,12 @@ val rand_bit : 'i ctx -> Vc_graph.Graph.node -> bool
 val rand_bit_at : 'i ctx -> Vc_graph.Graph.node -> int -> bool
 (** Read a specific index of the node's string (still counted). *)
 
+val truncate : 'i ctx -> 'a
+(** Voluntarily abort the execution: the run ends with [output = None],
+    [aborted = true] and the costs accumulated so far — the same
+    "truncate and output arbitrarily" device (Remark 3.11) that a budget
+    overrun triggers, but under algorithm control.  Never returns. *)
+
 val volume : 'i ctx -> int
 val queries : 'i ctx -> int
 val visited_nodes : 'i ctx -> Vc_graph.Graph.node list

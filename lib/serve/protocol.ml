@@ -271,6 +271,7 @@ let list_payload entries =
                    ("sizes", Json.List (List.map (fun s -> Json.Int s) e.Registry.sizes));
                    ( "quick_sizes",
                      Json.List (List.map (fun s -> Json.Int s) e.Registry.quick_sizes) );
+                   ("ir", Json.Bool e.Registry.ir);
                  ])
              entries) );
     ]

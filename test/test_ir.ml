@@ -1,0 +1,292 @@
+(* The probe-program IR: validator, JSON codec, and the differential
+   guarantee — reference interpreter ≡ closure solver ≡ batched executor,
+   outputs and full cost envelopes, on consistent and adversarial
+   instances, with and without budgets. *)
+
+module Graph = Vc_graph.Graph
+module TL = Vc_graph.Tree_labels
+module Probe = Vc_model.Probe
+module Lcl = Vc_lcl.Lcl
+module Pool = Vc_exec.Pool
+module Json = Vc_obs.Json
+module Ir = Vc_ir.Ir
+module Exec = Vc_ir.Exec
+module Library = Vc_ir.Library
+module LC = Volcomp.Leaf_coloring
+
+let pp_result ppf (r : 'o Probe.result) =
+  Fmt.pf ppf "{output=%s; volume=%d; distance=%d; queries=%d; rand_bits=%d; aborted=%b}"
+    (match r.Probe.output with None -> "None" | Some o -> Fmt.str "Some %d" (Hashtbl.hash o))
+    r.Probe.volume r.Probe.distance r.Probe.queries r.Probe.rand_bits r.Probe.aborted
+
+let check_result what a b =
+  if a <> b then Alcotest.failf "%s: %a <> %a" what pp_result a pp_result b
+
+(* --- shipped programs validate -------------------------------------------- *)
+
+let test_validate_shipped () =
+  List.iter
+    (fun name ->
+      match Library.program ~name ~n:1024 with
+      | None -> Alcotest.failf "unknown program %s" name
+      | Some p -> (
+          match Ir.validate p with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s does not validate: %s" name e))
+    (Library.names ())
+
+let test_validator_rejects () =
+  let reject what p =
+    match Ir.validate p with
+    | Ok () -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  let base =
+    {
+      Ir.name = "bad";
+      n_regs = 1;
+      n_queues = 0;
+      obs_arity = 0;
+      n_consts = 1;
+      n_fns = 0;
+      declared = Probe.unlimited;
+      max_steps = None;
+      code = [| Ir.Out_const 0 |];
+    }
+  in
+  reject "empty program" { base with code = [||] };
+  reject "register out of range" { base with code = [| Ir.Mark 1; Ir.Out_const 0 |] };
+  reject "branch target out of range"
+    { base with code = [| Ir.Branch { cond = Ir.C_marked 0; if_true = 5; if_false = 0 } |] };
+  reject "empty probe path"
+    { base with code = [| Ir.Probe { at = 0; path = [||]; dst = 0 }; Ir.Out_const 0 |] };
+  reject "fall off the end" { base with code = [| Ir.Mark 0 |] };
+  reject "bad output index" { base with code = [| Ir.Out_const 3 |] };
+  reject "queue out of range"
+    { base with code = [| Ir.Push { queue = 0; src = 0 }; Ir.Out_const 0 |] };
+  reject "field out of range"
+    {
+      base with
+      code = [| Ir.Branch { cond = Ir.C_label_eq (0, 2, 1); if_true = 1; if_false = 1 }; Ir.Out_const 0 |];
+    }
+
+let test_json_roundtrip () =
+  List.iter
+    (fun name ->
+      let p = Option.get (Library.program ~name ~n:4096) in
+      let s = Json.to_string (Ir.program_to_json p) in
+      match Json.parse s with
+      | Error e -> Alcotest.failf "%s: emitted JSON does not parse: %s" name e
+      | Ok j -> (
+          match Ir.program_of_json j with
+          | Error e -> Alcotest.failf "%s: decode failed: %s" name e
+          | Ok p' -> if p <> p' then Alcotest.failf "%s: JSON roundtrip changed the program" name))
+    (Library.names ())
+
+(* --- differential: closure ≡ reference ≡ batched --------------------------- *)
+
+let budgets =
+  [
+    ("unlimited", Probe.unlimited);
+    ("vol5", Probe.volume_budget 5);
+    ("dist2", Probe.distance_budget 2);
+    ("vol3+dist1", { Probe.max_volume = Some 3; max_distance = Some 1 });
+  ]
+
+let differential (type i o) ~what (spec : (i, o) Ir.spec) ~graph ~input ~world
+    (solver : (i, o) Lcl.solver) =
+  let n = Graph.n graph in
+  let origins = Array.init n (fun v -> v) in
+  List.iter
+    (fun (bname, budget) ->
+      let eff = Ir.effective_budget spec.Ir.program budget in
+      let batch = Exec.run_batch ~budget spec ~graph ~input ~origins in
+      Array.iteri
+        (fun i v ->
+          let closure = Probe.run ~world ~budget:eff ~origin:v solver.Lcl.solve in
+          let reference = Exec.run ~budget spec ~world ~origin:v in
+          check_result (Fmt.str "%s/%s origin %d: closure vs reference" what bname v) closure
+            reference;
+          check_result
+            (Fmt.str "%s/%s origin %d: reference vs batched" what bname v)
+            reference batch.(i))
+        origins)
+    budgets
+
+let test_differential_library () =
+  List.iter
+    (fun (name, size, seed) ->
+      match Library.instance ~name ~size ~seed with
+      | None -> Alcotest.failf "unknown program %s" name
+      | Some (Library.Packed { spec; graph; input; world; solver; pp_output = _ }) ->
+          differential ~what:(Fmt.str "%s/n=%d" name size) spec ~graph ~input ~world solver)
+    [
+      ("degree-parity", 33, 1L);
+      ("degree-parity", 64, 2L);
+      ("cycle-coloring", 3, 3L);
+      ("cycle-coloring", 9, 4L);
+      ("cycle-coloring", 64, 5L);
+      ("probe-tree-status", 31, 6L);
+      ("leaf-coloring", 15, 7L);
+      ("leaf-coloring", 63, 8L);
+    ]
+
+(* The status macro and the BFS must also agree on adversarial
+   pseudo-trees: G_T cycles and inconsistent nodes. *)
+let test_differential_adversarial () =
+  let status_solver =
+    Lcl.solver ~name:"status" ~randomized:false (fun ctx ->
+        Volcomp.Probe_tree.status ~pointers:LC.pointers ctx (Probe.origin ctx))
+  in
+  List.iter
+    (fun (what, inst) ->
+      let graph = inst.LC.graph and input = LC.input inst and world = LC.world inst in
+      differential ~what:(what ^ "/status") Library.probe_tree_status ~graph ~input ~world
+        status_solver;
+      differential ~what:(what ^ "/leaf") Library.leaf_coloring ~graph ~input ~world
+        LC.solve_distance)
+    [
+      ("cycle-instance", LC.cycle_instance ~cycle_len:5 ~seed:9L);
+      ("figure4", LC.figure4_instance);
+      ("hard-distance", LC.hard_distance_instance ~depth:4 ~leaf_color:TL.Blue);
+    ]
+
+(* Batched execution through a pool is bit-identical to sequential. *)
+let test_batch_pool () =
+  match Library.instance ~name:"leaf-coloring" ~size:127 ~seed:11L with
+  | None -> Alcotest.fail "unknown program"
+  | Some (Library.Packed { spec; graph; input; _ }) ->
+      let n = Graph.n graph in
+      let origins = Array.init n (fun v -> v) in
+      let seq = Exec.run_batch spec ~graph ~input ~origins in
+      Pool.with_pool ~domains:4 (fun pool ->
+          let par = Exec.run_batch ~pool spec ~graph ~input ~origins in
+          Array.iteri (fun i r -> check_result (Fmt.str "pool origin %d" i) seq.(i) r) par)
+
+(* Runaway programs truncate at the step cap instead of looping. *)
+let test_step_cap () =
+  let p =
+    {
+      Ir.name = "spin";
+      n_regs = 1;
+      n_queues = 0;
+      obs_arity = 0;
+      n_consts = 1;
+      n_fns = 0;
+      declared = Probe.unlimited;
+      max_steps = Some 100;
+      code = [| Ir.Jump 0; Ir.Out_const 0 |];
+    }
+  in
+  let spec = { Ir.program = p; obs = (fun () _ -> 0); consts = [| () |]; fns = [||] } in
+  let g = Vc_graph.Builder.cycle 8 in
+  let world = Vc_model.World.of_graph g ~input:(fun _ -> ()) in
+  let r = Exec.run spec ~world ~origin:0 in
+  if not r.Probe.aborted then Alcotest.fail "reference: spin loop did not truncate";
+  let b = Exec.run_batch spec ~graph:g ~input:(fun _ -> ()) ~origins:[| 0 |] in
+  check_result "spin: reference vs batched" r b.(0)
+
+(* [Runner.measure]'s IR fast path must be invisible in the results:
+   same stats record, same outputs, bit for bit, with and without a
+   budget. *)
+let test_measure_ir_identity () =
+  let module Runner = Vc_measure.Runner in
+  List.iter
+    (fun (name, size) ->
+      match Library.instance ~name ~size ~seed:13L with
+      | None -> Alcotest.failf "unknown program %s" name
+      | Some (Library.Packed { spec; graph; input; world; solver; _ }) ->
+          let origins = List.init (Graph.n graph) Fun.id in
+          let ir = { Runner.ir_spec = spec; ir_graph = graph; ir_input = input } in
+          List.iter
+            (fun budget ->
+              let closure = Runner.measure ~world ~solver ?budget ~origins () in
+              let batched = Runner.measure ~world ~solver ?budget ~ir ~origins () in
+              if closure <> batched then
+                Alcotest.failf "%s/n=%d: IR fast path changed measure results" name size)
+            [ None; Some (Probe.volume_budget 5) ])
+    [ ("degree-parity", 48); ("cycle-coloring", 32); ("leaf-coloring", 63) ]
+
+(* --- qcheck: random programs from the Gen kit ------------------------------ *)
+
+module Gen = Vc_check.Gen
+
+let prop_generated_validate =
+  QCheck.Test.make ~count:300 ~name:"generated programs validate"
+    (Gen.ir_program ())
+    (fun ps ->
+      match Ir.validate_spec (Gen.ir_spec ps) with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "%a: %s" Gen.pp_program_spec ps e)
+
+(* The fuzzed mirror of [test_differential_library]: random programs on
+   random graphs, under every corpus budget, must agree between the
+   reference interpreter and the batched executor — outputs and full
+   cost vectors. *)
+let prop_batched_eq_reference =
+  QCheck.Test.make ~count:60 ~name:"batched executor = reference interpreter"
+    (QCheck.pair (Gen.ir_program ()) (Gen.spec ~min_size:3 ~max_size:32 ()))
+    (fun (ps, gs) ->
+      let spec = Gen.ir_spec ps in
+      let g = Gen.build gs in
+      let input = Gen.ir_input g in
+      let world = Vc_model.World.of_graph g ~input in
+      let origins = Array.init (Graph.n g) (fun v -> v) in
+      List.iter
+        (fun (bname, budget) ->
+          let batch = Exec.run_batch ~budget spec ~graph:g ~input ~origins in
+          Array.iteri
+            (fun i v ->
+              let reference = Exec.run ~budget spec ~world ~origin:v in
+              if reference <> batch.(i) then
+                QCheck.Test.fail_reportf "%a on %a / %s origin %d: %a <> %a"
+                  Gen.pp_program_spec ps Gen.pp_spec gs bname v pp_result reference pp_result
+                  batch.(i))
+            origins)
+        budgets;
+      true)
+
+let prop_cost_within_budget =
+  QCheck.Test.make ~count:60 ~name:"cost meter never exceeds the declared envelope"
+    (QCheck.pair (Gen.ir_program ()) (Gen.spec ~min_size:3 ~max_size:32 ()))
+    (fun (ps, gs) ->
+      let spec = Gen.ir_spec ps in
+      let g = Gen.build gs in
+      let input = Gen.ir_input g in
+      let origins = Array.init (Graph.n g) (fun v -> v) in
+      let eff = Ir.effective_budget spec.Ir.program Probe.unlimited in
+      let cap = function Some c -> c | None -> max_int in
+      let batch = Exec.run_batch spec ~graph:g ~input ~origins in
+      Array.iteri
+        (fun v r ->
+          if
+            r.Probe.volume > cap eff.Probe.max_volume
+            || r.Probe.distance > cap eff.Probe.max_distance
+          then
+            QCheck.Test.fail_reportf "%a on %a origin %d: %a exceeds declared %s"
+              Gen.pp_program_spec ps Gen.pp_spec gs v pp_result r
+              (Fmt.str "{vol=%a; dist=%a}" (Fmt.option Fmt.int) eff.Probe.max_volume
+                 (Fmt.option Fmt.int) eff.Probe.max_distance))
+        batch;
+      true)
+
+let suites =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "shipped programs validate" `Quick test_validate_shipped;
+        Alcotest.test_case "validator rejects malformed programs" `Quick test_validator_rejects;
+        Alcotest.test_case "program JSON roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "closure = reference = batched (library)" `Quick
+          test_differential_library;
+        Alcotest.test_case "differential on adversarial instances" `Quick
+          test_differential_adversarial;
+        Alcotest.test_case "pooled batch is bit-identical" `Quick test_batch_pool;
+        Alcotest.test_case "step cap truncates runaway programs" `Quick test_step_cap;
+        Alcotest.test_case "Runner.measure IR fast path is bit-identical" `Quick
+          test_measure_ir_identity;
+        QCheck_alcotest.to_alcotest prop_generated_validate;
+        QCheck_alcotest.to_alcotest prop_batched_eq_reference;
+        QCheck_alcotest.to_alcotest prop_cost_within_budget;
+      ] );
+  ]

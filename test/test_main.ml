@@ -23,6 +23,7 @@ let () =
          Test_robustness.suites;
          Test_cross_model.suites;
          Test_check.suites;
+         Test_ir.suites;
          Test_obs.suites;
          Test_serve.suites;
        ])
