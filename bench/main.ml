@@ -617,7 +617,124 @@ let obs_json o =
       ("ok", Json.Bool (obs_ok o));
     ]
 
-let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_micro ~serve ~obs =
+(* --- open-loop saturation of the sharded tier -------------------------------- *)
+
+type sat_step = { st_rate : float; st_achieved : float; st_shed : float }
+
+type saturation = {
+  sat_workers : int;
+  sat_steps : sat_step list;
+  sat_rps : float;  (** highest achieved throughput with shed below the gate *)
+}
+
+let sat_shed_gate = 0.01
+
+(* Spawn a real 2-worker sharded tier of the CLI binary and ramp an
+   open-loop Poisson arrival rate through it.  The saturation figure is
+   the highest *achieved* throughput among steps that shed less than 1%
+   of arrivals — past the knee the supervisor sheds instead of queueing
+   without bound, so achieved throughput flattens while shed climbs. *)
+let measure_saturation ~exe ~quick =
+  let workers = 2 in
+  let socket = Filename.temp_file "volcomp-sat" ".sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--workers"; string_of_int workers; "--socket"; socket |]
+      devnull devnull Unix.stderr
+  in
+  Unix.close devnull;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  in
+  let rec wait tries =
+    if tries = 0 then failwith "saturation: sharded server did not come up within 10 s"
+    else
+      match connect () with
+      | fd -> Unix.close fd
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ENOTSOCK), _, _)
+        ->
+          Unix.sleepf 0.01;
+          wait (tries - 1)
+  in
+  wait 1000;
+  let rates =
+    if quick then [ 250.; 1000.; 4000. ] else [ 250.; 500.; 1000.; 2000.; 4000.; 8000. ]
+  in
+  let last = List.length rates - 1 in
+  let steps =
+    List.mapi
+      (fun i rate ->
+        let requests = min 400 (max 120 (int_of_float (rate /. 4.))) in
+        let cfg =
+          {
+            Vc_serve.Loadgen.o_rate = rate;
+            o_requests = requests;
+            o_conns = None;
+            o_mix = Vc_serve.Loadgen.default_mix;
+            o_seed = 42L;
+            o_verify = false;
+            o_shutdown = i = last;
+          }
+        in
+        match Vc_serve.Loadgen.run_open ~connect cfg with
+        | Ok s ->
+            {
+              st_rate = rate;
+              st_achieved = s.Vc_serve.Loadgen.os_achieved;
+              st_shed =
+                float_of_int s.Vc_serve.Loadgen.os_shed
+                /. float_of_int (max 1 s.Vc_serve.Loadgen.os_requests);
+            }
+        | Error msg ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            failwith ("saturation: " ^ msg))
+      rates
+  in
+  ignore (Unix.waitpid [] pid);
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let sat_rps =
+    List.fold_left
+      (fun acc st -> if st.st_shed < sat_shed_gate then Float.max acc st.st_achieved else acc)
+      0. steps
+  in
+  { sat_workers = workers; sat_steps = steps; sat_rps }
+
+let pp_saturation s =
+  Fmt.pr "@.== Open-loop saturation (%d shard workers, shed gate %.0f%%) ==@." s.sat_workers
+    (sat_shed_gate *. 100.);
+  List.iter
+    (fun st ->
+      Fmt.pr "  target %7.0f rps   achieved %8.1f rps   shed %5.1f%%@." st.st_rate
+        st.st_achieved (st.st_shed *. 100.))
+    s.sat_steps;
+  Fmt.pr "  saturation throughput: %.1f rps@." s.sat_rps
+
+let saturation_json = function
+  | None -> Json.Null
+  | Some s ->
+      Json.Obj
+        [
+          ("workers", Json.Int s.sat_workers);
+          ("shed_gate", Json.Float sat_shed_gate);
+          ("saturation_rps", Json.Float s.sat_rps);
+          ( "steps",
+            Json.List
+              (List.map
+                 (fun st ->
+                   Json.Obj
+                     [
+                       ("rate_rps", Json.Float st.st_rate);
+                       ("achieved_rps", Json.Float st.st_achieved);
+                       ("shed", Json.Float st.st_shed);
+                     ])
+                 s.sat_steps) );
+        ]
+
+let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_micro ~serve
+    ~saturation ~obs =
   let wallclock_json =
     match wallclock with
     | None -> Json.Null
@@ -655,6 +772,7 @@ let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_mic
         ("micro", micro_json micro);
         ("ir_micro", ir_micro_json ir_micro);
         ("serve", serve_json serve);
+        ("saturation", saturation_json saturation);
         ("obs_overhead", obs_json obs);
         ("metrics", Metrics.to_json ());
       ]
@@ -675,6 +793,7 @@ let parse_args () =
   let metrics = ref false in
   let json = ref None in
   let jobs = ref None in
+  let serve_exe = ref None in
   let i = ref 1 in
   while !i < Array.length argv do
     (match argv.(!i) with
@@ -687,6 +806,10 @@ let parse_args () =
         incr i;
         if !i >= Array.length argv then failwith "--json requires a path";
         json := Some argv.(!i)
+    | "--serve-exe" ->
+        incr i;
+        if !i >= Array.length argv then failwith "--serve-exe requires a path";
+        serve_exe := Some argv.(!i)
     | "-j" | "--jobs" ->
         incr i;
         let bad () = failwith "-j requires a positive integer" in
@@ -697,10 +820,10 @@ let parse_args () =
     | arg -> failwith (Printf.sprintf "unknown argument %S" arg));
     incr i
   done;
-  (!quick, !deep, !micro, !wallclock, !metrics, !json, !jobs)
+  (!quick, !deep, !micro, !wallclock, !metrics, !json, !jobs, !serve_exe)
 
 let () =
-  let quick, deep, micro_only, wallclock, metrics, json, jobs = parse_args () in
+  let quick, deep, micro_only, wallclock, metrics, json, jobs, serve_exe = parse_args () in
   if metrics then Metrics.set_enabled true;
   let domains = match jobs with Some j -> j | None -> Pool.default_domains () in
   let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
@@ -730,6 +853,10 @@ let () =
   pp_ir_micro ir_micro;
   let serve = run_serve_micro () in
   pp_serve serve;
+  (* the saturation ramp needs a real CLI binary to spawn the sharded
+     tier from; without --serve-exe the entry is null in the JSON *)
+  let saturation = Option.map (fun exe -> measure_saturation ~exe ~quick) serve_exe in
+  Option.iter pp_saturation saturation;
   let obs = measure_obs_overhead () in
   pp_obs obs;
   if metrics then Fmt.pr "@.%a@." Metrics.pp ();
@@ -752,7 +879,7 @@ let () =
   | None -> ()
   | Some path ->
       write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro
-        ~ir_micro ~serve ~obs;
+        ~ir_micro ~serve ~saturation ~obs;
       Fmt.pr "wrote %s@." path);
   Option.iter Pool.shutdown pool;
   let mismatch = List.exists (fun r -> not (Experiments.all_agree r)) reports in

@@ -346,8 +346,8 @@ let check_cmd =
       & info [ "probes" ] ~docv:"LIST"
           ~doc:
             "Comma-separated oracle probes to run (of: solvers, merge, cross, lazy, ir, \
-             mutate, replay, serve); default all.  Skipped probes are listed in the report \
-             and keep vacuous verdicts.")
+             mutate, replay, serve, shard); default all.  Skipped probes are listed in the \
+             report and keep vacuous verdicts.")
   in
   let run seed count quick json only probes metrics jobs =
     let entries =
@@ -397,10 +397,16 @@ let check_cmd =
         | Some ps when not (List.mem "serve" ps) -> None
         | _ -> Some Vc_serve.Conform.probe
       in
+      (* probe 9 spawns a real 4-worker tier of this very binary *)
+      let shard =
+        match probe_list with
+        | Some ps when not (List.mem "shard" ps) -> None
+        | _ -> Some (Vc_serve.Conform.shard_probe ~exe:Sys.executable_name ~workers:4)
+      in
       with_metrics metrics @@ fun () ->
       let report =
         with_jobs jobs (fun pool ->
-            Vc_check.Oracle.run ?pool ~entries ?probes:probe_list ?serve ~seed:seed64
+            Vc_check.Oracle.run ?pool ~entries ?probes:probe_list ?serve ?shard ~seed:seed64
               ~count ~quick ())
       in
       Fmt.pr "%a@." Vc_check.Report.pp report;
@@ -859,34 +865,73 @@ let serve_cmd =
           ~doc:"Bound on accepted-but-undispatched requests; beyond it the daemon sheds load \
                 with structured $(b,overloaded) errors.")
   in
-  let run socket tcp cache queue_depth jobs =
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Shard the daemon across $(docv) worker processes: requests are routed by a \
+             consistent hash of their (problem, size, seed) session key, a dead worker is \
+             respawned and its warm sessions rebuilt.  0 (the default) serves in-process.")
+  in
+  let worker =
+    Arg.(
+      value & flag
+      & info [ "worker" ]
+          ~doc:
+            "Internal: run as a supervisor's worker, serving the connection on stdin until \
+             EOF.  Used by $(b,--workers); not meant to be invoked by hand.")
+  in
+  let run socket tcp cache queue_depth workers worker jobs =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     (* the daemon always accounts: request counters and latency
        histograms feed the stats request and the loadgen report *)
     Metrics.set_enabled true;
-    let handler = Vc_serve.Handler.create ~cache_capacity:cache () in
-    let listen =
-      match tcp with
-      | Some port -> Vc_serve.Server.listen_tcp ~port
-      | None -> Vc_serve.Server.listen_unix ~path:socket
-    in
-    (match tcp with
-    | Some port -> Fmt.pr "volcomp serve: listening on 127.0.0.1:%d@." port
-    | None -> Fmt.pr "volcomp serve: listening on %s@." socket);
-    let answered =
-      with_jobs jobs (fun pool -> Vc_serve.Server.run ~handler ?pool ~queue_depth ~listen ())
-    in
-    if tcp = None then (try Unix.unlink socket with Unix.Unix_error _ -> ());
-    Fmt.pr "volcomp serve: answered %d request(s)@." answered;
-    0
+    if worker then begin
+      let handler = Vc_serve.Handler.create ~cache_capacity:cache () in
+      ignore
+        (with_jobs jobs (fun pool ->
+             Vc_serve.Server.run_conn ~handler ?pool ~queue_depth ~fd:Unix.stdin ())
+          : int);
+      0
+    end
+    else begin
+      let listen =
+        match tcp with
+        | Some port -> Vc_serve.Server.listen_tcp ~port
+        | None -> Vc_serve.Server.listen_unix ~path:socket
+      in
+      (match tcp with
+      | Some port -> Fmt.pr "volcomp serve: listening on 127.0.0.1:%d@." port
+      | None -> Fmt.pr "volcomp serve: listening on %s@." socket);
+      let answered =
+        if workers > 0 then begin
+          Fmt.pr "volcomp serve: %d shard worker(s)@." workers;
+          let spawn =
+            Vc_serve.Supervisor.exec_spawn
+              ~jobs:(Option.value jobs ~default:1)
+              ~cache ~queue_depth Sys.executable_name
+          in
+          Vc_serve.Supervisor.run ~workers ~cache_capacity:cache ~queue_depth ~spawn
+            ~listen ()
+        end
+        else
+          with_jobs jobs (fun pool ->
+              Vc_serve.Server.run ~handler:(Vc_serve.Handler.create ~cache_capacity:cache ())
+                ?pool ~queue_depth ~listen ())
+      in
+      if tcp = None then (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      Fmt.pr "volcomp serve: answered %d request(s)@." answered;
+      0
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve solve/probe/trace/list/stats queries over a socket, with a warm session \
-          cache, request batching across worker domains, per-request deadlines and \
-          explicit load shedding.")
-    Term.(const run $ socket_term $ tcp_term $ cache $ queue_depth $ jobs_term)
+          cache, request batching across worker domains, per-request deadlines, explicit \
+          load shedding, and optional multi-process sharding ($(b,--workers)).")
+    Term.(const run $ socket_term $ tcp_term $ cache $ queue_depth $ workers $ worker $ jobs_term)
 
 (* --- loadgen ----------------------------------------------------------------- *)
 
@@ -897,8 +942,31 @@ let loadgen_cmd =
       & info [ "spawn" ]
           ~doc:"Start a private $(b,volcomp serve) on the socket, drive it, shut it down.")
   in
+  let spawn_workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"With $(b,--spawn): start the private server sharded across $(docv) workers.")
+  in
   let clients =
     Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop mode: requests arrive as a Poisson process at $(docv) requests/s \
+             (exponential inter-arrivals) regardless of reply speed, fanned out over \
+             non-blocking connections.  Reports achieved throughput and shed rate.")
+  in
+  let conns =
+    Arg.(
+      value & opt (some int) None
+      & info [ "conns" ] ~docv:"N"
+          ~doc:
+            "Open-loop connection fan-out (default: one per shard the server reports, 1 \
+             for a single-process server).")
   in
   let requests =
     Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send.")
@@ -908,7 +976,7 @@ let loadgen_cmd =
       value & opt string "solve:1,probe:4,trace:1,list:1,stats:1"
       & info [ "mix" ] ~docv:"SPEC"
           ~doc:"Weighted request mix, e.g. $(b,probe:4,solve:1) (kinds: solve, probe, trace, \
-                list, stats).")
+                warm, list, stats).")
   in
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Seed for the request plan.")
@@ -930,7 +998,8 @@ let loadgen_cmd =
       value & opt (some string) None
       & info [ "json" ] ~docv:"PATH" ~doc:"Also write the summary as JSON to $(docv).")
   in
-  let run socket tcp spawn clients requests mix_s seed deadline no_verify json =
+  let run socket tcp spawn spawn_workers clients requests rate conns mix_s seed deadline
+      no_verify json =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match Vc_serve.Loadgen.parse_mix mix_s with
     | Error msg ->
@@ -953,12 +1022,15 @@ let loadgen_cmd =
           else begin
             let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
             let args =
-              match tcp with
-              | Some port -> [| Sys.executable_name; "serve"; "--tcp"; string_of_int port |]
-              | None -> [| Sys.executable_name; "serve"; "--socket"; socket |]
+              (match tcp with
+              | Some port -> [ Sys.executable_name; "serve"; "--tcp"; string_of_int port ]
+              | None -> [ Sys.executable_name; "serve"; "--socket"; socket ])
+              @ (if spawn_workers > 0 then [ "--workers"; string_of_int spawn_workers ]
+                 else [])
             in
             let pid =
-              Unix.create_process Sys.executable_name args Unix.stdin devnull devnull
+              Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
+                devnull devnull
             in
             Unix.close devnull;
             (* wait until the daemon accepts connections *)
@@ -979,54 +1051,82 @@ let loadgen_cmd =
             Some pid
           end
         in
-        let cfg =
-          {
-            Vc_serve.Loadgen.clients;
-            requests;
-            mix;
-            seed = Int64.of_int seed;
-            deadline_ms = deadline;
-            verify = not no_verify;
-            shutdown = spawn;
-          }
+        let reap result =
+          (match (result, server_pid) with
+          | Ok _, Some pid ->
+              (* loadgen already sent shutdown; reap the daemon *)
+              ignore (Unix.waitpid [] pid)
+          | Error _, Some pid ->
+              (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] pid)
+          | _, None -> ());
+          if spawn && tcp = None then (try Unix.unlink socket with Unix.Unix_error _ -> ())
         in
-        let result = Vc_serve.Loadgen.run ~connect cfg in
-        (match (result, server_pid) with
-        | Ok _, Some pid ->
-            (* loadgen already sent shutdown; reap the daemon *)
-            ignore (Unix.waitpid [] pid)
-        | Error _, Some pid ->
-            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
-            ignore (Unix.waitpid [] pid)
-        | _, None -> ());
-        if spawn && tcp = None then (try Unix.unlink socket with Unix.Unix_error _ -> ());
-        match result with
-        | Error msg ->
-            Fmt.epr "loadgen: %s@." msg;
-            1
-        | Ok s ->
-            Fmt.pr "%a" Vc_serve.Loadgen.pp_summary s;
-            Option.iter
-              (fun path ->
-                let oc = open_out path in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () ->
-                    output_string oc (Json.to_string (Vc_serve.Loadgen.summary_to_json s));
-                    output_char oc '\n');
-                Fmt.pr "wrote %s@." path)
-              json;
-            if s.Vc_serve.Loadgen.s_mismatches = 0 then 0 else 1)
+        let write_json to_json s path =
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Json.to_string (to_json s));
+              output_char oc '\n');
+          Fmt.pr "wrote %s@." path
+        in
+        match rate with
+        | None -> (
+            let cfg =
+              {
+                Vc_serve.Loadgen.clients;
+                requests;
+                mix;
+                seed = Int64.of_int seed;
+                deadline_ms = deadline;
+                verify = not no_verify;
+                shutdown = spawn;
+              }
+            in
+            let result = Vc_serve.Loadgen.run ~connect cfg in
+            reap result;
+            match result with
+            | Error msg ->
+                Fmt.epr "loadgen: %s@." msg;
+                1
+            | Ok s ->
+                Fmt.pr "%a" Vc_serve.Loadgen.pp_summary s;
+                Option.iter (write_json Vc_serve.Loadgen.summary_to_json s) json;
+                if s.Vc_serve.Loadgen.s_mismatches = 0 then 0 else 1)
+        | Some o_rate -> (
+            let cfg =
+              {
+                Vc_serve.Loadgen.o_rate;
+                o_requests = requests;
+                o_conns = conns;
+                o_mix = mix;
+                o_seed = Int64.of_int seed;
+                o_verify = not no_verify;
+                o_shutdown = spawn;
+              }
+            in
+            let result = Vc_serve.Loadgen.run_open ~connect cfg in
+            reap result;
+            match result with
+            | Error msg ->
+                Fmt.epr "loadgen: %s@." msg;
+                1
+            | Ok s ->
+                Fmt.pr "%a" Vc_serve.Loadgen.pp_open_summary s;
+                Option.iter (write_json Vc_serve.Loadgen.open_summary_to_json s) json;
+                if s.Vc_serve.Loadgen.os_mismatches = 0 then 0 else 1))
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
-         "Drive a serving daemon with a deterministic closed-loop request mix, verify every \
-          reply byte-for-byte against in-process computation, and report p50/p95/p99 \
-          latency per request kind.")
+         "Drive a serving daemon with a deterministic request mix — closed-loop by default, \
+          open-loop Poisson arrivals with $(b,--rate) — verify every reply byte-for-byte \
+          against in-process computation, and report p50/p95/p99 latency per request kind \
+          (plus achieved throughput and shed rate in open-loop mode).")
     Term.(
-      const run $ socket_term $ tcp_term $ spawn $ clients $ requests $ mix $ seed $ deadline
-      $ no_verify $ json)
+      const run $ socket_term $ tcp_term $ spawn $ spawn_workers $ clients $ requests $ rate
+      $ conns $ mix $ seed $ deadline $ no_verify $ json)
 
 let () =
   let doc = "Volume complexity of local graph problems (Rosenbaum & Suomela, PODC 2020)" in

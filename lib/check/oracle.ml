@@ -8,9 +8,10 @@ let trial_seed ~seed ~name i =
   Splitmix.mix (Int64.add seed (Int64.of_int ((Hashtbl.hash name * 1000003) + i)))
 
 (* The probes a run can be restricted to, in execution-report order. *)
-let probe_names = [ "solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay"; "serve" ]
+let probe_names =
+  [ "solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay"; "serve"; "shard" ]
 
-let run_entry ?pool ?serve ~want ~seed ~count ~quick (e : Registry.entry) =
+let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry) =
   let failures = ref [] in
   let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
   let guarded what f default =
@@ -222,6 +223,27 @@ let run_entry ?pool ?serve ~want ~seed ~count ~quick (e : Registry.entry) =
              true
              (List.mapi (fun i s -> (i, s)) sizes))
   in
+  (* probe 9: sharded-tier byte identity, on the first (smallest) trial
+     only — it spawns a whole supervisor + workers per invocation *)
+  let shard_ok =
+    match shard with
+    | Some _ when not (want "shard") -> None
+    | None -> None
+    | Some f -> (
+        match sizes with
+        | [] -> None
+        | size :: _ ->
+            Some
+              (guarded
+                 (Fmt.str "shard at size %d" size)
+                 (fun () ->
+                   match f e ~size ~seed:(trial_seed ~seed ~name:e.name 0) with
+                   | Ok () -> true
+                   | Error msg ->
+                       fail "shard at size %d: %s" size msg;
+                       false)
+                 false))
+  in
   (* probe 4: mutation fuzzing, [count] rounds round-robin over trials *)
   let kind_order = ref [] in
   let kinds : (string, Report.kind_agg) Hashtbl.t = Hashtbl.create 8 in
@@ -272,12 +294,13 @@ let run_entry ?pool ?serve ~want ~seed ~count ~quick (e : Registry.entry) =
     p_ir = ir_ok;
     p_replay = replay;
     p_serve = serve_ok;
+    p_shard = shard_ok;
     p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
     p_probes_skipped = List.filter (fun p -> not (want p)) probe_names;
     p_failures = List.rev !failures;
   }
 
-let run ?pool ?entries ?probes ?serve ~seed ~count ~quick () =
+let run ?pool ?entries ?probes ?serve ?shard ~seed ~count ~quick () =
   let entries = match entries with Some es -> es | None -> Registry.all () in
   let want =
     match probes with
@@ -293,7 +316,7 @@ let run ?pool ?entries ?probes ?serve ~seed ~count ~quick () =
         fun p -> List.mem p ps
   in
   let domains = match pool with None -> 1 | Some p -> Pool.domains p in
-  let problems = List.map (run_entry ?pool ?serve ~want ~seed ~count ~quick) entries in
+  let problems = List.map (run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick) entries in
   { Report.seed; count; domains; quick; problems }
 
 (* --- standalone trace files ------------------------------------------------ *)

@@ -29,13 +29,14 @@
 val probe_names : string list
 (** The probe identifiers accepted by {!run}'s [?probes]:
     ["solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay";
-    "serve"]. *)
+    "serve"; "shard"]. *)
 
 val run :
   ?pool:Vc_exec.Pool.t ->
   ?entries:Registry.entry list ->
   ?probes:string list ->
   ?serve:(Registry.entry -> size:int -> seed:int64 -> (unit, string) result) ->
+  ?shard:(Registry.entry -> size:int -> seed:int64 -> (unit, string) result) ->
   seed:int64 ->
   count:int ->
   quick:bool ->
@@ -59,7 +60,14 @@ val run :
     the [lib/serve] wire codec and in-process handler and verify the
     payloads are byte-identical to direct computation ([Error] describes
     the first divergence).  When absent, reports carry
-    [p_serve = None]. *)
+    [p_serve = None].
+
+    [?shard] is the ninth probe, likewise injected from above: given an
+    entry and one trial's (size, seed) it must drive a fixed corpus
+    through a real multi-process sharded tier and verify the replies are
+    byte-identical to a single-process server's.  It runs on the first
+    (smallest) trial only — each invocation spawns a supervisor and its
+    workers.  When absent, reports carry [p_shard = None]. *)
 
 val find_entry :
   ?entries:Registry.entry list -> string -> (Registry.entry, string) result

@@ -47,6 +47,11 @@ type problem_report = {
           direct computation; [None] when the probe was not supplied
           (the serving layer sits above this library, so the CLI injects
           it via {!Oracle.run}'s [?serve]) *)
+  p_shard : bool option;
+      (** a real multi-process sharded tier ([serve --workers N]) served
+          a fixed corpus byte-identically to a single-process server;
+          [None] when the probe was not supplied (injected via
+          {!Oracle.run}'s [?shard], checked on the smallest trial only) *)
   p_mutations : kind_agg list;
   p_probes_skipped : string list;
       (** probes excluded by {!Oracle.run}'s [?probes] filter; skipped

@@ -53,6 +53,17 @@ let histogram name =
 let incr c = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_cell 1 : int)
 let add c n = if !enabled_flag then ignore (Atomic.fetch_and_add c.c_cell n : int)
 
+(* Monotone high-water mark: CAS loop, so concurrent recorders never
+   lose a larger observation to a smaller racing one. *)
+let record_max c v =
+  if !enabled_flag then begin
+    let rec go () =
+      let cur = Atomic.get c.c_cell in
+      if v > cur && not (Atomic.compare_and_set c.c_cell cur v) then go ()
+    in
+    go ()
+  end
+
 (* bucket 0: v <= 0; bucket k >= 1: 2^(k-1) <= v < 2^k *)
 let bucket_of v =
   if v <= 0 then 0

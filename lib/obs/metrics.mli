@@ -36,6 +36,12 @@ val with_enabled : (unit -> 'a) -> 'a
 
 val incr : counter -> unit
 val add : counter -> int -> unit
+
+val record_max : counter -> int -> unit
+(** Raise the counter to [v] if [v] exceeds its current value (a
+    monotone high-water mark, e.g. peak in-flight depth).  Lock-free and
+    race-safe: concurrent recorders keep the maximum. *)
+
 val observe : histogram -> int -> unit
 
 val value : counter -> int

@@ -1,8 +1,9 @@
-(** The oracle's seventh probe: serving-layer round-trip identity.
+(** The oracle's serving-layer probes: round-trip identity (probe 8) and
+    sharded-tier identity (probe 9).
 
     [lib/check] cannot depend on this library (the handler serves
-    registry trials), so the probe lives here and the CLI injects it via
-    {!Vc_check.Oracle.run}'s [?serve] argument. *)
+    registry trials), so the probes live here and the CLI injects them
+    via {!Vc_check.Oracle.run}'s [?serve] and [?shard] arguments. *)
 
 val probe : Vc_check.Registry.entry -> size:int -> seed:int64 -> (unit, string) result
 (** Round-trip one trial's queries through the {e full} wire path —
@@ -10,7 +11,23 @@ val probe : Vc_check.Registry.entry -> size:int -> seed:int64 -> (unit, string) 
     request parsing, {!Handler.handle}, reply encoding, reply parsing —
     and compare every payload byte-for-byte against direct in-process
     computation on an identically-built trial: [solve] once, [probe] and
-    [trace] from three origins (first, middle, last node).  Also checks
-    that an unknown problem and an out-of-range origin come back as the
-    structured [unknown_problem] / [bad_origin] errors.  [Error]
+    [trace] from three origins (first, middle, last node), [warm] once.
+    Also checks that an unknown problem and an out-of-range origin come
+    back as the structured [unknown_problem] / [bad_origin] errors.
+    [Error] describes the first divergence. *)
+
+val shard_probe :
+  exe:string ->
+  workers:int ->
+  Vc_check.Registry.entry ->
+  size:int ->
+  seed:int64 ->
+  (unit, string) result
+(** Spawn a real sharded tier — [exe serve --workers N --socket tmp] —
+    and drive a fixed corpus (solve, warm, probes and traces from three
+    origins, list, unknown problem, out-of-range origin) through it,
+    asserting every reply is {e byte-for-byte} the reply a
+    single-process server over the full registry would send.  Finishes
+    by checking the merged [stats] reports all [workers] alive, then
+    shuts the tier down and reaps it (also on failure).  [Error]
     describes the first divergence. *)

@@ -12,7 +12,7 @@ type t = {
 (* --- metrics ----------------------------------------------------------------- *)
 
 let request_counter =
-  let kinds = [ "solve"; "probe"; "trace"; "list"; "stats"; "shutdown" ] in
+  let kinds = [ "solve"; "probe"; "trace"; "warm"; "list"; "stats"; "shutdown" ] in
   let tbl = Hashtbl.create 8 in
   List.iter (fun k -> Hashtbl.replace tbl k (Metrics.counter ("serve.requests." ^ k))) kinds;
   fun kind -> Hashtbl.find tbl kind
@@ -25,6 +25,7 @@ let error_counter =
       Protocol.Bad_origin;
       Protocol.Deadline_exceeded;
       Protocol.Overloaded;
+      Protocol.Worker_lost;
       Protocol.Server_error;
     ]
   in
@@ -36,7 +37,7 @@ let error_counter =
   fun code -> Hashtbl.find tbl code
 
 let latency_histogram =
-  let kinds = [ "solve"; "probe"; "trace"; "list"; "stats"; "shutdown" ] in
+  let kinds = [ "solve"; "probe"; "trace"; "warm"; "list"; "stats"; "shutdown" ] in
   let tbl = Hashtbl.create 8 in
   List.iter (fun k -> Hashtbl.replace tbl k (Metrics.histogram ("serve.latency_us." ^ k))) kinds;
   fun kind -> Hashtbl.find_opt tbl kind
@@ -120,6 +121,16 @@ let prepare t query =
             Ok
               (Protocol.solve_payload ~problem:e.Registry.name ~n:trial.Registry.t_n
                  (trial.Registry.run_solvers ())))
+  | Protocol.Warm { problem; size; seed } -> (
+      (* the expensive step — building the resident instance — already
+         happened in [resident]; the thunk only reports it *)
+      match resident t ~problem ~size ~seed with
+      | Error _ as e -> fun () -> e
+      | Ok (e, trial) ->
+          let payload =
+            Protocol.warm_payload ~problem:e.Registry.name ~size ~n:trial.Registry.t_n
+          in
+          fun () -> Ok payload)
   | Protocol.Probe { problem; size; seed; origin } -> (
       match resident t ~problem ~size ~seed with
       | Error _ as e -> fun () -> e

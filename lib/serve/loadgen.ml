@@ -12,7 +12,7 @@ type config = {
   shutdown : bool;
 }
 
-let kinds = [ "solve"; "probe"; "trace"; "list"; "stats" ]
+let kinds = [ "solve"; "probe"; "trace"; "warm"; "list"; "stats" ]
 let default_mix = [ ("solve", 1); ("probe", 4); ("trace", 1); ("list", 1); ("stats", 1) ]
 
 let parse_mix s =
@@ -38,9 +38,9 @@ let parse_mix s =
 
 type percentiles = {
   l_count : int;
-  l_p50_us : int;
-  l_p95_us : int;
-  l_p99_us : int;
+  l_p50_us : int option;
+  l_p95_us : int option;
+  l_p99_us : int option;
   l_max_us : int;
 }
 
@@ -64,29 +64,32 @@ let instance_seed seed variant = Splitmix.mix (Int64.add seed (Int64.of_int (var
 
 let smallest sizes = List.fold_left min (List.hd sizes) sizes
 
-let gen_plan twin entries cfg =
-  let rng = Splitmix.create cfg.seed in
-  let total_weight = List.fold_left (fun a (_, w) -> a + w) 0 cfg.mix in
+let gen_plan twin entries ~mix ~seed ~requests =
+  let rng = Splitmix.create seed in
+  let total_weight = List.fold_left (fun a (_, w) -> a + w) 0 mix in
   let pick_kind () =
     let r = Splitmix.int rng ~bound:total_weight in
     let rec go acc = function
       | [] -> assert false
       | (k, w) :: rest -> if r < acc + w then k else go (acc + w) rest
     in
-    go 0 cfg.mix
+    go 0 mix
   in
   let n_entries = List.length entries in
   let pick_instance () =
     let e = List.nth entries (Splitmix.int rng ~bound:n_entries) in
     let size = smallest e.Registry.quick_sizes in
-    let seed = instance_seed cfg.seed (Splitmix.int rng ~bound:2) in
+    let seed = instance_seed seed (Splitmix.int rng ~bound:2) in
     (e.Registry.name, size, seed)
   in
-  List.init cfg.requests (fun _ ->
+  List.init requests (fun _ ->
       match pick_kind () with
       | "solve" ->
           let problem, size, seed = pick_instance () in
           Protocol.Solve { problem; size; seed }
+      | "warm" ->
+          let problem, size, seed = pick_instance () in
+          Protocol.Warm { problem; size; seed }
       | ("probe" | "trace") as k ->
           let problem, size, seed = pick_instance () in
           let n =
@@ -134,6 +137,68 @@ let read_reply fd dec buf =
 
 let send fd req = write_all fd (Protocol.frame (Json.to_string (Protocol.request_to_json req)))
 
+(* --- tallies shared by both loops --------------------------------------------- *)
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_mismatches : int;
+  t_errors : (string, int) Hashtbl.t;
+  t_latencies : (string, int list ref) Hashtbl.t;
+}
+
+let tally_create () =
+  { t_ok = 0; t_mismatches = 0; t_errors = Hashtbl.create 8; t_latencies = Hashtbl.create 8 }
+
+let note_latency t kind us =
+  let cell =
+    match Hashtbl.find_opt t.t_latencies kind with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace t.t_latencies kind c;
+        c
+  in
+  cell := us :: !cell
+
+let note_error t code =
+  let key = Protocol.code_to_string code in
+  Hashtbl.replace t.t_errors key (1 + Option.value (Hashtbl.find_opt t.t_errors key) ~default:0)
+
+let verify_payload twin t q payload =
+  match Protocol.kind q with
+  | "stats" ->
+      if Json.member payload "cache" = None || Json.member payload "metrics" = None then
+        t.t_mismatches <- t.t_mismatches + 1
+  | _ -> (
+      match Handler.handle twin q with
+      | Ok expected ->
+          if Json.to_string payload <> Json.to_string expected then
+            t.t_mismatches <- t.t_mismatches + 1
+      | Error _ -> t.t_mismatches <- t.t_mismatches + 1)
+
+let sorted_assoc tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Nearest-rank percentiles; with fewer than 3 samples the upper ranks
+   all collapse onto the same observation, so we report no percentiles
+   at all rather than fabricate them (max is still meaningful). *)
+let percentiles_of samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank q =
+    if n < 3 then None
+    else Some a.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n /. 100.)) - 1)))
+  in
+  {
+    l_count = n;
+    l_p50_us = rank 50.;
+    l_p95_us = rank 95.;
+    l_p99_us = rank 99.;
+    l_max_us = a.(n - 1);
+  }
+
 (* --- the closed loop ---------------------------------------------------------- *)
 
 type client = {
@@ -143,19 +208,6 @@ type client = {
   mutable inflight : (int * Protocol.query * float) option;
 }
 
-let percentiles_of samples =
-  let a = Array.of_list samples in
-  Array.sort compare a;
-  let n = Array.length a in
-  let rank q = a.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n /. 100.)) - 1))) in
-  {
-    l_count = n;
-    l_p50_us = rank 50.;
-    l_p95_us = rank 95.;
-    l_p99_us = rank 99.;
-    l_max_us = a.(n - 1);
-  }
-
 let run ~connect cfg =
   if cfg.clients < 1 then invalid_arg "Loadgen.run: clients must be >= 1";
   if cfg.requests < 0 then invalid_arg "Loadgen.run: requests must be >= 0";
@@ -164,7 +216,7 @@ let run ~connect cfg =
   let twin = Handler.create () in
   let entries = Registry.all () in
   match
-    let plan = gen_plan twin entries cfg in
+    let plan = gen_plan twin entries ~mix:cfg.mix ~seed:cfg.seed ~requests:cfg.requests in
     let clients =
       List.init cfg.clients (fun _ -> { fd = connect (); dec = Protocol.decoder (); todo = []; inflight = None })
     in
@@ -175,49 +227,22 @@ let run ~connect cfg =
         c.todo <- c.todo @ [ (i + 1, q) ])
       plan;
     let buf = Bytes.create 65536 in
-    let ok = ref 0 in
-    let mismatches = ref 0 in
-    let errors = Hashtbl.create 8 in
-    let latencies : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
-    let note_latency kind us =
-      let cell =
-        match Hashtbl.find_opt latencies kind with
-        | Some c -> c
-        | None ->
-            let c = ref [] in
-            Hashtbl.replace latencies kind c;
-            c
-      in
-      cell := us :: !cell
-    in
-    let verify_payload q payload =
-      match Protocol.kind q with
-      | "stats" ->
-          if Json.member payload "cache" = None || Json.member payload "metrics" = None then
-            incr mismatches
-      | _ -> (
-          match Handler.handle twin q with
-          | Ok expected ->
-              if Json.to_string payload <> Json.to_string expected then incr mismatches
-          | Error _ -> incr mismatches)
-    in
+    let tally = tally_create () in
     let settle c =
       match c.inflight with
       | None -> ()
       | Some (id, q, t0) ->
           let r = read_reply c.fd c.dec buf in
-          note_latency (Protocol.kind q)
+          note_latency tally (Protocol.kind q)
             (int_of_float (Float.max 0. ((Unix.gettimeofday () -. t0) *. 1e6)));
           c.inflight <- None;
           if r.Protocol.r_id <> id then
             raise (Fail (Printf.sprintf "reply id %d for request %d" r.Protocol.r_id id));
           (match r.Protocol.body with
           | Ok payload ->
-              incr ok;
-              if cfg.verify then verify_payload q payload
-          | Error (code, _) ->
-              let key = Protocol.code_to_string code in
-              Hashtbl.replace errors key (1 + Option.value (Hashtbl.find_opt errors key) ~default:0))
+              tally.t_ok <- tally.t_ok + 1;
+              if cfg.verify then verify_payload twin tally q payload
+          | Error (code, _) -> note_error tally code)
     in
     let t_start = Unix.gettimeofday () in
     while Array.exists (fun c -> c.todo <> []) carr do
@@ -251,18 +276,14 @@ let run ~connect cfg =
     if cfg.shutdown then
       ignore (control (cfg.requests + 2) Protocol.Shutdown : Protocol.reply);
     Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) carr;
-    let sorted_assoc tbl f =
-      Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
-    in
     {
       s_clients = cfg.clients;
       s_requests = cfg.requests;
-      s_ok = !ok;
-      s_errors = sorted_assoc errors Fun.id;
-      s_mismatches = !mismatches;
+      s_ok = tally.t_ok;
+      s_errors = sorted_assoc tally.t_errors Fun.id;
+      s_mismatches = tally.t_mismatches;
       s_wall_s = wall;
-      s_latency = sorted_assoc latencies (fun l -> percentiles_of !l);
+      s_latency = sorted_assoc tally.t_latencies (fun l -> percentiles_of !l);
       s_server_stats = server_stats;
     }
   with
@@ -272,7 +293,262 @@ let run ~connect cfg =
   | exception Unix.Unix_error (e, fn, _) ->
       Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
 
+(* --- the open loop ------------------------------------------------------------ *)
+
+type open_config = {
+  o_rate : float;  (** target arrival rate, requests/s *)
+  o_requests : int;
+  o_conns : int option;
+  o_mix : (string * int) list;
+  o_seed : int64;
+  o_verify : bool;
+  o_shutdown : bool;
+}
+
+type open_summary = {
+  os_rate : float;
+  os_achieved : float;
+  os_conns : int;
+  os_requests : int;
+  os_ok : int;
+  os_shed : int;
+  os_worker_lost : int;
+  os_errors : (string * int) list;
+  os_mismatches : int;
+  os_wall_s : float;
+  os_latency : (string * percentiles) list;
+  os_queue_depth : (int * int) list;
+  os_server_stats : Json.t option;
+}
+
+type oconn = {
+  oc_fd : Unix.file_descr;
+  oc_dec : Protocol.decoder;
+  oc_out : Buffer.t;
+  mutable oc_off : int;  (** bytes of [oc_out] already written *)
+  oc_pending : (int, Protocol.query * float) Hashtbl.t;
+}
+
+(* How many shards does the server report?  One connection per shard
+   keeps a sharded tier's per-worker channels independently busy; a
+   single-process server reports no shards and gets one connection. *)
+let discover_shards ~connect buf =
+  let fd = connect () in
+  let dec = Protocol.decoder () in
+  send fd { Protocol.id = 1; deadline_ms = None; query = Protocol.Stats };
+  let r = read_reply fd dec buf in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match r.Protocol.body with
+  | Ok payload -> (
+      match Json.member payload "shards" with
+      | Some (Json.List rows) -> max 1 (List.length rows)
+      | _ -> 1)
+  | Error _ -> 1
+
+let shard_inflight stats =
+  match Option.bind stats (fun p -> Json.member p "shards") with
+  | Some (Json.List rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Option.bind (Json.member row "shard") Json.to_int,
+              Option.bind (Json.member row "inflight") Json.to_int )
+          with
+          | Some s, Some i -> Some (s, i)
+          | _ -> None)
+        rows
+  | _ -> []
+
+let run_open ~connect cfg =
+  if cfg.o_rate <= 0. then invalid_arg "Loadgen.run_open: rate must be > 0";
+  if cfg.o_requests < 0 then invalid_arg "Loadgen.run_open: requests must be >= 0";
+  if cfg.o_mix = [] || List.exists (fun (_, w) -> w <= 0) cfg.o_mix then
+    invalid_arg "Loadgen.run_open: mix must be non-empty with positive weights";
+  (match cfg.o_conns with
+  | Some c when c < 1 -> invalid_arg "Loadgen.run_open: conns must be >= 1"
+  | _ -> ());
+  let twin = Handler.create () in
+  let entries = Registry.all () in
+  let buf = Bytes.create 65536 in
+  match
+    let plan =
+      gen_plan twin entries ~mix:cfg.o_mix ~seed:cfg.o_seed ~requests:cfg.o_requests
+      |> Array.of_list
+    in
+    let n_conns =
+      match cfg.o_conns with Some c -> c | None -> discover_shards ~connect buf
+    in
+    let conns =
+      Array.init n_conns (fun _ ->
+          let fd = connect () in
+          Unix.set_nonblock fd;
+          {
+            oc_fd = fd;
+            oc_dec = Protocol.decoder ();
+            oc_out = Buffer.create 4096;
+            oc_off = 0;
+            oc_pending = Hashtbl.create 16;
+          })
+    in
+    let tally = tally_create () in
+    let shed = ref 0 in
+    let lost = ref 0 in
+    (* exponential inter-arrivals: a Poisson process at o_rate, derived
+       deterministically from the seed (offset so the arrival stream is
+       independent of the request plan's stream) *)
+    let arr_rng = Splitmix.create (Splitmix.mix (Int64.add cfg.o_seed 7L)) in
+    let next_gap () =
+      let u = Splitmix.float arr_rng in
+      -.log (1. -. u) /. cfg.o_rate
+    in
+    let total = Array.length plan in
+    let sent = ref 0 in
+    let t_start = Unix.gettimeofday () in
+    let next_arrival = ref (t_start +. next_gap ()) in
+    let t_last = ref t_start in
+    let settle_reply c (r : Protocol.reply) =
+      match Hashtbl.find_opt c.oc_pending r.Protocol.r_id with
+      | None -> raise (Fail (Printf.sprintf "unexpected reply id %d" r.Protocol.r_id))
+      | Some (q, t0) ->
+          Hashtbl.remove c.oc_pending r.Protocol.r_id;
+          let now = Unix.gettimeofday () in
+          t_last := now;
+          (* latency from the *scheduled* arrival, so client-side backlog
+             (coordinated omission) shows up in the tail, not nowhere *)
+          note_latency tally (Protocol.kind q) (int_of_float (Float.max 0. ((now -. t0) *. 1e6)));
+          (match r.Protocol.body with
+          | Ok payload ->
+              tally.t_ok <- tally.t_ok + 1;
+              if cfg.o_verify then verify_payload twin tally q payload
+          | Error (code, _) ->
+              (match code with
+              | Protocol.Overloaded -> incr shed
+              | Protocol.Worker_lost -> incr lost
+              | _ -> ());
+              note_error tally code)
+    in
+    let rec drain c =
+      match Protocol.next_frame c.oc_dec with
+      | Ok None -> ()
+      | Error msg -> raise (Fail ("reply framing: " ^ msg))
+      | Ok (Some body) ->
+          (match Result.bind (Json.parse body) Protocol.reply_of_json with
+          | Error msg -> raise (Fail ("bad reply: " ^ msg))
+          | Ok r -> settle_reply c r);
+          drain c
+    in
+    let inflight () =
+      Array.fold_left (fun a c -> a + Hashtbl.length c.oc_pending) 0 conns
+    in
+    while !sent < total || inflight () > 0 do
+      let now = Unix.gettimeofday () in
+      (* enqueue every arrival that is due; the connection is chosen
+         round-robin and the frame goes to its out-buffer, never a
+         blocking write *)
+      while !sent < total && !next_arrival <= now do
+        let id = !sent + 1 in
+        let q = plan.(!sent) in
+        let c = conns.(!sent mod n_conns) in
+        Buffer.add_string c.oc_out
+          (Protocol.frame
+             (Json.to_string
+                (Protocol.request_to_json { Protocol.id; deadline_ms = None; query = q })));
+        Hashtbl.replace c.oc_pending id (q, !next_arrival);
+        incr sent;
+        next_arrival := !next_arrival +. next_gap ()
+      done;
+      let timeout =
+        if !sent < total then Float.max 0. (Float.min 0.05 (!next_arrival -. now)) else 0.05
+      in
+      let rd = Array.to_list (Array.map (fun c -> c.oc_fd) conns) in
+      let wr =
+        Array.to_list conns
+        |> List.filter_map (fun c ->
+               if Buffer.length c.oc_out > c.oc_off then Some c.oc_fd else None)
+      in
+      let readable, writable, _ = Unix.select rd wr [] timeout in
+      Array.iter
+        (fun c ->
+          if List.mem c.oc_fd writable then begin
+            let s = Buffer.contents c.oc_out in
+            let len = String.length s in
+            (try
+               while c.oc_off < len do
+                 c.oc_off <- c.oc_off + Unix.write_substring c.oc_fd s c.oc_off (len - c.oc_off)
+               done
+             with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+            if c.oc_off >= len then begin
+              Buffer.clear c.oc_out;
+              c.oc_off <- 0
+            end
+          end)
+        conns;
+      Array.iter
+        (fun c ->
+          if List.mem c.oc_fd readable then
+            match Unix.read c.oc_fd buf 0 (Bytes.length buf) with
+            | 0 -> raise (Fail "server closed the connection mid-run")
+            | n ->
+                Protocol.feed c.oc_dec buf n;
+                drain c
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+        conns
+    done;
+    let wall = Float.max 1e-9 (!t_last -. t_start) in
+    (* control requests go over a blocking connection of their own *)
+    let c0 = conns.(0) in
+    Unix.clear_nonblock c0.oc_fd;
+    let control id query =
+      send c0.oc_fd { Protocol.id; deadline_ms = None; query };
+      read_reply c0.oc_fd c0.oc_dec buf
+    in
+    let server_stats =
+      match (control (total + 1) Protocol.Stats).Protocol.body with
+      | Ok payload -> Some payload
+      | Error _ -> None
+    in
+    if cfg.o_shutdown then ignore (control (total + 2) Protocol.Shutdown : Protocol.reply);
+    Array.iter (fun c -> try Unix.close c.oc_fd with Unix.Unix_error _ -> ()) conns;
+    {
+      os_rate = cfg.o_rate;
+      os_achieved = (if total = 0 then 0. else float_of_int total /. wall);
+      os_conns = n_conns;
+      os_requests = total;
+      os_ok = tally.t_ok;
+      os_shed = !shed;
+      os_worker_lost = !lost;
+      os_errors = sorted_assoc tally.t_errors Fun.id;
+      os_mismatches = tally.t_mismatches;
+      os_wall_s = wall;
+      os_latency = sorted_assoc tally.t_latencies (fun l -> percentiles_of !l);
+      os_queue_depth = shard_inflight server_stats;
+      os_server_stats = server_stats;
+    }
+  with
+  | summary -> Ok summary
+  | exception Fail msg -> Error msg
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
 (* --- reporting ---------------------------------------------------------------- *)
+
+let pct_json = function Some v -> Json.Int v | None -> Json.Null
+
+let latency_json latency =
+  Json.Obj
+    (List.map
+       (fun (kind, p) ->
+         ( kind,
+           Json.Obj
+             [
+               ("count", Json.Int p.l_count);
+               ("p50", pct_json p.l_p50_us);
+               ("p95", pct_json p.l_p95_us);
+               ("p99", pct_json p.l_p99_us);
+               ("max", Json.Int p.l_max_us);
+             ] ))
+       latency)
 
 let summary_to_json s =
   Json.Obj
@@ -286,24 +562,50 @@ let summary_to_json s =
             ("mismatches", Json.Int s.s_mismatches);
             ("wall_s", Json.Float s.s_wall_s);
             ("errors", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.s_errors));
-            ( "latency_us",
-              Json.Obj
-                (List.map
-                   (fun (kind, p) ->
-                     ( kind,
-                       Json.Obj
-                         [
-                           ("count", Json.Int p.l_count);
-                           ("p50", Json.Int p.l_p50_us);
-                           ("p95", Json.Int p.l_p95_us);
-                           ("p99", Json.Int p.l_p99_us);
-                           ("max", Json.Int p.l_max_us);
-                         ] ))
-                   s.s_latency) );
+            ("latency_us", latency_json s.s_latency);
             ( "server_stats",
               match s.s_server_stats with Some j -> j | None -> Json.Null );
           ] );
     ]
+
+let open_summary_to_json s =
+  Json.Obj
+    [
+      ( "loadgen_open",
+        Json.Obj
+          [
+            ("rate_rps", Json.Float s.os_rate);
+            ("achieved_rps", Json.Float s.os_achieved);
+            ("conns", Json.Int s.os_conns);
+            ("requests", Json.Int s.os_requests);
+            ("ok", Json.Int s.os_ok);
+            ("shed", Json.Int s.os_shed);
+            ("worker_lost", Json.Int s.os_worker_lost);
+            ("mismatches", Json.Int s.os_mismatches);
+            ("wall_s", Json.Float s.os_wall_s);
+            ("errors", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.os_errors));
+            ("latency_us", latency_json s.os_latency);
+            ( "queue_depth",
+              Json.List
+                (List.map
+                   (fun (shard, inflight) ->
+                     Json.Obj [ ("shard", Json.Int shard); ("inflight", Json.Int inflight) ])
+                   s.os_queue_depth) );
+            ( "server_stats",
+              match s.os_server_stats with Some j -> j | None -> Json.Null );
+          ] );
+    ]
+
+let pp_pct ppf = function
+  | Some v -> Format.fprintf ppf "%6d" v
+  | None -> Format.fprintf ppf "%6s" "-"
+
+let pp_latency ppf latency =
+  List.iter
+    (fun (kind, p) ->
+      Format.fprintf ppf "  %-8s count %-5d p50 %a us   p95 %a us   p99 %a us   max %6d us@."
+        kind p.l_count pp_pct p.l_p50_us pp_pct p.l_p95_us pp_pct p.l_p99_us p.l_max_us)
+    latency
 
 let pp_summary ppf s =
   Format.fprintf ppf "loadgen: %d requests over %d client(s) in %.3f s@." s.s_requests
@@ -312,8 +614,19 @@ let pp_summary ppf s =
     (List.fold_left (fun a (_, c) -> a + c) 0 s.s_errors)
     s.s_mismatches;
   List.iter (fun (code, c) -> Format.fprintf ppf "  error %-18s %d@." code c) s.s_errors;
-  List.iter
-    (fun (kind, p) ->
-      Format.fprintf ppf "  %-8s count %-5d p50 %6d us   p95 %6d us   p99 %6d us   max %6d us@."
-        kind p.l_count p.l_p50_us p.l_p95_us p.l_p99_us p.l_max_us)
-    s.s_latency
+  pp_latency ppf s.s_latency
+
+let pp_open_summary ppf s =
+  Format.fprintf ppf
+    "loadgen (open loop): %d requests at %.0f rps target over %d conn(s) in %.3f s@."
+    s.os_requests s.os_rate s.os_conns s.os_wall_s;
+  Format.fprintf ppf "  achieved %.1f rps, ok %d, shed %d, worker_lost %d, mismatches %d@."
+    s.os_achieved s.os_ok s.os_shed s.os_worker_lost s.os_mismatches;
+  List.iter (fun (code, c) -> Format.fprintf ppf "  error %-18s %d@." code c) s.os_errors;
+  (match s.os_queue_depth with
+  | [] -> ()
+  | qs ->
+      Format.fprintf ppf "  final queue depth:";
+      List.iter (fun (shard, d) -> Format.fprintf ppf " shard %d: %d" shard d) qs;
+      Format.fprintf ppf "@.");
+  pp_latency ppf s.os_latency

@@ -7,6 +7,7 @@ type query =
   | Solve of { problem : string; size : int; seed : int64 }
   | Probe of { problem : string; size : int; seed : int64; origin : int }
   | Trace of { problem : string; size : int; seed : int64; origin : int }
+  | Warm of { problem : string; size : int; seed : int64 }
   | List
   | Stats
   | Shutdown
@@ -17,6 +18,7 @@ let kind = function
   | Solve _ -> "solve"
   | Probe _ -> "probe"
   | Trace _ -> "trace"
+  | Warm _ -> "warm"
   | List -> "list"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
@@ -27,6 +29,7 @@ type error_code =
   | Bad_origin
   | Deadline_exceeded
   | Overloaded
+  | Worker_lost
   | Server_error
 
 let code_to_string = function
@@ -35,6 +38,7 @@ let code_to_string = function
   | Bad_origin -> "bad_origin"
   | Deadline_exceeded -> "deadline_exceeded"
   | Overloaded -> "overloaded"
+  | Worker_lost -> "worker_lost"
   | Server_error -> "server_error"
 
 let code_of_string = function
@@ -43,6 +47,7 @@ let code_of_string = function
   | "bad_origin" -> Some Bad_origin
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "overloaded" -> Some Overloaded
+  | "worker_lost" -> Some Worker_lost
   | "server_error" -> Some Server_error
   | _ -> None
 
@@ -60,7 +65,8 @@ let request_to_json { id; deadline_ms; query } =
   in
   let fields =
     match query with
-    | Solve { problem; size; seed } -> instance ~problem ~size ~seed []
+    | Solve { problem; size; seed } | Warm { problem; size; seed } ->
+        instance ~problem ~size ~seed []
     | Probe { problem; size; seed; origin } | Trace { problem; size; seed; origin } ->
         instance ~problem ~size ~seed [ ("origin", Json.Int origin) ]
     | List | Stats | Shutdown -> []
@@ -99,6 +105,9 @@ let request_of_json v =
       | "solve" ->
           let* problem, size, seed = instance () in
           Ok (Solve { problem; size; seed })
+      | "warm" ->
+          let* problem, size, seed = instance () in
+          Ok (Warm { problem; size; seed })
       | "probe" | "trace" ->
           let* problem, size, seed = instance () in
           let* origin = require "\"origin\"" (int "origin") in
@@ -254,6 +263,10 @@ let trace_payload ~problem ~origin summary events =
     :: ("origin", Json.Int origin)
     :: summary_fields summary
     @ [ ("events", Json.List (List.map Trace.event_to_json events)) ])
+
+let warm_payload ~problem ~size ~n =
+  Json.Obj
+    [ ("problem", Json.String problem); ("size", Json.Int size); ("n", Json.Int n) ]
 
 let list_payload entries =
   Json.Obj

@@ -38,6 +38,10 @@ type query =
       (** one reference-solver run from one origin *)
   | Trace of { problem : string; size : int; seed : int64; origin : int }
       (** like [Probe] but the reply carries the full event transcript *)
+  | Warm of { problem : string; size : int; seed : int64 }
+      (** build (or touch) the resident instance without computing
+          anything — the supervisor's session re-warm path after a
+          worker respawn *)
   | List  (** the problem registry *)
   | Stats  (** server counters, latency histograms, cache occupancy *)
   | Shutdown  (** acknowledge, finish the batch, exit cleanly *)
@@ -45,7 +49,8 @@ type query =
 type request = { id : int; deadline_ms : int option; query : query }
 
 val kind : query -> string
-(** ["solve"], ["probe"], ["trace"], ["list"], ["stats"], ["shutdown"]. *)
+(** ["solve"], ["probe"], ["trace"], ["warm"], ["list"], ["stats"],
+    ["shutdown"]. *)
 
 type error_code =
   | Bad_request  (** malformed frame, JSON, or missing/ill-typed field *)
@@ -53,6 +58,10 @@ type error_code =
   | Bad_origin  (** origin outside the instance *)
   | Deadline_exceeded
   | Overloaded  (** shed: the bounded queue was full on arrival *)
+  | Worker_lost
+      (** the shard worker holding this in-flight request died; the
+          supervisor respawned it — retry is safe and will hit the
+          re-warmed session *)
   | Server_error  (** the handler raised; the server survives *)
 
 val code_to_string : error_code -> string
@@ -98,4 +107,5 @@ val solve_payload : problem:string -> n:int -> Registry.solver_outcome list -> J
 val probe_payload : problem:string -> origin:int -> Registry.probe_summary -> Json.t
 val trace_payload :
   problem:string -> origin:int -> Registry.probe_summary -> Vc_obs.Trace.event list -> Json.t
+val warm_payload : problem:string -> size:int -> n:int -> Json.t
 val list_payload : Registry.entry list -> Json.t

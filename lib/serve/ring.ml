@@ -1,0 +1,68 @@
+(* Consistent-hash ring over shard ids.
+
+   The hash is FNV-1a (64-bit), spelled out rather than [Hashtbl.hash]
+   because routing must be identical across processes and OCaml
+   versions: the supervisor, the loadgen client and the fault-injection
+   tests all compute shard placement independently and must agree. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+(* Session keys are case-folded on problem name to match the registry's
+   case-insensitive lookup: "LeafColoring" and "leafcoloring" are the
+   same warm world and must land on the same shard. *)
+let session_key ~problem ~size ~seed =
+  Printf.sprintf "%s\x00%d\x00%Ld" (String.lowercase_ascii problem) size seed
+
+type t = {
+  points : (int64 * int) array;  (** sorted by point, unsigned *)
+  shards : int list;
+  vnodes : int;
+}
+
+let default_vnodes = 64
+
+let create ?(vnodes = default_vnodes) shards =
+  if shards = [] then invalid_arg "Ring.create: no shards";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  let shards = List.sort_uniq compare shards in
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun shard ->
+           List.init vnodes (fun r -> (hash64 (Printf.sprintf "%d/%d" shard r), shard)))
+         shards)
+  in
+  Array.sort
+    (fun (a, sa) (b, sb) ->
+      match Int64.unsigned_compare a b with 0 -> compare sa sb | c -> c)
+    points;
+  { points; shards; vnodes }
+
+let shards t = t.shards
+let vnodes t = t.vnodes
+
+let remove t shard =
+  let rest = List.filter (fun s -> s <> shard) t.shards in
+  create ~vnodes:t.vnodes rest
+
+(* First point with hash >= h (unsigned), wrapping to points.(0). *)
+let lookup_hash t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1 else hi := mid
+  done;
+  snd t.points.(if !lo = n then 0 else !lo)
+
+let lookup t key = lookup_hash t (hash64 key)
+
+let lookup_session t ~problem ~size ~seed = lookup t (session_key ~problem ~size ~seed)

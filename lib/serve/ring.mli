@@ -1,0 +1,46 @@
+(** Deterministic consistent-hash ring: session key → shard id.
+
+    Each shard contributes [vnodes] points ([hash64 "<shard>/<replica>"])
+    on a 64-bit circle; a key routes to the shard owning the first point
+    at or clockwise-after the key's hash.  Properties the supervisor and
+    its tests rely on:
+
+    - {b total}: every key maps to some live shard;
+    - {b stable}: removing one shard only remaps keys that shard owned —
+      every other key keeps its placement, so a worker death never
+      invalidates the warm sessions of the survivors;
+    - {b deterministic across processes}: the hash is FNV-1a 64 spelled
+      out below (never [Hashtbl.hash]), so a client, the supervisor and
+      a test harness all compute identical placement. *)
+
+type t
+
+val default_vnodes : int
+(** 64 — enough for a few-percent load spread at single-digit shard
+    counts without making lookup tables noticeable. *)
+
+val create : ?vnodes:int -> int list -> t
+(** Ring over the given shard ids (deduplicated; order-insensitive).
+    Raises [Invalid_argument] on an empty list or [vnodes < 1]. *)
+
+val shards : t -> int list
+(** Live shard ids, sorted ascending. *)
+
+val vnodes : t -> int
+
+val remove : t -> int -> t
+(** Ring without the given shard.  Raises [Invalid_argument] if it was
+    the last one. *)
+
+val hash64 : string -> int64
+(** FNV-1a, 64-bit. *)
+
+val session_key : problem:string -> size:int -> seed:int64 -> string
+(** The routing key of one warm world.  The problem name is case-folded
+    to match the registry's case-insensitive lookup. *)
+
+val lookup : t -> string -> int
+(** The shard owning this key. *)
+
+val lookup_session : t -> problem:string -> size:int -> seed:int64 -> int
+(** [lookup] of [session_key]. *)

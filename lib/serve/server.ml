@@ -56,9 +56,15 @@ let expired p ~now =
 
 (* --- the loop ---------------------------------------------------------------- *)
 
-let run ~handler ?pool ?(queue_depth = 64) ~listen () =
+(* One loop serves both modes: [listen = Some fd] is the daemon
+   (accepting forever until shutdown), [listen = None] with pre-wired
+   [fds] is a supervisor worker (serving its socketpair until EOF or
+   shutdown — when the last connection dies the worker is done). *)
+let serve ~handler ?pool ?(queue_depth = 64) ?listen ?(fds = []) () =
   if queue_depth < 1 then invalid_arg "Server.run: queue_depth must be >= 1";
-  let conns = ref [] in
+  let conns =
+    ref (List.map (fun fd -> { fd; dec = Protocol.decoder (); alive = true }) fds)
+  in
   let queue = Queue.create () in
   let answered = ref 0 in
   let stopping = ref false in
@@ -152,17 +158,30 @@ let run ~handler ?pool ?(queue_depth = 64) ~listen () =
         batch results
     end
   in
-  while not !stopping do
+  let serving () =
+    (not !stopping)
+    && (listen <> None || List.exists (fun c -> c.alive) !conns)
+  in
+  while serving () do
     conns := List.filter (fun c -> c.alive) !conns;
-    let fds = listen :: List.map (fun c -> c.fd) !conns in
-    let readable, _, _ = Unix.select fds [] [] (-1.0) in
-    if List.mem listen readable then begin
-      let fd, _ = Unix.accept listen in
-      conns := { fd; dec = Protocol.decoder (); alive = true } :: !conns
-    end;
+    let watch =
+      (match listen with Some l -> [ l ] | None -> []) @ List.map (fun c -> c.fd) !conns
+    in
+    let readable, _, _ = Unix.select watch [] [] (-1.0) in
+    (match listen with
+    | Some l when List.mem l readable ->
+        let fd, _ = Unix.accept ~cloexec:true l in
+        conns := { fd; dec = Protocol.decoder (); alive = true } :: !conns
+    | _ -> ());
     List.iter (fun c -> if c.alive && List.mem c.fd readable then read_conn c) !conns;
     dispatch ()
   done;
   List.iter close_conn !conns;
-  (try Unix.close listen with Unix.Unix_error _ -> ());
+  (match listen with
+  | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
+  | None -> ());
   !answered
+
+let run ~handler ?pool ?queue_depth ~listen () = serve ~handler ?pool ?queue_depth ~listen ()
+
+let run_conn ~handler ?pool ?queue_depth ~fd () = serve ~handler ?pool ?queue_depth ~fds:[ fd ] ()

@@ -43,3 +43,17 @@ val run :
     (including error replies).  [queue_depth] (default 64) bounds the
     number of accepted-but-undispatched requests; arrivals beyond it are
     shed.  Closes [listen] before returning. *)
+
+val run_conn :
+  handler:Handler.t ->
+  ?pool:Vc_exec.Pool.t ->
+  ?queue_depth:int ->
+  fd:Unix.file_descr ->
+  unit ->
+  int
+(** Worker mode: the same loop over exactly one pre-established,
+    bidirectional connection (a supervisor's socketpair end) and no
+    listening socket.  Returns when the peer closes the connection or
+    after replying to [shutdown]; closes [fd].  Frame, deadline, queue
+    and batching semantics are identical to {!run} — which is what keeps
+    sharded replies byte-identical to single-process ones. *)

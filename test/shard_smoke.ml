@@ -1,0 +1,273 @@
+(* @shard-smoke driver: worker-kill recovery must be deterministic, not
+   merely likely.  Each run boots a fresh 2-worker sharded tier, drives
+   a verified closed-loop mix through it (every reply byte-compared to
+   the in-process twin), then injects the canonical fault — SIGSTOP a
+   worker so a request is provably in flight, SIGKILL it — and requires
+   the structured [worker_lost] reply, the respawn, the ledger re-warm
+   and a byte-identical post-recovery answer.  The exit status is 0 only
+   if every run recovers: 20/20, not 19/20.
+
+   This executable stays single-domain on purpose: the supervisor runs
+   in a forked child and its workers are forked grandchildren
+   ({!Supervisor.fork_spawn}), which is only sound while no domain has
+   ever been spawned here.  The emitted JSON (runs, recoveries, the last
+   run's merged stats payload) is validated by the strict independent
+   parser in the dune alias. *)
+
+module Json = Vc_obs.Json
+module Metrics = Vc_obs.Metrics
+module Protocol = Vc_serve.Protocol
+module Handler = Vc_serve.Handler
+module Server = Vc_serve.Server
+module Loadgen = Vc_serve.Loadgen
+module Supervisor = Vc_serve.Supervisor
+module Ring = Vc_serve.Ring
+
+let workers = 2
+let cache_capacity = 4
+let queue_depth = 16
+let problem = "DegreeParity"
+let size = 16
+
+(* --- tiny client ------------------------------------------------------------- *)
+
+let send_raw fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let send_request fd req =
+  send_raw fd (Protocol.frame (Json.to_string (Protocol.request_to_json req)))
+
+exception Failed of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Failed m)) fmt
+
+let read_bodies fd count =
+  let dec = Protocol.decoder () in
+  let buf = Bytes.create 4096 in
+  let got = ref [] in
+  while List.length !got < count do
+    match Protocol.next_frame dec with
+    | Ok (Some body) -> got := body :: !got
+    | Error msg -> failf "reply framing: %s" msg
+    | Ok None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> failf "supervisor closed the connection"
+        | n -> Protocol.feed dec buf n)
+  done;
+  List.rev !got
+
+let read_body fd = List.hd (read_bodies fd 1)
+
+let parse_reply body =
+  match Result.bind (Json.parse body) Protocol.reply_of_json with
+  | Ok r -> r
+  | Error msg -> failf "unparseable reply %s: %s" body msg
+
+let stats_payload body =
+  match (parse_reply body).Protocol.body with
+  | Ok payload -> payload
+  | Error (c, m) -> failf "stats errored %s: %s" (Protocol.code_to_string c) m
+
+let shard_row payload shard =
+  match Json.member payload "shards" with
+  | Some (Json.List rows) -> (
+      match
+        List.find_opt
+          (fun row -> Option.bind (Json.member row "shard") Json.to_int = Some shard)
+          rows
+      with
+      | Some row -> row
+      | None -> failf "no stats row for shard %d" shard)
+  | _ -> failf "stats payload lacks shards rows"
+
+let row_int row key =
+  match Option.bind (Json.member row key) Json.to_int with
+  | Some v -> v
+  | None -> failf "stats row lacks %s" key
+
+let row_alive row =
+  match Option.bind (Json.member row "alive") Json.to_bool with
+  | Some b -> b
+  | None -> failf "stats row lacks alive"
+
+(* --- one run ------------------------------------------------------------------ *)
+
+let seed_for ring shard =
+  let rec go seed =
+    if Ring.lookup_session ring ~problem ~size ~seed = shard then seed else go (Int64.add seed 1L)
+  in
+  go 1L
+
+let expect_ok twin ~id q =
+  match Handler.handle twin q with
+  | Ok payload -> Json.to_string (Protocol.ok_reply ~id payload)
+  | Error (_, msg) -> failf "twin handler failed: %s" msg
+
+(* Boot a tier, run the verified mix, kill-and-recover, shut down.
+   Returns the final merged stats payload; raises [Failed] on any
+   deviation. *)
+let one_run ~run =
+  let dir = Filename.temp_file "vc_shard_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "s.sock" in
+  let listen = Server.listen_unix ~path in
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          ignore
+            (Supervisor.run ~workers ~cache_capacity ~queue_depth
+               ~spawn:
+                 (Supervisor.fork_spawn (fun () ->
+                      Metrics.set_enabled true;
+                      Handler.create ~cache_capacity ()))
+               ~listen ()
+              : int);
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+  | pid ->
+      Unix.close listen;
+      let finally () =
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+         with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      in
+      Fun.protect ~finally (fun () ->
+          let connect () =
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            fd
+          in
+          (* phase 1: deterministic verified mix over both shards; the
+             seed varies per run so the 20 runs are 20 different loads *)
+          let mix = [ ("probe", 5); ("solve", 1); ("warm", 2); ("stats", 1) ] in
+          let cfg =
+            {
+              Loadgen.clients = 3;
+              requests = 12;
+              mix;
+              seed = Int64.of_int (1000 + run);
+              deadline_ms = None;
+              verify = true;
+              shutdown = false;
+            }
+          in
+          (match Loadgen.run ~connect cfg with
+          | Error msg -> failf "loadgen: %s" msg
+          | Ok s ->
+              if s.Loadgen.s_mismatches > 0 then
+                failf "loadgen: %d byte mismatches" s.Loadgen.s_mismatches;
+              if s.Loadgen.s_ok <> s.Loadgen.s_requests then
+                failf "loadgen: %d/%d ok" s.Loadgen.s_ok s.Loadgen.s_requests);
+          (* phase 2: the canonical fault, aimed at shard 0 *)
+          let fd = connect () in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let twin = Handler.create () in
+              let ring = Ring.create (List.init workers Fun.id) in
+              let q = Protocol.Probe { problem; size; seed = seed_for ring 0; origin = 0 } in
+              let q_fence = Protocol.Probe { problem; size; seed = seed_for ring 1; origin = 0 } in
+              let ask id query =
+                send_request fd { Protocol.id = id; deadline_ms = None; query };
+                read_body fd
+              in
+              let check_identical ~what ~id ~query body =
+                let want = expect_ok twin ~id query in
+                if body <> want then failf "%s: reply differs from single-process bytes" what
+              in
+              check_identical ~what:"warm-up" ~id:1 ~query:q (ask 1 q);
+              let pid0 =
+                let r = shard_row (stats_payload (ask 2 Protocol.Stats)) 0 in
+                if not (row_alive r) then failf "shard 0 dead before fault";
+                row_int r "pid"
+              in
+              Unix.kill pid0 Sys.sigstop;
+              send_request fd { Protocol.id = 3; deadline_ms = None; query = q };
+              (* fence through the other shard: its reply proves the
+                 supervisor has already read (and routed) id 3, so the
+                 kill below provably lands on a worker holding a request
+                 — and proves shard 1 keeps serving while 0 is wedged *)
+              send_request fd { Protocol.id = 4; deadline_ms = None; query = q_fence };
+              check_identical ~what:"fence via live shard" ~id:4 ~query:q_fence (read_body fd);
+              Unix.kill pid0 Sys.sigkill;
+              (match (parse_reply (read_body fd)).Protocol.body with
+              | Error (Protocol.Worker_lost, _) -> ()
+              | Error (c, m) ->
+                  failf "expected worker_lost, got %s: %s" (Protocol.code_to_string c) m
+              | Ok _ -> failf "in-flight request answered by a dead worker");
+              check_identical ~what:"post-recovery" ~id:5 ~query:q (ask 5 q);
+              let final = stats_payload (ask 6 Protocol.Stats) in
+              let r0 = shard_row final 0 and r1 = shard_row final 1 in
+              if not (row_alive r0 && row_alive r1) then failf "a shard is down after recovery";
+              if row_int r0 "respawns" <> 1 then
+                failf "shard 0 respawns = %d, want 1" (row_int r0 "respawns");
+              if row_int r1 "respawns" <> 0 then failf "shard 1 was disturbed";
+              if row_int r0 "warm" < 1 then failf "shard 0 warm ledger lost";
+              (match (parse_reply (ask 7 Protocol.Shutdown)).Protocol.body with
+              | Ok _ -> ()
+              | Error (c, m) -> failf "shutdown errored %s: %s" (Protocol.code_to_string c) m);
+              final))
+
+(* --- driver ------------------------------------------------------------------- *)
+
+let usage () =
+  prerr_endline "usage: shard_smoke [--runs N] [--json PATH]";
+  exit 2
+
+let () =
+  let runs = ref 20 and json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--runs" :: n :: rest ->
+        (match int_of_string_opt n with Some v when v > 0 -> runs := v | _ -> usage ());
+        parse rest
+    | "--json" :: p :: rest ->
+        json_path := Some p;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let recovered = ref 0 in
+  let failures = ref [] in
+  let last_stats = ref Json.Null in
+  for run = 1 to !runs do
+    match one_run ~run with
+    | stats ->
+        incr recovered;
+        last_stats := stats
+    | exception Failed msg -> failures := Printf.sprintf "run %d: %s" run msg :: !failures
+    | exception e -> failures := Printf.sprintf "run %d: %s" run (Printexc.to_string e) :: !failures
+  done;
+  let ok = !recovered = !runs in
+  let summary =
+    Json.Obj
+      [
+        ("workers", Json.Int workers);
+        ("runs", Json.Int !runs);
+        ("recovered", Json.Int !recovered);
+        ("ok", Json.Bool ok);
+        ("failures", Json.List (List.rev_map (fun m -> Json.String m) !failures));
+        ("last_run_stats", !last_stats);
+      ]
+  in
+  (match !json_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string summary);
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  Printf.printf "shard-smoke: %d/%d runs recovered (%d workers)\n" !recovered !runs workers;
+  List.iter prerr_endline (List.rev !failures);
+  exit (if ok then 0 else 1)

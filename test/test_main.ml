@@ -6,6 +6,9 @@ let () =
     (List.concat
        [
          Test_rng.suites;
+         (* Test_shard forks (supervisor child + worker grandchildren);
+            it must run before any suite that spawns a domain. *)
+         Test_shard.suites;
          Test_graph.suites;
          Test_model.suites;
          Test_leaf_coloring.suites;
