@@ -1,12 +1,29 @@
 (* Strict JSON syntax checker (RFC 8259 grammar, stdlib only — the
    emitters live in lib/obs, so CI needs an independent parser to catch
-   malformed emissions).  Usage: json_check [--jsonl] FILE.  Exits 0 iff
-   the file is exactly one well-formed JSON value plus optional trailing
-   whitespace — or, with --jsonl (the probe-transcript format of
-   Vc_obs.Trace), one well-formed value per non-empty line; otherwise
-   prints the position of the first error and exits 1. *)
+   malformed emissions).  Usage: json_check [--jsonl|--bench] FILE.
+   Exits 0 iff the file is exactly one well-formed JSON value plus
+   optional trailing whitespace — or, with --jsonl (the probe-transcript
+   format of Vc_obs.Trace), one well-formed value per non-empty line;
+   otherwise prints the position of the first error and exits 1.
+
+   --bench additionally validates the shape of a bench report's [snap]
+   section (the snapshot-load-vs-cold-build rows): it must be a
+   non-empty array of rows each carrying name/build_ns/load_ns/bytes/
+   speedup/ok with the right types, and every row's gate must have
+   passed.  The parser builds a minimal value tree for this; the
+   syntax-only modes discard it. *)
 
 exception Bad of int * string
+
+(* Just enough structure for the --bench shape checks; numbers need no
+   value, strings keep their raw (unescaped) contents. *)
+type v =
+  | Vnull
+  | Vbool of bool
+  | Vnum
+  | Vstr of string
+  | Varr of v list
+  | Vobj of (string * v) list
 
 type state = { src : string; mutable pos : int }
 
@@ -61,8 +78,11 @@ let parse_number st =
       parse_digits st
   | _ -> ())
 
+(* Returns the raw (still-escaped) contents — the --bench member names
+   are plain ASCII, so no unescaping is needed to compare them. *)
 let parse_string st =
   expect st '"';
+  let start = st.pos in
   let closed = ref false in
   while not !closed do
     match peek st with
@@ -84,33 +104,47 @@ let parse_string st =
         | _ -> fail st "invalid escape sequence")
     | Some c when Char.code c < 0x20 -> fail st "unescaped control character in string"
     | Some _ -> advance st
-  done
+  done;
+  String.sub st.src start (st.pos - 1 - start)
 
 let rec parse_value st =
   skip_ws st;
   match peek st with
   | Some '{' -> parse_object st
   | Some '[' -> parse_array st
-  | Some '"' -> parse_string st
-  | Some 't' -> expect_keyword st "true"
-  | Some 'f' -> expect_keyword st "false"
-  | Some 'n' -> expect_keyword st "null"
-  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '"' -> Vstr (parse_string st)
+  | Some 't' ->
+      expect_keyword st "true";
+      Vbool true
+  | Some 'f' ->
+      expect_keyword st "false";
+      Vbool false
+  | Some 'n' ->
+      expect_keyword st "null";
+      Vnull
+  | Some ('-' | '0' .. '9') ->
+      parse_number st;
+      Vnum
   | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
   | None -> fail st "expected a JSON value, found end of input"
 
 and parse_object st =
   expect st '{';
   skip_ws st;
-  if peek st = Some '}' then advance st
+  if peek st = Some '}' then begin
+    advance st;
+    Vobj []
+  end
   else begin
+    let members = ref [] in
     let continue = ref true in
     while !continue do
       skip_ws st;
-      parse_string st;
+      let key = parse_string st in
       skip_ws st;
       expect st ':';
-      parse_value st;
+      let value = parse_value st in
+      members := (key, value) :: !members;
       skip_ws st;
       match peek st with
       | Some ',' -> advance st
@@ -118,17 +152,22 @@ and parse_object st =
           advance st;
           continue := false
       | _ -> fail st "expected ',' or '}' in object"
-    done
+    done;
+    Vobj (List.rev !members)
   end
 
 and parse_array st =
   expect st '[';
   skip_ws st;
-  if peek st = Some ']' then advance st
+  if peek st = Some ']' then begin
+    advance st;
+    Varr []
+  end
   else begin
+    let items = ref [] in
     let continue = ref true in
     while !continue do
-      parse_value st;
+      items := parse_value st :: !items;
       skip_ws st;
       match peek st with
       | Some ',' -> advance st
@@ -136,7 +175,8 @@ and parse_array st =
           advance st;
           continue := false
       | _ -> fail st "expected ',' or ']' in array"
-    done
+    done;
+    Varr (List.rev !items)
   end
 
 let read_file path =
@@ -148,21 +188,85 @@ let read_file path =
 
 let check_value src =
   let st = { src; pos = 0 } in
-  parse_value st;
+  let v = parse_value st in
   skip_ws st;
-  if st.pos <> String.length src then fail st "trailing garbage after JSON value"
+  if st.pos <> String.length src then fail st "trailing garbage after JSON value";
+  v
+
+(* --- bench-report shape checks ------------------------------------------------ *)
+
+let member key = function Vobj ms -> List.assoc_opt key ms | _ -> None
+
+let bench_fail path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "%s: bad bench report: %s\n" path msg;
+      exit 1)
+    fmt
+
+(* The snap section carries the snapshot-load-vs-cold-build gate rows;
+   each must be fully populated and must have passed its gate. *)
+let check_snap_section path doc =
+  let rows =
+    match member "snap" doc with
+    | Some (Varr (_ :: _ as rows)) -> rows
+    | Some (Varr []) -> bench_fail path "snap section is empty"
+    | Some _ -> bench_fail path "snap section is not an array"
+    | None -> bench_fail path "no snap section"
+  in
+  List.iteri
+    (fun i row ->
+      let want key = function
+        | Some got -> got
+        | None -> bench_fail path "snap row %d lacks %s" i key
+      in
+      (match want "name" (member "name" row) with
+      | Vstr _ -> ()
+      | _ -> bench_fail path "snap row %d: name is not a string" i);
+      List.iter
+        (fun key ->
+          match want key (member key row) with
+          | Vnum -> ()
+          | _ -> bench_fail path "snap row %d: %s is not a number" i key)
+        [ "build_ns"; "load_ns"; "bytes"; "speedup" ];
+      match want "ok" (member "ok" row) with
+      | Vbool true -> ()
+      | Vbool false -> bench_fail path "snap row %d failed its speedup gate" i
+      | _ -> bench_fail path "snap row %d: ok is not a boolean" i)
+    rows;
+  List.length rows
+
+(* The rewarm section is the serving-layer build-vs-snapshot comparison;
+   report-only (no gate flag) but it must be fully populated. *)
+let check_rewarm_section path doc =
+  let row =
+    match member "rewarm" doc with
+    | Some (Vobj _ as row) -> row
+    | Some _ -> bench_fail path "rewarm section is not an object"
+    | None -> bench_fail path "no rewarm section"
+  in
+  (match member "problem" row with
+  | Some (Vstr _) -> ()
+  | _ -> bench_fail path "rewarm: problem is not a string");
+  List.iter
+    (fun key ->
+      match member key row with
+      | Some Vnum -> ()
+      | _ -> bench_fail path "rewarm: %s is not a number" key)
+    [ "size"; "rebuild_ns"; "snapshot_ns"; "speedup" ]
 
 let () =
-  let jsonl, path =
+  let mode, path =
     match Sys.argv with
-    | [| _; "--jsonl"; path |] -> (true, path)
-    | [| _; path |] -> (false, path)
+    | [| _; "--jsonl"; path |] -> (`Jsonl, path)
+    | [| _; "--bench"; path |] -> (`Bench, path)
+    | [| _; path |] -> (`Plain, path)
     | _ ->
-        prerr_endline "usage: json_check [--jsonl] FILE";
+        prerr_endline "usage: json_check [--jsonl|--bench] FILE";
         exit 2
   in
   let src = try read_file path with Sys_error msg -> prerr_endline msg; exit 2 in
-  if jsonl then begin
+  if mode = `Jsonl then begin
     let lines = String.split_on_char '\n' src in
     let n = ref 0 in
     List.iteri
@@ -170,7 +274,7 @@ let () =
         if String.trim line <> "" then begin
           incr n;
           match check_value line with
-          | () -> ()
+          | (_ : v) -> ()
           | exception Bad (pos, msg) ->
               Printf.eprintf "%s: line %d: malformed JSON at byte %d: %s\n" path (i + 1) pos msg;
               exit 1
@@ -184,7 +288,14 @@ let () =
   end
   else
     match check_value src with
-    | () -> Printf.printf "%s: well-formed JSON (%d bytes)\n" path (String.length src)
+    | doc ->
+        if mode = `Bench then begin
+          let rows = check_snap_section path doc in
+          check_rewarm_section path doc;
+          Printf.printf "%s: well-formed bench report (%d bytes, %d snap row(s) ok)\n" path
+            (String.length src) rows
+        end
+        else Printf.printf "%s: well-formed JSON (%d bytes)\n" path (String.length src)
     | exception Bad (pos, msg) ->
         Printf.eprintf "%s: malformed JSON at byte %d: %s\n" path pos msg;
         exit 1

@@ -515,6 +515,157 @@ let serve_json rows =
          Json.Obj [ ("name", Json.String r.sv_name); ("ns_per_request", Json.Float r.sv_ns) ])
        rows)
 
+(* --- snapshot-load vs cold-build microbenchmarks ----------------------------- *)
+
+type snap_row = {
+  sn_name : string;
+  sn_build_ns : float;  (* cold Registry.make, no store: full instance build *)
+  sn_load_ns : float;  (* Registry.make against a warm store: one mmap load *)
+  sn_bytes : int;  (* on-disk snapshot size *)
+}
+
+let snap_gate = 10.0
+let snap_speedup r = r.sn_build_ns /. r.sn_load_ns
+let snap_ok rows = List.for_all (fun r -> snap_speedup r >= snap_gate) rows
+
+(* The perf evidence for the snapshot tier: warming a session from the
+   store must beat building the instance from scratch by >= 10x on the
+   two largest ladder sizes of each benched problem.  Both paths go
+   through the same [Registry.make] entry point (oracle probe 10 proves
+   them byte-identical), so this is a pure same-answer cost comparison:
+   graph construction + labelling versus one [Unix.map_file] plus a
+   header checksum — the load side is O(1) in the instance, which is
+   the whole point. *)
+let run_snap_micro ~quick =
+  let module R = Vc_check.Registry in
+  let entry name = List.find (fun (e : R.entry) -> e.R.name = name) (R.all ()) in
+  let row (e : R.entry) ~size =
+    let dir = Filename.temp_file "volcomp-snapbench" "" in
+    Sys.remove dir;
+    let store = R.store ~dir in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) (R.Store.files store);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () ->
+        let seed = 42L in
+        (* publish once so the timed path below is a pure store hit *)
+        ignore (e.R.acquire ~store ~size ~seed () : int);
+        let bytes =
+          List.fold_left (fun acc p -> acc + (Unix.stat p).Unix.st_size) 0 (R.Store.files store)
+        in
+        let min3 f = Float.min (time_ns f) (Float.min (time_ns f) (time_ns f)) in
+        let build () = ignore (e.R.make ~size ~seed () : R.trial) in
+        let load () =
+          let t = e.R.make ~store ~size ~seed () in
+          assert (t.R.t_source = `Snapshot)
+        in
+        {
+          sn_name = Printf.sprintf "snap/%s-%d" e.R.name size;
+          sn_build_ns = min3 build;
+          sn_load_ns = min3 load;
+          sn_bytes = bytes;
+        })
+  in
+  (* the two largest sizes of each problem's bench ladder; --quick drops
+     rungs so the smoke run stays fast without leaving the regime where
+     building dominates loading — LeafColoring below 4095 brushes the
+     gate on a loaded single-CPU box, so quick starts there *)
+  let cycle_sizes = if quick then [ 1 lsl 15; 1 lsl 16 ] else [ 1 lsl 17; 1 lsl 18 ] in
+  let leaf_sizes = if quick then [ 4095; 8191 ] else [ 8191; 16383 ] in
+  List.map (fun size -> row (entry "CycleColoring3") ~size) cycle_sizes
+  @ List.map (fun size -> row (entry "LeafColoring") ~size) leaf_sizes
+
+let pp_snap rows =
+  Fmt.pr "@.== Snapshot-load vs cold-build microbenchmarks (gate %.0fx) ==@." snap_gate;
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-38s build %11.0f ns   load %9.0f ns   %9d bytes   speedup %8.1fx   [%s]@."
+        r.sn_name r.sn_build_ns r.sn_load_ns r.sn_bytes (snap_speedup r)
+        (if snap_speedup r >= snap_gate then "ok" else "FAIL"))
+    rows
+
+let snap_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.sn_name);
+             ("build_ns", Json.Float r.sn_build_ns);
+             ("load_ns", Json.Float r.sn_load_ns);
+             ("bytes", Json.Int r.sn_bytes);
+             ("speedup", Json.Float (snap_speedup r));
+             ("ok", Json.Bool (snap_speedup r >= snap_gate));
+           ])
+       rows)
+
+(* --- session re-warm through the serving layer -------------------------------- *)
+
+type rewarm_row = {
+  rw_problem : string;
+  rw_size : int;
+  rw_build_ns : float;  (* fresh handler, no store: the warm rebuilds *)
+  rw_snap_ns : float;  (* fresh handler over a warm store: snapshot load *)
+}
+
+(* What a respawned shard worker pays per warm-ledger entry: a fresh
+   handler's first [Warm] of the session.  The same build-vs-load
+   comparison as the snap rows, one layer up — through
+   [Handler.handle] — so it carries the cache and payload overhead a
+   worker actually sees.  Each sample needs a fresh handler (a repeat
+   window would hit the session cache), so this is single-shot wall
+   timing, best of 5.  Report-only: the 10x gate lives on the snap
+   rows, and the fork-level version is asserted end to end by
+   @shard-smoke and @snap-smoke. *)
+let run_rewarm_micro ~quick =
+  let module R = Vc_check.Registry in
+  let module Handler = Vc_serve.Handler in
+  let module Protocol = Vc_serve.Protocol in
+  let problem = "CycleColoring3" in
+  let size = if quick then 1 lsl 15 else 1 lsl 17 in
+  let seed = 42L in
+  let dir = Filename.temp_file "volcomp-rewarmbench" "" in
+  Sys.remove dir;
+  let store = R.store ~dir in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) (R.Store.files store);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let e = List.find (fun (e : R.entry) -> e.R.name = problem) (R.all ()) in
+      ignore (e.R.acquire ~store ~size ~seed () : int);
+      let warm_once ?store () =
+        let h = Handler.create ?store () in
+        let t0 = Unix.gettimeofday () in
+        (match Handler.handle h (Protocol.Warm { problem; size; seed }) with
+        | Ok _ -> ()
+        | Error (_, msg) -> failwith ("rewarm micro: " ^ msg));
+        (Unix.gettimeofday () -. t0) *. 1e9
+      in
+      let best f = List.fold_left (fun acc () -> Float.min acc (f ())) (f ()) [ (); (); (); () ] in
+      {
+        rw_problem = problem;
+        rw_size = size;
+        rw_build_ns = best (fun () -> warm_once ());
+        rw_snap_ns = best (fun () -> warm_once ~store ());
+      })
+
+let pp_rewarm r =
+  Fmt.pr "@.== Session re-warm through the serving layer (report-only) ==@.";
+  Fmt.pr "  rewarm/%s-%d %26s %11.0f ns   snapshot %9.0f ns   speedup %8.1fx@." r.rw_problem
+    r.rw_size "rebuild" r.rw_build_ns r.rw_snap_ns (r.rw_build_ns /. r.rw_snap_ns)
+
+let rewarm_json r =
+  Json.Obj
+    [
+      ("problem", Json.String r.rw_problem);
+      ("size", Json.Int r.rw_size);
+      ("rebuild_ns", Json.Float r.rw_build_ns);
+      ("snapshot_ns", Json.Float r.rw_snap_ns);
+      ("speedup", Json.Float (r.rw_build_ns /. r.rw_snap_ns));
+    ]
+
 (* --- instrumentation-overhead gate ------------------------------------------ *)
 
 type obs_overhead = {
@@ -677,6 +828,7 @@ let measure_saturation ~exe ~quick =
             o_seed = 42L;
             o_verify = false;
             o_shutdown = i = last;
+            o_prewarm = true;
           }
         in
         match Vc_serve.Loadgen.run_open ~connect cfg with
@@ -733,8 +885,8 @@ let saturation_json = function
                  s.sat_steps) );
         ]
 
-let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_micro ~serve
-    ~saturation ~obs =
+let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_micro ~snap
+    ~rewarm ~serve ~saturation ~obs =
   let wallclock_json =
     match wallclock with
     | None -> Json.Null
@@ -771,6 +923,8 @@ let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_mic
         ("speedup", speedup_json);
         ("micro", micro_json micro);
         ("ir_micro", ir_micro_json ir_micro);
+        ("snap", snap_json snap);
+        ("rewarm", rewarm_json rewarm);
         ("serve", serve_json serve);
         ("saturation", saturation_json saturation);
         ("obs_overhead", obs_json obs);
@@ -851,6 +1005,10 @@ let () =
   pp_micro micro;
   let ir_micro = run_ir_micro () in
   pp_ir_micro ir_micro;
+  let snap = run_snap_micro ~quick in
+  pp_snap snap;
+  let rewarm = run_rewarm_micro ~quick in
+  pp_rewarm rewarm;
   let serve = run_serve_micro () in
   pp_serve serve;
   (* the saturation ramp needs a real CLI binary to spawn the sharded
@@ -879,7 +1037,7 @@ let () =
   | None -> ()
   | Some path ->
       write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro
-        ~ir_micro ~serve ~saturation ~obs;
+        ~ir_micro ~snap ~rewarm ~serve ~saturation ~obs;
       Fmt.pr "wrote %s@." path);
   Option.iter Pool.shutdown pool;
   let mismatch = List.exists (fun r -> not (Experiments.all_agree r)) reports in
@@ -888,11 +1046,13 @@ let () =
     Fmt.pr "== FAIL: a world-session microbenchmark fell below the 10x lazy-vs-eager bar ==@.";
   if not (ir_micro_ok ir_micro) then
     Fmt.pr "== FAIL: a batched-IR microbenchmark fell below the 10x batched-vs-closure bar ==@.";
+  if not (snap_ok snap) then
+    Fmt.pr "== FAIL: a snapshot load fell below the 10x load-vs-build bar ==@.";
   if speedup_failed then
     Fmt.pr "== FAIL: the parallel run lost to the sequential run on a multi-core box ==@.";
   if not (obs_ok obs) then
     Fmt.pr "== FAIL: the metrics-disabled hot path exceeded the %.0f%% overhead gate ==@."
       ((obs_gate -. 1.0) *. 100.0);
-  if mismatch || not (micro_ok micro) || not (ir_micro_ok ir_micro) || speedup_failed
-     || not (obs_ok obs)
+  if mismatch || not (micro_ok micro) || not (ir_micro_ok ir_micro) || not (snap_ok snap)
+     || speedup_failed || not (obs_ok obs)
   then exit 1

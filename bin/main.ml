@@ -346,8 +346,8 @@ let check_cmd =
       & info [ "probes" ] ~docv:"LIST"
           ~doc:
             "Comma-separated oracle probes to run (of: solvers, merge, cross, lazy, ir, \
-             mutate, replay, serve, shard); default all.  Skipped probes are listed in the \
-             report and keep vacuous verdicts.")
+             mutate, replay, serve, shard, snap); default all.  Skipped probes are listed \
+             in the report and keep vacuous verdicts.")
   in
   let run seed count quick json only probes metrics jobs =
     let entries =
@@ -839,6 +839,157 @@ let ir_cmd =
       const run_ir $ action $ name_arg $ n $ size $ seed $ origin $ file $ all $ json
       $ jobs_term)
 
+(* --- snap ------------------------------------------------------------------- *)
+
+let snap_cmd =
+  let action =
+    let actions = [ ("build", `Build); ("ls", `Ls); ("verify", `Verify); ("rm", `Rm) ] in
+    Arg.(
+      required
+      & pos 0 (some (enum actions)) None
+      & info [] ~docv:"ACTION" ~doc:"One of $(b,build), $(b,ls), $(b,verify), $(b,rm).")
+  in
+  let dir =
+    Arg.(
+      value & opt string "volcomp-snaps"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Snapshot store directory.")
+  in
+  let only =
+    Arg.(
+      value & opt (some string) None
+      & info [ "only" ] ~docv:"SUBSTR"
+          ~doc:
+            "Restrict to problems ($(b,build)) or store files ($(b,rm)) whose name contains \
+             $(docv) (case-insensitive).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"With $(b,build): use each problem's small instance sizes.")
+  in
+  let size =
+    Arg.(
+      value & opt (some int) None
+      & info [ "size" ] ~docv:"N"
+          ~doc:"With $(b,build): snapshot only this instance size (default: every registry \
+                size).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"With $(b,build): instance seed to snapshot.")
+  in
+  let contains hay needle =
+    let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+    let rec go i =
+      i + String.length needle <= String.length hay
+      && (String.sub hay i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  let run action dir only quick size seed =
+    let store = Vc_check.Registry.store ~dir in
+    match action with
+    | `Build ->
+        let entries =
+          List.filter
+            (fun (e : Vc_check.Registry.entry) ->
+              match only with None -> true | Some f -> contains e.name f)
+            (Vc_check.Registry.all ())
+        in
+        if entries = [] then begin
+          Fmt.epr "snap build: no problem matches the filter@.";
+          2
+        end
+        else begin
+          let seed64 = Int64.of_int seed in
+          let total = ref 0 in
+          List.iter
+            (fun (e : Vc_check.Registry.entry) ->
+              let sizes =
+                match size with
+                | Some s -> [ s ]
+                | None -> if quick then e.quick_sizes else e.sizes
+              in
+              List.iter
+                (fun size ->
+                  (* acquire with the store attached: a miss builds and
+                     publishes, a hit is a no-op — build is idempotent *)
+                  let n = e.acquire ~store ~size ~seed:seed64 () in
+                  incr total;
+                  Fmt.pr "%-28s size %-6d seed %Ld  n %d@." e.name size seed64 n)
+                sizes)
+            entries;
+          Fmt.pr "%d snapshot(s) resident in %s@." !total dir;
+          0
+        end
+    | `Ls ->
+        let files = Vc_check.Registry.Store.files store in
+        List.iter
+          (fun path ->
+            match Vc_snap.Snap.inspect ~path with
+            | Ok h ->
+                let bytes = (Unix.stat path).Unix.st_size in
+                Fmt.pr "%-44s %-28s size %-6d seed %-20Ld n %-8d %d segment(s)  %d bytes@."
+                  (Filename.basename path) h.Vc_snap.Snap.problem h.Vc_snap.Snap.size
+                  h.Vc_snap.Snap.seed h.Vc_snap.Snap.n
+                  (List.length h.Vc_snap.Snap.segments)
+                  bytes
+            | Error e ->
+                Fmt.pr "%-44s INVALID: %s@." (Filename.basename path)
+                  (Vc_snap.Snap.error_to_string e))
+          files;
+        Fmt.pr "%d file(s) in %s@." (List.length files) dir;
+        0
+    | `Verify ->
+        let files = Vc_check.Registry.Store.files store in
+        let bad = ref 0 in
+        List.iter
+          (fun path ->
+            match Vc_snap.Snap.verify ~path with
+            | Ok h ->
+                Fmt.pr "%-44s ok  (%s, %d segment(s))@." (Filename.basename path)
+                  h.Vc_snap.Snap.problem
+                  (List.length h.Vc_snap.Snap.segments)
+            | Error e ->
+                incr bad;
+                Fmt.pr "%-44s FAIL: %s@." (Filename.basename path)
+                  (Vc_snap.Snap.error_to_string e))
+          files;
+        if !bad = 0 then begin
+          Fmt.pr "all %d file(s) verify@." (List.length files);
+          0
+        end
+        else begin
+          Fmt.epr "%d of %d file(s) failed verification@." !bad (List.length files);
+          1
+        end
+    | `Rm ->
+        let files =
+          List.filter
+            (fun path ->
+              match only with
+              | None -> true
+              | Some f -> contains (Filename.basename path) f)
+            (Vc_check.Registry.Store.files store)
+        in
+        List.iter
+          (fun path ->
+            match Sys.remove path with
+            | () -> Fmt.pr "removed %s@." path
+            | exception Sys_error msg -> Fmt.epr "rm: %s@." msg)
+          files;
+        Fmt.pr "%d file(s) removed@." (List.length files);
+        0
+  in
+  Cmd.v
+    (Cmd.info "snap"
+       ~doc:
+         "Manage the instance snapshot store: $(b,build) snapshots for registry problems, \
+          $(b,ls) and $(b,verify) (full byte-level re-checksum) resident files, $(b,rm) \
+          stale ones.  The same store plugs into $(b,volcomp serve --snap-dir).")
+    Term.(const run $ action $ dir $ only $ quick $ size $ seed)
+
 (* --- serve ------------------------------------------------------------------- *)
 
 let socket_term =
@@ -882,13 +1033,24 @@ let serve_cmd =
             "Internal: run as a supervisor's worker, serving the connection on stdin until \
              EOF.  Used by $(b,--workers); not meant to be invoked by hand.")
   in
-  let run socket tcp cache queue_depth workers worker jobs =
+  let snap_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snap-dir" ] ~docv:"DIR"
+          ~doc:
+            "Snapshot store directory: session cache misses load instances by mmap from \
+             $(docv) (populating it on first build) instead of rebuilding, and with \
+             $(b,--workers) every shard worker shares the same store — including post-crash \
+             re-warms.")
+  in
+  let run socket tcp cache queue_depth workers worker snap_dir jobs =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     (* the daemon always accounts: request counters and latency
        histograms feed the stats request and the loadgen report *)
     Metrics.set_enabled true;
+    let store = Option.map (fun dir -> Vc_check.Registry.store ~dir) snap_dir in
     if worker then begin
-      let handler = Vc_serve.Handler.create ~cache_capacity:cache () in
+      let handler = Vc_serve.Handler.create ~cache_capacity:cache ?store () in
       ignore
         (with_jobs jobs (fun pool ->
              Vc_serve.Server.run_conn ~handler ?pool ~queue_depth ~fd:Unix.stdin ())
@@ -910,14 +1072,15 @@ let serve_cmd =
           let spawn =
             Vc_serve.Supervisor.exec_spawn
               ~jobs:(Option.value jobs ~default:1)
-              ~cache ~queue_depth Sys.executable_name
+              ?snap_dir ~cache ~queue_depth Sys.executable_name
           in
           Vc_serve.Supervisor.run ~workers ~cache_capacity:cache ~queue_depth ~spawn
             ~listen ()
         end
         else
           with_jobs jobs (fun pool ->
-              Vc_serve.Server.run ~handler:(Vc_serve.Handler.create ~cache_capacity:cache ())
+              Vc_serve.Server.run
+                ~handler:(Vc_serve.Handler.create ~cache_capacity:cache ?store ())
                 ?pool ~queue_depth ~listen ())
       in
       if tcp = None then (try Unix.unlink socket with Unix.Unix_error _ -> ());
@@ -931,7 +1094,9 @@ let serve_cmd =
          "Serve solve/probe/trace/list/stats queries over a socket, with a warm session \
           cache, request batching across worker domains, per-request deadlines, explicit \
           load shedding, and optional multi-process sharding ($(b,--workers)).")
-    Term.(const run $ socket_term $ tcp_term $ cache $ queue_depth $ workers $ worker $ jobs_term)
+    Term.(
+      const run $ socket_term $ tcp_term $ cache $ queue_depth $ workers $ worker $ snap_dir
+      $ jobs_term)
 
 (* --- loadgen ----------------------------------------------------------------- *)
 
@@ -993,13 +1158,23 @@ let loadgen_cmd =
       & info [ "no-verify" ]
           ~doc:"Skip the byte-identity check against in-process computation.")
   in
+  let prewarm =
+    Arg.(
+      value & flag
+      & info [ "prewarm" ]
+          ~doc:
+            "Open-loop mode: issue a $(b,warm) query for every session in the plan before \
+             the measured phase, so instance construction is never charged to the first \
+             unlucky request of a session.  The summary reports how many sessions were \
+             cold.")
+  in
   let json =
     Arg.(
       value & opt (some string) None
       & info [ "json" ] ~docv:"PATH" ~doc:"Also write the summary as JSON to $(docv).")
   in
   let run socket tcp spawn spawn_workers clients requests rate conns mix_s seed deadline
-      no_verify json =
+      no_verify prewarm json =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match Vc_serve.Loadgen.parse_mix mix_s with
     | Error msg ->
@@ -1104,6 +1279,7 @@ let loadgen_cmd =
                 o_seed = Int64.of_int seed;
                 o_verify = not no_verify;
                 o_shutdown = spawn;
+                o_prewarm = prewarm;
               }
             in
             let result = Vc_serve.Loadgen.run_open ~connect cfg in
@@ -1126,7 +1302,7 @@ let loadgen_cmd =
           (plus achieved throughput and shed rate in open-loop mode).")
     Term.(
       const run $ socket_term $ tcp_term $ spawn $ spawn_workers $ clients $ requests $ rate
-      $ conns $ mix $ seed $ deadline $ no_verify $ json)
+      $ conns $ mix $ seed $ deadline $ no_verify $ prewarm $ json)
 
 let () =
   let doc = "Volume complexity of local graph problems (Rosenbaum & Suomela, PODC 2020)" in
@@ -1144,6 +1320,7 @@ let () =
             export_cmd;
             list_cmd;
             ir_cmd;
+            snap_cmd;
             serve_cmd;
             loadgen_cmd;
           ]))

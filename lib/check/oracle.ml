@@ -9,7 +9,7 @@ let trial_seed ~seed ~name i =
 
 (* The probes a run can be restricted to, in execution-report order. *)
 let probe_names =
-  [ "solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay"; "serve"; "shard" ]
+  [ "solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay"; "serve"; "shard"; "snap" ]
 
 let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry) =
   let failures = ref [] in
@@ -22,7 +22,7 @@ let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry)
   in
   let sizes = if quick then e.quick_sizes else e.sizes in
   let trials =
-    List.mapi (fun i size -> (size, e.make ~size ~seed:(trial_seed ~seed ~name:e.name i))) sizes
+    List.mapi (fun i size -> (size, e.make ~size ~seed:(trial_seed ~seed ~name:e.name i) ())) sizes
   in
   (* probe 1: differential solving + cost envelope *)
   let all_outcomes =
@@ -244,6 +244,95 @@ let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry)
                        false)
                  false))
   in
+  (* probe 10: snapshot byte-identity — a trial whose instance came back
+     from the snapshot store must reproduce the freshly built trial's
+     solver outcomes, per-origin probe cost vectors and recorded trace
+     transcripts exactly, on every trial of the entry *)
+  let snap_ok =
+    if not (want "snap") then None
+    else
+      Some
+        (List.fold_left
+           (fun acc (i, size) ->
+             let ts = trial_seed ~seed ~name:e.name i in
+             let ok =
+               guarded
+                 (Fmt.str "snap at size %d" size)
+                 (fun () ->
+                   let dir = Filename.temp_file "vc-snap" "" in
+                   Sys.remove dir;
+                   let store = Registry.store ~dir in
+                   let cleanup () =
+                     List.iter
+                       (fun f -> try Sys.remove f with Sys_error _ -> ())
+                       (Registry.Store.files store);
+                     try Unix.rmdir dir with Unix.Unix_error _ -> ()
+                   in
+                   Fun.protect ~finally:cleanup (fun () ->
+                       let a = e.make ~size ~seed:ts () in
+                       (* populate the store (publish-on-miss), then hit it *)
+                       let warm_n = e.acquire ~store ~size ~seed:ts () in
+                       let b = e.make ~store ~size ~seed:ts () in
+                       let ok = ref true in
+                       let check cond fmt =
+                         Fmt.kstr
+                           (fun msg ->
+                             if not cond then begin
+                               ok := false;
+                               fail "snap at size %d: %s" size msg
+                             end)
+                           fmt
+                       in
+                       check (warm_n = a.Registry.t_n) "acquire saw %d nodes, build saw %d"
+                         warm_n a.Registry.t_n;
+                       check
+                         (b.Registry.t_source = `Snapshot)
+                         "store hit did not mark the trial as snapshot-loaded";
+                       check
+                         (b.Registry.t_n = a.Registry.t_n)
+                         "node counts differ: built %d, snapshot %d" a.Registry.t_n
+                         b.Registry.t_n;
+                       check
+                         (a.Registry.run_solvers ?pool () = b.Registry.run_solvers ?pool ())
+                         "solver outcomes differ between built and snapshot-loaded";
+                       let origins =
+                         List.sort_uniq compare [ 0; a.Registry.t_n / 2; a.Registry.t_n - 1 ]
+                         |> List.filter (fun o -> o >= 0 && o < a.Registry.t_n)
+                       in
+                       List.iter
+                         (fun origin ->
+                           check
+                             (a.Registry.probe_origin ~origin ()
+                             = b.Registry.probe_origin ~origin ())
+                             "probe summaries differ at origin %d" origin)
+                         origins;
+                       let trace_of (t : Registry.trial) suffix =
+                         let path = Filename.temp_file "vc-snap-trace" suffix in
+                         Fun.protect
+                           ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+                           (fun () ->
+                             match
+                               t.Registry.trace_record ~path ~header:Vc_obs.Json.Null
+                                 ~origin:0
+                             with
+                             | Ok () ->
+                                 let ic = open_in_bin path in
+                                 Fun.protect
+                                   ~finally:(fun () -> close_in_noerr ic)
+                                   (fun () ->
+                                     really_input_string ic (in_channel_length ic))
+                             | Error msg -> Fmt.str "trace-error: %s" msg)
+                       in
+                       check
+                         (trace_of a ".a" = trace_of b ".b")
+                         "trace transcripts differ from origin 0";
+                       !ok))
+                 false
+             in
+             acc && ok)
+           true
+           (List.mapi (fun i s -> (i, s)) sizes))
+  in
   (* probe 4: mutation fuzzing, [count] rounds round-robin over trials *)
   let kind_order = ref [] in
   let kinds : (string, Report.kind_agg) Hashtbl.t = Hashtbl.create 8 in
@@ -295,6 +384,7 @@ let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry)
     p_replay = replay;
     p_serve = serve_ok;
     p_shard = shard_ok;
+    p_snap = snap_ok;
     p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
     p_probes_skipped = List.filter (fun p -> not (want p)) probe_names;
     p_failures = List.rev !failures;
@@ -357,7 +447,7 @@ let record_trace ?entries ~seed ~quick ~problem ~origin ~path () =
       | [] -> Error (Fmt.str "%s has no %s sizes" e.name (if quick then "quick" else "full"))
       | size :: _ ->
           let ts = trial_seed ~seed ~name:e.name 0 in
-          let t = e.make ~size ~seed:ts in
+          let t = e.make ~size ~seed:ts () in
           let header = header ~problem:e.name ~size ~trial_seed:ts ~origin in
           t.Registry.trace_record ~path ~header ~origin)
 
@@ -372,6 +462,6 @@ let replay_trace ?entries ~path () =
           match find_entry ?entries problem with
           | Error _ as e -> e
           | Ok e ->
-              let t = e.make ~size ~seed:ts in
+              let t = e.make ~size ~seed:ts () in
               t.Registry.trace_replay ~events ~origin)
       | _ -> Error (Fmt.str "%s: header is missing problem/size/trial_seed/origin" path))

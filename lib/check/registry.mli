@@ -39,6 +39,15 @@
 
 module Splitmix = Vc_rng.Splitmix
 module Runner = Vc_measure.Runner
+module Store = Vc_snap.Store
+
+val builder_version : string
+(** The registry's snapshot invalidation token; bumped whenever any
+    instance builder's output changes, so stale snapshots become
+    structured misses. *)
+
+val store : dir:string -> Store.t
+(** A snapshot store rooted at [dir], keyed with {!builder_version}. *)
 
 type solver_outcome = {
   solver : string;
@@ -63,6 +72,11 @@ type probe_summary = {
 
 type trial = {
   t_n : int;  (** node count of the instance *)
+  t_source : [ `Built | `Snapshot ];
+      (** Whether the instance was built from scratch or decoded from a
+          snapshot store hit — byte-identical either way (oracle probe
+          ["snap"] is the proof), but the serving tier reports the
+          distinction to operators. *)
   run_solvers : ?pool:Vc_exec.Pool.t -> unit -> solver_outcome list;
       (** Run every registered solver from every node of the instance. *)
   probe_origin :
@@ -106,8 +120,15 @@ type entry = {
   sizes : int list;  (** instance sizes for the full profile *)
   quick_sizes : int list;  (** smaller sizes for the [dune runtest] profile *)
   ir : bool;  (** a {!Vc_ir} port of the reference solver exists *)
-  make : size:int -> seed:int64 -> trial;
-      (** Deterministic: the same (size, seed) builds the same trial. *)
+  make : ?store:Store.t -> size:int -> seed:int64 -> unit -> trial;
+      (** Deterministic: the same (size, seed) builds the same trial.
+          With [?store], a snapshot hit replaces the instance build with
+          an mmap load (identical contents); a miss builds and
+          best-effort publishes, so a configured store self-populates. *)
+  acquire : ?store:Store.t -> size:int -> seed:int64 -> unit -> int;
+      (** Materialize just the instance (no trial assembly, no solver
+          closures) and return its node count — the store warm-up /
+          benchmarking path.  Same store semantics as [make]. *)
 }
 
 val all : unit -> entry list

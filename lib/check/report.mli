@@ -52,6 +52,10 @@ type problem_report = {
           a fixed corpus byte-identically to a single-process server;
           [None] when the probe was not supplied (injected via
           {!Oracle.run}'s [?shard], checked on the smallest trial only) *)
+  p_snap : bool option;
+      (** snapshot-loaded instances (oracle probe ["snap"]) reproduced
+          freshly built trials byte-identically: solver outcomes, probe
+          cost vectors and trace transcripts; [None] when skipped *)
   p_mutations : kind_agg list;
   p_probes_skipped : string list;
       (** probes excluded by {!Oracle.run}'s [?probes] filter; skipped

@@ -116,15 +116,15 @@ let complete ~claimed_n ~explored_adj ~inputs ~origin_output =
   for v = 0 to total - 1 do
     if v < m then begin
       let i = Hashtbl.find input_tbl v in
-      labels.TL.parent.(v) <- i.Leaf_coloring.parent;
-      labels.TL.left.(v) <- i.Leaf_coloring.left;
-      labels.TL.right.(v) <- i.Leaf_coloring.right;
+      labels.TL.parent.{v} <- i.Leaf_coloring.parent;
+      labels.TL.left.{v} <- i.Leaf_coloring.left;
+      labels.TL.right.{v} <- i.Leaf_coloring.right;
       colors.(v) <- i.Leaf_coloring.color
     end
     else begin
-      labels.TL.parent.(v) <- 1;
-      labels.TL.left.(v) <- TL.bot;
-      labels.TL.right.(v) <- TL.bot;
+      labels.TL.parent.{v} <- 1;
+      labels.TL.left.{v} <- TL.bot;
+      labels.TL.right.{v} <- TL.bot;
       colors.(v) <- TL.flip_color origin_output
     end
   done;

@@ -26,9 +26,9 @@ type instance = {
 
 let input inst v =
   {
-    parent = inst.labels.TL.parent.(v);
-    left = inst.labels.TL.left.(v);
-    right = inst.labels.TL.right.(v);
+    parent = inst.labels.TL.parent.{v};
+    left = inst.labels.TL.left.{v};
+    right = inst.labels.TL.right.{v};
     color = inst.colors.(v);
   }
 
@@ -114,12 +114,11 @@ let figure4_instance =
   let n = Graph.n graph in
   let labels = TL.make ~n in
   let copy_labels src ~at =
-    Array.iteri
-      (fun v _ ->
-        labels.TL.parent.(at + v) <- src.TL.parent.(v);
-        labels.TL.left.(at + v) <- src.TL.left.(v);
-        labels.TL.right.(at + v) <- src.TL.right.(v))
-      src.TL.parent
+    for v = 0 to Vc_graph.Iarr.length src.TL.parent - 1 do
+      labels.TL.parent.{at + v} <- src.TL.parent.{v};
+      labels.TL.left.{at + v} <- src.TL.left.{v};
+      labels.TL.right.{at + v} <- src.TL.right.{v}
+    done
   in
   copy_labels cyc.labels ~at:off.(0);
   copy_labels tree_lab ~at:off.(1);

@@ -1,55 +1,96 @@
 type node = int
 type port = int
 
-(* Compressed sparse row: node [v]'s neighbors, in port order, are
-   [tgt.(off.(v)) .. tgt.(off.(v+1) - 1)].  [port_tbl] maps the packed
-   directed edge [v * n + w] to the port of [v] leading to [w]; it doubles
-   as the symmetry/parallel-edge witness during construction. *)
+(* Compressed sparse row over {!Iarr} (bigarray) storage: node [v]'s
+   neighbors, in port order, are [tgt.{off.{v}} .. tgt.{off.{v+1} - 1}].
+   Bigarray rows make a graph snapshottable as raw bytes ([lib/snap]):
+   a mapped file region is used as [ids]/[off]/[tgt] directly, shared
+   read-only across processes.
+
+   The id index is built lazily: it only serves [node_of_id], and
+   snapshot loads must not pay an O(n) hashtable build for an accessor
+   most workloads never call. *)
 type t = {
-  ids : int array;
-  off : int array;
-  tgt : node array;
-  id_index : (int, node) Hashtbl.t;
-  port_tbl : (int, port) Hashtbl.t;
+  ids : Iarr.t;
+  off : Iarr.t;
+  tgt : Iarr.t;
+  mutable id_index : (int, node) Hashtbl.t option;
   max_degree : int;
 }
 
-let n g = Array.length g.ids
+let n g = Iarr.length g.ids
 
-let degree g v = g.off.(v + 1) - g.off.(v)
+let degree g v = Iarr.get g.off (v + 1) - Iarr.get g.off v
 
 let max_degree g = g.max_degree
 
-let id g v = g.ids.(v)
+let id g v = Iarr.get g.ids v
 
-let node_of_id g i = Hashtbl.find_opt g.id_index i
+let id_index g =
+  match g.id_index with
+  | Some tbl -> tbl
+  | None ->
+      let count = n g in
+      let tbl = Hashtbl.create count in
+      for v = 0 to count - 1 do
+        Hashtbl.replace tbl (Iarr.get g.ids v) v
+      done;
+      g.id_index <- Some tbl;
+      tbl
+
+let node_of_id g i = Hashtbl.find_opt (id_index g) i
 
 let neighbor g v p =
   if p < 1 || p > degree g v then
     invalid_arg
       (Printf.sprintf "Graph.neighbor: port %d invalid at node %d (degree %d)" p v (degree g v));
-  g.tgt.(g.off.(v) + p - 1)
+  Iarr.get g.tgt (Iarr.get g.off v + p - 1)
 
-let unsafe_neighbor g v p = Array.unsafe_get g.tgt (Array.unsafe_get g.off v + p - 1)
+let unsafe_neighbor g v p = Iarr.unsafe_get g.tgt (Iarr.unsafe_get g.off v + p - 1)
 
 let csr_offsets g = g.off
 let csr_targets g = g.tgt
+let csr_ids g = g.ids
 
+(* Port-order row scan.  Bounded degree makes this effectively O(1); it
+   replaces the reverse-lookup hashtable of earlier versions, whose O(m)
+   construction and heap footprint defeated zero-rebuild snapshot
+   loads. *)
 let port_to g v w =
-  if v < 0 || w < 0 then None else Hashtbl.find_opt g.port_tbl ((v * n g) + w)
+  if v < 0 || w < 0 || v >= n g || w >= n g then None
+  else begin
+    let lo = Iarr.get g.off v and hi = Iarr.get g.off (v + 1) in
+    let found = ref None in
+    let e = ref lo in
+    while !found = None && !e < hi do
+      if Iarr.unsafe_get g.tgt !e = w then found := Some (!e - lo + 1);
+      incr e
+    done;
+    !found
+  end
 
-let neighbors g v = Array.sub g.tgt g.off.(v) (degree g v)
+let neighbors g v =
+  let base = Iarr.get g.off v in
+  Array.init (degree g v) (fun i -> Iarr.unsafe_get g.tgt (base + i))
 
 let iter_neighbors g v f =
-  let stop = g.off.(v + 1) - 1 in
-  for e = g.off.(v) to stop do
-    f (Array.unsafe_get g.tgt e)
+  let stop = Iarr.get g.off (v + 1) - 1 in
+  for e = Iarr.get g.off v to stop do
+    f (Iarr.unsafe_get g.tgt e)
   done
 
 let fold_neighbors g v ~init ~f =
   let acc = ref init in
   iter_neighbors g v (fun w -> acc := f !acc w);
   !acc
+
+(* Trusted constructor for snapshot loads: the checksummed snapshot is
+   the validity witness, so no structural checks run here.  [ids], [off]
+   and [tgt] are adopted as-is (typically views into a mapped file). *)
+let unsafe_of_csr ~ids ~off ~tgt ~max_degree =
+  if Iarr.length off <> Iarr.length ids + 1 then
+    invalid_arg "Graph.unsafe_of_csr: off must have n+1 entries";
+  { ids; off; tgt; id_index = None; max_degree }
 
 let create ~ids ~adj =
   let count = Array.length ids in
@@ -60,13 +101,13 @@ let create ~ids ~adj =
       if Hashtbl.mem id_index i then invalid_arg "Graph.create: duplicate identifier";
       Hashtbl.add id_index i v)
     ids;
-  let off = Array.make (count + 1) 0 in
+  let off = Iarr.create (count + 1) in
+  Iarr.set off 0 0;
   for v = 0 to count - 1 do
-    off.(v + 1) <- off.(v) + Array.length adj.(v)
+    Iarr.set off (v + 1) (Iarr.get off v + Array.length adj.(v))
   done;
-  let m = off.(count) in
-  let tgt = Array.make m 0 in
-  let port_tbl = Hashtbl.create (max 16 m) in
+  let m = Iarr.get off count in
+  let tgt = Iarr.make m 0 in
   let max_degree = ref 0 in
   for v = 0 to count - 1 do
     let row = adj.(v) in
@@ -76,20 +117,26 @@ let create ~ids ~adj =
       let w = row.(p - 1) in
       if w < 0 || w >= count then invalid_arg "Graph.create: neighbor out of range";
       if w = v then invalid_arg "Graph.create: self-loop";
-      let key = (v * count) + w in
-      if Hashtbl.mem port_tbl key then invalid_arg "Graph.create: parallel edge";
-      Hashtbl.add port_tbl key p;
-      tgt.(off.(v) + p - 1) <- w
+      for q = 1 to p - 1 do
+        if row.(q - 1) = w then invalid_arg "Graph.create: parallel edge"
+      done;
+      Iarr.set tgt (Iarr.get off v + p - 1) w
     done
   done;
-  (* Symmetry: every directed edge must have its reverse. *)
+  (* Symmetry: every directed edge must have its reverse.  A row scan on
+     the far endpoint replaces the old hashtable witness; degrees are
+     bounded, so this stays O(m·Δ). *)
   for v = 0 to count - 1 do
-    for e = off.(v) to off.(v + 1) - 1 do
-      if not (Hashtbl.mem port_tbl ((tgt.(e) * count) + v)) then
-        invalid_arg "Graph.create: asymmetric adjacency"
+    for e = Iarr.get off v to Iarr.get off (v + 1) - 1 do
+      let w = Iarr.get tgt e in
+      let ok = ref false in
+      for e' = Iarr.get off w to Iarr.get off (w + 1) - 1 do
+        if Iarr.get tgt e' = v then ok := true
+      done;
+      if not !ok then invalid_arg "Graph.create: asymmetric adjacency"
     done
   done;
-  { ids = Array.copy ids; off; tgt; id_index; port_tbl; max_degree = !max_degree }
+  { ids = Iarr.of_array ids; off; tgt; id_index = Some id_index; max_degree = !max_degree }
 
 let of_edges ?ids ~n:count edges =
   let buckets = Array.make count [] in
@@ -158,8 +205,8 @@ let shuffle_ids g ~rng =
 
 let pp ppf g =
   iter_nodes g (fun v ->
-      Fmt.pf ppf "@[node %d (id %d):" v g.ids.(v);
+      Fmt.pf ppf "@[node %d (id %d):" v (Iarr.get g.ids v);
       for p = 1 to degree g v do
-        Fmt.pf ppf " %d->%d" p g.tgt.(g.off.(v) + p - 1)
+        Fmt.pf ppf " %d->%d" p (Iarr.get g.tgt (Iarr.get g.off v + p - 1))
       done;
       Fmt.pf ppf "@]@.")

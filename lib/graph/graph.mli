@@ -53,21 +53,34 @@ val unsafe_neighbor : t -> node -> port -> node
     established [1 <= p <= degree g v], or the read is out of bounds.
     For validated hot loops (the batched IR executor) only. *)
 
-val csr_offsets : t -> int array
+val csr_offsets : t -> Iarr.t
 (** The physical CSR offset row: node [v]'s neighbors live at indices
-    [csr_offsets g].(v) .. [csr_offsets g].(v+1) - 1 of {!csr_targets}.
+    [csr_offsets g].{v} .. [csr_offsets g].{v+1} - 1 of {!csr_targets}.
     Shared, not a copy — callers must treat it as read-only.  For tight
     scan loops (the IR executor's BFS oracle) that would otherwise
     re-read the offset per neighbor through {!unsafe_neighbor}. *)
 
-val csr_targets : t -> node array
+val csr_targets : t -> Iarr.t
 (** The physical CSR target row paired with {!csr_offsets}.  Shared, not
     a copy — read-only. *)
 
+val csr_ids : t -> Iarr.t
+(** The physical identifier row ([id g v = (csr_ids g).{v}]).  Shared,
+    not a copy — read-only.  With {!csr_offsets} and {!csr_targets} this
+    is the graph's complete snapshot payload. *)
+
+val unsafe_of_csr : ids:Iarr.t -> off:Iarr.t -> tgt:Iarr.t -> max_degree:int -> t
+(** Adopt pre-built CSR rows — typically views into a checksummed,
+    memory-mapped snapshot ([lib/snap]) — without any structural
+    validation.  The caller vouches that the rows came from a graph
+    {!create} once accepted; the arrays are shared, not copied, and must
+    never be written afterwards.
+    @raise Invalid_argument if [Iarr.length off <> Iarr.length ids + 1]. *)
+
 val port_to : t -> node -> node -> port option
 (** [port_to g v w] is the port of [v] leading to [w], if [v] and [w] are
-    adjacent.  O(1): served from a reverse-lookup table built at
-    construction time. *)
+    adjacent.  A scan of [v]'s port row — O(degree v), effectively O(1)
+    on the bounded-degree graphs of the paper's model. *)
 
 val neighbors : t -> node -> node array
 (** All neighbors of [v], in port order.  The array is fresh. *)

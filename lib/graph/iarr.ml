@@ -1,0 +1,72 @@
+(* Flat int arrays backed by [Bigarray.Array1] (c_layout).
+
+   The graph core stores its CSR rows in these instead of [int array] so
+   that an instance snapshot is nothing but raw array bytes: a mapped
+   file region *is* a valid [Iarr.t], shared read-only through the page
+   cache by every process that maps it.  [unsafe_get] compiles to a
+   single unchecked load, so hot loops keep the exact cost profile of
+   [Array.unsafe_get]. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n : t = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let make n x =
+  let a = create n in
+  Bigarray.Array1.fill a x;
+  a
+
+let length (a : t) = Bigarray.Array1.dim a
+
+let get (a : t) i = Bigarray.Array1.get a i
+let set (a : t) i x = Bigarray.Array1.set a i x
+let unsafe_get (a : t) i = Bigarray.Array1.unsafe_get a i
+let unsafe_set (a : t) i x = Bigarray.Array1.unsafe_set a i x
+
+let of_array src =
+  let n = Array.length src in
+  let a = create n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set a i (Array.unsafe_get src i)
+  done;
+  a
+
+let to_array (a : t) = Array.init (length a) (fun i -> Bigarray.Array1.unsafe_get a i)
+
+let init n f =
+  let a = create n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set a i (f i)
+  done;
+  a
+
+let copy (a : t) =
+  let b = create (length a) in
+  Bigarray.Array1.blit a b;
+  b
+
+let sub (a : t) ~pos ~len : t = Bigarray.Array1.sub a pos len
+
+let fill (a : t) x = Bigarray.Array1.fill a x
+
+let equal (a : t) (b : t) =
+  length a = length b
+  &&
+  let ok = ref true in
+  let i = ref 0 in
+  let n = length a in
+  while !ok && !i < n do
+    if Bigarray.Array1.unsafe_get a !i <> Bigarray.Array1.unsafe_get b !i then ok := false;
+    incr i
+  done;
+  !ok
+
+let iter f (a : t) =
+  for i = 0 to length a - 1 do
+    f (Bigarray.Array1.unsafe_get a i)
+  done
+
+let pp ppf (a : t) =
+  Fmt.pf ppf "[|";
+  iter (fun x -> Fmt.pf ppf "%d;" x) a;
+  Fmt.pf ppf "|]"

@@ -1,0 +1,36 @@
+(** Flat int arrays on [Bigarray.Array1] (int, c_layout).
+
+    The CSR rows of {!Graph.t} and the pointer rows of {!Tree_labels.t}
+    live in these so that snapshots ([lib/snap]) are raw array bytes
+    loadable by [Unix.map_file]: a mapped region is itself a valid
+    {!t}, shared read-only across processes through the page cache.
+
+    Indexing supports the standard bigarray syntax [a.{i}] and
+    [a.{i} <- x]; {!unsafe_get} is a single unchecked load, matching
+    [Array.unsafe_get]'s cost in hot loops. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Uninitialized. *)
+
+val make : int -> int -> t
+(** [make n x] is [n] cells all holding [x]. *)
+
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+val of_array : int array -> t
+val to_array : t -> int array
+val init : int -> (int -> int) -> t
+val copy : t -> t
+
+val sub : t -> pos:int -> len:int -> t
+(** A view sharing the underlying storage (no copy). *)
+
+val fill : t -> int -> unit
+val equal : t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -3,9 +3,9 @@ type ptr = int
 let bot = 0
 
 type t = {
-  parent : ptr array;
-  left : ptr array;
-  right : ptr array;
+  parent : Iarr.t;
+  left : Iarr.t;
+  right : Iarr.t;
 }
 
 type status = Internal | Leaf | Inconsistent
@@ -40,7 +40,7 @@ type balanced = {
   right_nbr : ptr array;
 }
 
-let make ~n = { parent = Array.make n bot; left = Array.make n bot; right = Array.make n bot }
+let make ~n = { parent = Iarr.make n bot; left = Iarr.make n bot; right = Iarr.make n bot }
 
 let deref g lab v p =
   ignore lab;
@@ -73,7 +73,7 @@ let status_gen ~degree ~pointers ~follow v =
 let status g lab v =
   status_gen
     ~degree:(Graph.degree g)
-    ~pointers:(fun u -> (lab.parent.(u), lab.left.(u), lab.right.(u)))
+    ~pointers:(fun u -> (lab.parent.{u}, lab.left.{u}, lab.right.{u}))
     ~follow:(Graph.neighbor g) v
 
 let is_internal g lab v = equal_status (status g lab v) Internal
@@ -86,8 +86,8 @@ let is_consistent g lab v =
 let gt_children g lab v =
   match status g lab v with
   | Internal ->
-      let l = Graph.neighbor g v lab.left.(v) in
-      let r = Graph.neighbor g v lab.right.(v) in
+      let l = Graph.neighbor g v lab.left.{v} in
+      let r = Graph.neighbor g v lab.right.{v} in
       Some (l, r)
   | Leaf | Inconsistent -> None
 
@@ -95,7 +95,7 @@ let gt_parent g lab v =
   match status g lab v with
   | Inconsistent -> None
   | Internal | Leaf -> (
-      match deref g lab v lab.parent.(v) with
+      match deref g lab v lab.parent.{v} with
       | None -> None
       | Some u -> (
           match gt_children g lab u with
@@ -112,7 +112,7 @@ let of_structure g ~parent ~left ~right =
     | None -> ()
     | Some w -> (
         match Graph.port_to g v w with
-        | Some p -> field.(v) <- p
+        | Some p -> field.{v} <- p
         | None ->
             invalid_arg
               (Printf.sprintf "Tree_labels.of_structure: nodes %d and %d are not adjacent" v w))
@@ -148,4 +148,4 @@ let of_random_binary_tree ~n ~rng =
   (g, lab)
 
 let copy lab =
-  { parent = Array.copy lab.parent; left = Array.copy lab.left; right = Array.copy lab.right }
+  { parent = Iarr.copy lab.parent; left = Iarr.copy lab.left; right = Iarr.copy lab.right }

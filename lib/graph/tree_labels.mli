@@ -20,11 +20,12 @@ val bot : ptr
 (** The ⊥ pointer. *)
 
 type t = {
-  parent : ptr array;
-  left : ptr array;
-  right : ptr array;
+  parent : Iarr.t;
+  left : Iarr.t;
+  right : Iarr.t;
 }
-(** One pointer triple per node. *)
+(** One pointer triple per node, each row an {!Iarr.t} (bigarray) so a
+    labeling snapshots and loads as raw bytes alongside its graph. *)
 
 type status = Internal | Leaf | Inconsistent
 

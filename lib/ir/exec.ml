@@ -208,9 +208,9 @@ let bfs_dist st g v =
       let u = st.d_queue.(st.d_head) in
       st.d_head <- st.d_head + 1;
       let du = st.d_dist.(u) + 1 in
-      let stop = Array.unsafe_get off (u + 1) - 1 in
-      for e = Array.unsafe_get off u to stop do
-        let w = Array.unsafe_get tgt e in
+      let stop = Bigarray.Array1.unsafe_get off (u + 1) - 1 in
+      for e = Bigarray.Array1.unsafe_get off u to stop do
+        let w = Bigarray.Array1.unsafe_get tgt e in
         if st.d_stamp.(w) <> st.epoch then begin
           st.d_stamp.(w) <- st.epoch;
           st.d_dist.(w) <- du;
@@ -278,6 +278,14 @@ let exec_range spec g input claimed_n vol_cap dist_cap cap st origins snk lo hi 
      on an immediate instead of matching an option. *)
   let vol_cap = match vol_cap with Some c -> c | None -> max_int in
   let dist_cap = match dist_cap with Some c -> c | None -> max_int in
+  (* CSR rows hoisted to direct Bigarray handles: [Graph.degree] and
+     [Graph.unsafe_neighbor] are cross-module calls that the compiler
+     does not flatten here, and the probe dispatch loop pays them per
+     queried port — same treatment [bfs_dist] already gets. *)
+  let off = Graph.csr_offsets g and tgt = Graph.csr_targets g in
+  let degree_of v =
+    Bigarray.Array1.unsafe_get off (v + 1) - Bigarray.Array1.unsafe_get off v
+  in
   let admit v =
     if st.v_stamp.(v) <> st.epoch then begin
       if !visit_count >= vol_cap then raise_notrace Truncated;
@@ -310,8 +318,10 @@ let exec_range spec g input claimed_n vol_cap dist_cap cap st origins snk lo hi 
     spec.Ir.obs (input_of v) f
   in
   let deg v =
+    (* The stamp check guarantees [v] was admitted, so the unsafe row
+       read below cannot stray. *)
     if st.v_stamp.(v) <> st.epoch then illegal "view of unvisited node %d" v;
-    Graph.degree g v
+    degree_of v
   in
   let port_at v = function Ir.P_const c -> c | Ir.P_field f -> obs_at v f in
   let eval_cond = function
@@ -389,9 +399,12 @@ let exec_range spec g input claimed_n vol_cap dist_cap cap st origins snk lo hi 
                 let pt =
                   match path.(j) with Ir.P_const c -> c | Ir.P_field f -> obs_at v f
                 in
-                if pt < 1 || pt > Graph.degree g v then raise_notrace Truncated;
+                if pt < 1 || pt > degree_of v then raise_notrace Truncated;
                 incr n_queries;
-                let u = Graph.unsafe_neighbor g v pt in
+                let u =
+                  Bigarray.Array1.unsafe_get tgt
+                    (Bigarray.Array1.unsafe_get off v + pt - 1)
+                in
                 if log_queries then begin
                   if !qlen >= Array.length st.qlog then
                     st.qlog <- grow_int_array st.qlog (!qlen + 1);

@@ -72,7 +72,7 @@ let expect_error handler ~what query ~code =
 
 let probe (e : Registry.entry) ~size ~seed =
   let handler = Handler.create ~entries:[ e ] () in
-  let direct = e.Registry.make ~size ~seed in
+  let direct = e.Registry.make ~size ~seed () in
   let n = direct.Registry.t_n in
   let problem = e.Registry.name in
   let* () =
@@ -109,7 +109,7 @@ let probe (e : Registry.entry) ~size ~seed =
   let* () =
     expect_payload handler ~what:"warm"
       (Protocol.Warm { problem; size; seed })
-      ~direct:(Protocol.warm_payload ~problem ~size ~n)
+      ~direct:(Protocol.warm_payload ~problem ~size ~n ~source:"cache")
   in
   let* () =
     expect_error handler ~what:"unknown problem"

@@ -7,6 +7,7 @@ module Oracle = Vc_check.Oracle
 type t = {
   entries : Registry.entry list;
   cache : (string * int * int64, Registry.entry * Registry.trial) Lru.t;
+  store : Registry.Store.t option;
 }
 
 (* --- metrics ----------------------------------------------------------------- *)
@@ -37,7 +38,10 @@ let error_counter =
   fun code -> Hashtbl.find tbl code
 
 let latency_histogram =
-  let kinds = [ "solve"; "probe"; "trace"; "warm"; "list"; "stats"; "shutdown" ] in
+  (* "build" is not a request kind: it meters the resident-instance
+     construction (or snapshot load) that a cache miss runs on the
+     dispatch domain, so warm-up stalls are visible in [stats] *)
+  let kinds = [ "solve"; "probe"; "trace"; "warm"; "list"; "stats"; "shutdown"; "build" ] in
   let tbl = Hashtbl.create 8 in
   List.iter (fun k -> Hashtbl.replace tbl k (Metrics.histogram ("serve.latency_us." ^ k))) kinds;
   fun kind -> Hashtbl.find_opt tbl kind
@@ -54,36 +58,45 @@ let observe_latency ~kind us =
 
 (* --- cache ------------------------------------------------------------------- *)
 
-let create ?entries ?(cache_capacity = 8) () =
+let create ?entries ?(cache_capacity = 8) ?store () =
   let entries = match entries with Some es -> es | None -> Registry.all () in
-  { entries; cache = Lru.create ~capacity:cache_capacity }
+  { entries; cache = Lru.create ~capacity:cache_capacity; store }
 
 let cache_length t = Lru.length t.cache
 
 (* Build-or-fetch the resident instance.  Building is the expensive step
    (graph construction + world warm-up) and happens here, on the
    dispatch domain, exactly once per (problem, size, seed) while the key
-   stays resident. *)
+   stays resident; with a snapshot store it degrades to an mmap load.
+   Either way the stall is recorded in [serve.latency_us.build].  The
+   third component says where the instance came from ("cache", "snap"
+   or "build") — the warm reply reports it. *)
 let resident t ~problem ~size ~seed =
   match Oracle.find_entry ~entries:t.entries problem with
   | Error msg -> Error (Protocol.Unknown_problem, msg)
   | Ok e -> (
       let key = (e.Registry.name, size, seed) in
       match Lru.find t.cache key with
-      | Some et ->
+      | Some (e, trial) ->
           Metrics.incr cache_hits;
-          Ok et
+          Ok (e, trial, "cache")
       | None ->
           Metrics.incr cache_misses;
-          let trial = e.Registry.make ~size ~seed in
+          let t0 = Unix.gettimeofday () in
+          let trial = e.Registry.make ?store:t.store ~size ~seed () in
+          observe_latency ~kind:"build"
+            (int_of_float (Float.max 0. ((Unix.gettimeofday () -. t0) *. 1e6)));
           let et = (e, trial) in
           (match Lru.add t.cache key et with
           | Some _ -> Metrics.incr cache_evictions
           | None -> ());
-          Ok et)
+          Ok
+            ( e,
+              trial,
+              match trial.Registry.t_source with `Snapshot -> "snap" | `Built -> "build" ))
 
 let instance_n t ~problem ~size ~seed =
-  Result.map (fun (_, trial) -> trial.Registry.t_n) (resident t ~problem ~size ~seed)
+  Result.map (fun (_, trial, _) -> trial.Registry.t_n) (resident t ~problem ~size ~seed)
 
 (* --- queries ----------------------------------------------------------------- *)
 
@@ -116,7 +129,7 @@ let prepare t query =
   | Protocol.Solve { problem; size; seed } -> (
       match resident t ~problem ~size ~seed with
       | Error _ as e -> fun () -> e
-      | Ok (e, trial) ->
+      | Ok (e, trial, _) ->
           fun () ->
             Ok
               (Protocol.solve_payload ~problem:e.Registry.name ~n:trial.Registry.t_n
@@ -126,15 +139,16 @@ let prepare t query =
          happened in [resident]; the thunk only reports it *)
       match resident t ~problem ~size ~seed with
       | Error _ as e -> fun () -> e
-      | Ok (e, trial) ->
+      | Ok (e, trial, source) ->
           let payload =
             Protocol.warm_payload ~problem:e.Registry.name ~size ~n:trial.Registry.t_n
+              ~source
           in
           fun () -> Ok payload)
   | Protocol.Probe { problem; size; seed; origin } -> (
       match resident t ~problem ~size ~seed with
       | Error _ as e -> fun () -> e
-      | Ok (e, trial) -> (
+      | Ok (e, trial, _) -> (
           match bad_origin trial origin with
           | Some err -> fun () -> Error err
           | None -> (
@@ -146,7 +160,7 @@ let prepare t query =
   | Protocol.Trace { problem; size; seed; origin } -> (
       match resident t ~problem ~size ~seed with
       | Error _ as e -> fun () -> e
-      | Ok (e, trial) -> (
+      | Ok (e, trial, _) -> (
           match bad_origin trial origin with
           | Some err -> fun () -> Error err
           | None -> (

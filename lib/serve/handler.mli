@@ -22,9 +22,15 @@ module Json = Vc_obs.Json
 type t
 
 val create :
-  ?entries:Vc_check.Registry.entry list -> ?cache_capacity:int -> unit -> t
+  ?entries:Vc_check.Registry.entry list ->
+  ?cache_capacity:int ->
+  ?store:Vc_check.Registry.Store.t ->
+  unit ->
+  t
 (** [entries] defaults to {!Vc_check.Registry.all}; [cache_capacity]
-    (default 8) bounds the resident-instance cache. *)
+    (default 8) bounds the resident-instance cache; [store] makes cache
+    misses consult (and populate) a snapshot store instead of always
+    rebuilding. *)
 
 val prepare : t -> Protocol.query -> (unit -> (Json.t, Protocol.error_code * string) result)
 (** Resolve the query against the registry and cache {e now} (single

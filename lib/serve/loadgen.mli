@@ -89,6 +89,11 @@ type open_config = {
   o_seed : int64;
   o_verify : bool;
   o_shutdown : bool;
+  o_prewarm : bool;
+      (** Issue a [warm] query for every distinct session in the plan
+          over a blocking side connection before the measured phase, so
+          instance construction is never charged to the first measured
+          request of a session. *)
 }
 
 type open_summary = {
@@ -105,6 +110,10 @@ type open_summary = {
   os_latency : (string * percentiles) list;
   os_queue_depth : (int * int) list;
       (** shard → in-flight depth at the final [stats] snapshot *)
+  os_prewarm : (int * int) option;
+      (** [(sessions, cold_starts)] when the run prewarmed: sessions
+          warmed ahead of the measured phase and how many were cold
+          (server built or snapshot-loaded rather than cache-hit) *)
   os_server_stats : Json.t option;
 }
 

@@ -264,9 +264,14 @@ let trace_payload ~problem ~origin summary events =
     :: summary_fields summary
     @ [ ("events", Json.List (List.map Trace.event_to_json events)) ])
 
-let warm_payload ~problem ~size ~n =
+let warm_payload ~problem ~size ~n ~source =
   Json.Obj
-    [ ("problem", Json.String problem); ("size", Json.Int size); ("n", Json.Int n) ]
+    [
+      ("problem", Json.String problem);
+      ("size", Json.Int size);
+      ("n", Json.Int n);
+      ("source", Json.String source);
+    ]
 
 let list_payload entries =
   Json.Obj

@@ -107,5 +107,9 @@ val solve_payload : problem:string -> n:int -> Registry.solver_outcome list -> J
 val probe_payload : problem:string -> origin:int -> Registry.probe_summary -> Json.t
 val trace_payload :
   problem:string -> origin:int -> Registry.probe_summary -> Vc_obs.Trace.event list -> Json.t
-val warm_payload : problem:string -> size:int -> n:int -> Json.t
+val warm_payload : problem:string -> size:int -> n:int -> source:string -> Json.t
+(** [source] says where the resident instance came from: ["cache"] (it
+    was already warm), ["build"] (constructed from scratch) or ["snap"]
+    (loaded from a snapshot store). *)
+
 val list_payload : Registry.entry list -> Json.t

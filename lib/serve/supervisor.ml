@@ -10,6 +10,11 @@ let lost_c = Metrics.counter "serve.shard.worker_lost"
 let deaths_c = Metrics.counter "serve.shard.deaths"
 let respawns_c = Metrics.counter "serve.shard.respawns"
 let rewarmed_c = Metrics.counter "serve.shard.rewarmed"
+
+(* Split of completed re-warm replies by where the fresh worker got the
+   instance from: a snapshot-store mmap load vs. a scratch rebuild. *)
+let rewarm_snap_c = Metrics.counter "serve.shard.rewarm_snap"
+let rewarm_build_c = Metrics.counter "serve.shard.rewarm_build"
 let peak_inflight_c = Metrics.counter "serve.shard.peak_inflight"
 
 (* --- worker spawns ------------------------------------------------------------ *)
@@ -29,14 +34,16 @@ let fork_spawn make_handler ~shard:_ ~fd ~close_fds =
       Unix._exit code
   | pid -> pid
 
-let exec_spawn ?(jobs = 1) ~cache ~queue_depth exe ~shard:_ ~fd ~close_fds:_ =
+let exec_spawn ?(jobs = 1) ?snap_dir ~cache ~queue_depth exe ~shard:_ ~fd ~close_fds:_ =
   let args =
-    [|
-      exe; "serve"; "--worker";
-      "--cache"; string_of_int cache;
-      "--queue-depth"; string_of_int queue_depth;
-      "-j"; string_of_int jobs;
-    |]
+    Array.of_list
+      ([
+         exe; "serve"; "--worker";
+         "--cache"; string_of_int cache;
+         "--queue-depth"; string_of_int queue_depth;
+         "-j"; string_of_int jobs;
+       ]
+      @ match snap_dir with None -> [] | Some d -> [ "--snap-dir"; d ])
   in
   (* the socketpair end becomes the worker's stdin; sockets are
      bidirectional, so replies come back on the same descriptor *)
@@ -355,7 +362,17 @@ let run ~workers ?(cache_capacity = 8) ?(queue_depth = 64) ?(vnodes = Ring.defau
                     | _ -> ());
                     gather.g_remaining <- gather.g_remaining - 1;
                     if gather.g_remaining <= 0 then finish_gather gather
-                | Internal _ -> ()));
+                | Internal _ -> (
+                    (* re-warm replies: count snapshot loads vs rebuilds
+                       so `stats` shows whether a configured store is
+                       actually absorbing post-kill warm-up *)
+                    match Result.bind (Json.parse body) Protocol.reply_of_json with
+                    | Ok { Protocol.body = Ok payload; _ } -> (
+                        match Option.bind (Json.member payload "source") Json.to_str with
+                        | Some "snap" -> Metrics.incr rewarm_snap_c
+                        | Some ("build" | "cache") -> Metrics.incr rewarm_build_c
+                        | Some _ | None -> ())
+                    | _ -> ())));
             if s.Shard.alive then drain_shard s)
   in
   let read_shard s =

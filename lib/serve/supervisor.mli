@@ -16,7 +16,11 @@
     fails every in-flight request on that shard with a structured
     [worker_lost] error, reaps the child, respawns a replacement, and
     re-warms it by replaying the shard's warm-session ledger
-    ({!Shard.warm_queries}) oldest-first.  Other shards are undisturbed.
+    ({!Shard.warm_queries}) oldest-first — with a snapshot store
+    configured the replay loads instances by mmap instead of
+    rebuilding, and the [serve.shard.rewarm_snap] /
+    [serve.shard.rewarm_build] counters record which path each
+    completed re-warm took.  Other shards are undisturbed.
     Per-shard admission control sheds with [overloaded] once a shard has
     [queue_depth] requests in flight.
 
@@ -34,10 +38,11 @@ val fork_spawn : (unit -> Handler.t) -> Shard.spawn
     use this; the CLI uses {!exec_spawn}. *)
 
 val exec_spawn :
-  ?jobs:int -> cache:int -> queue_depth:int -> string -> Shard.spawn
+  ?jobs:int -> ?snap_dir:string -> cache:int -> queue_depth:int -> string -> Shard.spawn
 (** Workers are fresh processes: [exe serve --worker --cache N
-    --queue-depth N -j jobs] with the socketpair end as stdin.  Safe
-    regardless of domains. *)
+    --queue-depth N -j jobs] (plus [--snap-dir DIR] when [snap_dir] is
+    given, so every worker shares one snapshot store) with the
+    socketpair end as stdin.  Safe regardless of domains. *)
 
 val run :
   workers:int ->

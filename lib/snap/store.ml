@@ -1,0 +1,111 @@
+module Metrics = Vc_obs.Metrics
+module Iarr = Vc_graph.Iarr
+
+(* Metrics live under the serving namespace: the store's hit/miss/load
+   behaviour is what `serve stats` reports to operators. *)
+let hits_c = Metrics.counter "serve.snap.hits"
+let misses_c = Metrics.counter "serve.snap.misses"
+let published_c = Metrics.counter "serve.snap.published"
+let errors_c = Metrics.counter "serve.snap.errors"
+let load_h = Metrics.histogram "serve.snap.load_us"
+
+type t = {
+  dir : string;
+  builder_version : string;
+}
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir ~builder_version =
+  mkdir_p dir;
+  { dir; builder_version }
+
+let dir t = t.dir
+let builder_version t = t.builder_version
+
+(* Content-addressed filename: a readable problem slug plus the FNV-1a
+   of the full key.  The hash alone would suffice for correctness (the
+   loaded header is re-checked against the key anyway); the slug is for
+   humans running `volcomp snap ls`. *)
+let slug problem =
+  String.init (String.length problem) (fun i ->
+      match problem.[i] with
+      | ('a' .. 'z' | '0' .. '9') as c -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii problem.[i]
+      | _ -> '-')
+
+let key_string t ~problem ~size ~seed =
+  Fmt.str "%s\x00%d\x00%Ld\x00%s" problem size seed t.builder_version
+
+let filename t ~problem ~size ~seed =
+  Fmt.str "%s-%d-%016Lx.snap" (slug problem) size
+    (Snap.fnv_string (key_string t ~problem ~size ~seed))
+
+let path t ~problem ~size ~seed = Filename.concat t.dir (filename t ~problem ~size ~seed)
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* A loaded snapshot counts as a hit only if its header matches the
+   requested key exactly — a filename hash collision or a stale
+   builder-version file is a miss, never a wrong answer. *)
+let load t ~problem ~size ~seed =
+  let p = path t ~problem ~size ~seed in
+  if not (Sys.file_exists p) then begin
+    Metrics.incr misses_c;
+    None
+  end
+  else begin
+    let t0 = now_us () in
+    match Snap.load ~path:p with
+    | Ok l
+      when l.Snap.hdr.Snap.problem = problem
+           && l.Snap.hdr.Snap.size = size
+           && l.Snap.hdr.Snap.seed = seed
+           && l.Snap.hdr.Snap.builder_version = t.builder_version ->
+        Metrics.incr hits_c;
+        Metrics.observe load_h (int_of_float (Float.max 0. (now_us () -. t0)));
+        Some l
+    | Ok _ ->
+        Metrics.incr misses_c;
+        None
+    | Error _ ->
+        Metrics.incr errors_c;
+        Metrics.incr misses_c;
+        None
+  end
+
+(* Atomic publish: write to a unique temp file in the same directory,
+   then rename over the final name.  Readers either see the old file or
+   the complete new one; concurrent publishers race benignly (same key,
+   same bytes).  Best-effort by design — a full disk must not fail the
+   build that was going to happen anyway. *)
+let publish t ~problem ~size ~seed ~n ~segments =
+  let final = path t ~problem ~size ~seed in
+  let tmp = Fmt.str "%s.tmp.%d" final (Unix.getpid ()) in
+  match
+    Snap.write ~path:tmp ~builder_version:t.builder_version ~problem ~size ~seed ~n ~segments
+  with
+  | Ok () -> (
+      match Unix.rename tmp final with
+      | () ->
+          Metrics.incr published_c;
+          true
+      | exception Unix.Unix_error _ ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          false)
+  | Error _ ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      false
+
+let files t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".snap")
+      |> List.sort String.compare
+      |> List.map (Filename.concat t.dir)

@@ -1,0 +1,45 @@
+(** Content-addressed on-disk snapshot store.
+
+    Snapshots are keyed by (problem, size, seed, builder-version); the
+    builder version is the invalidation rule — bump it when any
+    instance builder's output changes, and every old file becomes an
+    automatic miss (the loaded header is always re-checked against the
+    requested key, so hash collisions and stale files can never serve a
+    wrong instance).
+
+    {!publish} is atomic (temp file + rename in the same directory) and
+    best-effort: a store that cannot be written degrades to building,
+    never to failing.  All traffic is metered under [serve.snap.*]:
+    [hits], [misses], [published], [errors] counters and the [load_us]
+    histogram. *)
+
+type t
+
+val create : dir:string -> builder_version:string -> t
+(** Creates [dir] (and parents) if missing. *)
+
+val dir : t -> string
+val builder_version : t -> string
+
+val path : t -> problem:string -> size:int -> seed:int64 -> string
+(** The file a snapshot for this key lives at (whether or not it
+    exists): a human-readable problem slug plus the FNV-1a hash of the
+    full key. *)
+
+val load : t -> problem:string -> size:int -> seed:int64 -> Snap.loaded option
+(** [None] on any miss: absent file, corrupt file, or a header that does
+    not match the key (including a different builder version). *)
+
+val publish :
+  t ->
+  problem:string ->
+  size:int ->
+  seed:int64 ->
+  n:int ->
+  segments:(string * Vc_graph.Iarr.t) list ->
+  bool
+(** Atomically install a snapshot for the key; [false] if writing
+    failed (best-effort — callers proceed with the built instance). *)
+
+val files : t -> string list
+(** Paths of every [.snap] file in the store, sorted. *)

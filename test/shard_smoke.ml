@@ -22,6 +22,7 @@ module Server = Vc_serve.Server
 module Loadgen = Vc_serve.Loadgen
 module Supervisor = Vc_serve.Supervisor
 module Ring = Vc_serve.Ring
+module Registry = Vc_check.Registry
 
 let workers = 2
 let cache_capacity = 4
@@ -218,6 +219,105 @@ let one_run ~run =
               | Error (c, m) -> failf "shutdown errored %s: %s" (Protocol.code_to_string c) m);
               final))
 
+(* --- timed re-warm comparison -------------------------------------------------- *)
+
+(* After SIGKILL, how long until the killed shard answers again?  Once
+   cold (the ledger re-warm rebuilds the instance) and once against a
+   snapshot store (the re-warm mmap-loads it).  At this size the cold
+   build costs hundreds of milliseconds and the load a few, so the gap
+   survives single-CPU scheduling noise; still, the numbers are
+   report-only — the hard gates on the snapshot path live in the bench
+   harness and @snap-smoke. *)
+
+let rewarm_problem = "CycleColoring3"
+let rewarm_size = (1 lsl 18) - 1
+
+let timed_rewarm ?snap_dir () =
+  let dir = Filename.temp_file "vc_shard_rewarm" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "s.sock" in
+  let listen = Server.listen_unix ~path in
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          ignore
+            (Supervisor.run ~workers:1 ~cache_capacity ~queue_depth
+               ~spawn:
+                 (Supervisor.fork_spawn (fun () ->
+                      Metrics.set_enabled true;
+                      let store = Option.map (fun d -> Registry.store ~dir:d) snap_dir in
+                      Handler.create ~cache_capacity ?store ()))
+               ~listen ()
+              : int);
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+  | pid ->
+      Unix.close listen;
+      let finally () =
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+         with Unix.Unix_error _ -> ());
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      in
+      Fun.protect ~finally (fun () ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let q =
+                Protocol.Warm { problem = rewarm_problem; size = rewarm_size; seed = 1L }
+              in
+              let ask id query =
+                send_request fd { Protocol.id = id; deadline_ms = None; query };
+                read_body fd
+              in
+              (* first warm builds the session (and, with a store,
+                 publishes the snapshot it will re-load after the kill) *)
+              (match (parse_reply (ask 1 q)).Protocol.body with
+              | Ok _ -> ()
+              | Error (c, m) -> failf "rewarm warm-up errored %s: %s" (Protocol.code_to_string c) m);
+              let pid0 =
+                let r = shard_row (stats_payload (ask 2 Protocol.Stats)) 0 in
+                row_int r "pid"
+              in
+              Unix.kill pid0 Sys.sigkill;
+              let t0 = Unix.gettimeofday () in
+              (* retry through the worker_lost window; the first Ok reply
+                 marks the shard re-warmed and serving again *)
+              let rec recovered id =
+                match (parse_reply (ask id q)).Protocol.body with
+                | Ok _ -> Unix.gettimeofday () -. t0
+                | Error (Protocol.Worker_lost, _) -> recovered (id + 1)
+                | Error (c, m) ->
+                    failf "rewarm probe errored %s: %s" (Protocol.code_to_string c) m
+              in
+              let elapsed = recovered 3 in
+              (match (parse_reply (ask 99 Protocol.Shutdown)).Protocol.body with
+              | Ok _ -> ()
+              | Error (c, m) -> failf "shutdown errored %s: %s" (Protocol.code_to_string c) m);
+              elapsed *. 1e9))
+
+let with_tmp_dir prefix f =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let finally () =
+    (match Sys.readdir dir with
+    | names ->
+        Array.iter
+          (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          names
+    | exception Sys_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally (fun () -> f dir)
+
 (* --- driver ------------------------------------------------------------------- *)
 
 let usage () =
@@ -249,7 +349,27 @@ let () =
     | exception Failed msg -> failures := Printf.sprintf "run %d: %s" run msg :: !failures
     | exception e -> failures := Printf.sprintf "run %d: %s" run (Printexc.to_string e) :: !failures
   done;
-  let ok = !recovered = !runs in
+  (* timed re-warm: rebuild vs snapshot-load after the same SIGKILL *)
+  let rewarm =
+    match
+      let build_ns = timed_rewarm () in
+      let snap_ns = with_tmp_dir "vc_shard_rewarm_store" (fun d -> timed_rewarm ~snap_dir:d ()) in
+      (build_ns, snap_ns)
+    with
+    | build_ns, snap_ns ->
+        Printf.printf
+          "shard-smoke: re-warm after SIGKILL (%s n=%d): rebuild %.1f ms, snapshot %.1f ms \
+           (%.1fx faster with the store)\n"
+          rewarm_problem rewarm_size (build_ns /. 1e6) (snap_ns /. 1e6) (build_ns /. snap_ns);
+        Some (build_ns, snap_ns)
+    | exception Failed msg ->
+        failures := Printf.sprintf "rewarm timing: %s" msg :: !failures;
+        None
+    | exception e ->
+        failures := Printf.sprintf "rewarm timing: %s" (Printexc.to_string e) :: !failures;
+        None
+  in
+  let ok = !recovered = !runs && rewarm <> None in
   let summary =
     Json.Obj
       [
@@ -258,6 +378,18 @@ let () =
         ("recovered", Json.Int !recovered);
         ("ok", Json.Bool ok);
         ("failures", Json.List (List.rev_map (fun m -> Json.String m) !failures));
+        ("rewarm",
+         (match rewarm with
+         | Some (build_ns, snap_ns) ->
+             Json.Obj
+               [
+                 ("problem", Json.String rewarm_problem);
+                 ("size", Json.Int rewarm_size);
+                 ("rebuild_ns", Json.Float build_ns);
+                 ("snapshot_ns", Json.Float snap_ns);
+                 ("speedup", Json.Float (build_ns /. snap_ns));
+               ]
+         | None -> Json.Null));
         ("last_run_stats", !last_stats);
       ]
   in

@@ -220,7 +220,7 @@ let test_broken_child_pointer_demotes () =
   (* Break node 1's left-child reciprocation: make child 3's parent ⊥.
      Node 1 stops being internal, but its own parent (the root) is still
      internal, so node 1 is demoted to a leaf (Definition 3.3). *)
-  lab.TL.parent.(3) <- TL.bot;
+  lab.TL.parent.{3} <- TL.bot;
   Alcotest.check status_t "node 1 demoted to leaf" TL.Leaf (TL.status g lab 1);
   (* Node 3 itself: not internal, parent pointer is ⊥ -> inconsistent. *)
   Alcotest.check status_t "node 3 inconsistent" TL.Inconsistent (TL.status g lab 3);
@@ -232,9 +232,9 @@ let test_status_requires_distinct_children () =
   let g = Builder.path 3 in
   (* Node 1 (middle) claims both children via the same port. *)
   let lab = TL.make ~n:3 in
-  lab.TL.left.(1) <- 1;
-  lab.TL.right.(1) <- 1;
-  lab.TL.parent.(0) <- 1;
+  lab.TL.left.{1} <- 1;
+  lab.TL.right.{1} <- 1;
+  lab.TL.parent.{0} <- 1;
   Alcotest.check status_t "same-port children rejected" TL.Inconsistent (TL.status g lab 1)
 
 let test_random_tree_labeling_consistent () =
@@ -246,7 +246,7 @@ let test_gt_nodes_excludes_inconsistent () =
   let depth = 2 in
   let g, lab = TL.of_complete_binary_tree ~depth in
   let lab = TL.copy lab in
-  lab.TL.parent.(3) <- TL.bot;
+  lab.TL.parent.{3} <- TL.bot;
   let gt = TL.gt_nodes g lab in
   Alcotest.(check bool) "node 3 not in GT" false (List.mem 3 gt)
 

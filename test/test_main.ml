@@ -27,6 +27,7 @@ let () =
          Test_cross_model.suites;
          Test_check.suites;
          Test_ir.suites;
+         Test_snap.suites;
          Test_obs.suites;
          Test_serve.suites;
        ])

@@ -324,7 +324,7 @@ let test_registry_roundtrip_replays () =
       match e.quick_sizes with
       | [] -> ()
       | size :: _ -> (
-          let t = e.make ~size ~seed:77L in
+          let t = e.make ~size ~seed:77L () in
           match t.Registry.trace_roundtrip () with
           | Ok () -> ()
           | Error msg -> Alcotest.failf "%s: %s" e.name msg))

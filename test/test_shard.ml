@@ -16,6 +16,7 @@
 
 module Json = Vc_obs.Json
 module Metrics = Vc_obs.Metrics
+module Registry = Vc_check.Registry
 module Protocol = Vc_serve.Protocol
 module Handler = Vc_serve.Handler
 module Server = Vc_serve.Server
@@ -188,7 +189,7 @@ let qcheck_fuzz_garbage =
    Unix-domain socket.  The listening socket is bound before the fork,
    so the backlog accepts our connect even before the child enters its
    select loop — no retry dance. *)
-let with_supervisor ?(workers = 2) ?(cache_capacity = 4) ?(queue_depth = 8) f =
+let with_supervisor ?(workers = 2) ?(cache_capacity = 4) ?(queue_depth = 8) ?snap_dir f =
   let dir = Filename.temp_file "vc_shard" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
@@ -198,12 +199,17 @@ let with_supervisor ?(workers = 2) ?(cache_capacity = 4) ?(queue_depth = 8) f =
   | 0 ->
       let code =
         try
+          (* with a snapshot store the test reads the supervisor's own
+             rewarm_snap/rewarm_build counters, so metering must be on in
+             this process too, not just in the workers *)
+          if snap_dir <> None then Metrics.set_enabled true;
           ignore
             (Supervisor.run ~workers ~cache_capacity ~queue_depth
                ~spawn:
                  (Supervisor.fork_spawn (fun () ->
                       Metrics.set_enabled true;
-                      Handler.create ~cache_capacity ()))
+                      let store = Option.map (fun d -> Registry.store ~dir:d) snap_dir in
+                      Handler.create ~cache_capacity ?store ()))
                ~listen ()
               : int);
           0
@@ -284,18 +290,27 @@ let row rows shard =
   | Some r -> r
   | None -> Alcotest.failf "no stats row for shard %d" shard
 
+(* A named counter out of a stats payload's metrics block (0 if absent):
+   used for the workers' embedded stats and the supervisor's own. *)
+let counter_of payload name =
+  Option.value ~default:0
+    (Option.bind
+       (Option.bind
+          (Option.bind (Json.member payload "metrics") (fun m -> Json.member m "counters"))
+          (fun c -> Json.member c name))
+       Json.to_int)
+
 (* The worker's own serve.requests.warm counter, from its embedded stats
    payload — proof the respawned child actually replayed the ledger. *)
 let warm_requests_of worker_stats =
   match worker_stats with
-  | Some stats ->
-      Option.value ~default:0
-        (Option.bind
-           (Option.bind
-              (Option.bind (Json.member stats "metrics") (fun m -> Json.member m "counters"))
-              (fun c -> Json.member c "serve.requests.warm"))
-           Json.to_int)
+  | Some stats -> counter_of stats "serve.requests.warm"
   | None -> 0
+
+let stats_payload body =
+  match (parse_reply body).Protocol.body with
+  | Ok payload -> payload
+  | Error (c, m) -> Alcotest.failf "stats errored %s: %s" (Protocol.code_to_string c) m
 
 let problem = "DegreeParity"
 let size = 16
@@ -366,6 +381,68 @@ let test_worker_kill_recovery () =
       | Ok _ -> ()
       | Error (c, m) -> Alcotest.failf "shutdown errored %s: %s" (Protocol.code_to_string c) m)
 
+(* With a snapshot store configured, the post-kill re-warm must take the
+   mmap-load path, not rebuild: the first build published the instance,
+   so the respawned worker's ledger replay is a store hit.  Asserted
+   from both ends — the worker's serve.snap.hits counter and the
+   supervisor's rewarm_snap/rewarm_build split — plus byte-identity of
+   the post-recovery answer against a snapshot-free twin. *)
+let test_snap_rewarm () =
+  let snap_dir = Filename.temp_file "vc_shard_snap" "" in
+  Sys.remove snap_dir;
+  let finally () =
+    let store = Registry.store ~dir:snap_dir in
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) (Registry.Store.files store);
+    try Unix.rmdir snap_dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  with_supervisor ~workers:2 ~snap_dir (fun fd ->
+      let ring = Ring.create [ 0; 1 ] in
+      let seed_a = seed_for ring 0 and seed_b = seed_for ring 1 in
+      let q_a = Protocol.Probe { problem; size; seed = seed_a; origin = 0 } in
+      let q_b = Protocol.Probe { problem; size; seed = seed_b; origin = 0 } in
+      let ask id query =
+        send_request fd { Protocol.id; deadline_ms = None; query };
+        read_body fd
+      in
+      (* first contact builds the instance and publishes the snapshot *)
+      Alcotest.(check string) "warm-up answer" (expect_ok ~id:1 q_a) (ask 1 q_a);
+      let pid_a =
+        match row (shard_rows (ask 2 Protocol.Stats)) 0 with
+        | _, pid, true, 0, 1, _ -> pid
+        | _ -> Alcotest.fail "shard 0 not (alive, 0 respawns, 1 warm)"
+      in
+      Alcotest.(check bool) "snapshot published" true
+        (Registry.Store.files (Registry.store ~dir:snap_dir) <> []);
+      (* kill mid-flight, exactly like the recovery test: shard 1's reply
+         proves the supervisor forwarded the stopped shard's request
+         before the kill lands *)
+      Unix.kill pid_a Sys.sigstop;
+      send_request fd { Protocol.id = 3; deadline_ms = None; query = q_a };
+      send_request fd { Protocol.id = 30; deadline_ms = None; query = q_b };
+      Alcotest.(check string) "shard 1 undisturbed" (expect_ok ~id:30 q_b) (read_body fd);
+      Unix.kill pid_a Sys.sigkill;
+      (match (parse_reply (read_body fd)).Protocol.body with
+      | Error (Protocol.Worker_lost, _) -> ()
+      | Error (c, m) ->
+          Alcotest.failf "expected worker_lost, got %s: %s" (Protocol.code_to_string c) m
+      | Ok _ -> Alcotest.fail "in-flight request answered by a dead worker");
+      (* the respawned worker re-warmed from the store, same bytes *)
+      Alcotest.(check string) "post-recovery answer" (expect_ok ~id:4 q_a) (ask 4 q_a);
+      let stats = stats_payload (ask 5 Protocol.Stats) in
+      (match row (shard_rows (ask 6 Protocol.Stats)) 0 with
+      | _, _, true, 1, 1, worker_stats -> (
+          match worker_stats with
+          | Some w ->
+              if counter_of w "serve.snap.hits" < 1 then
+                Alcotest.fail "respawned worker re-warmed without a snapshot hit"
+          | None -> Alcotest.fail "shard 0 row lacks worker stats")
+      | _ -> Alcotest.fail "shard 0 not (alive, 1 respawn, 1 warm) after recovery");
+      if counter_of stats "serve.shard.rewarm_snap" < 1 then
+        Alcotest.fail "supervisor counted no snapshot re-warm";
+      Alcotest.(check int) "no rebuild re-warm" 0 (counter_of stats "serve.shard.rewarm_build");
+      ignore (ask 7 Protocol.Shutdown : string))
+
 (* Admission control composes with supervision: a wedged worker's queue
    fills to queue_depth, later arrivals shed with overloaded (never a
    hang), and the eventual kill fails exactly the admitted ones. *)
@@ -423,6 +500,8 @@ let suites =
       [
         Alcotest.test_case "kill mid-flight: lost, respawn, re-warm" `Quick
           test_worker_kill_recovery;
+        Alcotest.test_case "re-warm loads the snapshot, not a rebuild" `Quick
+          test_snap_rewarm;
         Alcotest.test_case "wedged shard sheds, others serve" `Quick test_wedged_shard_sheds;
       ] );
   ]
