@@ -7,11 +7,12 @@
    otherwise prints the position of the first error and exits 1.
 
    --bench additionally validates the shape of a bench report's [snap]
-   section (the snapshot-load-vs-cold-build rows): it must be a
-   non-empty array of rows each carrying name/build_ns/load_ns/bytes/
-   speedup/ok with the right types, and every row's gate must have
-   passed.  The parser builds a minimal value tree for this; the
-   syntax-only modes discard it. *)
+   section (the snapshot-load-vs-cold-build rows: a non-empty array of
+   rows each carrying name/build_ns/load_ns/bytes/speedup/ok with the
+   right types, every row's gate passed), its [rewarm] section, and its
+   [synth] section (the SAT-synthesis cost rows: fully populated, with
+   at least one SAT and one UNSAT verdict).  The parser builds a minimal
+   value tree for this; the syntax-only modes discard it. *)
 
 exception Bad of int * string
 
@@ -255,6 +256,38 @@ let check_rewarm_section path doc =
       | _ -> bench_fail path "rewarm: %s is not a number" key)
     [ "size"; "rebuild_ns"; "snapshot_ns"; "speedup" ]
 
+(* The synth section carries the SAT-synthesis cost rows (--synth);
+   report-only, but every row must be fully populated and the verdict
+   pattern must be coherent: at least one SAT and one UNSAT row. *)
+let check_synth_section path doc =
+  let rows =
+    match member "synth" doc with
+    | Some (Varr (_ :: _ as rows)) -> rows
+    | Some (Varr []) -> bench_fail path "synth section is empty"
+    | Some _ -> bench_fail path "synth section is not an array"
+    | None -> bench_fail path "no synth section"
+  in
+  let sats = ref 0 and unsats = ref 0 in
+  List.iteri
+    (fun i row ->
+      (match member "problem" row with
+      | Some (Vstr _) -> ()
+      | _ -> bench_fail path "synth row %d: problem is not a string" i);
+      List.iter
+        (fun key ->
+          match member key row with
+          | Some Vnum -> ()
+          | _ -> bench_fail path "synth row %d: %s is not a number" i key)
+        [ "volume"; "cegis"; "conflicts"; "propagations"; "vars"; "clauses"; "wall_s" ];
+      match member "sat" row with
+      | Some (Vbool true) -> incr sats
+      | Some (Vbool false) -> incr unsats
+      | _ -> bench_fail path "synth row %d: sat is not a boolean" i)
+    rows;
+  if !sats = 0 then bench_fail path "synth section has no SAT row";
+  if !unsats = 0 then bench_fail path "synth section has no UNSAT row";
+  List.length rows
+
 let () =
   let mode, path =
     match Sys.argv with
@@ -292,8 +325,10 @@ let () =
         if mode = `Bench then begin
           let rows = check_snap_section path doc in
           check_rewarm_section path doc;
-          Printf.printf "%s: well-formed bench report (%d bytes, %d snap row(s) ok)\n" path
-            (String.length src) rows
+          let synth_rows = check_synth_section path doc in
+          Printf.printf
+            "%s: well-formed bench report (%d bytes, %d snap row(s), %d synth row(s) ok)\n"
+            path (String.length src) rows synth_rows
         end
         else Printf.printf "%s: well-formed JSON (%d bytes)\n" path (String.length src)
     | exception Bad (pos, msg) ->

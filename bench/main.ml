@@ -720,6 +720,82 @@ let pp_obs o =
     o.oo_workload o.oo_baseline_ns o.oo_disabled_ns o.oo_enabled_ns
     (if obs_ok o then "ok" else "FAIL")
 
+(* --- SAT-synthesis cost rows -------------------------------------------------- *)
+
+type synth_row = {
+  sy_problem : string;
+  sy_volume : int;
+  sy_sat : bool;
+  sy_cegis : int;
+  sy_conflicts : int;
+  sy_propagations : int;
+  sy_vars : int;
+  sy_clauses : int;
+  sy_wall_s : float;
+}
+
+(* Report-only: wall clock and solver effort for the cheap rungs of each
+   problem's classification ladder — the SAT rung at the known-feasible
+   volume and the UNSAT rung pinned by the spec.  (The deep cycle
+   budget-2 refutation stays out of the bench: ~10^5 conflicts, minutes
+   of one-core CPU; see EXPERIMENTS.md.)  The verdicts themselves are
+   enforced by oracle probe "synth" and @synth-smoke; these rows track
+   what obtaining them costs. *)
+let run_synth_micro () =
+  let module C = Vc_synth.Classify in
+  let module E = Vc_synth.Encode in
+  List.concat_map
+    (fun (s : C.spec) ->
+      List.map
+        (fun volume ->
+          match C.run s ~volume with
+          | Error msg -> failwith (Printf.sprintf "synth bench %s: %s" s.C.s_name msg)
+          | Ok v ->
+              let r = v.C.v_report in
+              {
+                sy_problem = s.C.s_name;
+                sy_volume = volume;
+                sy_sat = v.C.v_sat;
+                sy_cegis = r.E.cegis_iters;
+                sy_conflicts = r.E.sat_stats.Vc_synth.Sat.conflicts;
+                sy_propagations = r.E.sat_stats.Vc_synth.Sat.propagations;
+                sy_vars = r.E.n_vars;
+                sy_clauses = r.E.n_clauses;
+                sy_wall_s = r.E.wall_s;
+              })
+        [ s.C.s_volume; s.C.s_unsat_volume ])
+    (C.specs ())
+
+let pp_synth rows =
+  Fmt.pr "@.== SAT-synthesis cost (report-only; verdicts gated by @synth-smoke) ==@.";
+  List.iter
+    (fun r ->
+      Fmt.pr
+        "  %-16s vol<=%d  %-5s  cegis %2d  conflicts %8d  props %10d  vars %7d  clauses \
+         %8d  %7.3fs@."
+        r.sy_problem r.sy_volume
+        (if r.sy_sat then "SAT" else "UNSAT")
+        r.sy_cegis r.sy_conflicts r.sy_propagations r.sy_vars r.sy_clauses r.sy_wall_s)
+    rows
+
+let synth_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("problem", Json.String r.sy_problem);
+             ("volume", Json.Int r.sy_volume);
+             ("sat", Json.Bool r.sy_sat);
+             ("cegis", Json.Int r.sy_cegis);
+             ("conflicts", Json.Int r.sy_conflicts);
+             ("propagations", Json.Int r.sy_propagations);
+             ("vars", Json.Int r.sy_vars);
+             ("clauses", Json.Int r.sy_clauses);
+             ("wall_s", Json.Float r.sy_wall_s);
+           ])
+       rows)
+
 (* --- machine-readable output (via the shared Vc_obs.Json encoder) ----------- *)
 
 let measurement_json m =
@@ -886,7 +962,7 @@ let saturation_json = function
         ]
 
 let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_micro ~snap
-    ~rewarm ~serve ~saturation ~obs =
+    ~rewarm ~serve ~saturation ~obs ~synth =
   let wallclock_json =
     match wallclock with
     | None -> Json.Null
@@ -927,6 +1003,7 @@ let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_mic
         ("rewarm", rewarm_json rewarm);
         ("serve", serve_json serve);
         ("saturation", saturation_json saturation);
+        ("synth", (match synth with None -> Json.Null | Some rows -> synth_json rows));
         ("obs_overhead", obs_json obs);
         ("metrics", Metrics.to_json ());
       ]
@@ -943,6 +1020,7 @@ let parse_args () =
   let quick = ref (Sys.getenv_opt "VOLCOMP_QUICK" = Some "1") in
   let deep = ref false in
   let micro = ref false in
+  let synth = ref false in
   let wallclock = ref true in
   let metrics = ref false in
   let json = ref None in
@@ -954,6 +1032,7 @@ let parse_args () =
     | "--quick" -> quick := true
     | "--deep" -> deep := true
     | "--micro" -> micro := true
+    | "--synth" -> synth := true
     | "--no-wallclock" -> wallclock := false
     | "--metrics" -> metrics := true
     | "--json" ->
@@ -974,10 +1053,12 @@ let parse_args () =
     | arg -> failwith (Printf.sprintf "unknown argument %S" arg));
     incr i
   done;
-  (!quick, !deep, !micro, !wallclock, !metrics, !json, !jobs, !serve_exe)
+  (!quick, !deep, !micro, !synth, !wallclock, !metrics, !json, !jobs, !serve_exe)
 
 let () =
-  let quick, deep, micro_only, wallclock, metrics, json, jobs, serve_exe = parse_args () in
+  let quick, deep, micro_only, synth_flag, wallclock, metrics, json, jobs, serve_exe =
+    parse_args ()
+  in
   if metrics then Metrics.set_enabled true;
   let domains = match jobs with Some j -> j | None -> Pool.default_domains () in
   let pool = if domains > 1 then Some (Pool.create ~domains ()) else None in
@@ -1015,6 +1096,8 @@ let () =
      tier from; without --serve-exe the entry is null in the JSON *)
   let saturation = Option.map (fun exe -> measure_saturation ~exe ~quick) serve_exe in
   Option.iter pp_saturation saturation;
+  let synth = if synth_flag then Some (run_synth_micro ()) else None in
+  Option.iter pp_synth synth;
   let obs = measure_obs_overhead () in
   pp_obs obs;
   if metrics then Fmt.pr "@.%a@." Metrics.pp ();
@@ -1037,7 +1120,7 @@ let () =
   | None -> ()
   | Some path ->
       write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro
-        ~ir_micro ~snap ~rewarm ~serve ~saturation ~obs;
+        ~ir_micro ~snap ~rewarm ~serve ~saturation ~obs ~synth;
       Fmt.pr "wrote %s@." path);
   Option.iter Pool.shutdown pool;
   let mismatch = List.exists (fun r -> not (Experiments.all_agree r)) reports in

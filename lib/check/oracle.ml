@@ -9,9 +9,12 @@ let trial_seed ~seed ~name i =
 
 (* The probes a run can be restricted to, in execution-report order. *)
 let probe_names =
-  [ "solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay"; "serve"; "shard"; "snap" ]
+  [
+    "solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay"; "serve"; "shard"; "snap";
+    "synth";
+  ]
 
-let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry) =
+let run_entry ?pool ?serve ?shard ?synth ~want ~seed ~count ~quick (e : Registry.entry) =
   let failures = ref [] in
   let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
   let guarded what f default =
@@ -333,6 +336,27 @@ let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry)
            true
            (List.mapi (fun i s -> (i, s)) sizes))
   in
+  (* probe 11: synthesis cross-check — for entries with a synthesis
+     universe the injected closure must re-derive the Table-1 verdicts:
+     a witness at the known-feasible volume (independently rechecked),
+     a certified UNSAT below it, and consistency with the live
+     adversary bound.  Injected from above because [lib/synth] depends
+     on this library. *)
+  let synth_ok =
+    match synth with
+    | Some _ when not (want "synth") -> None
+    | None -> None
+    | Some f ->
+        guarded "synth"
+          (fun () ->
+            match f e with
+            | None -> None
+            | Some (Ok ()) -> Some true
+            | Some (Error msg) ->
+                fail "synth: %s" msg;
+                Some false)
+          (Some false)
+  in
   (* probe 4: mutation fuzzing, [count] rounds round-robin over trials *)
   let kind_order = ref [] in
   let kinds : (string, Report.kind_agg) Hashtbl.t = Hashtbl.create 8 in
@@ -385,12 +409,13 @@ let run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick (e : Registry.entry)
     p_serve = serve_ok;
     p_shard = shard_ok;
     p_snap = snap_ok;
+    p_synth = synth_ok;
     p_mutations = List.rev_map (Hashtbl.find kinds) !kind_order;
     p_probes_skipped = List.filter (fun p -> not (want p)) probe_names;
     p_failures = List.rev !failures;
   }
 
-let run ?pool ?entries ?probes ?serve ?shard ~seed ~count ~quick () =
+let run ?pool ?entries ?probes ?serve ?shard ?synth ~seed ~count ~quick () =
   let entries = match entries with Some es -> es | None -> Registry.all () in
   let want =
     match probes with
@@ -406,7 +431,9 @@ let run ?pool ?entries ?probes ?serve ?shard ~seed ~count ~quick () =
         fun p -> List.mem p ps
   in
   let domains = match pool with None -> 1 | Some p -> Pool.domains p in
-  let problems = List.map (run_entry ?pool ?serve ?shard ~want ~seed ~count ~quick) entries in
+  let problems =
+    List.map (run_entry ?pool ?serve ?shard ?synth ~want ~seed ~count ~quick) entries
+  in
   { Report.seed; count; domains; quick; problems }
 
 (* --- standalone trace files ------------------------------------------------ *)

@@ -29,7 +29,7 @@
 val probe_names : string list
 (** The probe identifiers accepted by {!run}'s [?probes]:
     ["solvers"; "merge"; "cross"; "lazy"; "ir"; "mutate"; "replay";
-    "serve"; "shard"]. *)
+    "serve"; "shard"; "snap"; "synth"]. *)
 
 val run :
   ?pool:Vc_exec.Pool.t ->
@@ -37,6 +37,7 @@ val run :
   ?probes:string list ->
   ?serve:(Registry.entry -> size:int -> seed:int64 -> (unit, string) result) ->
   ?shard:(Registry.entry -> size:int -> seed:int64 -> (unit, string) result) ->
+  ?synth:(Registry.entry -> (unit, string) result option) ->
   seed:int64 ->
   count:int ->
   quick:bool ->
@@ -67,7 +68,17 @@ val run :
     through a real multi-process sharded tier and verify the replies are
     byte-identical to a single-process server's.  It runs on the first
     (smallest) trial only — each invocation spawns a supervisor and its
-    workers.  When absent, reports carry [p_shard = None]. *)
+    workers.  When absent, reports carry [p_shard = None].
+
+    [?synth] is the eleventh probe, injected from above because the
+    synthesis subsystem depends on this library: given an entry it
+    returns [None] when the problem has no synthesis universe, else the
+    outcome of re-deriving the problem's volume classification with the
+    SAT pipeline — a witness at the known-feasible budget that passes an
+    independent recheck, a DRUP-certified UNSAT below it, and (where a
+    proven adversary bound exists) a live re-derivation of that bound
+    strictly above the UNSAT budget.  When absent, reports carry
+    [p_synth = None]. *)
 
 val find_entry :
   ?entries:Registry.entry list -> string -> (Registry.entry, string) result

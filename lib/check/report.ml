@@ -28,6 +28,7 @@ type problem_report = {
   p_serve : bool option;
   p_shard : bool option;
   p_snap : bool option;
+  p_synth : bool option;
   p_mutations : kind_agg list;
   p_probes_skipped : string list;
   p_failures : string list;
@@ -82,6 +83,9 @@ let pp_problem ppf p =
   (match p.p_snap with
   | None -> ()
   | Some b -> Fmt.pf ppf "snapshot identical: %b@," b);
+  (match p.p_synth with
+  | None -> ()
+  | Some b -> Fmt.pf ppf "synthesis verdicts consistent: %b@," b);
   if p.p_probes_skipped <> [] then
     Fmt.pf ppf "probes skipped: %s@," (String.concat ", " p.p_probes_skipped);
   List.iter
@@ -142,6 +146,7 @@ let problem_json p =
       ("serve", match p.p_serve with None -> Json.Null | Some b -> Json.Bool b);
       ("shard", match p.p_shard with None -> Json.Null | Some b -> Json.Bool b);
       ("snap", match p.p_snap with None -> Json.Null | Some b -> Json.Bool b);
+      ("synth", match p.p_synth with None -> Json.Null | Some b -> Json.Bool b);
       ("cross_model", Json.Obj (List.map (fun (n, b) -> (n, Json.Bool b)) p.p_cross_model));
       ( "mutations",
         Json.Obj

@@ -56,6 +56,15 @@ type problem_report = {
       (** snapshot-loaded instances (oracle probe ["snap"]) reproduced
           freshly built trials byte-identically: solver outcomes, probe
           cost vectors and trace transcripts; [None] when skipped *)
+  p_synth : bool option;
+      (** SAT-based synthesis (oracle probe ["synth"]) re-derived the
+          problem's volume classification: a witness program was found
+          at the known-feasible budget and independently rechecked, the
+          budget below it was proven UNSAT (DRUP-certified), and the
+          verdicts sit consistently against the live adversary bound;
+          [None] when the probe was not supplied (injected via
+          {!Oracle.run}'s [?synth]) or the problem has no synthesis
+          universe *)
   p_mutations : kind_agg list;
   p_probes_skipped : string list;
       (** probes excluded by {!Oracle.run}'s [?probes] filter; skipped

@@ -139,6 +139,15 @@ val program_to_json : program -> Vc_obs.Json.t
 val program_of_json : Vc_obs.Json.t -> (program, string) result
 (** Decode and {!validate} (untrusted input is rejected, not run). *)
 
+val instr_to_json : instr -> Vc_obs.Json.t
+
+val instr_of_json : Vc_obs.Json.t -> (instr, string) result
+(** Single-instruction codec, for witness reconstruction (synthesis
+    decodes one chosen instruction per template slot).  Round-trips
+    with {!instr_to_json}; range checks are {!validate}'s job — a
+    decoded instruction is structurally an [instr] but not yet known to
+    be in range for any particular program. *)
+
 (** {1 Assembler} *)
 
 (** Two-pass assembler over symbolic labels, for hand-compiling solvers

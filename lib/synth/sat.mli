@@ -1,0 +1,77 @@
+(** A self-contained CDCL SAT solver — the engine under the synthesis
+    pipeline ({!Encode}, {!Classify}).
+
+    Classic conflict-driven clause learning in the MiniSat lineage:
+    two-watched-literal propagation, first-UIP conflict analysis with
+    clause learning, VSIDS-style activity decay with an indexed heap,
+    phase saving, and Luby restarts.  Everything is deterministic — no
+    randomized polarity or order — so a synthesis run is a pure function
+    of its CNF, which is what lets the smoke aliases pin verdicts.
+
+    The solver is incremental in the CEGIS sense: after a [solve] you
+    may allocate more variables and add more clauses, then [solve]
+    again.  Assumptions are not supported (the CEGIS loop only ever
+    strengthens), which keeps the UNSAT story simple: every learned
+    clause is recorded in derivation order, and {!certify_unsat}
+    replays the whole log as a reverse-unit-propagation (DRUP) proof
+    against the original clauses with an independent counter-based
+    propagator — ending with the empty clause, i.e. a verified final
+    conflict under assumption-free solving. *)
+
+type t
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;  (** literals enqueued by unit propagation *)
+  learned : int;  (** clauses learned (including re-derived units) *)
+  max_learned_len : int;
+  restarts : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its 1-based DIMACS index. *)
+
+val n_vars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause of non-zero DIMACS literals ([v] positive, [-v]
+    negative).  The empty clause makes the instance trivially UNSAT.
+    Tautologies are dropped, duplicate literals merged.
+    @raise Invalid_argument on a zero literal or an out-of-range
+    variable. *)
+
+type verdict = Sat | Unsat
+
+val solve : t -> verdict
+(** Solve the clauses added so far.  Deterministic.  After [Sat] the
+    model is frozen in {!value} (later [add_clause]/[solve] calls do
+    not disturb it until the next [solve]). *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] verdict.
+    @raise Invalid_argument out of range or before any [Sat]. *)
+
+val stats : t -> stats
+(** Cumulative across all [solve] calls on this solver. *)
+
+val simplify : t -> [ `Unsat | `Fixed of int list ]
+(** Attach pending clauses and run unit propagation at decision level 0
+    only — no decisions, no learning.  Returns the literals forced by
+    propagation (DIMACS-signed, in propagation order), or [`Unsat] if
+    level-0 propagation already conflicts.  Exposed so tests can check
+    propagation equivalence against a naive reference propagator. *)
+
+val certify_unsat : ?budget:int -> t -> (unit, string) result
+(** After an [Unsat] verdict: replay the learned-clause log as a DRUP
+    proof.  Each learned clause in derivation order — and finally the
+    empty clause — must be derivable by unit propagation from the
+    original clauses plus the earlier learned clauses, checked with an
+    independent (non-watched, counter-based) propagator.  The replay
+    is quadratic in proof x database, so it is practical for proofs up
+    to a few thousand clauses and hopeless around 10^5.  [budget] caps
+    total clause-literal visits (default 200 million, a few seconds of
+    replay — sized so the pinned {!Classify} probe rungs certify with
+    ~2x headroom); exceeding it returns [Error], never a false [Ok]. *)

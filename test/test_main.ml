@@ -30,4 +30,5 @@ let () =
          Test_snap.suites;
          Test_obs.suites;
          Test_serve.suites;
+         Test_synth.suites;
        ])
