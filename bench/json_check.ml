@@ -9,9 +9,12 @@
    --bench additionally validates the shape of a bench report's [snap]
    section (the snapshot-load-vs-cold-build rows: a non-empty array of
    rows each carrying name/build_ns/load_ns/bytes/speedup/ok with the
-   right types, every row's gate passed), its [rewarm] section, and its
+   right types, every row's gate passed), its [rewarm] section, its
    [synth] section (the SAT-synthesis cost rows: fully populated, with
-   at least one SAT and one UNSAT verdict).  The parser builds a minimal
+   at least one SAT and one UNSAT verdict), and its [families] section
+   (the graph-family measurement ladders: every fitted class agrees,
+   every point well-shaped, and Question 7.3's sinkless-orientation
+   rungs present).  The parser builds a minimal
    value tree for this; the syntax-only modes discard it. *)
 
 exception Bad of int * string
@@ -288,6 +291,68 @@ let check_synth_section path doc =
   if !unsats = 0 then bench_fail path "synth section has no UNSAT row";
   List.length rows
 
+(* The families section carries the graph-family measurement ladders:
+   every report must have all_agree true, every measurement a fitted
+   class that agrees with the paper's claim and a non-empty point list,
+   and Question 7.3's sinkless-orientation ("SO:") rungs must appear. *)
+let check_families_section path doc =
+  let reports =
+    match member "families" doc with
+    | Some (Varr (_ :: _ as rs)) -> rs
+    | Some (Varr []) -> bench_fail path "families section is empty"
+    | Some _ -> bench_fail path "families section is not an array"
+    | None -> bench_fail path "no families section"
+  in
+  let so = ref 0 in
+  List.iteri
+    (fun i report ->
+      (match member "title" report with
+      | Some (Vstr _) -> ()
+      | _ -> bench_fail path "families report %d: title is not a string" i);
+      (match member "all_agree" report with
+      | Some (Vbool true) -> ()
+      | Some (Vbool false) ->
+          bench_fail path "families report %d has a fitted-class mismatch" i
+      | _ -> bench_fail path "families report %d: all_agree is not a boolean" i);
+      let ms =
+        match member "measurements" report with
+        | Some (Varr (_ :: _ as ms)) -> ms
+        | _ -> bench_fail path "families report %d: measurements missing or empty" i
+      in
+      List.iteri
+        (fun j m ->
+          (match member "quantity" m with
+          | Some (Vstr q) ->
+              if String.length q >= 3 && String.sub q 0 3 = "SO:" then incr so
+          | _ ->
+              bench_fail path "families report %d measurement %d: quantity is not a string" i j);
+          List.iter
+            (fun key ->
+              match member key m with
+              | Some (Vstr _) -> ()
+              | _ ->
+                  bench_fail path "families report %d measurement %d: %s is not a string" i j
+                    key)
+            [ "paper_claim"; "fitted" ];
+          (match member "agrees" m with
+          | Some (Vbool true) -> ()
+          | Some (Vbool false) ->
+              bench_fail path "families report %d measurement %d disagrees with the paper" i j
+          | _ ->
+              bench_fail path "families report %d measurement %d: agrees is not a boolean" i j);
+          match member "points" m with
+          | Some (Varr (_ :: _ as pts)) ->
+              List.iter
+                (function
+                  | Varr [ Vnum; Vnum ] -> ()
+                  | _ -> bench_fail path "families report %d measurement %d: malformed point" i j)
+                pts
+          | _ -> bench_fail path "families report %d measurement %d: points missing or empty" i j)
+        ms)
+    reports;
+  if !so = 0 then bench_fail path "families section lacks sinkless-orientation (SO:) rungs";
+  List.length reports
+
 let () =
   let mode, path =
     match Sys.argv with
@@ -326,9 +391,11 @@ let () =
           let rows = check_snap_section path doc in
           check_rewarm_section path doc;
           let synth_rows = check_synth_section path doc in
+          let family_reports = check_families_section path doc in
           Printf.printf
-            "%s: well-formed bench report (%d bytes, %d snap row(s), %d synth row(s) ok)\n"
-            path (String.length src) rows synth_rows
+            "%s: well-formed bench report (%d bytes, %d snap row(s), %d synth row(s), %d \
+             family report(s) ok)\n"
+            path (String.length src) rows synth_rows family_reports
         end
         else Printf.printf "%s: well-formed JSON (%d bytes)\n" path (String.length src)
     | exception Bad (pos, msg) ->

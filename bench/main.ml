@@ -21,6 +21,8 @@
    VOLCOMP_QUICK=1) for the shortened ladders, `--deep` to extend each
    ladder past the standard profile, `--no-wallclock` to skip the
    Bechamel pass, `--micro` to run only layer 3 (the bench-smoke mode),
+   `--family SUBSTR` to restrict the report pass to the graph-family
+   ladders whose title contains SUBSTR (case-insensitive),
    `--metrics` to collect and print the Vc_obs counters for the whole
    run, `-j N` (or VOLCOMP_JOBS) to size the domain pool, and
    `--json PATH` to also record everything machine-readably (including
@@ -57,6 +59,14 @@ module Experiments = Vc_measure.Experiments
 module Runner = Vc_measure.Runner
 module Fit = Vc_measure.Fit
 module Pool = Vc_exec.Pool
+
+let title_contains hay needle =
+  let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+  let rec go i =
+    i + String.length needle <= String.length hay
+    && (String.sub hay i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
 module Ir_exec = Vc_ir.Exec
 module Ir_lib = Vc_ir.Library
 module Json = Vc_obs.Json
@@ -961,8 +971,8 @@ let saturation_json = function
                  s.sat_steps) );
         ]
 
-let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_micro ~snap
-    ~rewarm ~serve ~saturation ~obs ~synth =
+let write_json ~path ~quick ~domains ~reports ~families ~wallclock ~speedup ~micro ~ir_micro
+    ~snap ~rewarm ~serve ~saturation ~obs ~synth =
   let wallclock_json =
     match wallclock with
     | None -> Json.Null
@@ -995,6 +1005,7 @@ let write_json ~path ~quick ~domains ~reports ~wallclock ~speedup ~micro ~ir_mic
         ("quick", Json.Bool quick);
         ("domains", Json.Int domains);
         ("reports", Json.List (List.map report_json reports));
+        ("families", Json.List (List.map report_json families));
         ("wallclock", wallclock_json);
         ("speedup", speedup_json);
         ("micro", micro_json micro);
@@ -1026,6 +1037,7 @@ let parse_args () =
   let json = ref None in
   let jobs = ref None in
   let serve_exe = ref None in
+  let family = ref None in
   let i = ref 1 in
   while !i < Array.length argv do
     (match argv.(!i) with
@@ -1043,6 +1055,10 @@ let parse_args () =
         incr i;
         if !i >= Array.length argv then failwith "--serve-exe requires a path";
         serve_exe := Some argv.(!i)
+    | "--family" ->
+        incr i;
+        if !i >= Array.length argv then failwith "--family requires a substring";
+        family := Some argv.(!i)
     | "-j" | "--jobs" ->
         incr i;
         let bad () = failwith "-j requires a positive integer" in
@@ -1053,10 +1069,10 @@ let parse_args () =
     | arg -> failwith (Printf.sprintf "unknown argument %S" arg));
     incr i
   done;
-  (!quick, !deep, !micro, !synth, !wallclock, !metrics, !json, !jobs, !serve_exe)
+  (!quick, !deep, !micro, !synth, !wallclock, !metrics, !json, !jobs, !serve_exe, !family)
 
 let () =
-  let quick, deep, micro_only, synth_flag, wallclock, metrics, json, jobs, serve_exe =
+  let quick, deep, micro_only, synth_flag, wallclock, metrics, json, jobs, serve_exe, family =
     parse_args ()
   in
   if metrics then Metrics.set_enabled true;
@@ -1073,13 +1089,33 @@ let () =
   let reports =
     if micro_only then []
     else begin
-      let reports = Experiments.all ?pool ~deep ~quick () in
+      let reports =
+        match family with
+        | Some f ->
+            (* family mode: only the graph-family ladders, filtered by title *)
+            List.filter
+              (fun r -> title_contains r.Experiments.title f)
+              (Experiments.family_ladders ?pool ~deep ~quick ())
+        | None -> Experiments.all ?pool ~deep ~quick ()
+      in
       List.iter (fun r -> Fmt.pr "%a@." Experiments.pp_report r) reports;
       let agreements = List.filter Experiments.all_agree reports in
       Fmt.pr "== Summary: %d/%d reports have every fitted class within the paper's claim ==@."
         (List.length agreements) (List.length reports);
       reports
     end
+  in
+  (* the families JSON section is always present, even under --micro (the
+     bench-smoke profile): the quick family ladders cost well under a
+     second, so the smoke JSON still carries Question 7.3's measured
+     sinkless-orientation rungs for json_check to validate *)
+  let families =
+    if micro_only then begin
+      let fams = Experiments.family_ladders ?pool ~quick:true () in
+      List.iter (fun r -> Fmt.pr "%a@." Experiments.pp_report r) fams;
+      fams
+    end
+    else List.filter (fun r -> title_contains r.Experiments.title "Families:") reports
   in
   let wallclock_rows = if wallclock && not micro_only then Some (run_wallclock ()) else None in
   let micro = run_micro () in
@@ -1119,11 +1155,13 @@ let () =
   (match json with
   | None -> ()
   | Some path ->
-      write_json ~path ~quick ~domains ~reports ~wallclock:wallclock_rows ~speedup ~micro
-        ~ir_micro ~snap ~rewarm ~serve ~saturation ~obs ~synth;
+      write_json ~path ~quick ~domains ~reports ~families ~wallclock:wallclock_rows ~speedup
+        ~micro ~ir_micro ~snap ~rewarm ~serve ~saturation ~obs ~synth;
       Fmt.pr "wrote %s@." path);
   Option.iter Pool.shutdown pool;
-  let mismatch = List.exists (fun r -> not (Experiments.all_agree r)) reports in
+  let mismatch =
+    List.exists (fun r -> not (Experiments.all_agree r)) (reports @ families)
+  in
   let speedup_failed = match speedup with Some s -> not (speedup_ok s) | None -> false in
   if not (micro_ok micro) then
     Fmt.pr "== FAIL: a world-session microbenchmark fell below the 10x lazy-vs-eager bar ==@.";

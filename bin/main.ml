@@ -10,6 +10,7 @@
      trace        record a probe transcript, or replay one bit-for-bit
      export       render an instance (optionally with a traced ball) as DOT
      list         print the conformance registry (problems, radii, sizes)
+     family       list the graph-family builders, or build + validate an instance
      ir           list/dump/validate/run the shipped probe-program IR
      synth        SAT-based probe-program synthesis + volume classification
      serve        query-serving daemon over a Unix-domain (or TCP) socket
@@ -38,6 +39,10 @@ module Metrics = Vc_obs.Metrics
 module Ir = Vc_ir.Ir
 module Ir_exec = Vc_ir.Exec
 module Ir_lib = Vc_ir.Library
+module Family = Vc_family.Family
+module F4 = Vc_family.Coloring4
+module FM = Vc_family.Matching
+module FI = Vc_family.Mis
 
 (* --- worker domains (-j / VOLCOMP_JOBS) ------------------------------------ *)
 
@@ -68,6 +73,24 @@ let with_metrics enabled f =
         let r = f () in
         Fmt.pr "@.%a@." Metrics.pp ();
         r)
+
+(* --- case-insensitive substring match (--only / --family filters) ---------- *)
+
+let contains hay needle =
+  let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+  let rec go i =
+    i + String.length needle <= String.length hay
+    && (String.sub hay i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+let family_term =
+  Arg.(
+    value & opt (some string) None
+    & info [ "family" ] ~docv:"SUBSTR"
+        ~doc:
+          "Only consider problems whose graph family contains $(docv) (case-insensitive; \
+           families: tree, cycle, cubic, torus, d-regular, expander).")
 
 (* --- experiments ---------------------------------------------------------- *)
 
@@ -149,9 +172,12 @@ let solve_cmd =
       required
       & pos 0 (some (enum
                        [ ("leafcoloring", `Leaf); ("balancedtree", `Bt); ("hthc", `Hthc);
-                         ("hybrid", `Hybrid); ("sinkless", `Sinkless) ])) None
+                         ("hybrid", `Hybrid); ("sinkless", `Sinkless); ("coloring4", `C4);
+                         ("matching", `Matching); ("mis", `Mis) ])) None
       & info [] ~docv:"PROBLEM"
-          ~doc:"One of leafcoloring, balancedtree, hthc, hybrid, sinkless.")
+          ~doc:
+            "One of leafcoloring, balancedtree, hthc, hybrid, sinkless, coloring4, \
+             matching, mis.")
   in
   let n = Arg.(value & opt int 255 & info [ "n" ] ~doc:"Approximate instance size.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Instance and randomness seed.") in
@@ -159,16 +185,50 @@ let solve_cmd =
   let randomized =
     Arg.(value & flag & info [ "randomized"; "r" ] ~doc:"Use the randomized solver.")
   in
+  let family =
+    Arg.(
+      value & opt (some string) None
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Graph family for coloring4/matching/mis/sinkless — torus, d-regular or \
+             expander (defaults: coloring4 torus; matching/mis d-regular; sinkless its \
+             original cubic builder).")
+  in
   let trace =
     Arg.(
       value & opt (some string) None
       & info [ "trace" ] ~docv:"PATH"
           ~doc:"Also record the solver's run from node 0 as a JSONL transcript at $(docv).")
   in
-  let run problem n seed k randomized trace metrics jobs =
+  let run problem n seed k randomized family trace metrics jobs =
     let seed64 = Int64.of_int seed in
     with_metrics metrics @@ fun () ->
     with_jobs jobs @@ fun pool ->
+    (* [lib/family] problems share one unit-input shape; d is the regular
+       family's degree (3 keeps greedy colouring inside the 4-palette) *)
+    let family_builder fam ~d =
+      match fam with
+      | "torus" -> Some (fun () -> Family.torus_of_size ~size:n ~seed:seed64)
+      | "d-regular" -> Some (fun () -> Family.regular_of_size ~d ~size:n ~seed:seed64)
+      | "expander" -> Some (fun () -> Family.expander_of_size ~size:n ~seed:seed64)
+      | _ -> None
+    in
+    let bad_family fam allowed =
+      Fmt.epr "solve: family %S not supported for this problem (allowed: %s)@." fam
+        (String.concat ", " allowed);
+      2
+    in
+    let run_family ~problem ~solver ~world_of ~name g =
+      let world = world_of g in
+      let stats, valid =
+        Runner.solve_and_check ~world ~problem ~graph:g ~input:(fun _ -> ()) ~solver ?pool ()
+      in
+      Option.iter
+        (fun path ->
+          write_solve_trace ~path ~problem:name ~n:(Graph.n g) ~seed:seed64 ~world solver)
+        trace;
+      report_solution solver.Lcl.solver_name stats valid
+    in
     match problem with
     | `Leaf ->
         let inst = LC.random_instance ~n ~seed:seed64 in
@@ -226,20 +286,42 @@ let solve_cmd =
               ~world ?randomness solver)
           trace;
         report_solution solver.Lcl.solver_name stats valid
-    | `Sinkless ->
-        let g = Volcomp.Sinkless.random_cubic ~n ~seed:seed64 in
-        let world = Volcomp.Sinkless.world g in
-        let stats, valid =
-          Runner.solve_and_check ~world
-            ~problem:Volcomp.Sinkless.problem ~graph:g ~input:(fun _ -> ())
-            ~solver:Volcomp.Sinkless.solve_global ?pool ()
+    | `Sinkless -> (
+        let fam = String.lowercase_ascii (Option.value family ~default:"cubic") in
+        let build =
+          match fam with
+          | "cubic" -> Some (fun () -> Volcomp.Sinkless.random_cubic ~n ~seed:seed64)
+          | "d-regular" -> family_builder fam ~d:4
+          | _ -> None
         in
-        Option.iter
-          (fun path ->
-            write_solve_trace ~path ~problem:"sinkless" ~n:(Graph.n g) ~seed:seed64 ~world
-              Volcomp.Sinkless.solve_global)
-          trace;
-        report_solution Volcomp.Sinkless.solve_global.Lcl.solver_name stats valid
+        match build with
+        | None -> bad_family fam [ "cubic"; "d-regular" ]
+        | Some build ->
+            run_family ~problem:Volcomp.Sinkless.problem ~solver:Volcomp.Sinkless.solve_global
+              ~world_of:Volcomp.Sinkless.world ~name:"sinkless" (build ()))
+    | `C4 -> (
+        let fam = String.lowercase_ascii (Option.value family ~default:"torus") in
+        let solver = if fam = "torus" then F4.solve_torus else F4.solve_greedy in
+        let build = if fam = "expander" then None else family_builder fam ~d:3 in
+        match build with
+        | None -> bad_family fam [ "torus"; "d-regular" ]
+        | Some build ->
+            run_family ~problem:F4.problem ~solver ~world_of:F4.world ~name:"coloring4"
+              (build ()))
+    | `Matching -> (
+        let fam = String.lowercase_ascii (Option.value family ~default:"d-regular") in
+        match family_builder fam ~d:4 with
+        | None -> bad_family fam [ "torus"; "d-regular"; "expander" ]
+        | Some build ->
+            run_family ~problem:FM.problem ~solver:FM.solve_greedy ~world_of:FM.world
+              ~name:"matching" (build ()))
+    | `Mis -> (
+        let fam = String.lowercase_ascii (Option.value family ~default:"d-regular") in
+        match family_builder fam ~d:4 with
+        | None -> bad_family fam [ "torus"; "d-regular"; "expander" ]
+        | Some build ->
+            run_family ~problem:FI.problem ~solver:FI.solve_greedy ~world_of:FI.world
+              ~name:"mis" (build ()))
     | `Hybrid ->
         let inst, _ = Hy.hard_instance ~k ~target_n:n ~seed:seed64 in
         let world = Hy.world inst in
@@ -265,7 +347,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Solve a random instance from every node and validate the assembled output.")
-    Term.(const run $ problem $ n $ seed $ k $ randomized $ trace $ metrics_term $ jobs_term)
+    Term.(
+      const run $ problem $ n $ seed $ k $ randomized $ family $ trace $ metrics_term
+      $ jobs_term)
 
 (* --- adversary -------------------------------------------------------------- *)
 
@@ -350,21 +434,13 @@ let check_cmd =
              mutate, replay, serve, shard, snap, synth); default all.  Skipped probes are \
              listed in the report and keep vacuous verdicts.")
   in
-  let run seed count quick json only probes metrics jobs =
+  let run seed count quick json only family probes metrics jobs =
     let entries =
-      match only with
-      | None -> Vc_check.Registry.all ()
-      | Some f ->
-          let lower = String.lowercase_ascii in
-          List.filter
-            (fun (e : Vc_check.Registry.entry) ->
-              let name = lower e.name and f = lower f in
-              let rec contains i =
-                i + String.length f <= String.length name
-                && (String.sub name i (String.length f) = f || contains (i + 1))
-              in
-              contains 0)
-            (Vc_check.Registry.all ())
+      List.filter
+        (fun (e : Vc_check.Registry.entry) ->
+          (match only with None -> true | Some f -> contains e.name f)
+          && match family with None -> true | Some f -> contains e.family f)
+        (Vc_check.Registry.all ())
     in
     let probe_list =
       Option.map
@@ -453,7 +529,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Differential conformance and fuzzing oracle over all registered problems.")
-    Term.(const run $ seed $ count $ quick $ json $ only $ probes $ metrics_term $ jobs_term)
+    Term.(
+      const run $ seed $ count $ quick $ json $ only $ family_term $ probes $ metrics_term
+      $ jobs_term)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -572,11 +650,12 @@ let list_cmd =
     if json then
       print_string (Json.to_string (Vc_serve.Protocol.list_payload entries) ^ "\n")
     else begin
-      Fmt.pr "%-28s %-10s %-24s %-14s %s@." "problem" "radius" "sizes" "quick sizes" "ir";
+      Fmt.pr "%-28s %-10s %-10s %-24s %-14s %s@." "problem" "family" "radius" "sizes"
+        "quick sizes" "ir";
       List.iter
         (fun (e : Vc_check.Registry.entry) ->
           let ints l = String.concat "," (List.map string_of_int l) in
-          Fmt.pr "%-28s %-10s %-24s %-14s %b@." e.name
+          Fmt.pr "%-28s %-10s %-10s %-24s %-14s %b@." e.name e.family
             (if e.radius = max_int then "unbounded" else string_of_int e.radius)
             (ints e.sizes) (ints e.quick_sizes) e.ir)
         entries
@@ -890,22 +969,15 @@ let snap_cmd =
       value & opt int 42
       & info [ "seed" ] ~docv:"N" ~doc:"With $(b,build): instance seed to snapshot.")
   in
-  let contains hay needle =
-    let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
-    let rec go i =
-      i + String.length needle <= String.length hay
-      && (String.sub hay i (String.length needle) = needle || go (i + 1))
-    in
-    go 0
-  in
-  let run action dir only quick size seed =
+  let run action dir only family quick size seed =
     let store = Vc_check.Registry.store ~dir in
     match action with
     | `Build ->
         let entries =
           List.filter
             (fun (e : Vc_check.Registry.entry) ->
-              match only with None -> true | Some f -> contains e.name f)
+              (match only with None -> true | Some f -> contains e.name f)
+              && match family with None -> true | Some f -> contains e.family f)
             (Vc_check.Registry.all ())
         in
         if entries = [] then begin
@@ -999,7 +1071,178 @@ let snap_cmd =
          "Manage the instance snapshot store: $(b,build) snapshots for registry problems, \
           $(b,ls) and $(b,verify) (full byte-level re-checksum) resident files, $(b,rm) \
           stale ones.  The same store plugs into $(b,volcomp serve --snap-dir).")
-    Term.(const run $ action $ dir $ only $ quick $ size $ seed)
+    Term.(const run $ action $ dir $ only $ family_term $ quick $ size $ seed)
+
+(* --- family ------------------------------------------------------------------ *)
+
+let family_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("list", `List); ("build", `Build) ])) None
+      & info [] ~docv:"ACTION" ~doc:"One of $(b,list), $(b,build).")
+  in
+  let fam_name =
+    Arg.(
+      value & pos 1 (some string) None
+      & info [] ~docv:"FAMILY" ~doc:"Family to build (see $(b,family list)).")
+  in
+  let size =
+    Arg.(
+      value & opt int 36
+      & info [ "size" ] ~docv:"N" ~doc:"Approximate instance size for $(b,build).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Instance seed for $(b,build).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON.") in
+  let problems_of fam =
+    List.filter
+      (fun (e : Vc_check.Registry.entry) -> e.family = fam)
+      (Vc_check.Registry.all ())
+  in
+  let run action fam_name size seed json jobs =
+    match action with
+    | `List ->
+        if json then begin
+          let fams =
+            List.map
+              (fun (i : Family.info) ->
+                Json.Obj
+                  [
+                    ("name", Json.String i.Family.f_name);
+                    ("description", Json.String i.Family.f_description);
+                    ("min_size", Json.Int i.Family.f_min_size);
+                    ("max_degree", Json.Int i.Family.f_max_degree);
+                    ( "problems",
+                      Json.List
+                        (List.map
+                           (fun (e : Vc_check.Registry.entry) -> Json.String e.name)
+                           (problems_of i.Family.f_name)) );
+                  ])
+              Family.all
+          in
+          print_string (Json.to_string (Json.Obj [ ("families", Json.List fams) ]) ^ "\n")
+        end
+        else
+          List.iter
+            (fun (i : Family.info) ->
+              Fmt.pr "%-12s min size %-4d max degree %-3d %s@." i.Family.f_name
+                i.Family.f_min_size i.Family.f_max_degree i.Family.f_description;
+              List.iter
+                (fun (e : Vc_check.Registry.entry) -> Fmt.pr "  %s@." e.name)
+                (problems_of i.Family.f_name))
+            Family.all;
+        0
+    | `Build -> (
+        match fam_name with
+        | None ->
+            Fmt.epr "family build: expected a FAMILY (see $(b,volcomp family list))@.";
+            2
+        | Some nm -> (
+            match Family.find nm with
+            | None ->
+                Fmt.epr "family: unknown family %S (known: %s)@." nm
+                  (String.concat ", "
+                     (List.map (fun (i : Family.info) -> i.Family.f_name) Family.all));
+                2
+            | Some info ->
+                let seed64 = Int64.of_int seed in
+                let g = info.Family.f_build ~size ~seed:seed64 in
+                let entries = problems_of info.Family.f_name in
+                (* each registry entry rebuilds through its own (size, seed)
+                   mapping — RegularColoring4's d = 3 instance is smaller
+                   than the family's d = 4 flagship, hence per-problem n *)
+                let rows =
+                  with_jobs jobs (fun pool ->
+                      List.map
+                        (fun (e : Vc_check.Registry.entry) ->
+                          let trial = e.make ~size ~seed:seed64 () in
+                          let outcomes =
+                            trial.Vc_check.Registry.run_solvers ?pool ()
+                          in
+                          (e, trial.Vc_check.Registry.t_n, outcomes))
+                        entries)
+                in
+                let all_valid =
+                  List.for_all
+                    (fun (_, _, outcomes) ->
+                      List.for_all
+                        (fun (o : Vc_check.Registry.solver_outcome) ->
+                          o.Vc_check.Registry.valid)
+                        outcomes)
+                    rows
+                in
+                if json then begin
+                  let problems =
+                    List.map
+                      (fun ((e : Vc_check.Registry.entry), n, outcomes) ->
+                        Json.Obj
+                          [
+                            ("name", Json.String e.name);
+                            ("n", Json.Int n);
+                            ( "valid",
+                              Json.Bool
+                                (List.for_all
+                                   (fun (o : Vc_check.Registry.solver_outcome) ->
+                                     o.Vc_check.Registry.valid)
+                                   outcomes) );
+                            ( "solvers",
+                              Json.List
+                                (List.map
+                                   (fun (o : Vc_check.Registry.solver_outcome) ->
+                                     Json.Obj
+                                       [
+                                         ("name", Json.String o.Vc_check.Registry.solver);
+                                         ("valid", Json.Bool o.Vc_check.Registry.valid);
+                                         ( "max_volume",
+                                           Json.Int
+                                             o.Vc_check.Registry.stats.Runner.max_volume );
+                                         ( "max_distance",
+                                           Json.Int
+                                             o.Vc_check.Registry.stats.Runner.max_distance );
+                                       ])
+                                   outcomes) );
+                          ])
+                      rows
+                  in
+                  print_string
+                    (Json.to_string
+                       (Json.Obj
+                          [
+                            ("family", Json.String info.Family.f_name);
+                            ("size", Json.Int size);
+                            ("seed", Json.String (Int64.to_string seed64));
+                            ("n", Json.Int (Graph.n g));
+                            ("max_degree", Json.Int (Graph.max_degree g));
+                            ("problems", Json.List problems);
+                          ])
+                    ^ "\n")
+                end
+                else begin
+                  Fmt.pr "family %s: n %d, max degree %d (size %d, seed %Ld)@."
+                    info.Family.f_name (Graph.n g) (Graph.max_degree g) size seed64;
+                  List.iter
+                    (fun ((e : Vc_check.Registry.entry), n, outcomes) ->
+                      List.iter
+                        (fun (o : Vc_check.Registry.solver_outcome) ->
+                          Fmt.pr "%-28s n %-6d %-24s volume %-6d distance %-4d %s@." e.name n
+                            o.Vc_check.Registry.solver
+                            o.Vc_check.Registry.stats.Runner.max_volume
+                            o.Vc_check.Registry.stats.Runner.max_distance
+                            (if o.Vc_check.Registry.valid then "VALID" else "INVALID"))
+                        outcomes)
+                    rows
+                end;
+                if all_valid then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "family"
+       ~doc:
+         "Graph families beyond paths and trees: $(b,list) the builders and their \
+          registered problems, or $(b,build) a seeded instance and run + validate every \
+          problem of the family on it.")
+    Term.(const run $ action $ fam_name $ size $ seed $ json $ jobs_term)
 
 (* --- serve ------------------------------------------------------------------- *)
 
@@ -1497,6 +1740,7 @@ let () =
             trace_cmd;
             export_cmd;
             list_cmd;
+            family_cmd;
             ir_cmd;
             synth_cmd;
             snap_cmd;

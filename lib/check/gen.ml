@@ -6,13 +6,14 @@ module LC = Volcomp.Leaf_coloring
 module BT = Volcomp.Balanced_tree
 module Hy = Volcomp.Hybrid_thc
 module SO = Volcomp.Sinkless
+module Family = Vc_family.Family
 module Ir = Vc_ir.Ir
 
 (* --- graph specs --------------------------------------------------------- *)
 
-type shape = Path | Cycle | Complete_tree | Random_tree | Cubic
+type shape = Path | Cycle | Complete_tree | Random_tree | Cubic | Torus | D_regular | Expander
 
-let all_shapes = [ Path; Cycle; Complete_tree; Random_tree; Cubic ]
+let all_shapes = [ Path; Cycle; Complete_tree; Random_tree; Cubic; Torus; D_regular; Expander ]
 
 let pp_shape ppf = function
   | Path -> Fmt.string ppf "path"
@@ -20,6 +21,9 @@ let pp_shape ppf = function
   | Complete_tree -> Fmt.string ppf "complete-tree"
   | Random_tree -> Fmt.string ppf "random-tree"
   | Cubic -> Fmt.string ppf "cubic"
+  | Torus -> Fmt.string ppf "torus"
+  | D_regular -> Fmt.string ppf "d-regular"
+  | Expander -> Fmt.string ppf "expander"
 
 type graph_spec = {
   shape : shape;
@@ -35,6 +39,9 @@ let min_size_of = function
   | Complete_tree -> 3
   | Random_tree -> 3
   | Cubic -> 8
+  | Torus -> 16
+  | D_regular -> 6
+  | Expander -> 5
 
 let build spec =
   let size = max (min_size_of spec.shape) spec.size in
@@ -47,6 +54,9 @@ let build spec =
       Builder.complete_binary_tree ~depth
   | Random_tree -> Builder.random_binary_tree ~n:size ~rng:(Splitmix.create spec.g_seed)
   | Cubic -> SO.random_cubic ~n:size ~seed:spec.g_seed
+  | Torus -> Family.torus_of_size ~size ~seed:spec.g_seed
+  | D_regular -> Family.regular_of_size ~d:4 ~size ~seed:spec.g_seed
+  | Expander -> Family.expander_of_size ~size ~seed:spec.g_seed
 
 let spec ?(shapes = all_shapes) ?(min_size = 8) ?(max_size = 64) () =
   if shapes = [] then invalid_arg "Gen.spec: shapes must be non-empty";

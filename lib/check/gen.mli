@@ -20,7 +20,15 @@ module Splitmix = Vc_rng.Splitmix
 
 (** {1 Graph specs (qcheck)} *)
 
-type shape = Path | Cycle | Complete_tree | Random_tree | Cubic
+type shape =
+  | Path
+  | Cycle
+  | Complete_tree
+  | Random_tree
+  | Cubic
+  | Torus  (** {!Vc_family.Family.torus_of_size}: even-sided, normal-form ports *)
+  | D_regular  (** {!Vc_family.Family.regular_of_size} at d = 4 *)
+  | Expander  (** {!Vc_family.Family.expander_of_size} *)
 
 val all_shapes : shape list
 val pp_shape : Format.formatter -> shape -> unit

@@ -24,6 +24,10 @@ module H = Volcomp.Hierarchical_thc
 module Hy = Volcomp.Hybrid_thc
 module HH = Volcomp.Hh_thc
 module Gap = Volcomp.Gap_example
+module Family = Vc_family.Family
+module F4 = Vc_family.Coloring4
+module FM = Vc_family.Matching
+module FI = Vc_family.Mis
 module Snap = Vc_snap.Snap
 module Store = Vc_snap.Store
 module Iarr = Vc_graph.Iarr
@@ -63,6 +67,7 @@ type trial = {
 
 type entry = {
   name : string;
+  family : string;
   radius : int;
   sizes : int list;
   quick_sizes : int list;
@@ -378,7 +383,10 @@ let make_trial (type i o) ~(problem : (i, o) Lcl.t) ~graph ~(input : Graph.node 
 (* Bump whenever any instance builder's output changes: every existing
    snapshot becomes a structured miss and is rebuilt (and re-published)
    on the next touch — the store's only invalidation rule. *)
-let builder_version = "registry-v1"
+(* Bumped to v2 when the graph-family builders landed (torus, d-regular,
+   expander): any v1 snapshot store must answer [None] (a cold build),
+   never a stale instance. *)
+let builder_version = "registry-v2"
 
 let store ~dir = Store.create ~dir ~builder_version
 
@@ -642,13 +650,14 @@ let acquire_with ?store:st ~problem ~snapper ~build ~size ~seed () =
               : bool);
           (inst, `Built))
 
-let snap_entry ~name ~radius ~sizes ~quick_sizes ~ir ~snapper ~build ~trial_of =
+let snap_entry ~name ~family ~radius ~sizes ~quick_sizes ~ir ~snapper ~build ~trial_of =
   let acquire_inst ?store ~size ~seed () =
     acquire_with ?store ~problem:name ~snapper ~build:(fun () -> build ~size ~seed) ~size ~seed
       ()
   in
   {
     name;
+    family;
     radius;
     sizes;
     quick_sizes;
@@ -665,8 +674,8 @@ let snap_entry ~name ~radius ~sizes ~quick_sizes ~ir ~snapper ~build ~trial_of =
 
 let degree_parity =
   let problem = TR.problem in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 24; 40 ]
-    ~quick_sizes:[ 16 ] ~ir:true ~snapper:graph_snapper
+  snap_entry ~name:problem.Lcl.name ~family:"cubic" ~radius:problem.Lcl.radius
+    ~sizes:[ 24; 40 ] ~quick_sizes:[ 16 ] ~ir:true ~snapper:graph_snapper
     ~build:(fun ~size ~seed -> Gen.build { Gen.shape = Gen.Cubic; size; g_seed = seed })
     ~trial_of:(fun ~seed ~source graph ->
       let input _ = () in
@@ -684,8 +693,8 @@ let degree_parity =
 
 let cycle_coloring =
   let problem = CC.problem in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 16; 33 ]
-    ~quick_sizes:[ 9 ] ~ir:true ~snapper:graph_snapper
+  snap_entry ~name:problem.Lcl.name ~family:"cycle" ~radius:problem.Lcl.radius
+    ~sizes:[ 16; 33 ] ~quick_sizes:[ 9 ] ~ir:true ~snapper:graph_snapper
     ~build:(fun ~size ~seed ->
       (* shuffled identifiers vary the ColeâVishkin trajectory per seed *)
       Graph.shuffle_ids (Builder.cycle (max 3 size)) ~rng:(Splitmix.create seed))
@@ -710,8 +719,8 @@ let cycle_coloring =
 
 let sinkless =
   let problem = SO.problem in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 20; 32 ]
-    ~quick_sizes:[ 12 ] ~ir:false ~snapper:graph_snapper
+  snap_entry ~name:problem.Lcl.name ~family:"cubic" ~radius:problem.Lcl.radius
+    ~sizes:[ 20; 32 ] ~quick_sizes:[ 12 ] ~ir:false ~snapper:graph_snapper
     ~build:(fun ~size ~seed -> SO.random_cubic ~n:(max 8 size) ~seed)
     ~trial_of:(fun ~seed ~source graph ->
       let input _ = () in
@@ -771,8 +780,8 @@ let lc_mutants inst =
 
 let leaf_coloring =
   let problem = LC.problem in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 31; 63 ]
-    ~quick_sizes:[ 15 ] ~ir:true ~snapper:lc_snapper
+  snap_entry ~name:problem.Lcl.name ~family:"tree" ~radius:problem.Lcl.radius
+    ~sizes:[ 31; 63 ] ~quick_sizes:[ 15 ] ~ir:true ~snapper:lc_snapper
     ~build:(fun ~size ~seed -> LC.random_instance ~n:size ~seed)
     ~trial_of:(fun ~seed ~source inst ->
       let graph = inst.LC.graph in
@@ -784,7 +793,7 @@ let leaf_coloring =
 
 let promise_leaf =
   let problem = LC.problem in
-  snap_entry ~name:"PromiseLeafColoring (secret)" ~radius:problem.Lcl.radius
+  snap_entry ~name:"PromiseLeafColoring (secret)" ~family:"tree" ~radius:problem.Lcl.radius
     ~sizes:[ 31; 63 ] ~quick_sizes:[ 15 ] ~ir:true ~snapper:lc_snapper
     ~build:(fun ~size ~seed ->
       let leaf_color = if Int64.logand seed 1L = 0L then TL.Red else TL.Blue in
@@ -801,7 +810,7 @@ let promise_leaf =
 
 let balanced_tree =
   let problem = BT.problem in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 3; 4 ]
+  snap_entry ~name:problem.Lcl.name ~family:"tree" ~radius:problem.Lcl.radius ~sizes:[ 3; 4 ]
     ~quick_sizes:[ 3 ] ~ir:false ~snapper:bt_snapper
     ~build:(fun ~size ~seed ->
       if Int64.logand seed 1L = 1L then BT.broken_pair_instance ~depth:size ~break:0
@@ -857,7 +866,7 @@ let balanced_tree =
 let hierarchical =
   let k = 2 in
   let problem = H.problem ~k in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 4; 5 ]
+  snap_entry ~name:problem.Lcl.name ~family:"tree" ~radius:problem.Lcl.radius ~sizes:[ 4; 5 ]
     ~quick_sizes:[ 3 ] ~ir:false ~snapper:(h_snapper ~k)
     ~build:(fun ~size ~seed -> H.uniform_instance ~k ~len:size ~seed)
     ~trial_of:(fun ~seed ~source inst ->
@@ -897,7 +906,7 @@ let rotate_sym = function
 let hybrid =
   let k = 2 in
   let problem = Hy.problem ~k in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 3; 4 ]
+  snap_entry ~name:problem.Lcl.name ~family:"tree" ~radius:problem.Lcl.radius ~sizes:[ 3; 4 ]
     ~quick_sizes:[ 3 ] ~ir:false ~snapper:(hy_snapper ~k)
     ~build:(fun ~size ~seed -> Hy.uniform_instance ~k ~len:size ~bt_depth:3 ~seed)
     ~trial_of:(fun ~seed ~source inst ->
@@ -928,7 +937,7 @@ let hybrid =
 let hh =
   let k = 2 and l = 3 in
   let problem = HH.problem ~k ~l in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 60 ]
+  snap_entry ~name:problem.Lcl.name ~family:"tree" ~radius:problem.Lcl.radius ~sizes:[ 60 ]
     ~quick_sizes:[ 40 ] ~ir:false ~snapper:(hh_snapper ~k ~level:l)
     ~build:(fun ~size ~seed -> HH.uniform_instance ~k ~l ~size_hint:size ~seed)
     ~trial_of:(fun ~seed ~source inst ->
@@ -962,7 +971,7 @@ let hh =
 
 let gap =
   let problem = Gap.problem in
-  snap_entry ~name:problem.Lcl.name ~radius:problem.Lcl.radius ~sizes:[ 4; 5 ]
+  snap_entry ~name:problem.Lcl.name ~family:"tree" ~radius:problem.Lcl.radius ~sizes:[ 4; 5 ]
     ~quick_sizes:[ 3 ] ~ir:false ~snapper:gap_snapper
     ~build:(fun ~size ~seed -> Gap.make ~depth:size ~seed)
     ~trial_of:(fun ~seed ~source inst ->
@@ -1001,6 +1010,158 @@ let gap =
           ]
         ~source ~seed ())
 
+(* --- graph families beyond paths and trees (lib/family) ------------------ *)
+
+(* Every marquee family problem is registered once per applicable family
+   under a family-qualified name; the instances are pure graphs, so
+   [graph_snapper] covers snapshots with no extra segments. *)
+
+let coloring_mutants graph =
+  [
+    ( "copy-neighbor",
+      fun rng out ->
+        let v = any_node rng out in
+        out.(v) <- out.(Graph.neighbor graph v 1);
+        out_mutant v out );
+    ( "out-of-palette",
+      fun rng out ->
+        let v = any_node rng out in
+        out.(v) <- F4.palette;
+        out_mutant v out );
+  ]
+
+let coloring_entry ~name ~family ~sizes ~quick_sizes ~solver ~build =
+  let problem = Lcl.with_name F4.problem ~name in
+  snap_entry ~name ~family ~radius:problem.Lcl.radius ~sizes ~quick_sizes ~ir:false
+    ~snapper:graph_snapper ~build
+    ~trial_of:(fun ~seed ~source graph ->
+      make_trial ~problem ~graph ~input:(fun _ -> ()) ~world:(F4.world graph)
+        ~solvers:[ solver ] ~mutants:(coloring_mutants graph) ~source ~seed ())
+
+let torus_coloring =
+  coloring_entry ~name:"TorusColoring4" ~family:"torus" ~sizes:[ 36; 64 ] ~quick_sizes:[ 16 ]
+    ~solver:F4.solve_torus
+    ~build:(fun ~size ~seed -> Family.torus_of_size ~size ~seed)
+
+let regular_coloring =
+  (* d = 3: the greedy mex stays within the 4-colour palette *)
+  coloring_entry ~name:"RegularColoring4" ~family:"d-regular" ~sizes:[ 24; 40 ]
+    ~quick_sizes:[ 12 ] ~solver:F4.solve_greedy
+    ~build:(fun ~size ~seed -> Family.regular_of_size ~d:3 ~size ~seed)
+
+let matching_mutants graph =
+  [
+    ( "unmatch",
+      fun rng out ->
+        (* dropping a matched node leaves its partner pointing at it *)
+        (match pick rng (nodes_where graph (fun v -> out.(v) > 0)) with
+        | None -> None
+        | Some v ->
+            out.(v) <- 0;
+            out_mutant v out) );
+    ( "false-match",
+      fun rng out ->
+        (* an unmatched node claims port 1; maximality says that
+           neighbor is matched elsewhere, so reciprocity breaks *)
+        match pick rng (nodes_where graph (fun v -> out.(v) = 0 && Graph.degree graph v > 0)) with
+        | None -> None
+        | Some v ->
+            out.(v) <- 1;
+            out_mutant v out );
+  ]
+
+let matching_entry ~name ~family ~sizes ~quick_sizes ~build =
+  let problem = Lcl.with_name FM.problem ~name in
+  snap_entry ~name ~family ~radius:problem.Lcl.radius ~sizes ~quick_sizes ~ir:false
+    ~snapper:graph_snapper ~build
+    ~trial_of:(fun ~seed ~source graph ->
+      make_trial ~problem ~graph ~input:(fun _ -> ()) ~world:(FM.world graph)
+        ~solvers:FM.solvers ~mutants:(matching_mutants graph) ~source ~seed ())
+
+let torus_matching =
+  matching_entry ~name:"TorusMatching" ~family:"torus" ~sizes:[ 36; 64 ] ~quick_sizes:[ 16 ]
+    ~build:(fun ~size ~seed -> Family.torus_of_size ~size ~seed)
+
+let regular_matching =
+  matching_entry ~name:"RegularMatching" ~family:"d-regular" ~sizes:[ 24; 40 ]
+    ~quick_sizes:[ 12 ]
+    ~build:(fun ~size ~seed -> Family.regular_of_size ~d:4 ~size ~seed)
+
+let mis_mutants =
+  [
+    ( "drop-member",
+      fun rng out ->
+        (* a dropped member has no set neighbor (independence), so it is
+           left uncovered *)
+        (match
+           Array.to_seqi out |> Seq.filter (fun (_, b) -> b) |> List.of_seq
+           |> List.map fst
+           |> pick rng
+         with
+        | None -> None
+        | Some v ->
+            out.(v) <- false;
+            out_mutant v out) );
+    ( "add-member",
+      fun rng out ->
+        (* maximality guarantees an excluded node has a set neighbor, so
+           adding it breaks independence *)
+        match
+          Array.to_seqi out |> Seq.filter (fun (_, b) -> not b) |> List.of_seq
+          |> List.map fst
+          |> pick rng
+        with
+        | None -> None
+        | Some v ->
+            out.(v) <- true;
+            out_mutant v out );
+  ]
+
+let mis_entry ~name ~family ~sizes ~quick_sizes ~build =
+  let problem = Lcl.with_name FI.problem ~name in
+  snap_entry ~name ~family ~radius:problem.Lcl.radius ~sizes ~quick_sizes ~ir:false
+    ~snapper:graph_snapper ~build
+    ~trial_of:(fun ~seed ~source graph ->
+      make_trial ~problem ~graph ~input:(fun _ -> ()) ~world:(FI.world graph)
+        ~solvers:FI.solvers ~mutants:mis_mutants ~source ~seed ())
+
+let regular_mis =
+  mis_entry ~name:"RegularMIS" ~family:"d-regular" ~sizes:[ 24; 40 ] ~quick_sizes:[ 12 ]
+    ~build:(fun ~size ~seed -> Family.regular_of_size ~d:4 ~size ~seed)
+
+let expander_mis =
+  mis_entry ~name:"ExpanderMIS" ~family:"expander" ~sizes:[ 25; 41 ] ~quick_sizes:[ 13 ]
+    ~build:(fun ~size ~seed -> Family.expander_of_size ~size ~seed)
+
+let regular_sinkless =
+  (* Question 7.3's playground on exactly d-regular instances: the
+     second family next to the random-cubic entry above. *)
+  let problem = Lcl.with_name SO.problem ~name:"RegularSinkless" in
+  snap_entry ~name:"RegularSinkless" ~family:"d-regular" ~radius:problem.Lcl.radius
+    ~sizes:[ 20; 32 ] ~quick_sizes:[ 12 ] ~ir:false ~snapper:graph_snapper
+    ~build:(fun ~size ~seed -> Family.regular_of_size ~d:4 ~size ~seed)
+    ~trial_of:(fun ~seed ~source graph ->
+      let flip = function SO.Outgoing -> SO.Incoming | SO.Incoming -> SO.Outgoing in
+      make_trial ~problem ~graph ~input:(fun _ -> ()) ~world:(SO.world graph)
+        ~solvers:SO.solvers
+        ~mutants:
+          [
+            ( "swap-port",
+              fun rng out ->
+                let v = any_node rng out in
+                let p = Splitmix.int rng ~bound:(Graph.degree graph v) in
+                let a = Array.copy out.(v) in
+                a.(p) <- flip a.(p);
+                out.(v) <- a;
+                out_mutant v out );
+            ( "make-sink",
+              fun rng out ->
+                let v = any_node rng out in
+                out.(v) <- Array.make (Graph.degree graph v) SO.Incoming;
+                out_mutant v out );
+          ]
+        ~source ~seed ())
+
 let all () =
   [
     degree_parity;
@@ -1013,4 +1174,11 @@ let all () =
     hybrid;
     hh;
     gap;
+    torus_coloring;
+    regular_coloring;
+    torus_matching;
+    regular_matching;
+    regular_mis;
+    expander_mis;
+    regular_sinkless;
   ]

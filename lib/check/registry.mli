@@ -116,6 +116,10 @@ type trial = {
 
 type entry = {
   name : string;
+  family : string;
+      (** The graph family the instances are drawn from ("tree", "cycle",
+          "cubic", "torus", "d-regular", "expander") — the [--family]
+          CLI filters and the [list --json] payload key off it. *)
   radius : int;  (** the problem's checkability radius *)
   sizes : int list;  (** instance sizes for the full profile *)
   quick_sizes : int list;  (** smaller sizes for the [dune runtest] profile *)
@@ -132,7 +136,10 @@ type entry = {
 }
 
 val all : unit -> entry list
-(** Every problem of [lib/core], in paper order: DegreeParity,
+(** Every problem of [lib/core], in paper order — DegreeParity,
     CycleColoring3, Sinkless, LeafColoring, PromiseLeafColoring (secret
     regime), BalancedTree, Hierarchical-THC(2), Hybrid-THC(2),
-    HH-THC(2,3), LeafBitCopy (Example 7.6). *)
+    HH-THC(2,3), LeafBitCopy (Example 7.6) — followed by the
+    [lib/family] marquee problems, one entry per (family, problem)
+    pair: TorusColoring4, RegularColoring4, TorusMatching,
+    RegularMatching, RegularMIS, ExpanderMIS, RegularSinkless. *)

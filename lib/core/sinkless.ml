@@ -161,6 +161,38 @@ let solve_global_fn ctx =
               | None -> ())
             pw);
       Hashtbl.replace successor w u);
+  (* Re-root the spanning tree at the minimum-id cycle node: every cycle
+     node is sinkless via its successor edge and every off-cycle node via
+     its child -> parent edge, so only the tree root could ever lack an
+     outgoing edge — and the new root sits on the cycle.  (The original
+     BFS root is only guaranteed a cycle edge when the first closing edge
+     happens to pass through it.) *)
+  let parent =
+    if Hashtbl.length successor = 0 then parent
+    else begin
+      let cycle_root =
+        Hashtbl.fold (fun v _ best -> if id v < id best then v else best) successor
+          (Hashtbl.fold (fun v _ _ -> v) successor root)
+      in
+      let parent' = Hashtbl.create 64 in
+      let seen' = Hashtbl.create 64 in
+      let queue' = Queue.create () in
+      Hashtbl.replace seen' cycle_root ();
+      Queue.add cycle_root queue';
+      while not (Queue.is_empty queue') do
+        let v = Queue.pop queue' in
+        List.iter
+          (fun (_, w) ->
+            if not (Hashtbl.mem seen' w) then begin
+              Hashtbl.replace seen' w ();
+              Hashtbl.replace parent' w v;
+              Queue.add w queue'
+            end)
+          (adj v)
+      done;
+      parent'
+    end
+  in
   (* orientation of one edge, from [v]'s perspective *)
   let direction v w =
     if Hashtbl.find_opt successor v = Some w then Outgoing

@@ -1,0 +1,77 @@
+module Graph = Vc_graph.Graph
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+
+type output = int
+
+let palette = 4
+
+let problem : (unit, output) Lcl.t =
+  let valid_at g ~input:_ ~output v =
+    let c = output v in
+    if c < 0 || c >= palette then
+      Error (Fmt.str "colour %d outside the %d-colour palette" c palette)
+    else
+      Graph.fold_neighbors g v ~init:(Ok ()) ~f:(fun acc w ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              if output w = c then Error (Fmt.str "neighbor %d shares colour %d" w c)
+              else Ok ())
+  in
+  { Lcl.name = "Coloring4"; radius = 1; valid_at }
+
+let world g = World.of_graph g ~input:(fun _ -> ())
+
+(* Derive torus coordinates by replaying the normal-form ports (1 = +x,
+   2 = -x, 3 = +y, 4 = -y) along a BFS from the minimum-id node, then
+   colour by coordinate parity.  Any two derivations of a node's
+   coordinates differ by multiples of the (even) side lengths, so the
+   parities — and hence the colouring — are well-defined and proper
+   across the wraparound. *)
+let solve_torus_fn ctx =
+  let c = Global.gather ctx in
+  let coords = Hashtbl.create 64 in
+  Hashtbl.replace coords c.Global.root (0, 0);
+  let queue = Queue.create () in
+  Queue.add c.Global.root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let x, y = Hashtbl.find coords v in
+    List.iter
+      (fun (p, w) ->
+        if not (Hashtbl.mem coords w) then begin
+          let cw =
+            match p with
+            | 1 -> (x + 1, y)
+            | 2 -> (x - 1, y)
+            | 3 -> (x, y + 1)
+            | _ -> (x, y - 1)
+          in
+          Hashtbl.replace coords w cw;
+          Queue.add w queue
+        end)
+      (c.Global.adj v)
+  done;
+  let x, y = Hashtbl.find coords c.Global.origin in
+  let parity z = ((z mod 2) + 2) mod 2 in
+  (2 * parity x) + parity y
+
+let solve_torus = Lcl.solver ~name:"torus parity colouring" ~randomized:false solve_torus_fn
+
+(* Greedy mex in ascending-id order: at most [max_degree + 1] colours,
+   so within the palette on families of maximum degree 3. *)
+let solve_greedy_fn ctx =
+  let c = Global.gather ctx in
+  let colour = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let used =
+        List.filter_map (fun (_, w) -> Hashtbl.find_opt colour w) (c.Global.adj v)
+      in
+      let rec mex k = if List.mem k used then mex (k + 1) else k in
+      Hashtbl.replace colour v (mex 0))
+    (Global.by_id c c.Global.members);
+  Hashtbl.find colour c.Global.origin
+
+let solve_greedy = Lcl.solver ~name:"global greedy colouring" ~randomized:false solve_greedy_fn

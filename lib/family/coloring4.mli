@@ -1,0 +1,34 @@
+(** 4-colouring, the marquee grid LCL (SNIPPETS.md #1, "LCL problems on
+    grids"): a proper vertex colouring from a palette of four.
+
+    Two deterministic reference solvers ship, one per family:
+
+    - {!solve_torus} exploits the torus normal form — it replays the
+      port labelling into grid coordinates and colours by coordinate
+      parity, proper on even-sided tori;
+    - {!solve_greedy} is the canonical greedy (ascending identifiers,
+      mex colour), within the palette whenever the maximum degree is at
+      most 3 — the d-regular family at d = 3.
+
+    Both gather the whole component, so VOL is Θ(component) and DIST the
+    origin's eccentricity — Θ(√n) on square tori, Θ(log n) on random
+    regular graphs: exactly the seeing-far-vs-seeing-wide contrast the
+    measured ladder plots. *)
+
+type output = int
+(** A colour in [0 .. 3]. *)
+
+val palette : int
+
+val problem : (unit, output) Vc_lcl.Lcl.t
+(** Radius-1 checker: palette membership plus properness. *)
+
+val world : Vc_graph.Graph.t -> unit Vc_model.World.t
+
+val solve_torus : (unit, output) Vc_lcl.Lcl.solver
+(** Coordinate-parity colouring via the normal-form ports; proper on
+    even-sided torus grids. *)
+
+val solve_greedy : (unit, output) Vc_lcl.Lcl.solver
+(** Greedy mex in ascending-id order; proper everywhere, within the
+    4-colour palette iff the maximum degree is at most 3. *)

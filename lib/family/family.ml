@@ -1,0 +1,131 @@
+module Graph = Vc_graph.Graph
+module Builder = Vc_graph.Builder
+module Splitmix = Vc_rng.Splitmix
+
+(* --- 2-d torus grids ------------------------------------------------------ *)
+
+let torus = Builder.torus
+
+let torus_coords ~w v = (v mod w, v / w)
+
+let torus_dims ~size =
+  let even_up x = if x mod 2 = 0 then x else x + 1 in
+  let side = int_of_float (sqrt (float_of_int (max 16 size))) in
+  let w = max 4 (even_up side) in
+  let h = max 4 (even_up ((size + w - 1) / w)) in
+  (w, h)
+
+let torus_of_size ~size ~seed =
+  let w, h = torus_dims ~size in
+  Graph.shuffle_ids (torus ~w ~h) ~rng:(Splitmix.create seed)
+
+(* --- random d-regular graphs (configuration model) ------------------------ *)
+
+let random_regular ~n ~d ~seed =
+  if d < 2 then invalid_arg "Family.random_regular: d must be >= 2";
+  if n <= d then invalid_arg "Family.random_regular: n must be > d";
+  if n * d mod 2 <> 0 then invalid_arg "Family.random_regular: n * d must be even";
+  let rng = Splitmix.create seed in
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let rec attempt k =
+    if k > 1000 then failwith "Family.random_regular: rejection sampling did not converge";
+    for i = (n * d) - 1 downto 1 do
+      let j = Splitmix.int rng ~bound:(i + 1) in
+      let tmp = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- tmp
+    done;
+    (* pair consecutive stubs; reject the whole pairing on a self-loop or
+       parallel edge so [Graph.create]'s validation always holds *)
+    let seen = Hashtbl.create (n * d) in
+    let rec pair i acc =
+      if i >= n * d then Some (List.rev acc)
+      else
+        let a = stubs.(i) and b = stubs.(i + 1) in
+        if a = b then None
+        else
+          let key = (min a b, max a b) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            pair (i + 2) ((a, b) :: acc)
+          end
+    in
+    match pair 0 [] with
+    | Some edges -> Graph.of_edges ~n edges
+    | None -> attempt (k + 1)
+  in
+  attempt 0
+
+let regular_of_size ~d ~size ~seed =
+  let n = max (d + 2) size in
+  let n = if n * d mod 2 = 0 then n else n + 1 in
+  random_regular ~n ~d ~seed
+
+(* --- Margulis/shift-style expanders --------------------------------------- *)
+
+let expander ~n =
+  if n < 5 || n mod 2 = 0 then invalid_arg "Family.expander: n must be odd and >= 5";
+  let seen = Hashtbl.create (4 * n) in
+  let edges = ref [] in
+  let add a b =
+    if a <> b then begin
+      let key = (min a b, max a b) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        edges := (a, b) :: !edges
+      end
+    end
+  in
+  for x = 0 to n - 1 do
+    add x ((x + 1) mod n)
+  done;
+  for x = 0 to n - 1 do
+    add x (2 * x mod n)
+  done;
+  Graph.of_edges ~n (List.rev !edges)
+
+let expander_of_size ~size ~seed =
+  let n = max 5 size in
+  let n = if n mod 2 = 0 then n + 1 else n in
+  Graph.shuffle_ids (expander ~n) ~rng:(Splitmix.create seed)
+
+(* --- the family table ------------------------------------------------------ *)
+
+type info = {
+  f_name : string;
+  f_description : string;
+  f_min_size : int;
+  f_max_degree : int;
+  f_build : size:int -> seed:int64 -> Graph.t;
+}
+
+let all =
+  [
+    {
+      f_name = "torus";
+      f_description =
+        "2-d torus grid, even side lengths, normal-form ports (1=+x 2=-x 3=+y 4=-y)";
+      f_min_size = 16;
+      f_max_degree = 4;
+      f_build = (fun ~size ~seed -> torus_of_size ~size ~seed);
+    };
+    {
+      f_name = "d-regular";
+      f_description = "random 4-regular graph: configuration model, simple by rejection";
+      f_min_size = 6;
+      f_max_degree = 4;
+      f_build = (fun ~size ~seed -> regular_of_size ~d:4 ~size ~seed);
+    };
+    {
+      f_name = "expander";
+      f_description = "Margulis/shift-style expander on Z_n: cycle plus x <-> 2x chords";
+      f_min_size = 5;
+      f_max_degree = 4;
+      f_build = (fun ~size ~seed -> expander_of_size ~size ~seed);
+    };
+  ]
+
+let find name =
+  let lname = String.lowercase_ascii name in
+  List.find_opt (fun i -> String.lowercase_ascii i.f_name = lname) all

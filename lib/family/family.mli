@@ -1,0 +1,63 @@
+(** Graph families beyond paths and trees (ROADMAP scenario diversity).
+
+    Deterministic, seed-reproducible builders for the terrains named by
+    the related work — 2-d torus grids ("LCL problems on grids"), random
+    d-regular graphs (Chang, "LCL Problems Beyond Paths and Trees") and
+    Margulis/shift-style expanders — all emitted straight into the
+    validated CSR {!Vc_graph.Graph.t} representation, so snapshots, the
+    lazy BFS world and the batched IR executor work on them unchanged. *)
+
+module Graph = Vc_graph.Graph
+
+(** {1 2-d torus grids} *)
+
+val torus : w:int -> h:int -> Graph.t
+(** {!Vc_graph.Builder.torus}: node [(x, y)] is index [y*w + x]; port 1
+    leads east, 2 west, 3 north, 4 south (the grid normal form). *)
+
+val torus_coords : w:int -> Graph.node -> int * int
+(** [(x, y)] of a node index in the unshuffled torus numbering. *)
+
+val torus_dims : size:int -> int * int
+(** Near-square even side lengths [(w, h)] with [w*h >= max 16 size].
+    Even sides keep the parity 4-colouring proper across the wrap. *)
+
+val torus_of_size : size:int -> seed:int64 -> Graph.t
+(** The {!torus_dims} torus with seed-shuffled identifiers. *)
+
+(** {1 Random d-regular graphs} *)
+
+val random_regular : n:int -> d:int -> seed:int64 -> Graph.t
+(** Configuration model: [n*d] stubs paired by a seeded shuffle; any
+    pairing containing a self-loop or parallel edge is rejected whole
+    and resampled, so the result is simple and exactly [d]-regular.
+    @raise Invalid_argument unless [d >= 2], [n > d] and [n*d] even. *)
+
+val regular_of_size : d:int -> size:int -> seed:int64 -> Graph.t
+(** [size] rounded up to the nearest feasible [n] (at least [d + 2],
+    [n*d] even). *)
+
+(** {1 Margulis/shift-style expanders} *)
+
+val expander : n:int -> Graph.t
+(** The shift expander on [Z_n] ([n] odd, [>= 5]): the cycle [x — x+1]
+    plus the chords [x — 2x mod n], deduplicated.  Degree between 2 and
+    4; deterministic (no randomness in the structure). *)
+
+val expander_of_size : size:int -> seed:int64 -> Graph.t
+(** [size] rounded up to the nearest odd [n >= 5], identifiers
+    seed-shuffled. *)
+
+(** {1 The family table} *)
+
+type info = {
+  f_name : string;  (** CLI name: ["torus"], ["d-regular"], ["expander"] *)
+  f_description : string;
+  f_min_size : int;
+  f_max_degree : int;
+  f_build : size:int -> seed:int64 -> Graph.t;
+}
+
+val all : info list
+val find : string -> info option
+(** By {!info.f_name}, case-insensitive. *)

@@ -1,0 +1,22 @@
+module Probe = Vc_model.Probe
+module Ball = Vc_model.Ball
+
+type t = {
+  origin : Vc_graph.Graph.node;
+  members : Vc_graph.Graph.node list;
+  root : Vc_graph.Graph.node;
+  adj : Vc_graph.Graph.node -> (int * Vc_graph.Graph.node) list;
+  id : Vc_graph.Graph.node -> int;
+}
+
+let gather ctx =
+  let origin = Probe.origin ctx in
+  let ball = Ball.gather ctx ~radius:(Probe.n ctx) in
+  let members = List.map fst ball in
+  let id v = Probe.id ctx v in
+  let root =
+    List.fold_left (fun best v -> if id v < id best then v else best) origin members
+  in
+  { origin; members; root; adj = (fun v -> Ball.adjacency ctx v); id }
+
+let by_id c vs = List.sort (fun a b -> compare (c.id a) (c.id b)) vs

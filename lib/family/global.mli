@@ -1,0 +1,24 @@
+(** Whole-component gathering shared by the family reference solvers.
+
+    The marquee problems on general families (4-colouring, maximal
+    matching, MIS) ship with deterministic global reference solvers in
+    the style of {e Sinkless.solve_global}: gather the origin's whole
+    component (volume Θ(component), distance = origin eccentricity),
+    then compute a canonical solution offline as a function of the
+    component alone — so every origin assembles the same labelling and
+    the merge/replay/mutation probes apply unchanged. *)
+
+type t = {
+  origin : Vc_graph.Graph.node;
+  members : Vc_graph.Graph.node list;  (** in BFS-gather order, origin first *)
+  root : Vc_graph.Graph.node;  (** the minimum-id member: the canonical anchor *)
+  adj : Vc_graph.Graph.node -> (int * Vc_graph.Graph.node) list;
+      (** resolved [(port, neighbor)] rows, free after the gather *)
+  id : Vc_graph.Graph.node -> int;
+}
+
+val gather : 'i Vc_model.Probe.ctx -> t
+(** Explore the origin's component ([radius = n] ball). *)
+
+val by_id : t -> Vc_graph.Graph.node list -> Vc_graph.Graph.node list
+(** Sort nodes by identifier — the canonical processing order. *)

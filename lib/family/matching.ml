@@ -1,0 +1,68 @@
+module Graph = Vc_graph.Graph
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+
+type output = int
+
+let problem : (unit, output) Lcl.t =
+  let valid_at g ~input:_ ~output v =
+    let p = output v in
+    let deg = Graph.degree g v in
+    if p < 0 || p > deg then Error (Fmt.str "match port %d out of range 0..%d" p deg)
+    else if p = 0 then
+      (* maximality: an unmatched node may not have an unmatched neighbor *)
+      Graph.fold_neighbors g v ~init:(Ok ()) ~f:(fun acc w ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              if output w = 0 then
+                Error (Fmt.str "unmatched next to unmatched %d: not maximal" w)
+              else Ok ())
+    else
+      let w = Graph.neighbor g v p in
+      match Graph.port_to g w v with
+      | None -> Error "malformed graph"
+      | Some q ->
+          if output w = q then Ok ()
+          else Error (Fmt.str "partner %d does not reciprocate" w)
+  in
+  { Lcl.name = "MaximalMatching"; radius = 1; valid_at }
+
+let world g = World.of_graph g ~input:(fun _ -> ())
+
+(* Canonical greedy matching: edges in ascending (min id, max id) order,
+   matched when both endpoints are still free. *)
+let solve_greedy_fn ctx =
+  let c = Global.gather ctx in
+  let id = c.Global.id in
+  let edges =
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun (_, w) -> if id v < id w then Some (v, w) else None)
+          (c.Global.adj v))
+      c.Global.members
+  in
+  let edges =
+    List.sort (fun (a, b) (u, v) -> compare (id a, id b) (id u, id v)) edges
+  in
+  let partner = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      if not (Hashtbl.mem partner a) && not (Hashtbl.mem partner b) then begin
+        Hashtbl.replace partner a b;
+        Hashtbl.replace partner b a
+      end)
+    edges;
+  match Hashtbl.find_opt partner c.Global.origin with
+  | None -> 0
+  | Some w -> (
+      match
+        List.find_opt (fun (_, u) -> u = w) (c.Global.adj c.Global.origin)
+      with
+      | Some (p, _) -> p
+      | None -> 0)
+
+let solve_greedy = Lcl.solver ~name:"global greedy matching" ~randomized:false solve_greedy_fn
+
+let solvers = [ solve_greedy ]

@@ -1,0 +1,21 @@
+(** Maximal matching, encoded by ports: a node outputs the port of its
+    matched partner, or 0 when unmatched.
+
+    The radius-1 checker demands reciprocation (my partner's output
+    points back at me) and maximality (an unmatched node has no
+    unmatched neighbor) — together exactly "the set of chosen edges is a
+    maximal matching". *)
+
+type output = int
+(** 0, or a port in [1 .. degree]. *)
+
+val problem : (unit, output) Vc_lcl.Lcl.t
+
+val world : Vc_graph.Graph.t -> unit Vc_model.World.t
+
+val solve_greedy : (unit, output) Vc_lcl.Lcl.solver
+(** Deterministic reference: gather the component, scan edges in
+    ascending (min id, max id) order, match both-free endpoints.  A
+    canonical function of the component, so all origins agree. *)
+
+val solvers : (unit, output) Vc_lcl.Lcl.solver list

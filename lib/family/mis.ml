@@ -1,0 +1,42 @@
+module Graph = Vc_graph.Graph
+module World = Vc_model.World
+module Lcl = Vc_lcl.Lcl
+
+type output = bool
+
+let problem : (unit, output) Lcl.t =
+  let valid_at g ~input:_ ~output v =
+    if output v then
+      Graph.fold_neighbors g v ~init:(Ok ()) ~f:(fun acc w ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              if output w then Error (Fmt.str "adjacent node %d is also in the set" w)
+              else Ok ())
+    else if Graph.fold_neighbors g v ~init:false ~f:(fun acc w -> acc || output w) then
+      Ok ()
+    else Error "excluded with no neighbor in the set: not maximal"
+  in
+  { Lcl.name = "MIS"; radius = 1; valid_at }
+
+let world g = World.of_graph g ~input:(fun _ -> ())
+
+(* The lexicographically-first MIS: ascending-id scan, join unless a
+   smaller-id neighbor already joined. *)
+let solve_greedy_fn ctx =
+  let c = Global.gather ctx in
+  let in_set = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let blocked =
+        List.exists
+          (fun (_, w) -> Hashtbl.find_opt in_set w = Some true)
+          (c.Global.adj v)
+      in
+      Hashtbl.replace in_set v (not blocked))
+    (Global.by_id c c.Global.members);
+  Hashtbl.find in_set c.Global.origin
+
+let solve_greedy = Lcl.solver ~name:"global greedy MIS" ~randomized:false solve_greedy_fn
+
+let solvers = [ solve_greedy ]

@@ -1,0 +1,17 @@
+(** Maximal independent set: a boolean per node; no two set members are
+    adjacent (independence), and every excluded node has a set neighbor
+    (maximality).  Both conditions are radius-1 checkable, making MIS
+    the textbook LCL on general bounded-degree graphs. *)
+
+type output = bool
+
+val problem : (unit, output) Vc_lcl.Lcl.t
+
+val world : Vc_graph.Graph.t -> unit Vc_model.World.t
+
+val solve_greedy : (unit, output) Vc_lcl.Lcl.solver
+(** Deterministic reference: the lexicographically-first MIS (ascending
+    identifiers, join unless a smaller-id neighbor joined).  A canonical
+    function of the component, so all origins agree. *)
+
+val solvers : (unit, output) Vc_lcl.Lcl.solver list

@@ -11,6 +11,25 @@ let cycle count =
   let ids = Array.init count (fun v -> v + 1) in
   Graph.create ~ids ~adj
 
+let torus ~w ~h =
+  if w < 3 || h < 3 then invalid_arg "Builder.torus: w and h must be >= 3";
+  (* Build adjacency directly so every node carries the grid normal form
+     in its port numbering: port 1 = +x (east), port 2 = -x (west),
+     port 3 = +y (north), port 4 = -y (south), all with wraparound. *)
+  let count = w * h in
+  let adj =
+    Array.init count (fun v ->
+        let x = v mod w and y = v / w in
+        [|
+          (y * w) + ((x + 1) mod w);
+          (y * w) + ((x + w - 1) mod w);
+          (((y + 1) mod h) * w) + x;
+          (((y + h - 1) mod h) * w) + x;
+        |])
+  in
+  let ids = Array.init count (fun v -> v + 1) in
+  Graph.create ~ids ~adj
+
 let tree_parent ~depth v =
   ignore depth;
   if v = 0 then None else Some ((v - 1) / 2)

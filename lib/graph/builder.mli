@@ -13,6 +13,15 @@ val cycle : int -> Graph.t
     to [(v+1) mod n] and port 2 to [(v-1) mod n], giving a consistent
     orientation (used by the class-B cycle-coloring problem). *)
 
+val torus : w:int -> h:int -> Graph.t
+(** [torus ~w ~h] is the 2-d torus grid on [w * h >= 9] nodes
+    ([w, h >= 3], so wraparound never creates a parallel edge).  Node
+    [(x, y)] is index [y*w + x]; the port numbering is the grid normal
+    form the grid-LCL constructions rely on: port 1 leads east to
+    [(x+1 mod w, y)], port 2 west, port 3 north to [(x, y+1 mod h)],
+    port 4 south — a globally consistent orientation labelling, the
+    torus analogue of {!cycle}'s successor/predecessor ports. *)
+
 val complete_binary_tree : depth:int -> Graph.t
 (** [complete_binary_tree ~depth] is the complete rooted binary tree of
     the given depth ([depth >= 0]), with [2^(depth+1) - 1] nodes.  Node 0

@@ -35,6 +35,8 @@ type ('i, 'o) solver = {
   solve : 'i Vc_model.Probe.ctx -> 'o;
 }
 
+let with_name problem ~name = { problem with name }
+
 let solver ~name ~randomized solve = { solver_name = name; randomized; solve }
 
 let volume_bounds_from_distance ~delta ~distance =

@@ -49,6 +49,11 @@ val is_valid :
   output:(Vc_graph.Graph.node -> 'o) ->
   bool
 
+val with_name : ('i, 'o) t -> name:string -> ('i, 'o) t
+(** The same checker under a different name — one LCL registered once
+    per graph family (e.g. 4-colouring on torus grids and on d-regular
+    graphs) without duplicating its [valid_at]. *)
+
 (** {1 Solvers} *)
 
 type ('i, 'o) solver = {

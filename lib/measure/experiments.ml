@@ -15,6 +15,11 @@ module Trivial = Volcomp.Trivial_lcl
 module Gap = Volcomp.Gap_example
 module Disjointness = Vc_commcc.Disjointness
 module Comm_counter = Vc_commcc.Comm_counter
+module Family = Vc_family.Family
+module F4 = Vc_family.Coloring4
+module FM = Vc_family.Matching
+module FI = Vc_family.Mis
+module SO = Volcomp.Sinkless
 
 type measurement = {
   quantity : string;
@@ -711,6 +716,148 @@ let congest_balancedtree ?pool ?(deep = false) ~quick () =
       ];
   }
 
+(* --- Question 7.3 playground: graph families beyond paths and trees ----------------- *)
+
+(* The [lib/family] marquee problems all run canonical whole-component
+   solvers, so VOL is the component size exactly (Theta(n)) and DIST is
+   the origin's eccentricity — the terrain, not the algorithm, decides
+   how far "seeing wide" forces you to see.  On near-square tori the
+   eccentricity is Theta(sqrt n); on random 4-regular graphs and shift
+   expanders it is Theta(log n): the same volume buys wildly different
+   distance, which is the seeing-far-vs-seeing-wide contrast of the
+   title, measured on Question 7.3's playground. *)
+
+let family_torus ?pool ?(deep = false) ~quick () =
+  let sizes =
+    ladder ~quick ~deep ~quick_rungs:[ 16; 36; 64 ]
+      ~std:[ 36; 100; 256; 576; 1156; 2304 ]
+      ~deep_rungs:[ 4624 ]
+  in
+  let per_size sz =
+    let g = Family.torus_of_size ~size:sz ~seed:(Int64.of_int sz) in
+    let n = Graph.n g in
+    let origins = origins_for g ~extra:[ 0 ] in
+    let col = measure_max ~world:(F4.world g) ~solver:F4.solve_torus ?pool ~origins () in
+    let mat = measure_max ~world:(FM.world g) ~solver:FM.solve_greedy ?pool ~origins () in
+    (n, col, mat)
+  in
+  let rows = pmap pool per_size sizes in
+  let points proj pick = List.map (fun (n, c, m) -> (n, max_stat (proj (c, m)) pick)) rows in
+  let dist s = s.Runner.max_distance and vol s = s.Runner.max_volume in
+  {
+    title = "Families: 2-d torus grid (seeing far: DIST Theta(sqrt n))";
+    measurements =
+      [
+        {
+          quantity = "C4:DIST";
+          paper_claim = "Theta(n^(1/2))";
+          expected = [ Fit.Root 2 ];
+          points = points fst dist;
+        };
+        {
+          quantity = "C4:VOL";
+          paper_claim = "Theta(n)";
+          expected = [ Fit.Linear ];
+          points = points fst vol;
+        };
+        {
+          quantity = "MM:DIST";
+          paper_claim = "Theta(n^(1/2))";
+          expected = [ Fit.Root 2 ];
+          points = points snd dist;
+        };
+        {
+          quantity = "MM:VOL";
+          paper_claim = "Theta(n)";
+          expected = [ Fit.Linear ];
+          points = points snd vol;
+        };
+      ];
+    notes =
+      [
+        "4-colouring (parity of the normal-form coordinates) and maximal matching, both \
+         whole-component canonical solvers: VOL is the component size, DIST the origin's \
+         eccentricity — Theta(sqrt n) on near-square even-sided tori.";
+      ];
+  }
+
+let family_regular ?pool ?(deep = false) ~quick () =
+  let sizes =
+    ladder ~quick ~deep ~quick_rungs:[ 12; 24; 48 ]
+      ~std:[ 24; 48; 96; 192; 384; 768 ]
+      ~deep_rungs:[ 1536 ]
+  in
+  (* log n vs n^(1/4) are near-indistinguishable at feasible sizes, so
+     the DIST rows accept the adjacent root classes alongside Log *)
+  let log_like = [ Fit.Log; Fit.Root 4; Fit.Root 3 ] in
+  let per_size sz =
+    let g = Family.regular_of_size ~d:4 ~size:sz ~seed:(Int64.of_int ((sz * 3) + 1)) in
+    let origins = origins_for g ~extra:[ 0 ] in
+    let mis = measure_max ~world:(FI.world g) ~solver:FI.solve_greedy ?pool ~origins () in
+    let so = measure_max ~world:(SO.world g) ~solver:SO.solve_global ?pool ~origins () in
+    let ex = Family.expander_of_size ~size:sz ~seed:(Int64.of_int sz) in
+    let ex_origins = origins_for ex ~extra:[ 0 ] in
+    let emis = measure_max ~world:(FI.world ex) ~solver:FI.solve_greedy ?pool ~origins:ex_origins () in
+    (Graph.n g, Graph.n ex, mis, so, emis)
+  in
+  let rows = pmap pool per_size sizes in
+  let reg proj pick = List.map (fun (n, _, mis, so, _) -> (n, max_stat (proj (mis, so)) pick)) rows in
+  let exp_pts pick = List.map (fun (_, n, _, _, e) -> (n, max_stat e pick)) rows in
+  let dist s = s.Runner.max_distance and vol s = s.Runner.max_volume in
+  {
+    title = "Families: random 4-regular + expander (seeing wide: DIST Theta(log n), Q7.3)";
+    measurements =
+      [
+        {
+          quantity = "MIS:DIST";
+          paper_claim = "Theta(log n)";
+          expected = log_like;
+          points = reg fst dist;
+        };
+        {
+          quantity = "MIS:VOL";
+          paper_claim = "Theta(n)";
+          expected = [ Fit.Linear ];
+          points = reg fst vol;
+        };
+        {
+          quantity = "SO:DIST";
+          paper_claim = "Theta(log n)";
+          expected = log_like;
+          points = reg snd dist;
+        };
+        {
+          quantity = "SO:VOL";
+          paper_claim = "Theta(n)";
+          expected = [ Fit.Linear ];
+          points = reg snd vol;
+        };
+        {
+          quantity = "XMIS:DIST";
+          paper_claim = "Theta(log n)";
+          expected = log_like;
+          points = exp_pts dist;
+        };
+        {
+          quantity = "XMIS:VOL";
+          paper_claim = "Theta(n)";
+          expected = [ Fit.Linear ];
+          points = exp_pts vol;
+        };
+      ];
+    notes =
+      [
+        "SO rows are Question 7.3's sinkless orientation on random 4-regular graphs: the \
+         global reference solver pays Theta(n) volume at Theta(log n) distance; whether \
+         o(n) volume suffices is exactly the paper's open question.";
+        "XMIS rows run MIS on the deterministic shift expander over Z_n (cycle + 2x \
+         chords): logarithmic-diameter terrain without randomness in the structure.";
+      ];
+  }
+
+let family_ladders ?pool ?deep ~quick () =
+  [ family_torus ?pool ?deep ~quick (); family_regular ?pool ?deep ~quick () ]
+
 (* --- ablations ----------------------------------------------------------------------- *)
 
 let ablation_waypoint_rate ?pool ~quick () =
@@ -802,6 +949,9 @@ let all ?pool ?deep ~quick () =
       figure8_adversary ?pool ?deep ~quick ();
       congest_gap ?pool ?deep ~quick ();
       congest_balancedtree ?pool ?deep ~quick ();
+    ]
+  @ family_ladders ?pool ?deep ~quick ()
+  @ [
       ablation_waypoint_rate ?pool ~quick ();
       ablation_walk_flip ~quick ();
       figure3_lines ~quick t1;

@@ -75,6 +75,22 @@ val congest_balancedtree : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> u
     in O(log n) CONGEST rounds by the flooding protocol of
     {!Volcomp.Balanced_tree_congest} — Lemma 2.5's Δ^Θ(T) is tight. *)
 
+(** {1 Graph families (Question 7.3 playground)} *)
+
+val family_torus : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
+(** 2-d torus grid: 4-colouring and maximal matching ladders — the
+    whole-component canonical solvers pay VOL Θ(n) at DIST Θ(√n)
+    ("seeing far"). *)
+
+val family_regular : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report
+(** Random 4-regular graphs and shift expanders: MIS and — Question
+    7.3's — sinkless-orientation ladders; VOL Θ(n) at DIST Θ(log n)
+    ("seeing wide"). *)
+
+val family_ladders : ?pool:Vc_exec.Pool.t -> ?deep:bool -> quick:bool -> unit -> report list
+(** Both family reports, in presentation order — the list the bench
+    harness embeds as its [families] JSON section. *)
+
 (** {1 Ablations (DESIGN.md design choices)} *)
 
 val ablation_waypoint_rate : ?pool:Vc_exec.Pool.t -> quick:bool -> unit -> report

@@ -283,6 +283,7 @@ let list_payload entries =
                Json.Obj
                  [
                    ("name", Json.String e.Registry.name);
+                   ("family", Json.String e.Registry.family);
                    ( "radius",
                      if e.Registry.radius = max_int then Json.String "unbounded"
                      else Json.Int e.Registry.radius );

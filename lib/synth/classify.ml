@@ -11,6 +11,7 @@ module Json = Vc_obs.Json
 type spec = {
   s_name : string;
   s_registry : string;
+  s_family : string;
   s_radius : int;
   s_volume : int;
   s_unsat_volume : int;
@@ -75,6 +76,7 @@ let degree_parity_spec () =
   {
     s_name = "degree-parity";
     s_registry = "DegreeParity";
+    s_family = "cubic";
     s_radius = 0;
     s_volume = 1;
     s_unsat_volume = 0;
@@ -221,6 +223,7 @@ let cycle_coloring_spec () =
   {
     s_name = "cycle-coloring";
     s_registry = "CycleColoring3";
+    s_family = "cycle";
     s_radius = 1;
     s_volume = 3;
     (* Budget 2 is also UNSAT on this corpus (the refutation above), but
@@ -320,6 +323,7 @@ let leaf_coloring_spec () =
   {
     s_name = "leaf-coloring";
     s_registry = "LeafColoring";
+    s_family = "tree";
     s_radius = 3;
     s_volume = 4;
     (* Budget 3 is the rung directly below the witness and is also UNSAT
@@ -351,6 +355,10 @@ let find name =
   List.find_opt
     (fun s -> String.lowercase_ascii s.s_name = lc || String.lowercase_ascii s.s_registry = lc)
     (specs ())
+
+let specs_for ~family =
+  let lc = String.lowercase_ascii family in
+  List.filter (fun s -> String.lowercase_ascii s.s_family = lc) (specs ())
 
 (* --- running ----------------------------------------------------------------- *)
 

@@ -41,6 +41,10 @@
 type spec = {
   s_name : string;  (** CLI name, e.g. ["degree-parity"] *)
   s_registry : string;  (** the {!Vc_check.Registry} problem it mirrors *)
+  s_family : string;
+      (** the graph family of the certificate corpus, matching the
+          {!Vc_check.Registry.entry} family tags ("cubic", "cycle",
+          "tree", …) — the seam for family-filtered synthesis runs *)
   s_radius : int;  (** synthesis distance cap *)
   s_volume : int;  (** known-feasible volume (Table 1 / corpus minimal) *)
   s_unsat_volume : int;  (** first budget expected infeasible *)
@@ -52,6 +56,11 @@ type spec = {
 val specs : unit -> spec list
 val find : string -> spec option
 (** By {!spec.s_name} (case-insensitive); also accepts the registry name. *)
+
+val specs_for : family:string -> spec list
+(** The specs whose certificate corpus lives on [family]
+    (case-insensitive exact match on {!spec.s_family}); no new verdicts
+    — the same ladders, restricted to one graph family. *)
 
 type verdict = {
   v_problem : string;

@@ -1,0 +1,245 @@
+(* Structural properties of the graph-family builders (lib/family) and
+   the checkers of the marquee family problems.  The builders feed the
+   conformance registry, the measurement ladders and the CLI, so their
+   invariants — normal-form torus ports, simple exactly-d-regular
+   configuration graphs, bounded-degree expanders — are pinned here at
+   the unit level; the registry probes then exercise them end to end. *)
+
+module Graph = Vc_graph.Graph
+module Family = Vc_family.Family
+module C4 = Vc_family.Coloring4
+module Matching = Vc_family.Matching
+module Mis = Vc_family.Mis
+module Gen = Vc_check.Gen
+module Lcl = Vc_lcl.Lcl
+
+(* --- torus grids ----------------------------------------------------------- *)
+
+(* The unshuffled torus must carry the grid normal form exactly: node
+   (x, y) is index y*w + x, port 1 leads east, 2 west, 3 north, 4 south,
+   all with wraparound. *)
+let test_torus_ports () =
+  List.iter
+    (fun (w, h) ->
+      let g = Family.torus ~w ~h in
+      Alcotest.(check int) (Printf.sprintf "%dx%d node count" w h) (w * h) (Graph.n g);
+      for v = 0 to (w * h) - 1 do
+        let x = v mod w and y = v / w in
+        Alcotest.(check (pair int int))
+          (Printf.sprintf "coords of %d" v)
+          (x, y)
+          (Family.torus_coords ~w v);
+        Alcotest.(check int) (Printf.sprintf "degree of %d" v) 4 (Graph.degree g v);
+        let expect port = Graph.neighbor g v port in
+        Alcotest.(check int) "east" ((y * w) + ((x + 1) mod w)) (expect 1);
+        Alcotest.(check int) "west" ((y * w) + ((x + w - 1) mod w)) (expect 2);
+        Alcotest.(check int) "north" ((((y + 1) mod h) * w) + x) (expect 3);
+        Alcotest.(check int) "south" ((((y + h - 1) mod h) * w) + x) (expect 4)
+      done)
+    [ (4, 4); (6, 4); (5, 3) ]
+
+let test_torus_dims () =
+  List.iter
+    (fun size ->
+      let w, h = Family.torus_dims ~size in
+      let msg what = Printf.sprintf "size=%d %s" size what in
+      Alcotest.(check bool) (msg "w even") true (w mod 2 = 0);
+      Alcotest.(check bool) (msg "h even") true (h mod 2 = 0);
+      Alcotest.(check bool) (msg "capacity") true (w * h >= max 16 size);
+      (* near-square: the sides differ by at most one doubling step *)
+      Alcotest.(check bool) (msg "near-square") true (abs (w - h) <= max w h / 2))
+    [ 1; 16; 36; 64; 100; 1000 ]
+
+let test_torus_of_size_valid () =
+  List.iter
+    (fun size ->
+      let g = Family.torus_of_size ~size ~seed:9L in
+      Alcotest.(check bool)
+        (Printf.sprintf "size=%d connected" size)
+        true (Graph.is_connected g);
+      Alcotest.(check int) (Printf.sprintf "size=%d max degree" size) 4 (Graph.max_degree g))
+    [ 16; 36; 100 ]
+
+(* --- random d-regular (configuration model) -------------------------------- *)
+
+let simple_and_regular ~d g =
+  Graph.fold_nodes g ~init:true ~f:(fun ok v ->
+      let ns = Graph.neighbors g v in
+      let distinct =
+        Array.for_all (fun w -> w <> v) ns
+        && Array.length (Array.of_seq (List.to_seq (List.sort_uniq compare (Array.to_list ns))))
+           = Array.length ns
+      in
+      ok && Array.length ns = d && distinct)
+
+let qcheck_regular_simple =
+  QCheck.Test.make ~count:60 ~name:"Family: configuration model is simple and d-regular"
+    QCheck.(triple (int_range 2 4) (int_range 0 30) (int_range 0 1000))
+    (fun (d, extra, seed) ->
+      let n0 = d + 2 + extra in
+      let n = if n0 * d mod 2 = 1 then n0 + 1 else n0 in
+      let g = Family.random_regular ~n ~d ~seed:(Int64.of_int seed) in
+      Graph.n g = n && simple_and_regular ~d g)
+
+let test_regular_of_size_rounds_up () =
+  List.iter
+    (fun (d, size) ->
+      let g = Family.regular_of_size ~d ~size ~seed:3L in
+      let n = Graph.n g in
+      let msg what = Printf.sprintf "d=%d size=%d %s" d size what in
+      Alcotest.(check bool) (msg "n >= size") true (n >= min size (d + 2) || n >= d + 2);
+      Alcotest.(check bool) (msg "n*d even") true (n * d mod 2 = 0);
+      Alcotest.(check bool) (msg "simple d-regular") true (simple_and_regular ~d g))
+    [ (3, 4); (3, 9); (4, 6); (4, 25) ]
+
+(* --- shift expanders -------------------------------------------------------- *)
+
+let test_expander_structure () =
+  List.iter
+    (fun n ->
+      let g = Family.expander ~n in
+      Alcotest.(check int) (Printf.sprintf "n=%d nodes" n) n (Graph.n g);
+      Alcotest.(check bool) (Printf.sprintf "n=%d connected" n) true (Graph.is_connected g);
+      Graph.iter_nodes g (fun v ->
+          let deg = Graph.degree g v in
+          if deg < 2 || deg > 4 then
+            Alcotest.failf "n=%d node %d degree %d outside [2, 4]" n v deg))
+    [ 5; 7; 25; 101 ]
+
+(* --- the family table and Gen integration ----------------------------------- *)
+
+let test_family_table () =
+  Alcotest.(check int) "three families" 3 (List.length Family.all);
+  List.iter
+    (fun info ->
+      (match Family.find info.Family.f_name with
+      | Some found -> Alcotest.(check string) "find" info.Family.f_name found.Family.f_name
+      | None -> Alcotest.failf "family %s not found" info.Family.f_name);
+      let g = info.Family.f_build ~size:info.Family.f_min_size ~seed:1L in
+      Alcotest.(check bool)
+        (info.Family.f_name ^ " min-size build connected")
+        true (Graph.is_connected g);
+      Alcotest.(check bool)
+        (info.Family.f_name ^ " degree bound")
+        true
+        (Graph.max_degree g <= info.Family.f_max_degree))
+    Family.all;
+  Alcotest.(check bool) "find is case-insensitive" true (Family.find "TORUS" <> None);
+  Alcotest.(check bool) "unknown family" true (Family.find "hypercube" = None)
+
+(* Shrinking a spec halves its size towards the shape minimum; every
+   intermediate spec must still build a valid clamped graph, so a
+   minimized counterexample is always reproducible. *)
+let test_gen_shrink_chain () =
+  List.iter
+    (fun shape ->
+      let rec down size =
+        let g = Gen.build { Gen.shape; size; g_seed = 11L } in
+        Alcotest.(check bool)
+          (Format.asprintf "%a size=%d connected" Gen.pp_shape shape size)
+          true (Graph.is_connected g);
+        Alcotest.(check bool)
+          (Format.asprintf "%a size=%d clamped" Gen.pp_shape shape size)
+          true
+          (Graph.n g >= 1);
+        if size > 1 then down (size / 2)
+      in
+      down 64)
+    [ Gen.Torus; Gen.D_regular; Gen.Expander ]
+
+(* --- checker units ----------------------------------------------------------- *)
+
+let unit_input _ = ()
+
+let check_ok name problem g output =
+  match Lcl.check problem g ~input:unit_input ~output with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "%s: expected valid, got %d violation(s): %a" name (List.length vs)
+        Lcl.pp_violation (List.hd vs)
+
+let check_rejected name problem g output =
+  if Lcl.is_valid problem g ~input:unit_input ~output then
+    Alcotest.failf "%s: expected a violation, checker accepted" name
+
+let test_coloring4_checker () =
+  let g = Family.torus ~w:4 ~h:4 in
+  let parity v =
+    let x, y = Family.torus_coords ~w:4 v in
+    (2 * (y mod 2)) + (x mod 2)
+  in
+  check_ok "parity colouring" C4.problem g parity;
+  check_rejected "monochromatic" C4.problem g (fun _ -> 0);
+  check_rejected "out of palette" C4.problem g (fun v -> if v = 0 then C4.palette else parity v)
+
+let test_matching_checker () =
+  (* a 4-cycle: matching {0-1, 2-3} via mutual ports *)
+  let g = Vc_graph.Builder.cycle 4 in
+  let partner v =
+    let pair = if v mod 2 = 0 then v + 1 else v - 1 in
+    match Graph.port_to g v pair with
+    | Some p -> p
+    | None -> Alcotest.failf "no port %d -> %d" v pair
+  in
+  check_ok "perfect matching" Matching.problem g partner;
+  check_rejected "all unmatched is not maximal" Matching.problem g (fun _ -> 0);
+  (* 0 points at 1 but 1 claims unmatched: reciprocation fails *)
+  check_rejected "unreciprocated" Matching.problem g (fun v -> if v = 0 then partner 0 else 0)
+
+let test_mis_checker () =
+  let g = Vc_graph.Builder.cycle 6 in
+  check_ok "alternating MIS" Mis.problem g (fun v -> v mod 2 = 0);
+  check_rejected "empty set is not maximal" Mis.problem g (fun _ -> false);
+  check_rejected "adjacent members" Mis.problem g (fun v -> v <= 1)
+
+(* Reference solvers are canonical functions of the component: solving
+   through the probe model at every origin must assemble a labeling the
+   problem's own checker accepts, on at least two families each. *)
+let solve_all world solver g =
+  let out =
+    Array.init (Graph.n g) (fun v ->
+        match Vc_model.Probe.run ~world ~origin:v solver.Lcl.solve with
+        | { Vc_model.Probe.output = Some o; _ } -> o
+        | _ -> Alcotest.failf "%s aborted at origin %d" solver.Lcl.solver_name v)
+  in
+  fun v -> out.(v)
+
+let test_family_solvers_validate () =
+  let expect name problem world solver g =
+    let output = solve_all (world g) solver g in
+    check_ok name problem g output
+  in
+  expect "coloring4 on torus" C4.problem C4.world C4.solve_torus
+    (Family.torus_of_size ~size:16 ~seed:5L);
+  expect "coloring4 on 3-regular" C4.problem C4.world C4.solve_greedy
+    (Family.regular_of_size ~d:3 ~size:10 ~seed:5L);
+  expect "matching on torus" Matching.problem Matching.world Matching.solve_greedy
+    (Family.torus_of_size ~size:16 ~seed:6L);
+  expect "matching on 4-regular" Matching.problem Matching.world Matching.solve_greedy
+    (Family.regular_of_size ~d:4 ~size:12 ~seed:6L);
+  expect "mis on 4-regular" Mis.problem Mis.world Mis.solve_greedy
+    (Family.regular_of_size ~d:4 ~size:12 ~seed:7L);
+  expect "mis on expander" Mis.problem Mis.world Mis.solve_greedy
+    (Family.expander_of_size ~size:15 ~seed:7L)
+
+let suites =
+  [
+    ( "family",
+      [
+        Alcotest.test_case "torus carries the grid normal form" `Quick test_torus_ports;
+        Alcotest.test_case "torus_dims: even near-square capacity" `Quick test_torus_dims;
+        Alcotest.test_case "torus_of_size builds valid graphs" `Quick test_torus_of_size_valid;
+        Alcotest.test_case "regular_of_size rounds to feasible n" `Quick
+          test_regular_of_size_rounds_up;
+        Alcotest.test_case "expander: bounded degree, connected" `Quick test_expander_structure;
+        Alcotest.test_case "family table: find, min sizes, degree bounds" `Quick
+          test_family_table;
+        Alcotest.test_case "Gen shrink chain stays buildable" `Quick test_gen_shrink_chain;
+        Alcotest.test_case "coloring4 checker accepts/rejects" `Quick test_coloring4_checker;
+        Alcotest.test_case "matching checker accepts/rejects" `Quick test_matching_checker;
+        Alcotest.test_case "mis checker accepts/rejects" `Quick test_mis_checker;
+        Alcotest.test_case "reference solvers validate on two families each" `Quick
+          test_family_solvers_validate;
+        QCheck_alcotest.to_alcotest qcheck_regular_simple;
+      ] );
+  ]

@@ -25,6 +25,7 @@ let () =
          Test_sinkless.suites;
          Test_robustness.suites;
          Test_cross_model.suites;
+         Test_family.suites;
          Test_check.suites;
          Test_ir.suites;
          Test_snap.suites;

@@ -201,6 +201,27 @@ let test_store_stale_builder () =
     "stale builder version misses" true
     (Store.load new_store ~problem ~size ~seed = None)
 
+(* The registry bump (registry-v1 → registry-v2, when the graph-family
+   builders landed) must invalidate every pre-bump store: a registry-v1
+   snapshot placed at the exact path the current store reads is a miss,
+   never a stale hit. *)
+let test_store_registry_v1_stale () =
+  Alcotest.(check string) "current registry version" "registry-v2" Registry.builder_version;
+  with_store ~builder_version:"registry-v1" @@ fun v1_store ->
+  with_store ~builder_version:Registry.builder_version @@ fun store ->
+  let problem = "DegreeParity" and size = 16 and seed = 42L in
+  Alcotest.(check bool)
+    "publish registry-v1" true
+    (Store.publish v1_store ~problem ~size ~seed ~n:16 ~segments);
+  (match Store.files v1_store with
+  | [ p ] ->
+      let target = Store.path store ~problem ~size ~seed in
+      write_file target (read_file p)
+  | fs -> Alcotest.failf "expected 1 v1-store file, found %d" (List.length fs));
+  Alcotest.(check bool)
+    "registry-v1 snapshot misses under registry-v2" true
+    (Store.load store ~problem ~size ~seed = None)
+
 (* Registry integration: acquiring through a store is a publish-on-miss
    then a hit, and the hit is marked [`Snapshot]. *)
 let test_registry_acquire () =
@@ -274,6 +295,8 @@ let suites =
         Alcotest.test_case "store publish/load/miss semantics" `Quick test_store_roundtrip;
         Alcotest.test_case "stale builder version never serves" `Quick
           test_store_stale_builder;
+        Alcotest.test_case "registry-v1 store never serves registry-v2" `Quick
+          test_store_registry_v1_stale;
         Alcotest.test_case "registry acquire populates and hits" `Quick test_registry_acquire;
         QCheck_alcotest.to_alcotest qcheck_header_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_header_garbage;
